@@ -1,0 +1,78 @@
+package pmemolap
+
+// One testing.B benchmark per paper table and figure. Each bench regenerates
+// its experiment on the simulated machine and reports the experiment's
+// headline number as a custom metric, so `go test -bench=.` doubles as a
+// compact reproduction report. The SSB benches execute at a small scale
+// factor with traffic scaled to the paper's sf 50/100 (see DESIGN.md).
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config { return experiments.Config{SF: 0.02, Quick: true} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables, err = e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline metric: the maximum value in the first table (peak GB/s for
+	// bandwidth figures, the slowest step for runtime tables).
+	if len(tables) > 0 {
+		max := 0.0
+		for _, s := range tables[0].Series {
+			for _, v := range s.Values {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		b.ReportMetric(max, "peak_"+tables[0].Unit)
+	}
+}
+
+func BenchmarkFig3ReadAccessSizeThreads(b *testing.B)  { runExperiment(b, "fig03") }
+func BenchmarkFig4ReadPinning(b *testing.B)            { runExperiment(b, "fig04") }
+func BenchmarkFig5ReadNUMAWarmup(b *testing.B)         { runExperiment(b, "fig05") }
+func BenchmarkFig6MultiSocketReads(b *testing.B)       { runExperiment(b, "fig06") }
+func BenchmarkFig7WriteAccessSizeThreads(b *testing.B) { runExperiment(b, "fig07") }
+func BenchmarkFig8WriteHeatmap(b *testing.B)           { runExperiment(b, "fig08") }
+func BenchmarkFig9WritePinning(b *testing.B)           { runExperiment(b, "fig09") }
+func BenchmarkFig10MultiSocketWrites(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11MixedWorkload(b *testing.B)         { runExperiment(b, "fig11") }
+func BenchmarkFig12RandomReads(b *testing.B)           { runExperiment(b, "fig12") }
+func BenchmarkFig13RandomWrites(b *testing.B)          { runExperiment(b, "fig13") }
+func BenchmarkFig14aHyriseSSB(b *testing.B)            { runExperiment(b, "fig14a") }
+func BenchmarkFig14bHandcraftedSSB(b *testing.B)       { runExperiment(b, "fig14b") }
+func BenchmarkTable1OptimizationLadder(b *testing.B)   { runExperiment(b, "tab01") }
+func BenchmarkSSDBaseline(b *testing.B)                { runExperiment(b, "ssd01") }
+func BenchmarkDevdaxFsdax(b *testing.B)                { runExperiment(b, "dax01") }
+
+func BenchmarkAblationPrefetcher(b *testing.B)  { runExperiment(b, "abl01") }
+func BenchmarkAblationXPBuffer(b *testing.B)    { runExperiment(b, "abl02") }
+func BenchmarkAblationInterleave(b *testing.B)  { runExperiment(b, "abl03") }
+func BenchmarkAblationUPIMetadata(b *testing.B) { runExperiment(b, "abl04") }
+func BenchmarkAblationWarmup(b *testing.B)      { runExperiment(b, "abl05") }
+func BenchmarkAdvisorValidation(b *testing.B)   { runExperiment(b, "bp01") }
+
+func BenchmarkExtMemoryMode(b *testing.B)         { runExperiment(b, "ext01") }
+func BenchmarkExtHybridPlacement(b *testing.B)    { runExperiment(b, "ext02") }
+func BenchmarkExtPricePerformance(b *testing.B)   { runExperiment(b, "ext03") }
+func BenchmarkExtWriteAmplification(b *testing.B) { runExperiment(b, "ext04") }
+func BenchmarkExtPartitioningSkew(b *testing.B)   { runExperiment(b, "ext05") }
+func BenchmarkExtBulkImport(b *testing.B)         { runExperiment(b, "ext06") }
+
+func BenchmarkExtQueryUnderIngest(b *testing.B) { runExperiment(b, "ext07") }
+
+func BenchmarkValidationScorecard(b *testing.B) { runExperiment(b, "val01") }

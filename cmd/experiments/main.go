@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	experiments [-sf 0.1] [-quick] [-id fig03] [-o out.txt]
+//
+// Without -id, every registered experiment runs (the full reproduction);
+// the output format is the one recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "scale factor the SSB engines execute at (traffic scales to sf 50/100)")
+	quick := flag.Bool("quick", false, "trim sweep axes for a fast smoke run")
+	id := flag.String("id", "", "run a single experiment (e.g. fig03, tab01); empty = all")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	format := flag.String("format", "text", "text or csv")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{SF: *sf, Quick: *quick}
+	print := func(t experiments.Table) {
+		if *format == "csv" {
+			t.FprintCSV(w)
+		} else {
+			t.Fprint(w)
+		}
+	}
+	var list []experiments.Experiment
+	if *id == "" {
+		list = experiments.All()
+	} else {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		list = []experiments.Experiment{e}
+	}
+	for _, e := range list {
+		if *format != "csv" {
+			fmt.Fprintf(w, "# %s: %s\n\n", e.ID, e.Title)
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			print(t)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// Command pmembench measures the bandwidth of one workload point — or a
+// sweep — on the simulated machine, mirroring the paper's microbenchmark
+// binary.
+//
+// Examples:
+//
+//	pmembench -dir read -pattern individual -size 4096 -threads 18
+//	pmembench -dir write -pattern grouped -size 64 -threads 36
+//	pmembench -dir read -size 4096 -far             # cold far access
+//	pmembench -dir read -size 4096 -far -warm       # after warm-up
+//	pmembench -dir read -sweep threads
+//	pmembench -device dram -dir read -pattern random -size 512 -threads 36
+//	pmembench -advise -dir write                    # print best practices
+//	pmembench -trace workload.trace                 # replay a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+func main() {
+	device := flag.String("device", "pmem", "pmem or dram")
+	dir := flag.String("dir", "read", "read or write")
+	pattern := flag.String("pattern", "individual", "grouped, individual, or random")
+	size := flag.Int64("size", 4096, "access size in bytes")
+	threads := flag.Int("threads", 18, "thread count")
+	pin := flag.String("pin", "cores", "cores, numa, or none")
+	far := flag.Bool("far", false, "access the remote socket's memory")
+	warm := flag.Bool("warm", false, "pre-establish cross-socket mappings")
+	prefetcher := flag.Bool("prefetcher", true, "L2 hardware prefetcher enabled")
+	sweep := flag.String("sweep", "", "sweep an axis: 'threads' or 'size'")
+	verbose := flag.Bool("verbose", false, "print peak resource utilizations (the bottleneck report)")
+	advise := flag.Bool("advise", false, "print the best-practice advice for the workload instead of measuring")
+	traceFile := flag.String("trace", "", "replay a workload trace file (see internal/trace for the format)")
+	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
+	flag.Parse()
+
+	d, err := parseDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := parsePattern(*pattern)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := parseDevice(*device)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := parsePin(*pin)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *advise {
+		a := core.Advise(core.WorkloadDesc{Dir: d, Pattern: p, FullControl: pol == cpu.PinCores})
+		fmt.Println(a)
+		return
+	}
+
+	cfg := machine.DefaultConfig()
+	if *configFile != "" {
+		f, err := os.Open(*configFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = machine.ConfigFromJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// The -prefetcher flag only overrides the config when explicitly set,
+	// so a config file's PrefetcherEnabled survives the flag default.
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "prefetcher" {
+			cfg.PrefetcherEnabled = *prefetcher
+		}
+	})
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		lines, err := trace.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := trace.Replay(m, lines)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("elapsed: %.3f s  total: %.2f GB/s  read: %.2f GB/s  write: %.2f GB/s\n",
+			res.Elapsed, res.Bandwidth/1e9, res.ReadBandwidth/1e9, res.WriteBandwidth/1e9)
+		for _, s := range res.Streams {
+			fmt.Printf("  %-12s %8.2f GB/s over %6.2f s\n", s.Label, s.Bandwidth/1e9, s.Seconds)
+		}
+		return
+	}
+
+	b, err := core.NewBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	point := core.Point{
+		Class: dev, Dir: d, Pattern: p, AccessSize: *size, Threads: *threads,
+		Policy: pol, Far: *far, Warm: *warm,
+	}
+
+	switch *sweep {
+	case "":
+		res, err := b.MeasureDetailed(point)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.2f GB/s\n", res.Bandwidth/1e9)
+		if *verbose {
+			fmt.Println("peak resource utilization:")
+			names := make([]string, 0, len(res.PeakUtilization))
+			for n := range res.PeakUtilization {
+				names = append(names, n)
+			}
+			sort.Slice(names, func(i, j int) bool {
+				return res.PeakUtilization[names[i]] > res.PeakUtilization[names[j]]
+			})
+			for _, n := range names {
+				if u := res.PeakUtilization[n]; u > 0.01 {
+					fmt.Printf("  %-24s %5.1f%%\n", n, u*100)
+				}
+			}
+		}
+	case "threads":
+		res, err := b.SweepThreads(point, []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36})
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range res.Axis {
+			fmt.Printf("%3d threads: %6.2f GB/s\n", t, res.GBs[i])
+		}
+	case "size":
+		res, err := b.SweepAccessSize(point, []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
+		if err != nil {
+			fatal(err)
+		}
+		for i, s := range res.Axis {
+			fmt.Printf("%6d B: %6.2f GB/s\n", s, res.GBs[i])
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep axis %q (threads or size)", *sweep))
+	}
+}
+
+func parseDir(s string) (access.Direction, error) {
+	switch s {
+	case "read":
+		return access.Read, nil
+	case "write":
+		return access.Write, nil
+	}
+	return 0, fmt.Errorf("unknown direction %q", s)
+}
+
+func parsePattern(s string) (access.Pattern, error) {
+	switch s {
+	case "grouped":
+		return access.SeqGrouped, nil
+	case "individual":
+		return access.SeqIndividual, nil
+	case "random":
+		return access.Random, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}
+
+func parseDevice(s string) (access.DeviceClass, error) {
+	switch s {
+	case "pmem":
+		return access.PMEM, nil
+	case "dram":
+		return access.DRAM, nil
+	}
+	return 0, fmt.Errorf("unknown device %q", s)
+}
+
+func parsePin(s string) (cpu.PinPolicy, error) {
+	switch s {
+	case "cores":
+		return cpu.PinCores, nil
+	case "numa":
+		return cpu.PinNUMA, nil
+	case "none":
+		return cpu.PinNone, nil
+	}
+	return 0, fmt.Errorf("unknown pin policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmembench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Dataimport: bulk-load 70 GB into PMEM the naive way (every core, grouped
+// small appends) versus the paper's way (4-6 threads per socket, 4 KiB
+// individual chunks, striped across both sockets). Demonstrates insights
+// #6, #7, #9 and best practice #2/#4.
+//
+//	go run ./examples/dataimport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pmemolap "repro"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+const importBytes = 70 * units.GB
+
+func main() {
+	fmt.Printf("bulk import of %s into PMEM\n\n", units.FormatBytes(importBytes))
+
+	// Naive: 36 threads append to one shared log in 64 B records.
+	naiveSec := run(func(m *machine.Machine) ([]workload.Spec, error) {
+		r, err := m.AllocPMEM("log", 0, importBytes, machine.FsDax)
+		if err != nil {
+			return nil, err
+		}
+		return []workload.Spec{{
+			Name: "naive", Dir: access.Write, Pattern: access.SeqGrouped,
+			AccessSize: 64, Threads: 36, Policy: cpu.PinNone,
+			Region: r, TotalBytes: importBytes,
+		}}, nil
+	})
+	fmt.Printf("naive    (36 unpinned threads, one shared 64 B log, fsdax): %6.1f s (%.1f GB/s)\n",
+		naiveSec, float64(importBytes)/naiveSec/1e9)
+
+	// Best practice: advisor-configured import.
+	advice := pmemolap.Advise(pmemolap.WorkloadDesc{
+		Dir: pmemolap.Write, Pattern: pmemolap.SeqIndividual, FullControl: true, Sockets: 2,
+	})
+	fmt.Printf("\nadvisor says:\n%s\n\n", advice)
+
+	goodSec := run(func(m *machine.Machine) ([]workload.Spec, error) {
+		var specs []workload.Spec
+		for s := 0; s < 2; s++ {
+			r, err := m.AllocPMEM(fmt.Sprintf("part%d", s), topoSock(s), importBytes/2, machine.DevDax)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, workload.Spec{
+				Name: fmt.Sprintf("good/s%d", s), Dir: access.Write, Pattern: access.SeqIndividual,
+				AccessSize: advice.AccessSize, Threads: advice.ThreadsPerSocket,
+				Policy: cpu.PinCores, Socket: topoSock(s), Region: r, TotalBytes: importBytes / 2,
+			})
+		}
+		return specs, nil
+	})
+	fmt.Printf("advised  (%d threads/socket, 4 KiB individual, striped, devdax): %6.1f s (%.1f GB/s)\n",
+		advice.ThreadsPerSocket, goodSec, float64(importBytes)/goodSec/1e9)
+	fmt.Printf("\nspeedup: %.1fx\n", naiveSec/goodSec)
+}
+
+func run(setup func(*machine.Machine) ([]workload.Spec, error)) float64 {
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs, err := setup(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := workload.RunMixed(m, specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Elapsed
+}
+
+func topoSock(s int) topology.SocketID { return topology.SocketID(s) }

@@ -1,0 +1,81 @@
+// Mixedworkload: Section 5.1's lesson — concurrent reads and writes on the
+// same PMEM DIMMs hurt each other badly, so latency-insensitive work should
+// be serialized (best practice #5). The example measures a query stream
+// against a concurrent ingest, then the same work serialized.
+//
+//	go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pmemolap "repro"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+const (
+	readBytes  = 120 * units.GB // the "query stream"
+	writeBytes = 25 * units.GB  // the "ingest batch"
+)
+
+func main() {
+	// Concurrent: 30 read threads + 6 write threads on one socket.
+	m := machine.MustNew(machine.DefaultConfig())
+	rRead, err := m.AllocPMEM("tables", 0, 70*units.GB, machine.DevDax)
+	check(err)
+	rWrite, err := m.AllocPMEM("ingest", 0, 40*units.GB, machine.DevDax)
+	check(err)
+
+	res, err := workload.RunMixed(m,
+		workload.Spec{Name: "queries", Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Threads: 30, Policy: cpu.PinNUMA, Socket: 0,
+			Region: rRead, TotalBytes: readBytes},
+		workload.Spec{Name: "ingest", Dir: access.Write, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Threads: 6, Policy: cpu.PinNUMA, Socket: 0,
+			Region: rWrite, TotalBytes: writeBytes})
+	check(err)
+	concurrent := res.Elapsed
+	fmt.Printf("concurrent: queries + ingest interleaved          %6.1f s (read %4.1f GB/s, write %4.1f GB/s)\n",
+		concurrent, res.ReadBandwidth/1e9, res.WriteBandwidth/1e9)
+
+	// Serialized: ingest first at its optimal thread count, then queries.
+	m2 := machine.MustNew(machine.DefaultConfig())
+	rRead2, err := m2.AllocPMEM("tables", 0, 70*units.GB, machine.DevDax)
+	check(err)
+	rWrite2, err := m2.AllocPMEM("ingest", 0, 40*units.GB, machine.DevDax)
+	check(err)
+
+	wres, err := workload.RunMixed(m2, workload.Spec{
+		Name: "ingest", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 6, Policy: cpu.PinNUMA, Socket: 0,
+		Region: rWrite2, TotalBytes: writeBytes})
+	check(err)
+	rres, err := workload.RunMixed(m2, workload.Spec{
+		Name: "queries", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 30, Policy: cpu.PinNUMA, Socket: 0,
+		Region: rRead2, TotalBytes: readBytes})
+	check(err)
+	serialized := wres.Elapsed + rres.Elapsed
+	fmt.Printf("serialized: ingest (%.1f s) then queries (%.1f s)   %6.1f s\n",
+		wres.Elapsed, rres.Elapsed, serialized)
+
+	fmt.Printf("\nserializing the same work is %.0f%% faster (insight #11)\n",
+		(concurrent/serialized-1)*100)
+
+	fmt.Println("\nadvisor on mixed workloads:")
+	fmt.Println(pmemolap.Advise(pmemolap.WorkloadDesc{Dir: pmemolap.Read, MixedWith: true}))
+	fmt.Println("\n...and when the workload is latency-sensitive:")
+	fmt.Println(pmemolap.Advise(pmemolap.WorkloadDesc{Dir: pmemolap.Read, MixedWith: true, LatencySensitive: true}))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

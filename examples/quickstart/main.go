@@ -1,0 +1,60 @@
+// Quickstart: build the simulated server, measure PMEM read and write
+// bandwidth at the paper's sweet spots, and print the 7 best practices.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pmemolap "repro"
+)
+
+func main() {
+	bench, err := pmemolap.NewBench(pmemolap.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequential read at the paper's recommended configuration:
+	// 18 threads per socket, 4 KiB individual accesses, pinned to cores.
+	read, err := bench.Measure(pmemolap.Point{
+		Class: pmemolap.PMEM, Dir: pmemolap.Read, Pattern: pmemolap.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: pmemolap.PinCores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential read,  18 threads, 4 KiB: %6.1f GB/s  (paper: ~40)\n", read)
+
+	// Sequential write at the recommended 4-6 threads.
+	write, err := bench.Measure(pmemolap.Point{
+		Class: pmemolap.PMEM, Dir: pmemolap.Write, Pattern: pmemolap.SeqIndividual,
+		AccessSize: 4096, Threads: 6, Policy: pmemolap.PinCores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential write,  6 threads, 4 KiB: %6.1f GB/s  (paper: ~12.6)\n", write)
+
+	// What happens when you ignore insight #7 and write with every core:
+	bad, err := bench.Measure(pmemolap.Point{
+		Class: pmemolap.PMEM, Dir: pmemolap.Write, Pattern: pmemolap.SeqIndividual,
+		AccessSize: 4096, Threads: 36, Policy: pmemolap.PinCores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential write, 36 threads, 4 KiB: %6.1f GB/s  (paper: ~5-6; more threads HURT)\n\n", bad)
+
+	fmt.Println("The paper's 7 best practices:")
+	for _, p := range pmemolap.BestPractices() {
+		fmt.Printf("  %d. %s\n", p.Number, p.Text)
+	}
+
+	fmt.Println("\nAdvice for a write-heavy ingestion workload:")
+	fmt.Println(pmemolap.Advise(pmemolap.WorkloadDesc{
+		Dir: pmemolap.Write, Pattern: pmemolap.SeqIndividual, FullControl: true, Sockets: 2,
+	}))
+}

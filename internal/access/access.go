@@ -1,0 +1,86 @@
+// Package access defines the vocabulary shared by the device models, the
+// machine simulator, and the workload layer: access direction, pattern, and
+// device class. These mirror the axes of the paper's evaluation (Sections
+// 3-5): read vs write, sequential grouped vs sequential individual vs random,
+// and PMEM vs DRAM vs SSD.
+package access
+
+import "fmt"
+
+// Direction of a memory access stream.
+type Direction int
+
+const (
+	// Read loads data (the paper uses vmovntdqa AVX-512 loads).
+	Read Direction = iota
+	// Write stores data (vmovntdq non-temporal stores followed by sfence).
+	Write
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Pattern is the spatial access pattern of a stream.
+type Pattern int
+
+const (
+	// SeqGrouped interleaves all threads over one global sequential region:
+	// thread 1 reads bytes 0..s-1, thread 2 reads s..2s-1, and so on
+	// (Section 3.1, "Grouped Access").
+	SeqGrouped Pattern = iota
+	// SeqIndividual gives each thread its own disjoint sequential region
+	// (Section 3.1, "Individual Access").
+	SeqIndividual
+	// Random accesses uniformly random offsets within a bounded region
+	// (Section 5.2).
+	Random
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case SeqGrouped:
+		return "seq-grouped"
+	case SeqIndividual:
+		return "seq-individual"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Sequential reports whether the pattern is one of the sequential variants.
+func (p Pattern) Sequential() bool { return p == SeqGrouped || p == SeqIndividual }
+
+// DeviceClass identifies the storage medium backing a region.
+type DeviceClass int
+
+const (
+	// PMEM is Intel Optane DC Persistent Memory in App Direct mode.
+	PMEM DeviceClass = iota
+	// DRAM is regular DDR4 memory.
+	DRAM
+	// SSD is a block NVMe device (the paper's "traditional" baseline).
+	SSD
+)
+
+func (c DeviceClass) String() string {
+	switch c {
+	case PMEM:
+		return "pmem"
+	case DRAM:
+		return "dram"
+	case SSD:
+		return "ssd"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}

@@ -1,0 +1,49 @@
+package access
+
+import "testing"
+
+func TestDirectionString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("Direction strings = %q, %q", Read.String(), Write.String())
+	}
+	if s := Direction(9).String(); s != "Direction(9)" {
+		t.Errorf("unknown direction = %q", s)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	cases := map[Pattern]string{
+		SeqGrouped:    "seq-grouped",
+		SeqIndividual: "seq-individual",
+		Random:        "random",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if s := Pattern(7).String(); s != "Pattern(7)" {
+		t.Errorf("unknown pattern = %q", s)
+	}
+}
+
+func TestPatternSequential(t *testing.T) {
+	if !SeqGrouped.Sequential() || !SeqIndividual.Sequential() {
+		t.Error("sequential patterns not reported sequential")
+	}
+	if Random.Sequential() {
+		t.Error("random reported sequential")
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	cases := map[DeviceClass]string{PMEM: "pmem", DRAM: "dram", SSD: "ssd"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("DeviceClass(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+	if s := DeviceClass(5).String(); s != "DeviceClass(5)" {
+		t.Errorf("unknown device = %q", s)
+	}
+}

@@ -1,0 +1,77 @@
+package aware
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/ssb"
+)
+
+// TestHybridDims: placing the Dash indexes in DRAM while keeping the fact
+// table on PMEM (the paper's future-work hybrid) recovers most of the
+// PMEM-DRAM gap on probe-heavy queries and still returns exact results.
+func TestHybridDims(t *testing.T) {
+	q, _ := ssb.QueryByID("Q2.1")
+	base := Options{Threads: 36, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}
+
+	pmemOnly := newEngine(t, base)
+	hybridOpt := base
+	hybridOpt.HybridDims = true
+	hybrid := newEngine(t, hybridOpt)
+	dramOpt := base
+	dramOpt.Device = access.DRAM
+	dramOnly := newEngine(t, dramOpt)
+
+	rp, err := pmemOnly.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := hybrid.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dramOnly.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rh.Result.Equal(rp.Result) || !rh.Result.Equal(rd.Result) {
+		t.Fatal("hybrid engine changed the query result")
+	}
+	if !(rh.Seconds < rp.Seconds) {
+		t.Errorf("hybrid (%.2f s) not faster than PMEM-only (%.2f s)", rh.Seconds, rp.Seconds)
+	}
+	if rh.Seconds < rd.Seconds*0.95 {
+		t.Errorf("hybrid (%.2f s) implausibly faster than DRAM-only (%.2f s)", rh.Seconds, rd.Seconds)
+	}
+	// The hybrid should recover at least half of the PMEM->DRAM gap.
+	gap := rp.Seconds - rd.Seconds
+	recovered := rp.Seconds - rh.Seconds
+	if recovered < gap*0.5 {
+		t.Errorf("hybrid recovered %.2f of a %.2f s gap, want >= half", recovered, gap)
+	}
+}
+
+// TestHybridQF1NoBenefit: flight 1 has no index probes, so the hybrid's
+// advantage must vanish (the scan still runs on PMEM).
+func TestHybridQF1NoBenefit(t *testing.T) {
+	q, _ := ssb.QueryByID("Q1.1")
+	base := Options{Threads: 36, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}
+	pmemOnly := newEngine(t, base)
+	hybridOpt := base
+	hybridOpt.HybridDims = true
+	hybrid := newEngine(t, hybridOpt)
+
+	rp, err := pmemOnly.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := hybrid.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := rh.Seconds / rp.Seconds; diff < 0.9 || diff > 1.1 {
+		t.Errorf("hybrid changed QF1 runtime by %.2fx; scans don't probe", diff)
+	}
+}

@@ -1,0 +1,69 @@
+package aware
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ssb"
+)
+
+// TestRunWithIngest: Section 5.1's scenario — a query running against
+// concurrent data ingestion. The query slows down, the ingest makes
+// progress, and the results stay exact.
+func TestRunWithIngest(t *testing.T) {
+	q, _ := ssb.QueryByID("Q2.1")
+	opt := Options{Threads: 30, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}
+	e := newEngine(t, opt)
+
+	solo, _, err := e.RunWithIngest(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, ingest, err := e.RunWithIngest(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contended.Result.Equal(solo.Result) {
+		t.Fatal("concurrent ingestion changed the query result")
+	}
+	if contended.Seconds <= solo.Seconds {
+		t.Errorf("query under ingestion (%.2f s) not slower than solo (%.2f s)",
+			contended.Seconds, solo.Seconds)
+	}
+	if ingest.Bandwidth <= 0 || ingest.BytesIngested <= 0 {
+		t.Errorf("ingest made no progress: %+v", ingest)
+	}
+	// Six writers (3 per socket) cannot exceed their solo 25 GB/s peak and
+	// should be visibly contended below it.
+	if gb := ingest.Bandwidth / 1e9; gb > 25 {
+		t.Errorf("ingest bandwidth = %.1f GB/s, above the two-socket write peak", gb)
+	}
+}
+
+// TestRunWithIngestMoreWritersHurtMore mirrors Figure 11's trend at the
+// application level.
+func TestRunWithIngestMoreWritersHurtMore(t *testing.T) {
+	q, _ := ssb.QueryByID("Q1.1") // scan-bound: most sensitive to writes
+	opt := Options{Threads: 30, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}
+	e := newEngine(t, opt)
+	prev := 0.0
+	for _, writers := range []int{0, 1, 3} {
+		run, _, err := e.RunWithIngest(q, writers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Seconds < prev {
+			t.Errorf("%d writers: query %.2f s faster than with fewer writers (%.2f s)",
+				writers, run.Seconds, prev)
+		}
+		prev = run.Seconds
+	}
+}
+
+func TestRunWithIngestValidation(t *testing.T) {
+	e := newEngine(t, Options{NUMAAware: true})
+	q, _ := ssb.QueryByID("Q1.1")
+	if _, _, err := e.RunWithIngest(q, -1); err == nil {
+		t.Error("negative ingest threads accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package aware
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ssb"
+)
+
+// TestParallelExecutionDeterministic: the worker count must not change any
+// query's result (integer aggregation commutes; partials merge exactly).
+func TestParallelExecutionDeterministic(t *testing.T) {
+	base := Options{Threads: 8, Sockets: 1, Pinning: cpu.PinCores, NUMAAware: true}
+	one := base
+	one.ExecWorkers = 1
+	many := base
+	many.ExecWorkers = 7 // deliberately not dividing the row count evenly
+
+	e1 := newEngine(t, one)
+	e7 := newEngine(t, many)
+	for _, q := range ssb.Queries() {
+		r1, err := e1.Run(q)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", q.ID, err)
+		}
+		r7, err := e7.Run(q)
+		if err != nil {
+			t.Fatalf("%s workers=7: %v", q.ID, err)
+		}
+		if !r1.Result.Equal(r7.Result) {
+			t.Errorf("%s: results differ between 1 and 7 workers", q.ID)
+		}
+		if r1.Stats.QualifyingRows != r7.Stats.QualifyingRows {
+			t.Errorf("%s: qualifying rows differ: %d vs %d",
+				q.ID, r1.Stats.QualifyingRows, r7.Stats.QualifyingRows)
+		}
+		// Probe traffic (from the shared atomic counters) must also agree.
+		if r1.Stats.Probes != r7.Stats.Probes {
+			t.Errorf("%s: probes differ: %d vs %d", q.ID, r1.Stats.Probes, r7.Stats.Probes)
+		}
+	}
+}

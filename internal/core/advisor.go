@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+// Practice is one of the paper's 7 best practices (Section 7).
+type Practice struct {
+	Number   int
+	Text     string
+	Insights []int // the numbered insights it condenses
+}
+
+// BestPractices returns the paper's Section 7 list verbatim (paraphrased to
+// Go doc style), with the insight numbers each practice condenses.
+func BestPractices() []Practice {
+	return []Practice{
+		{1, "Read and write to PMEM in distinct memory regions.", []int{1, 6}},
+		{2, "Scale up the number of threads when reading but limit the threads to 4-6 per socket when writing.", []int{2, 7}},
+		{3, "Pin threads (explicitly) within their NUMA regions for maximum bandwidth.", []int{3, 8}},
+		{4, "Place data on all sockets but access it only from near NUMA regions.", []int{4, 5, 9, 10}},
+		{5, "Avoid large mixed read-write workloads when possible.", []int{11}},
+		{6, "Access PMEM sequentially or use the largest possible access for random workloads.", []int{12}},
+		{7, "Use PMEM in devdax mode for maximum performance.", nil},
+	}
+}
+
+// Insight is one of the paper's 12 numbered insights (Sections 3-5), the
+// raw observations the 7 best practices condense.
+type Insight struct {
+	Number  int
+	Section string
+	Text    string
+}
+
+// Insights returns all 12 insights in order.
+func Insights() []Insight {
+	return []Insight{
+		{1, "3.1", "Read data from individual memory regions or in consecutive 4 KB chunks to benefit from prefetching and an even thread-to-DIMM distribution."},
+		{2, "3.2", "Use all available cores for maximum read bandwidth and avoid hyperthreaded reads."},
+		{3, "3.3", "Pin threads to avoid far-memory access."},
+		{4, "3.4", "Threads should only read data on their near socket PMEM. If this is not possible, the assignment of address spaces to NUMA regions should change as rarely as possible."},
+		{5, "3.5", "If possible, stripe data into independent and evenly distributed data sets across the PMEM of all sockets and ensure that sockets read only from near PMEM."},
+		{6, "4.1", "Write data in 4 KB chunks to achieve the highest bandwidth or in 256 Byte chunks if smaller consecutive writes are necessary."},
+		{7, "4.2", "Use 4-6 threads to write to PMEM in large blocks or keep the access small when scaling the number of threads."},
+		{8, "4.3", "Pin write-threads to individual cores if you have full system control. Otherwise, pin them to NUMA regions."},
+		{9, "4.4", "Threads should only write data to their near PMEM."},
+		{10, "4.5", "Avoid contending cross-socket writes."},
+		{11, "5.1", "Serialize PMEM access when possible."},
+		{12, "5.2", "Access PMEM sequentially or use the largest possible access for random workloads."},
+	}
+}
+
+// WorkloadDesc describes an intended PMEM workload for the Advisor.
+type WorkloadDesc struct {
+	Dir     access.Direction
+	Pattern access.Pattern
+	// MixedWith marks that the opposite direction runs concurrently on the
+	// same DIMMs (Section 5.1).
+	MixedWith bool
+	// FullControl reports whether the application may pin to explicit cores
+	// (Insight #8's precondition).
+	FullControl bool
+	// Sockets the data spans.
+	Sockets int
+	// LatencySensitive workloads cannot be serialized against the mixed
+	// counterpart (Insight #11's escape hatch).
+	LatencySensitive bool
+}
+
+// Advice is the Advisor's recommendation, directly usable as workload
+// parameters.
+type Advice struct {
+	ThreadsPerSocket int
+	AccessSize       int64
+	Pinning          cpu.PinPolicy
+	Mode             machine.Mode
+	// PlaceNearOnly: stripe data per socket and access only near PMEM.
+	PlaceNearOnly bool
+	// DistinctRegions: give each thread its own region (individual access).
+	DistinctRegions bool
+	// SerializeMixed: run the reads and writes back-to-back instead of
+	// concurrently.
+	SerializeMixed bool
+	// Notes explain each choice with the practice/insight behind it.
+	Notes []string
+}
+
+// Advise applies the 7 best practices to the described workload.
+func Advise(w WorkloadDesc) Advice {
+	a := Advice{Mode: machine.DevDax, PlaceNearOnly: true, DistinctRegions: true}
+	a.note("use devdax to avoid page-fault overhead (practice #7)")
+	a.note("stripe data across sockets, access near PMEM only (practice #4, insights #4/#5/#9/#10)")
+	a.note("give each thread its own memory region (practice #1, insights #1/#6)")
+
+	if w.Dir == access.Write {
+		a.ThreadsPerSocket = 6
+		a.note("limit write threads to 4-6 per socket (practice #2, insight #7)")
+	} else {
+		a.ThreadsPerSocket = 18
+		a.note("scale read threads to all physical cores (practice #2, insight #2)")
+	}
+
+	if w.Pattern == access.Random {
+		a.AccessSize = 4096
+		a.note("use the largest possible access for random workloads, at least 256 B (practice #6, insight #12)")
+	} else {
+		a.AccessSize = 4096
+		a.note("4 KiB accesses align with the DIMM interleaving (insights #1/#6)")
+	}
+
+	if w.FullControl {
+		a.Pinning = cpu.PinCores
+		a.note("pin threads to explicit cores (insight #8: full system control)")
+	} else {
+		a.Pinning = cpu.PinNUMA
+		a.note("pin threads to their NUMA region (practice #3, insights #3/#8)")
+	}
+
+	if w.MixedWith && !w.LatencySensitive {
+		a.SerializeMixed = true
+		a.note("serialize reads and writes: mixing harms both (practice #5, insight #11)")
+	}
+	return a
+}
+
+func (a *Advice) note(s string) { a.Notes = append(a.Notes, s) }
+
+// String renders the advice for CLI output.
+func (a Advice) String() string {
+	s := fmt.Sprintf("threads/socket=%d accessSize=%d pinning=%s mode=%s nearOnly=%t distinctRegions=%t serializeMixed=%t",
+		a.ThreadsPerSocket, a.AccessSize, a.Pinning, a.Mode, a.PlaceNearOnly, a.DistinctRegions, a.SerializeMixed)
+	for _, n := range a.Notes {
+		s += "\n  - " + n
+	}
+	return s
+}

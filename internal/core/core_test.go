@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+func newBench(t *testing.T) *Bench {
+	t.Helper()
+	b, err := NewBench(machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMeasureBasicPoint(t *testing.T) {
+	b := newBench(t)
+	gbs, err := b.Measure(Point{
+		Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbs < 38 || gbs > 42 {
+		t.Errorf("peak read = %.1f GB/s, want ~40", gbs)
+	}
+}
+
+func TestSweepThreads(t *testing.T) {
+	b := newBench(t)
+	// Sweep at 16 KiB, where only 4-6 threads hold the peak (Figure 7: the
+	// 8-thread configuration drops to ~8 GB/s for large accesses, while at
+	// exactly 4 KiB several counts tie at ~12.5).
+	res, err := b.SweepThreads(Point{
+		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 16 << 10, Policy: cpu.PinCores,
+	}, []int{1, 2, 4, 6, 8, 18, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bw := res.Best()
+	// Insight #7: 4-6 threads saturate write bandwidth.
+	if best < 4 || best > 6 {
+		t.Errorf("best write thread count = %d (%.1f GB/s), want 4-6", best, bw)
+	}
+}
+
+func TestSweepAccessSize(t *testing.T) {
+	b := newBench(t)
+	res, err := b.SweepAccessSize(Point{
+		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqGrouped,
+		Threads: 36, Policy: cpu.PinCores,
+	}, []int64{64, 256, 1024, 4096, 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Axis) != 5 {
+		t.Fatalf("sweep returned %d points", len(res.Axis))
+	}
+	// Insight #6: grouped writes peak at 4 KiB or 256 B.
+	best, _ := res.Best()
+	if best != 4096 && best != 256 && best != 1024 {
+		t.Errorf("best grouped write access = %d, want 256/1K/4K region", best)
+	}
+}
+
+func TestMeasureFarAndWarm(t *testing.T) {
+	b := newBench(t)
+	cold, err := b.Measure(Point{
+		Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 4, Policy: cpu.PinCores, Far: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := b.Measure(Point{
+		Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Far: true, Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold > 9 || warm < 28 {
+		t.Errorf("far cold %.1f / warm %.1f GB/s, want ~8 and ~33", cold, warm)
+	}
+}
+
+func TestBestPracticesComplete(t *testing.T) {
+	ps := BestPractices()
+	if len(ps) != 7 {
+		t.Fatalf("BestPractices returned %d, want 7", len(ps))
+	}
+	for i, p := range ps {
+		if p.Number != i+1 {
+			t.Errorf("practice %d misnumbered as %d", i+1, p.Number)
+		}
+		if p.Text == "" {
+			t.Errorf("practice %d has no text", p.Number)
+		}
+	}
+}
+
+func TestInsightsComplete(t *testing.T) {
+	ins := Insights()
+	if len(ins) != 12 {
+		t.Fatalf("Insights returned %d, want 12", len(ins))
+	}
+	for i, in := range ins {
+		if in.Number != i+1 || in.Text == "" || in.Section == "" {
+			t.Errorf("insight %d malformed: %+v", i+1, in)
+		}
+	}
+	// Every insight number cited by a best practice must exist.
+	for _, p := range BestPractices() {
+		for _, n := range p.Insights {
+			if n < 1 || n > 12 {
+				t.Errorf("practice %d cites nonexistent insight %d", p.Number, n)
+			}
+		}
+	}
+}
+
+func TestAdviseWrite(t *testing.T) {
+	a := Advise(WorkloadDesc{Dir: access.Write, Pattern: access.SeqIndividual, FullControl: true, Sockets: 2})
+	if a.ThreadsPerSocket < 4 || a.ThreadsPerSocket > 6 {
+		t.Errorf("write advice threads = %d, want 4-6 (practice #2)", a.ThreadsPerSocket)
+	}
+	if a.Pinning != cpu.PinCores {
+		t.Errorf("full-control pinning = %v, want PinCores (insight #8)", a.Pinning)
+	}
+	if a.Mode != machine.DevDax {
+		t.Errorf("mode = %v, want devdax (practice #7)", a.Mode)
+	}
+	if !a.PlaceNearOnly || !a.DistinctRegions {
+		t.Error("write advice must place near-only with distinct regions")
+	}
+}
+
+func TestAdviseRead(t *testing.T) {
+	a := Advise(WorkloadDesc{Dir: access.Read, Pattern: access.SeqIndividual, Sockets: 2})
+	if a.ThreadsPerSocket != 18 {
+		t.Errorf("read advice threads = %d, want 18 (practice #2)", a.ThreadsPerSocket)
+	}
+	if a.Pinning != cpu.PinNUMA {
+		t.Errorf("no-control pinning = %v, want PinNUMA (practice #3)", a.Pinning)
+	}
+}
+
+func TestAdviseMixed(t *testing.T) {
+	a := Advise(WorkloadDesc{Dir: access.Read, MixedWith: true})
+	if !a.SerializeMixed {
+		t.Error("mixed workload advice should serialize (practice #5)")
+	}
+	lat := Advise(WorkloadDesc{Dir: access.Read, MixedWith: true, LatencySensitive: true})
+	if lat.SerializeMixed {
+		t.Error("latency-sensitive mixed workload must not be serialized")
+	}
+	if a.String() == "" {
+		t.Error("empty advice string")
+	}
+}
+
+// TestAdviceBeatsDefaults verifies the advisor's recommendations against
+// brute-force sweeps: each recommended parameter must be within 5% of the
+// swept optimum (the paper's claim that following the practices maximizes
+// bandwidth).
+func TestAdviceBeatsDefaults(t *testing.T) {
+	b := newBench(t)
+	advice := Advise(WorkloadDesc{Dir: access.Write, Pattern: access.SeqIndividual, FullControl: true})
+
+	recommended, err := b.Measure(Point{
+		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: advice.AccessSize, Threads: advice.ThreadsPerSocket, Policy: advice.Pinning,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := b.SweepThreads(Point{
+		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Policy: cpu.PinCores,
+	}, []int{1, 2, 4, 6, 8, 12, 18, 24, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, optimum := sweep.Best()
+	if recommended < optimum*0.95 {
+		t.Errorf("advised config reaches %.1f GB/s, swept optimum %.1f", recommended, optimum)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+)
+
+// TableDesc describes one data structure for placement planning.
+type TableDesc struct {
+	Name  string
+	Bytes int64
+	// Pattern is the dominant access pattern against this structure.
+	Pattern access.Pattern
+	// Dependent marks pointer-chasing access (hash probes), PMEM's worst
+	// case (Section 6.1).
+	Dependent bool
+	// AccessShare is the fraction of query time spent touching the
+	// structure (0..1); higher share means more benefit from DRAM.
+	AccessShare float64
+	// ReadMostly structures can be replicated per socket (the paper
+	// replicates the SSB dimension tables, Section 6.2).
+	ReadMostly bool
+}
+
+// TablePlacement is the planner's decision for one structure.
+type TablePlacement struct {
+	Device    access.DeviceClass
+	Replicate bool // one copy per socket (near-only access)
+	Stripe    bool // partitioned across sockets (near-only scans)
+	Why       string
+}
+
+// PlacementPlan assigns each structure to a device under a DRAM budget.
+type PlacementPlan struct {
+	Tables map[string]TablePlacement
+	// DRAMBytesUsed counts budget consumed (replicated tables count once
+	// per socket).
+	DRAMBytesUsed int64
+}
+
+// pmemSlowdown estimates how much slower PMEM serves the structure than
+// DRAM, from the paper's measurements: sequential ~2.3x (100/40 per socket),
+// random ~1.7x (45/26.7), dependent pointer chasing ~5x (Section 6.1).
+func pmemSlowdown(t TableDesc) float64 {
+	if t.Pattern == access.Random {
+		if t.Dependent {
+			return 5.0
+		}
+		return 1.7
+	}
+	return 2.3
+}
+
+// PlanPlacement chooses hybrid PMEM/DRAM placement for the described
+// structures: DRAM goes to the structures where PMEM hurts most per byte
+// (greedy benefit density), everything else lands on PMEM — large
+// sequential tables striped across sockets, small read-mostly structures
+// replicated (the paper's SSB layout generalized).
+//
+// sockets is the machine's socket count; dramBudget is the total DRAM
+// available for data (replicated structures consume sockets x Bytes).
+func PlanPlacement(tables []TableDesc, dramBudget int64, sockets int) (PlacementPlan, error) {
+	if sockets < 1 {
+		return PlacementPlan{}, fmt.Errorf("core: sockets = %d out of range", sockets)
+	}
+	for _, t := range tables {
+		if t.Bytes <= 0 {
+			return PlacementPlan{}, fmt.Errorf("core: table %q has no size", t.Name)
+		}
+	}
+	plan := PlacementPlan{Tables: make(map[string]TablePlacement, len(tables))}
+
+	// Benefit density: avoided slowdown weighted by access share, per byte.
+	order := make([]TableDesc, len(tables))
+	copy(order, tables)
+	sort.SliceStable(order, func(i, j int) bool {
+		di := (pmemSlowdown(order[i]) - 1) * order[i].AccessShare / float64(order[i].Bytes)
+		dj := (pmemSlowdown(order[j]) - 1) * order[j].AccessShare / float64(order[j].Bytes)
+		return di > dj
+	})
+
+	remaining := dramBudget
+	for _, t := range order {
+		cost := t.Bytes
+		replicate := t.ReadMostly && t.Bytes*int64(sockets) <= remaining
+		if replicate {
+			cost = t.Bytes * int64(sockets)
+		}
+		if cost <= remaining && t.AccessShare > 0 {
+			plan.Tables[t.Name] = TablePlacement{
+				Device:    access.DRAM,
+				Replicate: replicate,
+				Why: fmt.Sprintf("DRAM saves ~%.1fx on %s access (share %.0f%%)",
+					pmemSlowdown(t), t.Pattern, t.AccessShare*100),
+			}
+			plan.DRAMBytesUsed += cost
+			remaining -= cost
+			continue
+		}
+		// PMEM: stripe big scanned tables, replicate small read-mostly ones.
+		tp := TablePlacement{Device: access.PMEM}
+		if t.ReadMostly && t.Bytes < 1<<30 {
+			tp.Replicate = true
+			tp.Why = "small read-mostly structure: replicate per socket on PMEM (near-only probes)"
+		} else {
+			tp.Stripe = true
+			tp.Why = "stripe across sockets, scan near-only (best practice #4)"
+		}
+		plan.Tables[t.Name] = tp
+	}
+	return plan, nil
+}
+
+// String renders the plan.
+func (p PlacementPlan) String() string {
+	names := make([]string, 0, len(p.Tables))
+	for n := range p.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("placement plan (DRAM used: %d bytes):\n", p.DRAMBytesUsed)
+	for _, n := range names {
+		tp := p.Tables[n]
+		layout := "striped"
+		if tp.Replicate {
+			layout = "replicated"
+		} else if !tp.Stripe {
+			layout = "single"
+		}
+		out += fmt.Sprintf("  %-12s -> %-4s (%s): %s\n", n, tp.Device, layout, tp.Why)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+)
+
+func ssbTables() []TableDesc {
+	return []TableDesc{
+		{Name: "lineorder", Bytes: 76_800_000_000, Pattern: access.SeqIndividual,
+			AccessShare: 0.3, ReadMostly: true},
+		{Name: "part-index", Bytes: 20 << 20, Pattern: access.Random, Dependent: true,
+			AccessShare: 0.6, ReadMostly: true},
+		{Name: "cust-index", Bytes: 48 << 20, Pattern: access.Random, Dependent: true,
+			AccessShare: 0.5, ReadMostly: true},
+		{Name: "dims", Bytes: 800 << 20, Pattern: access.SeqIndividual,
+			AccessShare: 0.05, ReadMostly: true},
+	}
+}
+
+// TestPlanPlacementHybrid: with a modest DRAM budget, the probe-heavy hash
+// indexes get DRAM (they suffer 5x on PMEM); the big fact table is striped
+// on PMEM — exactly the paper's future-work hybrid.
+func TestPlanPlacementHybrid(t *testing.T) {
+	plan, err := PlanPlacement(ssbTables(), 2<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Tables["part-index"].Device; got != access.DRAM {
+		t.Errorf("part-index on %v, want DRAM", got)
+	}
+	if got := plan.Tables["cust-index"].Device; got != access.DRAM {
+		t.Errorf("cust-index on %v, want DRAM", got)
+	}
+	lo := plan.Tables["lineorder"]
+	if lo.Device != access.PMEM || !lo.Stripe {
+		t.Errorf("lineorder = %+v, want striped PMEM", lo)
+	}
+	if plan.DRAMBytesUsed > 2<<30 {
+		t.Errorf("budget exceeded: %d", plan.DRAMBytesUsed)
+	}
+	if !strings.Contains(plan.String(), "lineorder") {
+		t.Error("String() missing tables")
+	}
+}
+
+// TestPlanPlacementReplication: small read-mostly indexes are replicated
+// per socket when the budget allows.
+func TestPlanPlacementReplication(t *testing.T) {
+	plan, err := PlanPlacement(ssbTables(), 200<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Tables["part-index"].Replicate {
+		t.Errorf("part-index not replicated with a huge budget: %+v", plan.Tables["part-index"])
+	}
+}
+
+// TestPlanPlacementNoBudget: everything lands on PMEM, small read-mostly
+// structures replicated there.
+func TestPlanPlacementNoBudget(t *testing.T) {
+	plan, err := PlanPlacement(ssbTables(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tp := range plan.Tables {
+		if tp.Device != access.PMEM {
+			t.Errorf("%s on %v with zero budget", name, tp.Device)
+		}
+	}
+	if !plan.Tables["part-index"].Replicate {
+		t.Error("small index not replicated on PMEM")
+	}
+	if !plan.Tables["lineorder"].Stripe {
+		t.Error("fact table not striped")
+	}
+}
+
+// TestPlanPlacementPriority: with budget for only one structure, the most
+// PMEM-hostile per byte wins.
+func TestPlanPlacementPriority(t *testing.T) {
+	tables := []TableDesc{
+		{Name: "seq-big", Bytes: 1 << 30, Pattern: access.SeqIndividual, AccessShare: 0.9},
+		{Name: "probe-small", Bytes: 16 << 20, Pattern: access.Random, Dependent: true, AccessShare: 0.5},
+	}
+	plan, err := PlanPlacement(tables, 20<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Tables["probe-small"].Device != access.DRAM {
+		t.Error("probe structure not prioritized for DRAM")
+	}
+	if plan.Tables["seq-big"].Device != access.PMEM {
+		t.Error("oversized table left off PMEM")
+	}
+}
+
+func TestPlanPlacementValidation(t *testing.T) {
+	if _, err := PlanPlacement(ssbTables(), 1<<30, 0); err == nil {
+		t.Error("sockets=0 accepted")
+	}
+	if _, err := PlanPlacement([]TableDesc{{Name: "x"}}, 1<<30, 2); err == nil {
+		t.Error("zero-size table accepted")
+	}
+}

@@ -1,0 +1,340 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/topology"
+)
+
+func TestPrefetchEfficiencyDip(t *testing.T) {
+	// Figure 3a: grouped reads dip at 1-2 KiB, recover at 4 KiB.
+	if got := PrefetchEfficiency(access.SeqGrouped, 1024); got > 0.3 {
+		t.Errorf("PrefetchEfficiency(grouped, 1K) = %g, want <= 0.3 (the dip)", got)
+	}
+	if got := PrefetchEfficiency(access.SeqGrouped, 2048); got > 0.3 {
+		t.Errorf("PrefetchEfficiency(grouped, 2K) = %g, want <= 0.3 (the dip)", got)
+	}
+	if got := PrefetchEfficiency(access.SeqGrouped, 4096); got < 0.8 {
+		t.Errorf("PrefetchEfficiency(grouped, 4K) = %g, want >= 0.8", got)
+	}
+	if got := PrefetchEfficiency(access.SeqIndividual, 1024); got != 1 {
+		t.Errorf("PrefetchEfficiency(individual, 1K) = %g, want 1 (no dip for individual)", got)
+	}
+	if got := PrefetchEfficiency(access.Random, 4096); got != 0 {
+		t.Errorf("PrefetchEfficiency(random) = %g, want 0", got)
+	}
+}
+
+func TestPMEMReadDemandAnchors(t *testing.T) {
+	p := DefaultParams()
+	// A single prefetched sequential reader issues ~4.3 GB/s so that 8
+	// threads deliver ~34 GB/s (~15% below the 40 GB/s peak, Section 3.2).
+	r := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true})
+	if r < 4.0e9 || r < 8*4.0e9/8 || r > 4.6e9 {
+		t.Errorf("seq read issue rate = %g, want ~4.3e9", r)
+	}
+	// Without the prefetcher the same thread is ~2.7x slower.
+	off := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: false})
+	if off >= r/2 {
+		t.Errorf("prefetcher-off rate %g not well below on-rate %g", off, r)
+	}
+	// HT pollution derates sequential readers.
+	ht := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true, HTPolluted: true})
+	if ht >= r {
+		t.Errorf("HT-polluted rate %g not below clean rate %g", ht, r)
+	}
+	// Far access derates further.
+	far := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true, Far: true})
+	if far >= r {
+		t.Errorf("far rate %g not below near rate %g", far, r)
+	}
+}
+
+func TestPMEMWriteDemandAnchor(t *testing.T) {
+	p := DefaultParams()
+	// 4 threads must saturate 12.6 GB/s (Section 4.2): per-thread >= 3.15.
+	r := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Write,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true})
+	if 4*r < 12.6e9 {
+		t.Errorf("write issue rate = %g, want >= 3.15e9 so 4 threads saturate", r)
+	}
+	if r > 3.6e9 {
+		t.Errorf("write issue rate = %g suspiciously high (1 thread should not saturate alone)", r)
+	}
+}
+
+func TestRandomDemandLatencyBound(t *testing.T) {
+	p := DefaultParams()
+	seq := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 256, PrefetcherOn: true})
+	rnd := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.Random, AccessSize: 256, PrefetcherOn: true})
+	if rnd >= seq {
+		t.Errorf("random demand %g not below sequential %g", rnd, seq)
+	}
+	// Random demand grows with access size.
+	big := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.Random, AccessSize: 8192, PrefetcherOn: true})
+	if big <= rnd {
+		t.Errorf("random demand not growing with size: %g <= %g", big, rnd)
+	}
+	// HT does NOT pollute random readers (prefetcher idle): same rate.
+	rndHT := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.Random, AccessSize: 256, PrefetcherOn: true, HTPolluted: true})
+	if rndHT != rnd {
+		t.Errorf("random HT rate %g differs from clean %g; hyperthreading should help random reads", rndHT, rnd)
+	}
+}
+
+func TestExtraCPUFoldsIn(t *testing.T) {
+	p := DefaultParams()
+	base := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true})
+	// 1 ns/byte of query processing caps the demand near 1 GB/s.
+	slow := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true,
+		ExtraCPUPerByte: 1e-9})
+	if slow >= base || slow > 1.1e9 {
+		t.Errorf("ExtraCPUPerByte not limiting: base %g, slow %g", base, slow)
+	}
+}
+
+func TestHTMediaAmplification(t *testing.T) {
+	p := DefaultParams()
+	if got := p.HTMediaAmplification(4096, access.SeqIndividual); got != p.HTAlignedReadAmplification {
+		t.Errorf("HTMediaAmplification(4K) = %g, want aligned factor %g", got, p.HTAlignedReadAmplification)
+	}
+	if got := p.HTMediaAmplification(1024, access.SeqIndividual); got != p.HTReadAmplification {
+		t.Errorf("HTMediaAmplification(1K) = %g, want %g", got, p.HTReadAmplification)
+	}
+	if got := p.HTMediaAmplification(4096, access.Random); got != 1 {
+		t.Errorf("HTMediaAmplification(random) = %g, want 1", got)
+	}
+}
+
+func TestUnpinnedCapShape(t *testing.T) {
+	p := DefaultParams()
+	// Figure 4: None peaks around ~9 GB/s at 8 threads for reads.
+	peak := p.UnpinnedCap(access.Read, 8)
+	if peak < 8.5e9 || peak > 10e9 {
+		t.Errorf("UnpinnedCap(read, 8) = %g, want ~9.5e9", peak)
+	}
+	if got := p.UnpinnedCap(access.Read, 1); got >= peak/2 {
+		t.Errorf("UnpinnedCap(read, 1) = %g, want well below the peak %g", got, peak)
+	}
+	if got := p.UnpinnedCap(access.Read, 36); got >= peak {
+		t.Errorf("UnpinnedCap(read, 36) = %g, want <= peak %g", got, peak)
+	}
+	// Figure 9: None peaks around ~7 GB/s for writes (2x worse than pinned,
+	// vs 4x worse for reads).
+	wpeak := p.UnpinnedCap(access.Write, 8)
+	if wpeak < 6e9 || wpeak > 8e9 {
+		t.Errorf("UnpinnedCap(write, 8) = %g, want ~7e9", wpeak)
+	}
+	if got := p.UnpinnedCap(access.Read, 0); got != 0 {
+		t.Errorf("UnpinnedCap(read, 0) = %g, want 0", got)
+	}
+}
+
+func TestAssignThreadsFillsPhysicalFirst(t *testing.T) {
+	topo := topology.MustNew(topology.DefaultServer())
+	pl := AssignThreads(topo, PinCores, 0, 18)
+	for i, p := range pl {
+		if topo.IsHyperthread(p.Core) {
+			t.Errorf("thread %d on hyperthread core %d with only 18 threads", i, p.Core)
+		}
+		if p.HTShared {
+			t.Errorf("thread %d marked HTShared with only physical cores in use", i)
+		}
+		if topo.SocketOfCore(p.Core) != 0 {
+			t.Errorf("thread %d on socket %d, want 0", i, topo.SocketOfCore(p.Core))
+		}
+	}
+}
+
+func TestAssignThreadsHyperthreads(t *testing.T) {
+	topo := topology.MustNew(topology.DefaultServer())
+	pl := AssignThreads(topo, PinCores, 0, 24)
+	htShared := 0
+	for _, p := range pl {
+		if p.HTShared {
+			htShared++
+		}
+	}
+	// 24 threads on 18 physical cores: 6 HT pairs = 12 threads sharing.
+	if htShared != 12 {
+		t.Errorf("HTShared count = %d, want 12 for 24 threads", htShared)
+	}
+	// 36 threads: everyone shares.
+	pl36 := AssignThreads(topo, PinCores, 0, 36)
+	for i, p := range pl36 {
+		if !p.HTShared {
+			t.Errorf("thread %d of 36 not HTShared", i)
+		}
+	}
+}
+
+func TestAssignThreadsOversubscription(t *testing.T) {
+	topo := topology.MustNew(topology.DefaultServer())
+	pl := AssignThreads(topo, PinCores, 0, 40) // > 36 logical cores
+	for i, p := range pl {
+		if !p.Oversubscribed {
+			t.Errorf("thread %d not marked oversubscribed at 40 threads", i)
+		}
+	}
+}
+
+func TestAssignThreadsNoneSpansSockets(t *testing.T) {
+	topo := topology.MustNew(topology.DefaultServer())
+	pl := AssignThreads(topo, PinNone, 0, 72)
+	sockets := map[topology.SocketID]bool{}
+	for _, p := range pl {
+		sockets[topo.SocketOfCore(p.Core)] = true
+	}
+	if len(sockets) != 2 {
+		t.Errorf("PinNone placements cover %d sockets, want 2", len(sockets))
+	}
+}
+
+func TestDRAMDemandPaths(t *testing.T) {
+	p := DefaultParams()
+	seq := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true})
+	if seq < 7e9 || seq > 8.5e9 {
+		t.Errorf("DRAM seq read demand = %g, want ~8e9", seq)
+	}
+	// DRAM hyperthreading costs little (paper: DRAM scales nearly linearly).
+	ht := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true, HTPolluted: true})
+	if ht < seq*0.8 {
+		t.Errorf("DRAM HT demand %g, want >= 80%% of %g", ht, seq)
+	}
+	w := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Write,
+		Pattern: access.SeqIndividual, AccessSize: 4096})
+	if w < 3.5e9 || w > 4.5e9 {
+		t.Errorf("DRAM write demand = %g, want ~4e9", w)
+	}
+	wr := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Write,
+		Pattern: access.Random, AccessSize: 4096})
+	if wr >= w {
+		t.Errorf("DRAM random write demand %g >= sequential %g", wr, w)
+	}
+	far := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.Random, AccessSize: 256, Far: true})
+	near := p.IssueRate(StreamCtx{Device: access.DRAM, Dir: access.Read,
+		Pattern: access.Random, AccessSize: 256})
+	if far >= near {
+		t.Errorf("far DRAM random demand %g not below near %g", far, near)
+	}
+}
+
+func TestDependentChaseDeratesPMEMMore(t *testing.T) {
+	p := DefaultParams()
+	mk := func(dev access.DeviceClass, dep bool) float64 {
+		return p.IssueRate(StreamCtx{Device: dev, Dir: access.Read,
+			Pattern: access.Random, AccessSize: 256, Dependent: dep})
+	}
+	pmemRatio := mk(access.PMEM, true) / mk(access.PMEM, false)
+	dramRatio := mk(access.DRAM, true) / mk(access.DRAM, false)
+	if pmemRatio >= dramRatio {
+		t.Errorf("dependent chase derates PMEM (%.2f) no more than DRAM (%.2f)", pmemRatio, dramRatio)
+	}
+	// Sequential access must be unaffected by the Dependent flag.
+	seq := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true, Dependent: true})
+	seqBase := p.IssueRate(StreamCtx{Device: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, PrefetcherOn: true})
+	if seq != seqBase {
+		t.Errorf("Dependent flag changed sequential demand: %g vs %g", seq, seqBase)
+	}
+}
+
+func TestSSDDeviceDemand(t *testing.T) {
+	p := DefaultParams()
+	if got := p.IssueRate(StreamCtx{Device: access.SSD, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096}); got < 3.2e9 {
+		t.Errorf("SSD thread demand = %g, must not bottleneck the 3.2 GB/s device", got)
+	}
+}
+
+func TestAssignThreadsOffset(t *testing.T) {
+	topo := topology.MustNew(topology.DefaultServer())
+	first := AssignThreadsOffset(topo, PinNUMA, 0, 30, 0)
+	second := AssignThreadsOffset(topo, PinNUMA, 0, 6, 30)
+	used := map[topology.CoreID]bool{}
+	for _, p := range first {
+		used[p.Core] = true
+	}
+	for i, p := range second {
+		if used[p.Core] {
+			t.Errorf("offset thread %d landed on already-used core %d", i, p.Core)
+		}
+	}
+	// The offset group's threads share physical cores with the first group's
+	// hyperthread siblings, so they must be flagged HTShared.
+	for i, p := range second {
+		if !p.HTShared {
+			t.Errorf("offset thread %d (core %d) not HTShared with 36 total threads", i, p.Core)
+		}
+	}
+}
+
+func TestUnpinnedCapMonotoneRise(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for thr := 1; thr <= 8; thr++ {
+		got := p.UnpinnedCap(access.Read, thr)
+		if got <= prev {
+			t.Errorf("UnpinnedCap not rising at %d threads: %g <= %g", thr, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPinPolicyStrings(t *testing.T) {
+	cases := map[PinPolicy]string{PinCores: "cores", PinNUMA: "numa", PinNone: "none", PinPolicy(9): "unknown"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("PinPolicy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+// TestIssueRateGridFinite sweeps the whole demand-model surface: every
+// combination must yield a positive, finite rate.
+func TestIssueRateGridFinite(t *testing.T) {
+	p := DefaultParams()
+	for _, dev := range []access.DeviceClass{access.PMEM, access.DRAM, access.SSD} {
+		for _, dir := range []access.Direction{access.Read, access.Write} {
+			for _, pat := range []access.Pattern{access.SeqGrouped, access.SeqIndividual, access.Random} {
+				for _, size := range []int64{0, 64, 512, 4096, 1 << 20} {
+					for _, far := range []bool{false, true} {
+						for _, ht := range []bool{false, true} {
+							for _, pf := range []bool{false, true} {
+								r := p.IssueRate(StreamCtx{Device: dev, Dir: dir, Pattern: pat,
+									AccessSize: size, Far: far, HTPolluted: ht, PrefetcherOn: pf,
+									Dependent: pat == access.Random})
+								if r <= 0 || r != r || r > 1e12 {
+									t.Fatalf("IssueRate(%v,%v,%v,size=%d,far=%t,ht=%t,pf=%t) = %g",
+										dev, dir, pat, size, far, ht, pf, r)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrefetchEfficiency512(t *testing.T) {
+	got := PrefetchEfficiency(access.SeqGrouped, 512)
+	if got <= 0.25 || got >= 1.0 {
+		t.Errorf("PrefetchEfficiency(grouped, 512) = %g, want between the dip and full", got)
+	}
+}

@@ -1,0 +1,267 @@
+package dash
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketLayoutInvariants(t *testing.T) {
+	// One bucket is exactly one Optane XPLine; the header plus 14 records
+	// must fit.
+	if headerBytes+slotsPerBucket*recordBytes > BucketBytes {
+		t.Fatalf("bucket layout overflows: %d > %d", headerBytes+slotsPerBucket*recordBytes, BucketBytes)
+	}
+	if SegmentBytes != 64*256 {
+		t.Errorf("SegmentBytes = %d, want 16 KiB", SegmentBytes)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	ix := MustNew(1)
+	for i := uint64(0); i < 1000; i++ {
+		if err := ix.Insert(i, i*3); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if ix.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", ix.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := ix.Get(i)
+		if !ok || v != i*3 {
+			t.Fatalf("Get(%d) = %d, %t, want %d, true", i, v, ok, i*3)
+		}
+	}
+	if _, ok := ix.Get(99999); ok {
+		t.Error("Get(absent) returned true")
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	ix := MustNew(1)
+	if err := ix.Insert(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(42, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert, want 1", ix.Len())
+	}
+	if v, _ := ix.Get(42); v != 2 {
+		t.Errorf("Get(42) = %d, want 2", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := MustNew(1)
+	for i := uint64(0); i < 100; i++ {
+		if err := ix.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !ix.Delete(i) {
+			t.Errorf("Delete(%d) = false", i)
+		}
+	}
+	if ix.Delete(0) {
+		t.Error("double delete succeeded")
+	}
+	if ix.Len() != 50 {
+		t.Errorf("Len = %d, want 50", ix.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		_, ok := ix.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Errorf("Get(%d) present = %t, want %t", i, ok, want)
+		}
+	}
+}
+
+func TestGrowthThroughSplits(t *testing.T) {
+	ix := MustNew(0) // one segment: must split many times
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		if err := ix.Insert(i, i+7); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n)
+	}
+	st := ix.Stats()
+	if st.Splits == 0 || st.DirDoubles == 0 {
+		t.Errorf("expected splits and directory doublings, got %+v", st)
+	}
+	// Every record must still be reachable after all the splitting.
+	for i := uint64(0); i < n; i += 97 {
+		if v, ok := ix.Get(i); !ok || v != i+7 {
+			t.Fatalf("Get(%d) = %d, %t after splits", i, v, ok)
+		}
+	}
+	// Load factor should remain sane (Dash targets high utilization; our
+	// simplified variant must at least stay above 25%).
+	if lf := ix.LoadFactor(); lf < 0.25 || lf > 1 {
+		t.Errorf("LoadFactor = %.3f, want in (0.25, 1]", lf)
+	}
+}
+
+func TestStatsCountProbes(t *testing.T) {
+	ix := MustNew(1)
+	if err := ix.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ix.ResetStats()
+	ix.Get(1)
+	st := ix.Stats()
+	if st.BucketReads == 0 {
+		t.Error("Get recorded no bucket reads")
+	}
+	if st.BucketWrites != 0 {
+		t.Errorf("Get recorded %d bucket writes", st.BucketWrites)
+	}
+	ix.ResetStats()
+	if err := ix.Insert(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().BucketWrites == 0 {
+		t.Error("Insert recorded no bucket writes")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	ix := MustNew(2)
+	want := int64(4*SegmentBytes + 4*4)
+	if got := ix.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(maxDepth + 1); err == nil {
+		t.Error("New beyond maxDepth succeeded")
+	}
+}
+
+// Property: the index agrees with a Go map under a random operation stream.
+func TestAgainstMapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := MustNew(1)
+		ref := map[uint64]uint64{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				if err := ix.Insert(k, v); err != nil {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				got, ok := ix.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && got != want) {
+					return false
+				}
+			case 2:
+				if ix.Delete(k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return ix.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: keys with adversarial (sequential, clustered) patterns survive.
+func TestSequentialAndClusteredKeys(t *testing.T) {
+	patterns := [][]uint64{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{1 << 40, 1<<40 + 1, 1<<40 + 2},
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFE},
+	}
+	ix := MustNew(1)
+	for _, ks := range patterns {
+		for _, k := range ks {
+			if err := ix.Insert(k, k^0xABCD); err != nil {
+				t.Fatalf("Insert(%d): %v", k, err)
+			}
+		}
+	}
+	for _, ks := range patterns {
+		for _, k := range ks {
+			if v, ok := ix.Get(k); !ok || v != k^0xABCD {
+				t.Errorf("Get(%d) = %d, %t", k, v, ok)
+			}
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := MustNew(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Insert(uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	ix := MustNew(8)
+	for i := uint64(0); i < 100000; i++ {
+		if err := ix.Insert(i, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Get(uint64(i) % 100000)
+	}
+}
+
+// TestConcurrentGets: probes are safe to run from many goroutines on a
+// frozen index (the SSB probe phase does exactly this).
+func TestConcurrentGets(t *testing.T) {
+	ix := MustNew(4)
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		if err := ix.Insert(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.ResetStats()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(w); i < n; i += 8 {
+				if v, ok := ix.Get(i); !ok || v != i*2 {
+					select {
+					case errs <- "bad get":
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+	if got := ix.Stats().BucketReads; got < n {
+		t.Errorf("concurrent gets recorded %d bucket reads, want >= %d", got, n)
+	}
+}

@@ -1,0 +1,46 @@
+package dash
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzOperations drives the index with an arbitrary operation stream and
+// cross-checks it against a map. Run with `go test -fuzz=FuzzOperations`;
+// the seed corpus executes in normal test runs.
+func FuzzOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix := MustNew(1)
+		ref := map[uint64]uint64{}
+		for len(data) >= 9 {
+			op := data[0] % 3
+			key := uint64(binary.LittleEndian.Uint32(data[1:5])) % 4096
+			val := uint64(binary.LittleEndian.Uint32(data[5:9]))
+			data = data[9:]
+			switch op {
+			case 0:
+				if err := ix.Insert(key, val); err != nil {
+					t.Fatalf("Insert(%d): %v", key, err)
+				}
+				ref[key] = val
+			case 1:
+				got, ok := ix.Get(key)
+				want, wantOK := ref[key]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%t want %d,%t", key, got, ok, want, wantOK)
+				}
+			case 2:
+				_, wantOK := ref[key]
+				if ix.Delete(key) != wantOK {
+					t.Fatalf("Delete(%d) mismatch", key)
+				}
+				delete(ref, key)
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", ix.Len(), len(ref))
+		}
+	})
+}

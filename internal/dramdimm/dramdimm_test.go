@@ -1,0 +1,63 @@
+package dramdimm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+)
+
+func TestDefaultAnchors(t *testing.T) {
+	p := DefaultParams()
+	if p.SocketReadBytesPerSec != 100e9 {
+		t.Errorf("SocketReadBytesPerSec = %g, want 100e9 (Figure 6b near)", p.SocketReadBytesPerSec)
+	}
+	if p.SystemReadBytesPerSec != 185e9 {
+		t.Errorf("SystemReadBytesPerSec = %g, want 185e9 (Figure 6b max)", p.SystemReadBytesPerSec)
+	}
+}
+
+func TestChannelFraction(t *testing.T) {
+	p := DefaultParams()
+	node := int64(48) << 30
+	cases := []struct {
+		region int64
+		want   float64
+	}{
+		{2 << 30, 0.5},  // the paper's 2 GB hash-index region: one node, 3/6 channels
+		{48 << 30, 0.5}, // exactly one node
+		{49 << 30, 1.0}, // spills to the second node
+		{90 << 30, 1.0}, // the paper's 90 GB experiment: all channels
+		{0, 1.0},        // degenerate
+	}
+	for _, c := range cases {
+		if got := p.ChannelFraction(c.region, node); got != c.want {
+			t.Errorf("ChannelFraction(%d) = %g, want %g", c.region, got, c.want)
+		}
+	}
+}
+
+func TestChannelFractionProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(regionRaw uint32) bool {
+		region := int64(regionRaw) << 20
+		got := p.ChannelFraction(region, 48<<30)
+		return got == 0.5 || got == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMediaPenalty(t *testing.T) {
+	p := DefaultParams()
+	if got := p.MediaPenalty(access.SeqIndividual); got != 1 {
+		t.Errorf("MediaPenalty(seq) = %g, want 1", got)
+	}
+	if got := p.MediaPenalty(access.SeqGrouped); got != 1 {
+		t.Errorf("MediaPenalty(grouped) = %g, want 1", got)
+	}
+	if got := p.MediaPenalty(access.Random); got != p.RandomPenalty {
+		t.Errorf("MediaPenalty(random) = %g, want %g", got, p.RandomPenalty)
+	}
+}

@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 3-6) on the simulated machine, plus the ablation
+// studies DESIGN.md calls out. Each experiment returns printable tables and
+// carries the paper's reference numbers so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// SF is the scale factor the SSB engines *execute* at; their traffic is
+	// scaled to the paper's sf 50 (Hyrise) and sf 100 (handcrafted).
+	// Larger values cost proportional memory and CPU time.
+	SF float64
+	// Quick trims sweep axes for fast smoke runs.
+	Quick bool
+}
+
+// DefaultConfig matches the repository's documented outputs.
+func DefaultConfig() Config { return Config{SF: 0.1} }
+
+// Table is one printable result table.
+type Table struct {
+	ID     string
+	Title  string
+	Unit   string // "GB/s" or "s"
+	Header string // axis description of the columns
+	Cols   []string
+	Series []Series
+	// Paper summarizes the corresponding reference values from the paper.
+	Paper string
+}
+
+// Series is one row of a table.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) ([]Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Config) ([]Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments in a stable order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %s)", id, idList())
+}
+
+func idList() string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ", ")
+}
+
+// FprintCSV renders a table as CSV (one header line, then one line per
+// series) for downstream plotting.
+func (t Table) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s,%s,%s\n", t.ID, t.Title, t.Unit)
+	fmt.Fprintf(w, "%s", csvEscape(t.Header))
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, ",%s", csvEscape(c))
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "%s", csvEscape(s.Label))
+		for _, v := range s.Values {
+			fmt.Fprintf(w, ",%.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Fprint renders a table as aligned text.
+func (t Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s [%s]\n", t.ID, t.Title, t.Unit)
+	if t.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", t.Paper)
+	}
+	labelW := len(t.Header)
+	for _, s := range t.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	if labelW < 22 {
+		labelW = 22
+	}
+	colW := 10
+	for _, c := range t.Cols {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+	fmt.Fprintf(w, "%-*s", labelW, t.Header)
+	for _, c := range t.Cols {
+		fmt.Fprintf(w, "%*s", colW, c)
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "%-*s", labelW, s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(w, "%*.2f", colW, v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunAll executes every experiment and prints its tables.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "# %s: %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			t.Fprint(w)
+		}
+	}
+	return nil
+}
+
+// Axes shared by the microbenchmark sweeps (the paper's figures).
+func readThreadAxis(quick bool) []int {
+	if quick {
+		return []int{4, 18, 36}
+	}
+	return []int{1, 4, 8, 16, 18, 24, 32, 36}
+}
+
+func writeThreadAxis(quick bool) []int {
+	if quick {
+		return []int{4, 18, 36}
+	}
+	return []int{1, 2, 4, 6, 8, 18, 24, 36}
+}
+
+func sizeAxis(quick bool) []int64 {
+	if quick {
+		return []int64{64, 4096, 65536}
+	}
+	return []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+}
+
+// writeSizeAxis extends to 32 MiB, as the paper's write benchmark does
+// ("access sizes from 64 Byte to 32 MB", Section 4.1).
+func writeSizeAxis(quick bool) []int64 {
+	if quick {
+		return []int64{64, 4096, 65536}
+	}
+	return []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 1 << 20, 32 << 20}
+}
+
+func randomSizeAxis(quick bool) []int64 {
+	if quick {
+		return []int64{64, 4096}
+	}
+	return []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+}
+
+func sizeLabels(sizes []int64) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		switch {
+		case s >= 1<<20 && s%(1<<20) == 0:
+			out[i] = fmt.Sprintf("%dM", s/(1<<20))
+		case s >= 1024 && s%1024 == 0:
+			out[i] = fmt.Sprintf("%dK", s/1024)
+		default:
+			out[i] = fmt.Sprintf("%d", s)
+		}
+	}
+	return out
+}
+
+func intLabels(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

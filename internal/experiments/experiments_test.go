@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{SF: 0.02, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"abl01", "abl02", "abl03", "abl04", "abl05", "bp01", "dax01",
+		"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07",
+		"fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+		"fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b",
+		"ssd01", "tab01", "val01",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig03"); err != nil {
+		t.Errorf("ByID(fig03): %v", err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+// TestEveryExperimentRuns executes the whole registry in quick mode: every
+// table must produce finite, positive values.
+func TestEveryExperimentRuns(t *testing.T) {
+	cfg := quickCfg()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if tab.ID == "" || tab.Title == "" {
+					t.Errorf("table missing metadata: %+v", tab)
+				}
+				if len(tab.Series) == 0 {
+					t.Errorf("table %s has no series", tab.ID)
+				}
+				for _, s := range tab.Series {
+					for i, v := range s.Values {
+						if v < 0 || v != v { // negative or NaN
+							t.Errorf("table %s series %s value %d = %f", tab.ID, s.Label, i, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Unit: "GB/s", Header: "h",
+		Cols: []string{"a", "b"}, Paper: "ref",
+		Series: []Series{{Label: "row", Values: []float64{1, 2}}}}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "GB/s", "paper: ref", "row", "1.00", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(quickCfg(), &buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("RunAll produced no output")
+	}
+}
+
+func TestTablePrintCSV(t *testing.T) {
+	tab := Table{ID: "x", Title: "demo", Unit: "GB/s", Header: "h,dr",
+		Cols: []string{"a"}, Series: []Series{{Label: `r"1`, Values: []float64{1.5}}}}
+	var buf bytes.Buffer
+	tab.FprintCSV(&buf)
+	out := buf.String()
+	for _, want := range []string{`"h,dr"`, `"r""1"`, "1.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

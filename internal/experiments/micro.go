@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig03", "Read bandwidth vs access size and thread count (grouped / individual)", fig3)
+	register("fig04", "Read bandwidth vs thread pinning", fig4)
+	register("fig05", "Read NUMA effects (near / far / 2nd far)", fig5)
+	register("fig06", "Reads from multiple sockets, PMEM and DRAM", fig6)
+	register("fig07", "Write bandwidth vs access size and thread count (grouped / individual)", fig7)
+	register("fig08", "Write bandwidth heatmap: threads x access size", fig8)
+	register("fig09", "Write bandwidth vs thread pinning", fig9)
+	register("fig10", "Writes to multiple sockets", fig10)
+	register("fig11", "Mixed read/write workload performance", fig11)
+	register("fig12", "Random read bandwidth, PMEM and DRAM", fig12)
+	register("fig13", "Random write bandwidth, PMEM and DRAM", fig13)
+	register("dax01", "devdax vs fsdax bandwidth (Section 2.3)", dax1)
+}
+
+func sweepGrid(dir access.Direction, pattern access.Pattern, threads []int, sizes []int64) (Table, error) {
+	b := core.MustNewBench(machine.DefaultConfig())
+	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
+	for _, thr := range threads {
+		s := Series{Label: fmt.Sprintf("%d", thr)}
+		for _, size := range sizes {
+			v, err := b.Measure(core.Point{
+				Class: access.PMEM, Dir: dir, Pattern: pattern,
+				AccessSize: size, Threads: thr, Policy: cpu.PinCores,
+			})
+			if err != nil {
+				return t, err
+			}
+			s.Values = append(s.Values, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+func fig3(cfg Config) ([]Table, error) {
+	grouped, err := sweepGrid(access.Read, access.SeqGrouped, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	grouped.ID, grouped.Title = "fig3a", "Grouped read access"
+	grouped.Paper = "peak ~40 GB/s at 4K/16+ threads; 1-2K prefetcher dip; 64B/36thr ~12 GB/s"
+	individual, err := sweepGrid(access.Read, access.SeqIndividual, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	individual.ID, individual.Title = "fig3b", "Individual read access"
+	individual.Paper = "~flat vs size; ~40 GB/s at 16-18 threads; 8 threads within ~15% of peak"
+	return []Table{grouped, individual}, nil
+}
+
+func fig4(cfg Config) ([]Table, error) {
+	threads := []int{1, 4, 8, 18, 24, 36}
+	if cfg.Quick {
+		threads = []int{8, 18, 36}
+	}
+	t := Table{ID: "fig4", Title: "Read bandwidth by pinning", Unit: "GB/s",
+		Header: "pinning \\ threads", Cols: intLabels(threads),
+		Paper: "Cores ~41 GB/s at 18thr; NUMA ~40; None peaks ~9 GB/s"}
+	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
+		b := core.MustNewBench(machine.DefaultConfig())
+		s := Series{Label: pol.String()}
+		for _, thr := range threads {
+			v, err := b.Measure(core.Point{
+				Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Threads: thr, Policy: pol,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return []Table{t}, nil
+}
+
+func fig5(cfg Config) ([]Table, error) {
+	threads := []int{1, 4, 8, 18, 24, 36}
+	if cfg.Quick {
+		threads = []int{4, 18, 36}
+	}
+	t := Table{ID: "fig5", Title: "Read NUMA effects", Unit: "GB/s",
+		Header: "locality \\ threads", Cols: intLabels(threads),
+		Paper: "near ~40; 1st far ~8 peaking at 4 threads; 2nd far ~33"}
+
+	near := Series{Label: "near"}
+	far1 := Series{Label: "far (1st run)"}
+	far2 := Series{Label: "far (2nd run)"}
+	for _, thr := range threads {
+		// Fresh machine per thread count so each "first run" is cold.
+		b := core.MustNewBench(machine.DefaultConfig())
+		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
+			Policy: cpu.PinCores, Far: true})
+		if err != nil {
+			return nil, err
+		}
+		far1.Values = append(far1.Values, v)
+		v, err = b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
+			Policy: cpu.PinCores, Far: true})
+		if err != nil {
+			return nil, err
+		}
+		far2.Values = append(far2.Values, v)
+		v, err = b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
+			Policy: cpu.PinCores})
+		if err != nil {
+			return nil, err
+		}
+		near.Values = append(near.Values, v)
+	}
+	t.Series = []Series{far1, far2, near}
+	return []Table{t}, nil
+}
+
+// multiSocket runs the five Figure 6/10 configurations for one direction and
+// device at each per-socket thread count.
+func multiSocket(class access.DeviceClass, dir access.Direction, threads []int) (Table, error) {
+	t := Table{Unit: "GB/s", Header: "config \\ thr/socket", Cols: intLabels(threads)}
+	regionSize := int64(70 * units.GB)
+	if class == access.DRAM {
+		regionSize = 80 * units.GB
+	}
+
+	configs := []struct {
+		label   string
+		sockets []int // thread socket of each participating workload
+		far     bool  // workloads access the far socket's region
+		same    bool  // both access the same region (socket 0's)
+	}{
+		{"1 near", []int{0}, false, false},
+		{"1 far", []int{0}, true, false},
+		{"2 near", []int{0, 1}, false, false},
+		{"2 far", []int{0, 1}, true, false},
+		{"1 near + 1 far", []int{0, 1}, false, true},
+	}
+	for _, c := range configs {
+		s := Series{Label: c.label}
+		for _, thr := range threads {
+			m := machine.MustNew(machine.DefaultConfig())
+			var regions [2]*machine.Region
+			var err error
+			for sock := 0; sock < 2; sock++ {
+				if class == access.DRAM {
+					regions[sock], err = m.AllocDRAM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize)
+				} else {
+					regions[sock], err = m.AllocPMEM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize, machine.DevDax)
+				}
+				if err != nil {
+					return t, err
+				}
+				// Figure 6/10 report steady-state numbers; warm-up is
+				// Figure 5's subject.
+				regions[sock].WarmFor(0)
+				regions[sock].WarmFor(1)
+			}
+			var specs []workload.Spec
+			for _, ts := range c.sockets {
+				target := ts
+				if c.far {
+					target = 1 - ts
+				}
+				if c.same {
+					target = 0
+				}
+				specs = append(specs, workload.Spec{
+					Name: fmt.Sprintf("%s/s%d", c.label, ts), Dir: dir,
+					Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
+					Policy: cpu.PinNUMA, Socket: topoSock(ts), Region: regions[target],
+					TotalBytes: 70 * units.GB,
+				})
+			}
+			res, err := workload.RunSteady(m, 1.0, specs...)
+			if err != nil {
+				return t, err
+			}
+			s.Values = append(s.Values, workload.GBs(res.Bandwidth))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+func fig6(cfg Config) ([]Table, error) {
+	threads := []int{1, 4, 8, 18, 24, 36}
+	if cfg.Quick {
+		threads = []int{4, 18}
+	}
+	pm, err := multiSocket(access.PMEM, access.Read, threads)
+	if err != nil {
+		return nil, err
+	}
+	pm.ID, pm.Title = "fig6a", "Multi-socket reads, PMEM"
+	pm.Paper = "2 near ~80 (linear); 2 far ~50; same-region sharing very low; 1 far ~33"
+	dr, err := multiSocket(access.DRAM, access.Read, threads)
+	if err != nil {
+		return nil, err
+	}
+	dr.ID, dr.Title = "fig6b", "Multi-socket reads, DRAM"
+	dr.Paper = "1 near ~100; max 185; 1 far ~33; 2 far ~60"
+	return []Table{pm, dr}, nil
+}
+
+func fig7(cfg Config) ([]Table, error) {
+	grouped, err := sweepGrid(access.Write, access.SeqGrouped, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	grouped.ID, grouped.Title = "fig7a", "Grouped write access"
+	grouped.Paper = "swept 64 B - 32 MB; global max 12.6 GB/s at 4K; 64B/36thr 2.6 GB/s; >18 threads decline beyond 256B"
+	individual, err := sweepGrid(access.Write, access.SeqIndividual, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	individual.ID, individual.Title = "fig7b", "Individual write access"
+	individual.Paper = "64B/36thr 9.6 GB/s; 4-6 threads hold ~12.5 at large sizes, 8 drops to ~8"
+	return []Table{grouped, individual}, nil
+}
+
+func fig8(cfg Config) ([]Table, error) {
+	// The heatmap is the full cross product; reuse the grid sweep with a
+	// denser thread axis.
+	threads := []int{1, 2, 4, 6, 8, 12, 18, 24, 30, 36}
+	if cfg.Quick {
+		threads = []int{4, 18, 36}
+	}
+	grouped, err := sweepGrid(access.Write, access.SeqGrouped, threads, writeSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	grouped.ID, grouped.Title = "fig8a", "Write heatmap, grouped"
+	grouped.Paper = "boomerang-shaped >10 GB/s ridge: high-thread/small-size, low-thread/any-size, 4K column"
+	individual, err := sweepGrid(access.Write, access.SeqIndividual, threads, writeSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	individual.ID, individual.Title = "fig8b", "Write heatmap, individual"
+	individual.Paper = "same ridge; scaling both axes together collapses bandwidth"
+	return []Table{grouped, individual}, nil
+}
+
+func fig9(cfg Config) ([]Table, error) {
+	threads := []int{1, 4, 8, 18, 24, 36}
+	if cfg.Quick {
+		threads = []int{4, 18, 36}
+	}
+	t := Table{ID: "fig9", Title: "Write bandwidth by pinning", Unit: "GB/s",
+		Header: "pinning \\ threads", Cols: intLabels(threads),
+		Paper: "Cores peaks ~13 GB/s; None ~7 (2x worse, vs 4x for reads)"}
+	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
+		b := core.MustNewBench(machine.DefaultConfig())
+		s := Series{Label: pol.String()}
+		for _, thr := range threads {
+			v, err := b.Measure(core.Point{
+				Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Threads: thr, Policy: pol,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Values = append(s.Values, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return []Table{t}, nil
+}
+
+func fig10(cfg Config) ([]Table, error) {
+	threads := []int{1, 4, 8, 18, 24, 36}
+	if cfg.Quick {
+		threads = []int{4, 8}
+	}
+	t, err := multiSocket(access.PMEM, access.Write, threads)
+	if err != nil {
+		return nil, err
+	}
+	t.ID, t.Title = "fig10", "Multi-socket writes, PMEM"
+	t.Paper = "near ~12.5 doubling to ~25; 2 far ~13 at 8thr/socket; near+far same PMEM ~8"
+	return []Table{t}, nil
+}
+
+func fig11(cfg Config) ([]Table, error) {
+	writeThreads := []int{1, 4, 6}
+	readThreads := []int{1, 8, 18, 30}
+	t := Table{ID: "fig11", Title: "Mixed workload performance", Unit: "GB/s",
+		Header: "w/r threads", Cols: []string{"write BW", "read BW"},
+		Paper: "30r alone ~31; +1 writer -> read ~26; 6w/30r -> both ~1/3 of maxima"}
+	for _, w := range writeThreads {
+		for _, r := range readThreads {
+			m := machine.MustNew(machine.DefaultConfig())
+			rRead, err := m.AllocPMEM("read", 0, 40*units.GB, machine.DevDax)
+			if err != nil {
+				return nil, err
+			}
+			rWrite, err := m.AllocPMEM("write", 0, 40*units.GB, machine.DevDax)
+			if err != nil {
+				return nil, err
+			}
+			res, err := workload.RunSteady(m, 2.0,
+				workload.Spec{Name: "w", Dir: access.Write, Pattern: access.SeqIndividual,
+					AccessSize: 4096, Threads: w, Policy: cpu.PinNUMA, Socket: 0,
+					Region: rWrite, TotalBytes: 40 * units.GB},
+				workload.Spec{Name: "r", Dir: access.Read, Pattern: access.SeqIndividual,
+					AccessSize: 4096, Threads: r, Policy: cpu.PinNUMA, Socket: 0,
+					Region: rRead, TotalBytes: 40 * units.GB})
+			if err != nil {
+				return nil, err
+			}
+			t.Series = append(t.Series, Series{
+				Label:  fmt.Sprintf("%d/%d", w, r),
+				Values: []float64{workload.GBs(res.WriteBandwidth), workload.GBs(res.ReadBandwidth)},
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
+func randomSweep(class access.DeviceClass, dir access.Direction, threads []int, sizes []int64) (Table, error) {
+	b := core.MustNewBench(machine.DefaultConfig())
+	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
+	for _, thr := range threads {
+		s := Series{Label: fmt.Sprintf("%d", thr)}
+		for _, size := range sizes {
+			v, err := b.Measure(core.Point{
+				Class: class, Dir: dir, Pattern: access.Random,
+				AccessSize: size, Threads: thr, Policy: cpu.PinCores,
+				TotalBytes: 20 * units.GB,
+			})
+			if err != nil {
+				return t, err
+			}
+			s.Values = append(s.Values, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+func fig12(cfg Config) ([]Table, error) {
+	pm, err := randomSweep(access.PMEM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	pm.ID, pm.Title = "fig12a", "Random reads, PMEM (2 GB region)"
+	pm.Paper = "~2/3 of sequential max at >=4K; ~50% at 256/512B; hyperthreading helps"
+	dr, err := randomSweep(access.DRAM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	dr.ID, dr.Title = "fig12b", "Random reads, DRAM (2 GB region)"
+	dr.Paper = "region on one NUMA node: 3/6 channels; ~50% of sequential"
+	return []Table{pm, dr}, nil
+}
+
+func fig13(cfg Config) ([]Table, error) {
+	pm, err := randomSweep(access.PMEM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	pm.ID, pm.Title = "fig13a", "Random writes, PMEM (2 GB region)"
+	pm.Paper = "peak ~2/3 of sequential at 4-6 threads; larger access helps"
+	dr, err := randomSweep(access.DRAM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	if err != nil {
+		return nil, err
+	}
+	dr.ID, dr.Title = "fig13b", "Random writes, DRAM (2 GB region)"
+	dr.Paper = "access size has little impact; more threads help"
+	return []Table{pm, dr}, nil
+}
+
+func dax1(cfg Config) ([]Table, error) {
+	t := Table{ID: "dax1", Title: "devdax vs fsdax, 18-thread 4K read", Unit: "GB/s",
+		Header: "mode", Cols: []string{"bandwidth"},
+		Paper: "devdax 5-10% faster; identical once pre-faulted; pre-fault 1 GB ~= 0.25 s"}
+	m := machine.MustNew(machine.DefaultConfig())
+	dev, err := m.AllocPMEM("dev", 0, 70*units.GB, machine.DevDax)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := m.AllocPMEM("fs", 0, 70*units.GB, machine.FsDax)
+	if err != nil {
+		return nil, err
+	}
+	measure := func(r *machine.Region) (float64, error) {
+		bw, err := workload.Run(m, workload.Spec{Name: "dax", Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18,
+			Policy: cpu.PinCores, Region: r, TotalBytes: 70 * units.GB})
+		return bw / 1e9, err
+	}
+	devBW, err := measure(dev)
+	if err != nil {
+		return nil, err
+	}
+	fsCold, err := measure(fs)
+	if err != nil {
+		return nil, err
+	}
+	fsWarm, err := measure(fs) // pages now faulted
+	if err != nil {
+		return nil, err
+	}
+	prefaultSec := func() float64 {
+		m2 := machine.MustNew(machine.DefaultConfig())
+		r, _ := m2.AllocPMEM("p", 0, units.GB, machine.FsDax)
+		return r.PreFault()
+	}()
+	t.Series = []Series{
+		{Label: "devdax", Values: []float64{devBW}},
+		{Label: "fsdax (cold pages)", Values: []float64{fsCold}},
+		{Label: "fsdax (pre-faulted)", Values: []float64{fsWarm}},
+		{Label: "pre-fault 1 GB [s]", Values: []float64{prefaultSec}},
+	}
+	return []Table{t}, nil
+}
+
+// topoSocket shortens the cast in the multi-socket experiment loops.
+type topoSocket = topology.SocketID
+
+func topoSock(s int) topoSocket { return topoSocket(s) }

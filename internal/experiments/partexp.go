@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ext05", "Extension: partitioning schemes under skew (Sections 3.5, 6.2)", extPartition)
+}
+
+// extPartition quantifies Insight #5's "evenly distributed data sets":
+// partition a 70 GB fact table across the two sockets with each scheme,
+// under uniform and Zipf-skewed keys, then measure the near-only parallel
+// scan on the machine. Imbalanced partitions leave one socket's bandwidth
+// idle while the other finishes.
+func extPartition(cfg Config) ([]Table, error) {
+	t := Table{ID: "ext5", Title: "70 GB near-only scan under partitioning scheme and key skew", Unit: "GB/s",
+		Header: "scheme/skew", Cols: []string{"imbalance", "scan GB/s"},
+		Paper: "Insight #5: stripe evenly; the paper defers skew handling to partitioning research"}
+
+	const tuples = 200_000
+	const totalBytes = 70 * units.GB
+
+	cases := []struct {
+		label  string
+		scheme partition.Scheme
+		skew   float64
+	}{
+		{"round-robin / uniform", partition.RoundRobin, 0},
+		{"round-robin / zipf", partition.RoundRobin, 1.1},
+		{"hash / zipf", partition.ByHash, 1.1},
+		{"range / uniform", partition.ByRange, 0},
+		{"range / zipf", partition.ByRange, 1.1},
+	}
+	for _, c := range cases {
+		keys := partition.ZipfKeys(tuples, 1<<24, c.skew, 11)
+		asg, err := partition.Partition(keys, 2, c.scheme)
+		if err != nil {
+			return nil, err
+		}
+
+		m := machine.MustNew(machine.DefaultConfig())
+		var specs []workload.Spec
+		for s := 0; s < 2; s++ {
+			bytes := int64(float64(totalBytes) * float64(asg.Counts[s]) / float64(tuples))
+			if bytes < 4096 {
+				bytes = 4096
+			}
+			r, err := m.AllocPMEM("part", topoSock(s), bytes, machine.DevDax)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, workload.Spec{
+				Name: "scan", Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Threads: 18, Policy: cpu.PinCores,
+				Socket: topoSock(s), Region: r, TotalBytes: bytes,
+			})
+		}
+		res, err := workload.RunMixed(m, specs...)
+		if err != nil {
+			return nil, err
+		}
+		t.Series = append(t.Series, Series{Label: c.label,
+			Values: []float64{asg.Imbalance(), workload.GBs(res.TotalBytes / res.Elapsed)}})
+	}
+	return []Table{t}, nil
+}

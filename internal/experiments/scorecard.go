@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+func init() {
+	register("val01", "Validation scorecard: headline anchors vs the paper", scorecard)
+}
+
+// anchor is one paper number with an acceptance band.
+type anchor struct {
+	name    string
+	paper   float64 // the paper's value (GB/s unless noted)
+	lo, hi  float64 // acceptance band for the model
+	measure func() (float64, error)
+}
+
+// scorecard re-measures the headline anchors of EXPERIMENTS.md and reports
+// paper value, measured value, and whether the measurement lands in band —
+// a one-command validation that an installation reproduces the paper.
+func scorecard(cfg Config) ([]Table, error) {
+	t := Table{ID: "val1", Title: "Headline anchors: paper vs measured (1 = in band)", Unit: "mixed",
+		Header: "anchor", Cols: []string{"paper", "measured", "in band"},
+		Paper: "the acceptance bands are the calibration test suite's"}
+
+	seqPoint := func(dir access.Direction, pat access.Pattern, size int64, threads int) func() (float64, error) {
+		return func() (float64, error) {
+			b := core.MustNewBench(machine.DefaultConfig())
+			return b.Measure(core.Point{Class: access.PMEM, Dir: dir, Pattern: pat,
+				AccessSize: size, Threads: threads, Policy: cpu.PinCores})
+		}
+	}
+
+	anchors := []anchor{
+		{"seq read peak [GB/s]", 40, 38, 42, seqPoint(access.Read, access.SeqIndividual, 4096, 18)},
+		{"seq read 8 threads [GB/s]", 34, 30, 37, seqPoint(access.Read, access.SeqIndividual, 4096, 8)},
+		{"seq write peak [GB/s]", 12.6, 11.5, 13, seqPoint(access.Write, access.SeqIndividual, 4096, 6)},
+		{"seq write 36 thr 4K [GB/s]", 5.5, 4.5, 7.5, seqPoint(access.Write, access.SeqIndividual, 4096, 36)},
+		{"grouped write 64B 36thr [GB/s]", 2.6, 1.8, 3.6, seqPoint(access.Write, access.SeqGrouped, 64, 36)},
+		{"individual write 64B 36thr [GB/s]", 9.6, 8.5, 11, seqPoint(access.Write, access.SeqIndividual, 64, 36)},
+		{"random read 4K 36thr [GB/s]", 26.7, 24, 29, seqPoint(access.Read, access.Random, 4096, 36)},
+		{"random write 4K 6thr [GB/s]", 8.4, 6.5, 9, seqPoint(access.Write, access.Random, 4096, 6)},
+		{"warm far read [GB/s]", 33, 30, 36, func() (float64, error) {
+			b := core.MustNewBench(machine.DefaultConfig())
+			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18,
+				Policy: cpu.PinCores, Far: true, Warm: true})
+		}},
+		{"cold far read 4thr [GB/s]", 8, 7, 9, func() (float64, error) {
+			b := core.MustNewBench(machine.DefaultConfig())
+			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 4,
+				Policy: cpu.PinCores, Far: true})
+		}},
+		{"unpinned read peak [GB/s]", 9, 7.5, 10.5, func() (float64, error) {
+			b := core.MustNewBench(machine.DefaultConfig())
+			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 8,
+				Policy: cpu.PinNone})
+		}},
+		{"DRAM near read [GB/s]", 100, 95, 105, func() (float64, error) {
+			b := core.MustNewBench(machine.DefaultConfig())
+			return b.Measure(core.Point{Class: access.DRAM, Dir: access.Read,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18,
+				Policy: cpu.PinCores})
+		}},
+	}
+
+	for _, a := range anchors {
+		v, err := a.measure()
+		if err != nil {
+			return nil, err
+		}
+		inBand := 0.0
+		if v >= a.lo && v <= a.hi {
+			inBand = 1
+		}
+		t.Series = append(t.Series, Series{Label: a.name, Values: []float64{a.paper, v, inBand}})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+// Shape assertions on the generated figures: the properties a reader checks
+// visually in the paper, verified programmatically on the full-axis tables.
+
+import "testing"
+
+func cell(t *testing.T, tab Table, rowLabel, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tab.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("table %s has no column %q (cols %v)", tab.ID, col, tab.Cols)
+	}
+	for _, s := range tab.Series {
+		if s.Label == rowLabel {
+			return s.Values[ci]
+		}
+	}
+	t.Fatalf("table %s has no row %q", tab.ID, rowLabel)
+	return 0
+}
+
+func TestFig3Shapes(t *testing.T) {
+	tables, err := fig3(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, individual := tables[0], tables[1]
+
+	// The 1-2 KiB prefetcher dip: grouped 18-thread bandwidth at 1K is well
+	// below 4K.
+	if dip, peak := cell(t, grouped, "18", "1K"), cell(t, grouped, "18", "4K"); dip > peak*0.8 {
+		t.Errorf("no grouped dip: 1K=%.1f vs 4K=%.1f", dip, peak)
+	}
+	// Small grouped access concentrates on few DIMMs: 64 B far below 4K.
+	if small, peak := cell(t, grouped, "36", "64"), cell(t, grouped, "36", "4K"); small > peak*0.5 {
+		t.Errorf("grouped 64B=%.1f not well below 4K=%.1f", small, peak)
+	}
+	// Individual access is nearly flat across sizes at high thread counts.
+	if a, b := cell(t, individual, "18", "64"), cell(t, individual, "18", "64K"); a < b*0.9 {
+		t.Errorf("individual reads not flat: 64B=%.1f vs 64K=%.1f", a, b)
+	}
+	// More threads help reads up to the physical core count.
+	if one, sixteen := cell(t, individual, "1", "4K"), cell(t, individual, "16", "4K"); sixteen < one*5 {
+		t.Errorf("reads do not scale with threads: 1thr=%.1f, 16thr=%.1f", one, sixteen)
+	}
+}
+
+func TestFig7Boomerang(t *testing.T) {
+	tables, err := fig7(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	individual := tables[1]
+
+	// Three corners of the >10 GB/s ridge...
+	top := cell(t, individual, "36", "256") // high threads, small access
+	left := cell(t, individual, "4", "4K")  // few threads, any size
+	bottomRight := cell(t, individual, "4", "64K")
+	if top < 10 || left < 10 || bottomRight < 10 {
+		t.Errorf("boomerang ridge broken: 36thr/256B=%.1f, 4thr/4K=%.1f, 4thr/64K=%.1f",
+			top, left, bottomRight)
+	}
+	// ...and the collapsed interior: scaling both axes together.
+	if both := cell(t, individual, "36", "64K"); both > 7 {
+		t.Errorf("36thr/64K = %.1f GB/s, want collapsed (<7)", both)
+	}
+	// The counterintuitive law: at 64 KiB, MORE threads mean LESS bandwidth.
+	if few, many := cell(t, individual, "4", "64K"), cell(t, individual, "36", "64K"); many >= few {
+		t.Errorf("write bandwidth did not fall with threads: 4thr=%.1f, 36thr=%.1f", few, many)
+	}
+}
+
+func TestFig11MoreWritersHurtReads(t *testing.T) {
+	tables, err := fig11(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	get := func(label string) (w, r float64) {
+		for _, s := range tab.Series {
+			if s.Label == label {
+				return s.Values[0], s.Values[1]
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0, 0
+	}
+	_, r1 := get("1/30")
+	_, r4 := get("4/30")
+	_, r6 := get("6/30")
+	if !(r6 < r4 && r4 < r1) {
+		t.Errorf("reads not declining with writers: 1w=%.1f, 4w=%.1f, 6w=%.1f", r1, r4, r6)
+	}
+	w61, _ := get("6/1")
+	_, r61 := get("6/1")
+	if w61 < 10 {
+		t.Errorf("6 writers vs 1 reader deliver %.1f GB/s writes, want near the 12.6 max", w61)
+	}
+	_ = r61
+}
+
+func TestFig5WarmupOrdering(t *testing.T) {
+	tables, err := fig5(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	cold := cell(t, tab, "far (1st run)", "18")
+	warm := cell(t, tab, "far (2nd run)", "18")
+	near := cell(t, tab, "near", "18")
+	if !(cold < warm && warm < near) {
+		t.Errorf("NUMA ordering broken: cold=%.1f, warm=%.1f, near=%.1f", cold, warm, near)
+	}
+	if near-warm < 3 {
+		t.Errorf("warm far (%.1f) should stay below near (%.1f) by the UPI margin", warm, near)
+	}
+}
+
+func TestFig14bRatiosWithinBand(t *testing.T) {
+	tables, err := fig14b(Config{SF: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	var avg float64
+	for _, s := range tab.Series {
+		if s.Label == "AVG ratio" {
+			avg = s.Values[2]
+		}
+	}
+	// The paper's headline: 1.66x. Accept a band around it.
+	if avg < 1.4 || avg > 2.0 {
+		t.Errorf("handcrafted PMEM/DRAM average ratio = %.2f, want ~1.66", avg)
+	}
+}

@@ -1,0 +1,39 @@
+package fluid
+
+import "testing"
+
+func BenchmarkSolve(b *testing.B) {
+	resources := make([]*Resource, 10)
+	for i := range resources {
+		resources[i] = &Resource{Name: "r", Capacity: 1e9 * float64(i+1)}
+	}
+	flows := make([]*Flow, 100)
+	for i := range flows {
+		flows[i] = &Flow{
+			Name:      "f",
+			Remaining: 1e9,
+			MaxRate:   float64(i+1) * 1e8,
+			Costs: []Cost{
+				{resources[i%10], 1},
+				{resources[(i+3)%10], 0.5},
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(flows, resources)
+	}
+}
+
+func BenchmarkEngineRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &Resource{Name: "r", Capacity: 10e9}
+		e := NewEngine(&StaticModel{Res: []*Resource{r}})
+		for f := 0; f < 36; f++ {
+			e.Add(&Flow{Name: "f", Remaining: 1e9 + float64(f)*1e8, Costs: []Cost{{r, 1}}})
+		}
+		if err := e.Run(1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

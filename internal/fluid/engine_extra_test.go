@@ -1,0 +1,78 @@
+package fluid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEngineReset(t *testing.T) {
+	r := &Resource{Name: "r", Capacity: 1e9}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	e.Add(&Flow{Name: "f", Remaining: 1e9, Costs: []Cost{{r, 1}}})
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now == 0 {
+		t.Fatal("clock did not advance")
+	}
+	e.Reset()
+	if e.Now != 0 || len(e.Flows()) != 0 {
+		t.Errorf("Reset left Now=%g flows=%d", e.Now, len(e.Flows()))
+	}
+}
+
+func TestEngineReusableAfterReset(t *testing.T) {
+	r := &Resource{Name: "r", Capacity: 2e9}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	e.Add(&Flow{Name: "a", Remaining: 2e9, Costs: []Cost{{r, 1}}})
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	f := &Flow{Name: "b", Remaining: 4e9, Costs: []Cost{{r, 1}}}
+	e.Add(f)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.FinishedAt-2.0) > 1e-6 {
+		t.Errorf("second run FinishedAt = %g, want 2.0", f.FinishedAt)
+	}
+}
+
+func TestSortedUtilizations(t *testing.T) {
+	hot := &Resource{Name: "hot", Capacity: 1e9}
+	cold := &Resource{Name: "cold", Capacity: 100e9}
+	f := &Flow{Name: "f", Remaining: 1e9, Costs: []Cost{{hot, 1}, {cold, 1}}}
+	Solve([]*Flow{f}, []*Resource{hot, cold})
+	out := SortedUtilizations([]*Resource{cold, hot})
+	if len(out) != 2 {
+		t.Fatalf("got %d entries", len(out))
+	}
+	if !strings.HasPrefix(out[0], "hot=") {
+		t.Errorf("hottest resource not first: %v", out)
+	}
+}
+
+func TestZeroWeightTreatedAsOne(t *testing.T) {
+	r := &Resource{Name: "r", Capacity: 2e9}
+	a := &Flow{Name: "a", Remaining: 1e9, Weight: 0, Costs: []Cost{{r, 1}}}
+	b := &Flow{Name: "b", Remaining: 1e9, Weight: 1, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{a, b}, []*Resource{r})
+	if math.Abs(a.Rate-b.Rate) > 1 {
+		t.Errorf("zero-weight flow rate %g != unit-weight %g", a.Rate, b.Rate)
+	}
+}
+
+func TestNegativeRemainingIgnored(t *testing.T) {
+	r := &Resource{Name: "r", Capacity: 1e9}
+	done := &Flow{Name: "neg", Remaining: -5, Costs: []Cost{{r, 1}}}
+	live := &Flow{Name: "live", Remaining: 1e9, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{done, live}, []*Resource{r})
+	if done.Rate != 0 {
+		t.Errorf("negative-remaining flow got rate %g", done.Rate)
+	}
+	if math.Abs(live.Rate-1e9) > 1 {
+		t.Errorf("live flow rate = %g, want 1e9", live.Rate)
+	}
+}

@@ -1,0 +1,357 @@
+// Package fluid implements the bandwidth model at the heart of the machine
+// simulator: a weighted max-min fair ("progressive filling") rate solver over
+// capacity-constrained resources, and a virtual-time engine that advances a
+// set of data flows through piecewise-constant rate allocations.
+//
+// Resources model hardware components with a service capacity: a thread's
+// issue capability, a DIMM's media bandwidth, an iMC's queue drain rate, a
+// UPI link direction. A flow (one thread's read or write stream) consumes
+// each resource at a per-byte cost; costs are recomputed between solver steps
+// by the machine model so that state-dependent effects (write-combining
+// pressure, NUMA directory warm-up, mixed read/write interference) change the
+// allocation mid-run.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource is a capacity-constrained hardware component. Capacity is in
+// resource units per virtual second; a cost of c units/byte on a flow running
+// at r bytes/s loads the resource with c*r units/s.
+type Resource struct {
+	Name     string
+	Capacity float64
+
+	load float64 // transient: units/s allocated in the current solve
+}
+
+// Load returns the units/s allocated on the resource by the last Solve call.
+func (r *Resource) Load() float64 { return r.load }
+
+// Utilization returns load/capacity from the last Solve call.
+func (r *Resource) Utilization() float64 {
+	if r.Capacity <= 0 {
+		return 0
+	}
+	return r.load / r.Capacity
+}
+
+// Cost is one entry of a flow's cost vector.
+type Cost struct {
+	Resource *Resource
+	PerByte  float64 // resource units consumed per byte transferred
+}
+
+// Flow is a data stream competing for resources.
+type Flow struct {
+	Name      string
+	Remaining float64 // bytes left to transfer; math.Inf(1) for open-ended flows
+	Weight    float64 // fair-share weight; 0 or negative is treated as 1
+	MaxRate   float64 // optional per-flow rate ceiling in bytes/s; 0 = none
+	Costs     []Cost  // recomputed by the model before each solve
+
+	// Outputs.
+	Rate       float64 // bytes/s allocated by the last Solve
+	Done       bool    // set by the Engine when Remaining reaches zero
+	FinishedAt float64 // virtual time of completion (valid when Done)
+	Moved      float64 // total bytes transferred so far
+}
+
+func (f *Flow) weight() float64 {
+	if f.Weight > 0 {
+		return f.Weight
+	}
+	return 1
+}
+
+// Solve computes a weighted max-min fair rate allocation for the active
+// (not-Done, Remaining > 0) flows, writing each flow's Rate and each
+// resource's load. It implements progressive filling: all active flows'
+// rates rise proportionally to their weights until a resource saturates
+// (freezing every flow that uses it) or a flow reaches MaxRate.
+func Solve(flows []*Flow, resources []*Resource) {
+	const eps = 1e-12
+
+	for _, r := range resources {
+		r.load = 0
+	}
+	active := make([]*Flow, 0, len(flows))
+	for _, f := range flows {
+		f.Rate = 0
+		if !f.Done && f.Remaining > 0 {
+			active = append(active, f)
+		}
+	}
+	frozen := make(map[*Flow]bool, len(active))
+
+	for len(frozen) < len(active) {
+		// Per-resource load increase per unit of theta.
+		slope := make(map[*Resource]float64)
+		for _, f := range active {
+			if frozen[f] {
+				continue
+			}
+			w := f.weight()
+			for _, c := range f.Costs {
+				if c.PerByte > 0 {
+					slope[c.Resource] += w * c.PerByte
+				}
+			}
+		}
+
+		// Largest theta increment before a resource saturates or a flow caps.
+		step := math.Inf(1)
+		for r, s := range slope {
+			if s <= 0 {
+				continue
+			}
+			headroom := r.Capacity - r.load
+			if headroom < 0 {
+				headroom = 0
+			}
+			if d := headroom / s; d < step {
+				step = d
+			}
+		}
+		for _, f := range active {
+			if frozen[f] || f.MaxRate <= 0 {
+				continue
+			}
+			if d := (f.MaxRate - f.Rate) / f.weight(); d < step {
+				step = d
+			}
+		}
+		if math.IsInf(step, 1) {
+			// No flow touches any finite resource and none has a cap: the
+			// model is malformed. Freeze everything at zero extra rate to
+			// guarantee termination.
+			break
+		}
+		if step < 0 {
+			step = 0
+		}
+
+		// Advance all unfrozen flows by step.
+		for _, f := range active {
+			if frozen[f] {
+				continue
+			}
+			inc := f.weight() * step
+			f.Rate += inc
+			for _, c := range f.Costs {
+				if c.PerByte > 0 {
+					c.Resource.load += inc * c.PerByte
+				}
+			}
+		}
+
+		// Freeze flows on saturated resources and flows at their cap.
+		progressed := false
+		for _, f := range active {
+			if frozen[f] {
+				continue
+			}
+			if f.MaxRate > 0 && f.Rate >= f.MaxRate-eps*math.Max(1, f.MaxRate) {
+				frozen[f] = true
+				progressed = true
+				continue
+			}
+			for _, c := range f.Costs {
+				if c.PerByte <= 0 {
+					continue
+				}
+				r := c.Resource
+				if r.load >= r.Capacity-eps*math.Max(1, r.Capacity) {
+					frozen[f] = true
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			// step == 0 without any freeze would loop forever; freeze all
+			// remaining flows defensively. Should not happen with positive
+			// capacities.
+			break
+		}
+	}
+}
+
+// Model supplies state-dependent behaviour to the Engine.
+type Model interface {
+	// Prepare recomputes flow cost vectors and resource capacities from the
+	// current machine state, before a solve. now is the virtual time.
+	Prepare(now float64, flows []*Flow)
+	// Resources returns the resources participating in the solve.
+	Resources() []*Resource
+	// Horizon returns the maximum virtual-time step the engine may take
+	// before machine state (e.g., NUMA directory warmth) could change the
+	// cost model, given the just-solved rates. Return math.Inf(1) when no
+	// state change is pending.
+	Horizon(now float64, flows []*Flow) float64
+	// Advance notifies the model that dt seconds elapsed with the current
+	// allocation, so it can update cumulative state (warmth counters, wear).
+	Advance(now, dt float64, flows []*Flow)
+}
+
+// Engine advances flows through a Model in virtual time.
+type Engine struct {
+	Model Model
+	Now   float64
+
+	flows []*Flow
+}
+
+// NewEngine creates an engine over the model.
+func NewEngine(m Model) *Engine { return &Engine{Model: m} }
+
+// Add registers flows; may be called between Run calls.
+func (e *Engine) Add(flows ...*Flow) { e.flows = append(e.flows, flows...) }
+
+// Flows returns all registered flows.
+func (e *Engine) Flows() []*Flow { return e.flows }
+
+// Reset drops all flows and rewinds the clock (model state is untouched).
+func (e *Engine) Reset() {
+	e.flows = nil
+	e.Now = 0
+}
+
+// ErrStalled is returned when no active flow can make progress.
+var ErrStalled = fmt.Errorf("fluid: engine stalled with active flows at zero rate")
+
+// Run advances virtual time until every finite flow completes or until
+// maxTime (absolute virtual time) is reached. Open-ended flows
+// (Remaining = +Inf) do not prevent completion of the run; they accumulate
+// Moved bytes until all finite flows are done.
+func (e *Engine) Run(maxTime float64) error {
+	const minStep = 1e-9 // 1 ns of virtual time
+
+	for {
+		if e.Now >= maxTime {
+			return nil
+		}
+		anyActive, pendingFinite, finiteExists := false, false, false
+		for _, f := range e.flows {
+			if !math.IsInf(f.Remaining, 1) {
+				finiteExists = true
+			}
+			if !f.Done && f.Remaining > 0 {
+				anyActive = true
+				if !math.IsInf(f.Remaining, 1) {
+					pendingFinite = true
+				}
+			}
+		}
+		if !anyActive {
+			return nil
+		}
+		// With finite flows present, completion of the last one ends the run
+		// (open-ended observers don't extend it). A purely open-ended flow
+		// set runs to maxTime — that's how steady-state bandwidth windows
+		// are measured.
+		if finiteExists && !pendingFinite {
+			return nil
+		}
+
+		e.Model.Prepare(e.Now, e.flows)
+		Solve(e.flows, e.Model.Resources())
+
+		// Time to the next completion among finite flows.
+		dt := maxTime - e.Now
+		stalled := true
+		for _, f := range e.flows {
+			if f.Done || f.Remaining <= 0 {
+				continue
+			}
+			if f.Rate > 0 {
+				stalled = false
+				if !math.IsInf(f.Remaining, 1) {
+					if d := f.Remaining / f.Rate; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+		if stalled {
+			return ErrStalled
+		}
+		if h := e.Model.Horizon(e.Now, e.flows); h < dt {
+			dt = h
+		}
+		if dt < minStep {
+			dt = minStep
+		}
+
+		for _, f := range e.flows {
+			if f.Done || f.Remaining <= 0 {
+				continue
+			}
+			moved := f.Rate * dt
+			f.Moved += moved
+			if !math.IsInf(f.Remaining, 1) {
+				f.Remaining -= moved
+				if f.Remaining <= 1e-6 { // sub-byte residue: done
+					f.Remaining = 0
+					f.Done = true
+					f.FinishedAt = e.Now + dt
+				}
+			}
+		}
+		e.Model.Advance(e.Now, dt, e.flows)
+		e.Now += dt
+	}
+}
+
+// AggregateBandwidth returns total bytes moved by the given flows divided by
+// elapsed time; a convenience for bandwidth experiments.
+func AggregateBandwidth(flows []*Flow, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var total float64
+	for _, f := range flows {
+		total += f.Moved
+	}
+	return total / elapsed
+}
+
+// StaticModel is a Model with fixed costs and capacities; useful for tests
+// and for simple single-phase solves.
+type StaticModel struct {
+	Res []*Resource
+}
+
+// Prepare implements Model (costs are whatever the flows already carry).
+func (m *StaticModel) Prepare(float64, []*Flow) {}
+
+// Resources implements Model.
+func (m *StaticModel) Resources() []*Resource { return m.Res }
+
+// Horizon implements Model: no state changes.
+func (m *StaticModel) Horizon(float64, []*Flow) float64 { return math.Inf(1) }
+
+// Advance implements Model.
+func (m *StaticModel) Advance(float64, float64, []*Flow) {}
+
+// SortedUtilizations returns "name=util" strings sorted by descending
+// utilization; a debugging aid used by the CLI's -verbose mode.
+func SortedUtilizations(res []*Resource) []string {
+	type ru struct {
+		name string
+		u    float64
+	}
+	rs := make([]ru, 0, len(res))
+	for _, r := range res {
+		rs = append(rs, ru{r.Name, r.Utilization()})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].u > rs[j].u })
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmt.Sprintf("%s=%.3f", r.name, r.u)
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveSingleFlowSingleResource(t *testing.T) {
+	r := &Resource{Name: "dimm", Capacity: 10e9} // 10 GB/s
+	f := &Flow{Name: "t0", Remaining: 1e9, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{f}, []*Resource{r})
+	if !almostEqual(f.Rate, 10e9, 1) {
+		t.Errorf("Rate = %g, want 10e9", f.Rate)
+	}
+	if !almostEqual(r.Load(), 10e9, 1) {
+		t.Errorf("Load = %g, want 10e9", r.Load())
+	}
+}
+
+func TestSolveFairSharing(t *testing.T) {
+	r := &Resource{Name: "dimm", Capacity: 12e9}
+	flows := []*Flow{
+		{Name: "a", Remaining: 1e9, Costs: []Cost{{r, 1}}},
+		{Name: "b", Remaining: 1e9, Costs: []Cost{{r, 1}}},
+		{Name: "c", Remaining: 1e9, Costs: []Cost{{r, 1}}},
+	}
+	Solve(flows, []*Resource{r})
+	for _, f := range flows {
+		if !almostEqual(f.Rate, 4e9, 1) {
+			t.Errorf("flow %s rate = %g, want 4e9", f.Name, f.Rate)
+		}
+	}
+}
+
+func TestSolveWeightedSharing(t *testing.T) {
+	r := &Resource{Name: "dimm", Capacity: 9e9}
+	a := &Flow{Name: "a", Remaining: 1e9, Weight: 2, Costs: []Cost{{r, 1}}}
+	b := &Flow{Name: "b", Remaining: 1e9, Weight: 1, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{a, b}, []*Resource{r})
+	if !almostEqual(a.Rate, 6e9, 1) || !almostEqual(b.Rate, 3e9, 1) {
+		t.Errorf("rates = %g, %g, want 6e9, 3e9", a.Rate, b.Rate)
+	}
+}
+
+func TestSolveMaxMinRedistribution(t *testing.T) {
+	// Flow a is demand-limited at 1 GB/s; b and c should split the rest.
+	r := &Resource{Name: "dimm", Capacity: 9e9}
+	a := &Flow{Name: "a", Remaining: 1e9, MaxRate: 1e9, Costs: []Cost{{r, 1}}}
+	b := &Flow{Name: "b", Remaining: 1e9, Costs: []Cost{{r, 1}}}
+	c := &Flow{Name: "c", Remaining: 1e9, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{a, b, c}, []*Resource{r})
+	if !almostEqual(a.Rate, 1e9, 1) {
+		t.Errorf("a.Rate = %g, want 1e9 (demand-capped)", a.Rate)
+	}
+	if !almostEqual(b.Rate, 4e9, 1e3) || !almostEqual(c.Rate, 4e9, 1e3) {
+		t.Errorf("b, c rates = %g, %g, want 4e9 each", b.Rate, c.Rate)
+	}
+}
+
+func TestSolveTwoResourceBottleneck(t *testing.T) {
+	// a uses only r1; b uses r1 and r2. r2 is the tighter constraint for b,
+	// so a should pick up the slack on r1.
+	r1 := &Resource{Name: "r1", Capacity: 10e9}
+	r2 := &Resource{Name: "r2", Capacity: 2e9}
+	a := &Flow{Name: "a", Remaining: 1e9, Costs: []Cost{{r1, 1}}}
+	b := &Flow{Name: "b", Remaining: 1e9, Costs: []Cost{{r1, 1}, {r2, 1}}}
+	Solve([]*Flow{a, b}, []*Resource{r1, r2})
+	if !almostEqual(b.Rate, 2e9, 1e3) {
+		t.Errorf("b.Rate = %g, want 2e9 (capped by r2)", b.Rate)
+	}
+	if !almostEqual(a.Rate, 8e9, 1e3) {
+		t.Errorf("a.Rate = %g, want 8e9 (rest of r1)", a.Rate)
+	}
+}
+
+func TestSolveCostMultiplier(t *testing.T) {
+	// A flow with 2x per-byte cost (e.g., write amplification) gets half the
+	// delivered bandwidth from the same resource.
+	r := &Resource{Name: "media", Capacity: 10e9}
+	f := &Flow{Name: "w", Remaining: 1e9, Costs: []Cost{{r, 2}}}
+	Solve([]*Flow{f}, []*Resource{r})
+	if !almostEqual(f.Rate, 5e9, 1) {
+		t.Errorf("Rate = %g, want 5e9 under 2x amplification", f.Rate)
+	}
+}
+
+func TestSolveSkipsDoneFlows(t *testing.T) {
+	r := &Resource{Name: "r", Capacity: 10e9}
+	done := &Flow{Name: "done", Remaining: 0, Costs: []Cost{{r, 1}}}
+	active := &Flow{Name: "active", Remaining: 1e9, Costs: []Cost{{r, 1}}}
+	Solve([]*Flow{done, active}, []*Resource{r})
+	if done.Rate != 0 {
+		t.Errorf("done flow rate = %g, want 0", done.Rate)
+	}
+	if !almostEqual(active.Rate, 10e9, 1) {
+		t.Errorf("active flow rate = %g, want 10e9", active.Rate)
+	}
+}
+
+func TestSolveUncappedUnconstrainedTerminates(t *testing.T) {
+	// Malformed: flow with no costs and no cap. Solve must terminate.
+	f := &Flow{Name: "free", Remaining: 1e9}
+	Solve([]*Flow{f}, nil)
+	// Rate value is unspecified but the call must return; reaching here is
+	// the assertion.
+}
+
+func TestEngineSingleFlowCompletion(t *testing.T) {
+	r := &Resource{Name: "dimm", Capacity: 10e9}
+	m := &StaticModel{Res: []*Resource{r}}
+	e := NewEngine(m)
+	f := &Flow{Name: "t0", Remaining: 20e9, Costs: []Cost{{r, 1}}}
+	e.Add(f)
+	if err := e.Run(1e6); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !f.Done {
+		t.Fatal("flow not done")
+	}
+	if !almostEqual(e.Now, 2.0, 1e-6) {
+		t.Errorf("Now = %g, want 2.0 s", e.Now)
+	}
+	if !almostEqual(f.FinishedAt, 2.0, 1e-6) {
+		t.Errorf("FinishedAt = %g, want 2.0", f.FinishedAt)
+	}
+	if !almostEqual(f.Moved, 20e9, 1) {
+		t.Errorf("Moved = %g, want 20e9", f.Moved)
+	}
+}
+
+func TestEngineStaggeredCompletion(t *testing.T) {
+	// Two flows share 10 GB/s; a has 5 GB, b has 15 GB. a finishes at 1 s
+	// (5 GB at 5 GB/s each), then b runs alone: 10 GB left at 10 GB/s -> 2 s.
+	r := &Resource{Name: "dimm", Capacity: 10e9}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	a := &Flow{Name: "a", Remaining: 5e9, Costs: []Cost{{r, 1}}}
+	b := &Flow{Name: "b", Remaining: 15e9, Costs: []Cost{{r, 1}}}
+	e.Add(a, b)
+	if err := e.Run(1e6); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !almostEqual(a.FinishedAt, 1.0, 1e-6) {
+		t.Errorf("a.FinishedAt = %g, want 1.0", a.FinishedAt)
+	}
+	if !almostEqual(b.FinishedAt, 2.0, 1e-6) {
+		t.Errorf("b.FinishedAt = %g, want 2.0", b.FinishedAt)
+	}
+}
+
+func TestEngineOpenEndedFlow(t *testing.T) {
+	// An open-ended flow accumulates bytes but does not block completion.
+	r := &Resource{Name: "dimm", Capacity: 10e9}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	fin := &Flow{Name: "finite", Remaining: 5e9, Costs: []Cost{{r, 1}}}
+	open := &Flow{Name: "open", Remaining: math.Inf(1), Costs: []Cost{{r, 1}}}
+	e.Add(fin, open)
+	if err := e.Run(1e6); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fin.Done {
+		t.Fatal("finite flow not done")
+	}
+	if !almostEqual(e.Now, 1.0, 1e-6) {
+		t.Errorf("Now = %g, want 1.0 (5 GB at a 5 GB/s fair share)", e.Now)
+	}
+	if !almostEqual(open.Moved, 5e9, 1e3) {
+		t.Errorf("open.Moved = %g, want 5e9", open.Moved)
+	}
+}
+
+func TestEngineMaxTime(t *testing.T) {
+	r := &Resource{Name: "dimm", Capacity: 1e9}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	f := &Flow{Name: "big", Remaining: 100e9, Costs: []Cost{{r, 1}}}
+	e.Add(f)
+	if err := e.Run(3.0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if f.Done {
+		t.Error("flow done despite maxTime cutoff")
+	}
+	if !almostEqual(e.Now, 3.0, 1e-6) {
+		t.Errorf("Now = %g, want 3.0", e.Now)
+	}
+	if !almostEqual(f.Moved, 3e9, 1e3) {
+		t.Errorf("Moved = %g, want 3e9", f.Moved)
+	}
+}
+
+func TestEngineStalledError(t *testing.T) {
+	r := &Resource{Name: "dead", Capacity: 0}
+	e := NewEngine(&StaticModel{Res: []*Resource{r}})
+	e.Add(&Flow{Name: "f", Remaining: 1e9, Costs: []Cost{{r, 1}}})
+	if err := e.Run(10); err != ErrStalled {
+		t.Errorf("Run = %v, want ErrStalled", err)
+	}
+}
+
+// horizonModel changes capacity at a state boundary, exercising Horizon.
+type horizonModel struct {
+	StaticModel
+	warmAt  float64 // bytes after which capacity rises
+	moved   float64
+	slowCap float64
+	fastCap float64
+}
+
+func (m *horizonModel) Prepare(now float64, flows []*Flow) {
+	if m.moved >= m.warmAt {
+		m.Res[0].Capacity = m.fastCap
+	} else {
+		m.Res[0].Capacity = m.slowCap
+	}
+}
+
+func (m *horizonModel) Horizon(now float64, flows []*Flow) float64 {
+	if m.moved >= m.warmAt {
+		return math.Inf(1)
+	}
+	var rate float64
+	for _, f := range flows {
+		if !f.Done {
+			rate += f.Rate
+		}
+	}
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return (m.warmAt - m.moved) / rate
+}
+
+func (m *horizonModel) Advance(now, dt float64, flows []*Flow) {
+	for _, f := range flows {
+		if !f.Done && f.Remaining >= 0 {
+			m.moved += f.Rate * dt
+		}
+	}
+}
+
+func TestEngineHorizonStateChange(t *testing.T) {
+	// 10 GB flow: first 2 GB at 2 GB/s (cold), remaining 8 GB at 8 GB/s
+	// (warm): total 1 + 1 = 2 s. Mirrors the NUMA warm-up effect.
+	r := &Resource{Name: "far", Capacity: 2e9}
+	m := &horizonModel{StaticModel: StaticModel{Res: []*Resource{r}}, warmAt: 2e9, slowCap: 2e9, fastCap: 8e9}
+	e := NewEngine(m)
+	f := &Flow{Name: "far-read", Remaining: 10e9, Costs: []Cost{{r, 1}}}
+	e.Add(f)
+	if err := e.Run(1e6); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !almostEqual(e.Now, 2.0, 1e-3) {
+		t.Errorf("Now = %g, want 2.0 (1 s cold + 1 s warm)", e.Now)
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	flows := []*Flow{{Moved: 6e9}, {Moved: 4e9}}
+	if got := AggregateBandwidth(flows, 2); !almostEqual(got, 5e9, 1) {
+		t.Errorf("AggregateBandwidth = %g, want 5e9", got)
+	}
+	if got := AggregateBandwidth(flows, 0); got != 0 {
+		t.Errorf("AggregateBandwidth(elapsed=0) = %g, want 0", got)
+	}
+}
+
+// Property: Solve never overloads a resource and never exceeds a flow's
+// MaxRate, for arbitrary small systems.
+func TestSolveFeasibilityProperty(t *testing.T) {
+	f := func(caps [3]uint16, costs [4][3]uint8, maxRates [4]uint16) bool {
+		res := make([]*Resource, 3)
+		for i := range res {
+			res[i] = &Resource{Name: "r", Capacity: float64(caps[i]%1000) * 1e6}
+		}
+		flows := make([]*Flow, 4)
+		for i := range flows {
+			var cv []Cost
+			for j, r := range res {
+				c := float64(costs[i][j] % 8)
+				if c > 0 {
+					cv = append(cv, Cost{r, c})
+				}
+			}
+			flows[i] = &Flow{
+				Name:      "f",
+				Remaining: 1e9,
+				MaxRate:   float64(maxRates[i]%100) * 1e6,
+				Costs:     cv,
+			}
+		}
+		Solve(flows, res)
+		for _, r := range res {
+			if r.Load() > r.Capacity*(1+1e-6)+1 {
+				return false
+			}
+		}
+		for _, f := range flows {
+			if f.MaxRate > 0 && f.Rate > f.MaxRate*(1+1e-6)+1 {
+				return false
+			}
+			if f.Rate < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with one shared resource and equal weights, Solve is max-min
+// fair: no flow below the fair share unless demand-capped.
+func TestSolveMaxMinProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint16, maxRaw [6]uint16) bool {
+		count := int(n%6) + 1
+		r := &Resource{Name: "r", Capacity: float64(capRaw%1000+1) * 1e6}
+		flows := make([]*Flow, count)
+		for i := range flows {
+			flows[i] = &Flow{
+				Name:      "f",
+				Remaining: 1e9,
+				MaxRate:   float64(maxRaw[i]%500+1) * 1e5,
+				Costs:     []Cost{{r, 1}},
+			}
+		}
+		Solve(flows, []*Resource{r})
+		// Compute the max-min fair share by water-filling analytically.
+		total := r.Capacity
+		remaining := total
+		type fr struct{ cap, got float64 }
+		unfilled := len(flows)
+		// Sort by MaxRate ascending (simple O(n^2) selection for tiny n).
+		caps := make([]float64, count)
+		for i, fl := range flows {
+			caps[i] = fl.MaxRate
+		}
+		for i := 0; i < count; i++ {
+			for j := i + 1; j < count; j++ {
+				if caps[j] < caps[i] {
+					caps[i], caps[j] = caps[j], caps[i]
+				}
+			}
+		}
+		want := make(map[float64]float64) // MaxRate -> fair allocation
+		for i, c := range caps {
+			share := remaining / float64(unfilled)
+			alloc := math.Min(c, share)
+			want[c] = alloc
+			remaining -= alloc
+			unfilled--
+			_ = i
+		}
+		for _, fl := range flows {
+			if math.Abs(fl.Rate-want[fl.MaxRate]) > 1e-3*math.Max(1, want[fl.MaxRate])+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

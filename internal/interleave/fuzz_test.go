@@ -1,0 +1,31 @@
+package interleave
+
+import "testing"
+
+// FuzzCoverage checks the coverage invariants for arbitrary ranges.
+func FuzzCoverage(f *testing.F) {
+	f.Add(int64(0), int64(64))
+	f.Add(int64(4095), int64(2))
+	f.Add(int64(1<<40), int64(1<<20))
+	f.Fuzz(func(t *testing.T, addr, size int64) {
+		if addr < 0 || size <= 0 || size > 1<<30 {
+			t.Skip()
+		}
+		l := MustNewLayout(6, 4096)
+		mask, count := l.Coverage(addr, size)
+		if count < 1 || count > 6 {
+			t.Fatalf("Coverage(%d,%d) count = %d", addr, size, count)
+		}
+		bits := 0
+		for m := mask; m != 0; m &= m - 1 {
+			bits++
+		}
+		if bits != count {
+			t.Fatalf("mask popcount %d != count %d", bits, count)
+		}
+		// The first and last byte's DIMMs must be in the mask.
+		if mask&(1<<uint(l.DIMMOf(addr))) == 0 || mask&(1<<uint(l.DIMMOf(addr+size-1))) == 0 {
+			t.Fatal("endpoints not covered")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+// Package interleave implements the PMEM DIMM-interleaving address layout of
+// the paper's Figure 2: within a socket, the interleaved region stripes data
+// across the socket's DIMMs in fixed-size steps (4 KiB on the evaluation
+// platform), so that data larger than (DIMMs-1) x 4 KiB is spread over all
+// DIMMs and can be accessed in parallel.
+//
+// The decoder is used by the machine model to translate access windows into
+// the set of DIMMs they occupy ("thread-to-DIMM distribution", Insights #1
+// and #6), and by tests to validate the layout against Figure 2.
+package interleave
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layout describes one socket's interleave set.
+type Layout struct {
+	dimms  int   // DIMMs in the interleave set (6 on the paper's platform)
+	stripe int64 // interleaving granularity in bytes (4 KiB)
+}
+
+// NewLayout builds a layout; dimms and stripe must be positive.
+func NewLayout(dimms int, stripe int64) (*Layout, error) {
+	if dimms <= 0 {
+		return nil, fmt.Errorf("interleave: dimms must be positive, got %d", dimms)
+	}
+	if stripe <= 0 {
+		return nil, fmt.Errorf("interleave: stripe must be positive, got %d", stripe)
+	}
+	return &Layout{dimms: dimms, stripe: stripe}, nil
+}
+
+// MustNewLayout panics on invalid parameters; for known-good configs.
+func MustNewLayout(dimms int, stripe int64) *Layout {
+	l, err := NewLayout(dimms, stripe)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DIMMs returns the number of DIMMs in the set.
+func (l *Layout) DIMMs() int { return l.dimms }
+
+// Stripe returns the interleaving granularity in bytes.
+func (l *Layout) Stripe() int64 { return l.stripe }
+
+// DIMMOf returns the DIMM index (0..DIMMs-1 within the socket) holding the
+// byte at socket-local offset addr.
+func (l *Layout) DIMMOf(addr int64) int {
+	if addr < 0 {
+		panic(fmt.Sprintf("interleave: negative address %d", addr))
+	}
+	return int((addr / l.stripe) % int64(l.dimms))
+}
+
+// Coverage returns which DIMMs the byte range [addr, addr+size) touches, as a
+// bitmask (bit i set = DIMM i touched) and the number of distinct DIMMs.
+func (l *Layout) Coverage(addr, size int64) (mask uint64, count int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	firstStripe := addr / l.stripe
+	lastStripe := (addr + size - 1) / l.stripe
+	stripes := lastStripe - firstStripe + 1
+	if stripes >= int64(l.dimms) {
+		return (1 << uint(l.dimms)) - 1, l.dimms
+	}
+	for s := firstStripe; s <= lastStripe; s++ {
+		mask |= 1 << uint(s%int64(l.dimms))
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		count++
+	}
+	return mask, count
+}
+
+// WindowParallelism returns the effective number of DIMMs serving a *moving*
+// contiguous window of the given size, i.e. the average of Coverage over all
+// window phases. A grouped access by T threads of access size s forms a
+// window of T*s bytes (Section 3.1): when the window is smaller than a
+// stripe, nearly all threads hit the same DIMM; a window of
+// stripe x DIMMs covers all of them.
+//
+// For a window of w bytes, a random phase covers ceil(w/stripe) or
+// ceil(w/stripe)+1 stripes; the expected distinct-DIMM count is
+// min(DIMMs, w/stripe + 1 - 1/stripe-fraction correction), which we compute
+// exactly: the window spans floor(w/stripe)+1 stripes with probability
+// (1 - frac) and floor(w/stripe)+2 stripes with probability frac, where
+// frac = (w mod stripe)/stripe adjusted for the inclusive end.
+func (l *Layout) WindowParallelism(window int64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	full := window / l.stripe
+	rem := window % l.stripe
+	// Number of stripes the window straddles for a uniformly random phase:
+	// full+1 stripes when the remainder fits in the current stripe's tail,
+	// full+2 (capped) otherwise. Phase where it fits: stripe - rem + 1 of
+	// stripe positions; use the continuous limit (stripe-rem)/stripe.
+	var expected float64
+	if rem == 0 {
+		// Window is stripe-aligned in size: spans exactly `full` stripes when
+		// phase-aligned, full+1 otherwise. Continuous limit: aligned has
+		// measure zero, so full+1... but a sequential reader advancing by
+		// `window` visits aligned phases periodically. Use full + (stripe-1)/stripe ~ full+1
+		// and cap below.
+		expected = float64(full) + float64(l.stripe-1)/float64(l.stripe)
+	} else {
+		pFit := float64(l.stripe-rem) / float64(l.stripe)
+		expected = pFit*float64(full+1) + (1-pFit)*float64(full+2)
+	}
+	return math.Min(expected, float64(l.dimms))
+}
+
+// IndependentParallelism returns the expected number of distinct DIMMs under
+// T independent streams, each positioned uniformly at random in its own
+// region (Individual Access, Section 3.1): D * (1 - (1-1/D)^T).
+func (l *Layout) IndependentParallelism(streams int) float64 {
+	if streams <= 0 {
+		return 0
+	}
+	d := float64(l.dimms)
+	return d * (1 - math.Pow(1-1/d, float64(streams)))
+}

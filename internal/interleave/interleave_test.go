@@ -1,0 +1,180 @@
+package interleave
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := NewLayout(6, 4096)
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	return l
+}
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(0, 4096); err == nil {
+		t.Error("NewLayout(0, 4096) succeeded, want error")
+	}
+	if _, err := NewLayout(6, 0); err == nil {
+		t.Error("NewLayout(6, 0) succeeded, want error")
+	}
+	if _, err := NewLayout(-1, -1); err == nil {
+		t.Error("NewLayout(-1, -1) succeeded, want error")
+	}
+}
+
+// TestFigure2Layout checks the exact layout drawn in the paper's Figure 2:
+// data is interleaved at 4 KB across 6 DIMMs; byte 0 on DIMM 0, byte 4096 on
+// DIMM 1, ..., byte 24 KiB wraps to DIMM 0 again.
+func TestFigure2Layout(t *testing.T) {
+	l := paperLayout(t)
+	cases := []struct {
+		addr int64
+		dimm int
+	}{
+		{0, 0}, {4095, 0}, {4096, 1}, {8192, 2}, {12288, 3},
+		{16384, 4}, {20480, 5}, {24576, 0}, {24576 + 4096, 1},
+	}
+	for _, c := range cases {
+		if got := l.DIMMOf(c.addr); got != c.dimm {
+			t.Errorf("DIMMOf(%d) = %d, want %d", c.addr, got, c.dimm)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	l := paperLayout(t)
+	cases := []struct {
+		addr, size int64
+		count      int
+	}{
+		{0, 64, 1},          // one cache line: one DIMM
+		{0, 4096, 1},        // exactly one stripe
+		{0, 4097, 2},        // spills into the next stripe
+		{4000, 200, 2},      // straddles a boundary
+		{0, 6 * 4096, 6},    // data larger than 20 KB striped across all (Fig 2)
+		{0, 100 * 4096, 6},  // large data: all DIMMs
+		{4096, 2 * 4096, 2}, // two stripes starting at DIMM 1
+		{24576, 64, 1},      // wrapped stripe back on DIMM 0
+	}
+	for _, c := range cases {
+		_, count := l.Coverage(c.addr, c.size)
+		if count != c.count {
+			t.Errorf("Coverage(%d, %d) count = %d, want %d", c.addr, c.size, count, c.count)
+		}
+	}
+	if mask, count := l.Coverage(0, 0); mask != 0 || count != 0 {
+		t.Errorf("Coverage(0, 0) = %b, %d, want 0, 0", mask, count)
+	}
+}
+
+func TestCoverageMaskMatchesDIMMOf(t *testing.T) {
+	l := paperLayout(t)
+	addr, size := int64(5000), int64(9000)
+	mask, _ := l.Coverage(addr, size)
+	for off := int64(0); off < size; off += 64 {
+		d := l.DIMMOf(addr + off)
+		if mask&(1<<uint(d)) == 0 {
+			t.Fatalf("DIMMOf(%d) = %d not in Coverage mask %b", addr+off, d, mask)
+		}
+	}
+}
+
+func TestWindowParallelism(t *testing.T) {
+	l := paperLayout(t)
+	// A tiny window concentrates on ~1 DIMM.
+	if got := l.WindowParallelism(64); got < 1 || got > 1.1 {
+		t.Errorf("WindowParallelism(64) = %f, want ~1", got)
+	}
+	// 36 threads x 64 B = 2.25 KiB window: still mostly one DIMM (<2).
+	if got := l.WindowParallelism(36 * 64); got < 1 || got >= 2.2 {
+		t.Errorf("WindowParallelism(2304) = %f, want in [1, 2.2)", got)
+	}
+	// 36 threads x 4 KiB: covers all six DIMMs.
+	if got := l.WindowParallelism(36 * 4096); got != 6 {
+		t.Errorf("WindowParallelism(147456) = %f, want 6", got)
+	}
+	// Monotone in window size.
+	prev := 0.0
+	for w := int64(64); w <= 1<<20; w *= 2 {
+		got := l.WindowParallelism(w)
+		if got < prev-1e-9 {
+			t.Errorf("WindowParallelism not monotone: f(%d) = %f < %f", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestIndependentParallelism(t *testing.T) {
+	l := paperLayout(t)
+	if got := l.IndependentParallelism(0); got != 0 {
+		t.Errorf("IndependentParallelism(0) = %f, want 0", got)
+	}
+	if got := l.IndependentParallelism(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("IndependentParallelism(1) = %f, want 1", got)
+	}
+	// 36 independent streams essentially cover all 6 DIMMs.
+	if got := l.IndependentParallelism(36); got < 5.98 || got > 6 {
+		t.Errorf("IndependentParallelism(36) = %f, want ~6", got)
+	}
+	// Monotone and bounded by DIMM count.
+	prev := 0.0
+	for s := 1; s <= 64; s++ {
+		got := l.IndependentParallelism(s)
+		if got <= prev {
+			t.Errorf("IndependentParallelism not strictly increasing at %d: %f <= %f", s, got, prev)
+		}
+		if got > 6 {
+			t.Errorf("IndependentParallelism(%d) = %f > 6", s, got)
+		}
+		prev = got
+	}
+}
+
+// Property: Coverage count is always in [1, DIMMs] for positive sizes and
+// never exceeds the stripe-count bound.
+func TestCoverageBoundsProperty(t *testing.T) {
+	l := paperLayout(t)
+	f := func(addrRaw, sizeRaw uint32) bool {
+		addr := int64(addrRaw)
+		size := int64(sizeRaw%(1<<20)) + 1
+		_, count := l.Coverage(addr, size)
+		if count < 1 || count > 6 {
+			return false
+		}
+		stripes := (addr+size-1)/4096 - addr/4096 + 1
+		bound := stripes
+		if bound > 6 {
+			bound = 6
+		}
+		return int64(count) <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WindowParallelism is between 1 and DIMMs for positive windows and
+// approximately window/stripe + 1 below the cap.
+func TestWindowParallelismProperty(t *testing.T) {
+	l := paperLayout(t)
+	f := func(wRaw uint32) bool {
+		w := int64(wRaw%(1<<22)) + 1
+		got := l.WindowParallelism(w)
+		if got < 0.99 || got > 6 {
+			return false
+		}
+		approx := float64(w)/4096 + 1
+		if approx > 6 {
+			approx = 6
+		}
+		return math.Abs(got-approx) <= 1.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

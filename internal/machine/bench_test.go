@@ -1,0 +1,31 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+)
+
+func BenchmarkRun18ThreadRead(b *testing.B) {
+	m := MustNew(DefaultConfig())
+	r, err := m.AllocPMEM("bench", 0, 70<<30, DevDax)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]*Stream, 18)
+		for t := 0; t < 18; t++ {
+			streams[t] = &Stream{
+				Label: "b", Placement: placements[t], Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 70e9 / 18,
+			}
+		}
+		if _, err := m.Run(streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the configuration (all model calibration constants
+// included), so a modified machine — different DIMM counts, a hypothetical
+// faster Optane generation, a prefetcher-less CPU — can be shared and
+// replayed exactly.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ConfigFromJSON reads a configuration written by WriteJSON. Fields absent
+// from the document keep the calibrated defaults, so a config file only
+// needs the knobs it changes.
+func ConfigFromJSON(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: bad config: %w", err)
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return Config{}, err
+	}
+	if cfg.MaxVirtualSeconds <= 0 {
+		return Config{}, fmt.Errorf("machine: MaxVirtualSeconds must be positive")
+	}
+	return cfg, nil
+}

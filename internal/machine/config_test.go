@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := DefaultConfig()
+	orig.PrefetcherEnabled = false
+	orig.Topology.Sockets = 4
+	orig.PMEM.MediaReadBytesPerSec = 9e9
+
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ConfigFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PrefetcherEnabled != false || got.Topology.Sockets != 4 ||
+		got.PMEM.MediaReadBytesPerSec != 9e9 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	// Untouched calibration survives.
+	if got.UPI.RawBytesPerSecPerDir != orig.UPI.RawBytesPerSecPerDir {
+		t.Error("UPI calibration lost")
+	}
+}
+
+func TestConfigFromJSONPartial(t *testing.T) {
+	// A partial document overrides only what it names.
+	in := `{"PrefetcherEnabled": false}`
+	got, err := ConfigFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PrefetcherEnabled {
+		t.Error("override ignored")
+	}
+	if got.PMEM.MediaReadBytesPerSec != DefaultConfig().PMEM.MediaReadBytesPerSec {
+		t.Error("defaults lost on partial config")
+	}
+}
+
+func TestConfigFromJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`{"NotAField": 1}`,
+		`{"Topology": {"Sockets": 0}}`,
+		`{"MaxVirtualSeconds": -5}`,
+		`{broken`,
+	}
+	for _, in := range cases {
+		if _, err := ConfigFromJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ConfigFromJSON(%q) succeeded", in)
+		}
+	}
+}
+
+func TestConfigJSONUsable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DefaultConfig().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ConfigFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("round-tripped config unusable: %v", err)
+	}
+}

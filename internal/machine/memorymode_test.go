@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+)
+
+func mmRead(t *testing.T, m *Machine, r *Region, threads int) float64 {
+	t.Helper()
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, threads)
+	var streams []*Stream
+	for i := 0; i < threads; i++ {
+		streams = append(streams, &Stream{
+			Label: "mm", Placement: placements[i], Policy: cpu.PinCores,
+			Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 40e9 / float64(threads),
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Bandwidth / 1e9
+}
+
+// TestMemoryModeSmallWorkingSet: a region that fits the DRAM cache runs at
+// DRAM speed ("Memory Mode transparently gives applications more DRAM",
+// Section 2.1).
+func TestMemoryModeSmallWorkingSet(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocMemoryMode("small", 0, 40<<30) // 40 GiB < 86 GiB cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := mmRead(t, m, r, 18)
+	if bw < 90 || bw > 105 {
+		t.Errorf("memory-mode cached read = %.1f GB/s, want ~100 (DRAM speed)", bw)
+	}
+}
+
+// TestMemoryModeLargeWorkingSet: a region far larger than the cache
+// degrades toward raw PMEM bandwidth.
+func TestMemoryModeLargeWorkingSet(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocMemoryMode("large", 0, 700<<30) // ~8x the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := mmRead(t, m, r, 18)
+	// hit ratio ~0.12: most traffic reaches PMEM; bandwidth near (but above)
+	// the 40 GB/s PMEM ceiling.
+	if bw < 38 || bw > 60 {
+		t.Errorf("memory-mode uncached read = %.1f GB/s, want close to PMEM's ~40-50", bw)
+	}
+	// And strictly below the cached case.
+	m2 := testMachine(t)
+	small, err := m2.AllocMemoryMode("small", 0, 40<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached := mmRead(t, m2, small, 18); bw >= cached {
+		t.Errorf("uncached (%.1f) not below cached (%.1f)", bw, cached)
+	}
+}
+
+// TestMemoryModeMonotoneDegradation: bandwidth declines as the working set
+// grows past the cache.
+func TestMemoryModeMonotoneDegradation(t *testing.T) {
+	prev := 1e18
+	for _, size := range []int64{40 << 30, 120 << 30, 300 << 30, 700 << 30} {
+		m := testMachine(t)
+		r, err := m.AllocMemoryMode("ws", 0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := mmRead(t, m, r, 18)
+		if bw > prev+0.5 {
+			t.Errorf("bandwidth rose with working set: %d GiB -> %.1f (prev %.1f)", size>>30, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestMemoryModeCacheBytes(t *testing.T) {
+	m := testMachine(t)
+	// 90% of the socket's 96 GiB DRAM.
+	dram := float64(int64(96) << 30)
+	want := int64(dram * 0.9)
+	if got := m.MemoryModeCacheBytes(); got != want {
+		t.Errorf("MemoryModeCacheBytes = %d, want %d", got, want)
+	}
+}
+
+func TestMemoryModeString(t *testing.T) {
+	if MemoryMode.String() != "memory-mode" {
+		t.Errorf("MemoryMode.String() = %q", MemoryMode.String())
+	}
+}
+
+// TestModesCoexist: App Direct and Memory Mode regions share one machine's
+// PMEM, as Section 2.1 describes ("both modes can be used in parallel").
+func TestModesCoexist(t *testing.T) {
+	m := testMachine(t)
+	appDirect, err := m.AllocPMEM("ad", 0, 300<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := m.AllocMemoryMode("mm", 0, 300<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Together they draw from the same 768 GiB socket pool.
+	if _, err := m.AllocPMEM("overflow", 0, 300<<30, DevDax); err == nil {
+		t.Error("PMEM pool not shared between modes")
+	}
+	// Both are usable concurrently.
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 8)
+	var streams []*Stream
+	for i := 0; i < 4; i++ {
+		streams = append(streams,
+			&Stream{Label: "ad", Placement: placements[i], Policy: cpu.PinCores,
+				Region: appDirect, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 4e9},
+			&Stream{Label: "mm", Placement: placements[i+4], Policy: cpu.PinCores,
+				Region: mm, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 4e9})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= 0 {
+		t.Error("no bandwidth with coexisting modes")
+	}
+}

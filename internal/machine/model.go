@@ -1,0 +1,602 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/fluid"
+	"repro/internal/topology"
+	"repro/internal/upi"
+)
+
+// Coverage windows: how many interleave stripes one stream keeps in flight,
+// which determines how many DIMMs serve it concurrently. Writes are masked
+// by the iMC's WPQ and keep far more traffic outstanding than demand reads.
+const (
+	readCoverageStripes  = 2
+	writeCoverageStripes = 6
+)
+
+// runModel implements fluid.Model for one Machine.Run invocation. It
+// recomputes every flow's cost vector from the mechanism models before each
+// solver step, so population changes (a stream finishing) and state changes
+// (a region warming up) reshape the allocation mid-run.
+type runModel struct {
+	m       *Machine
+	streams []*Stream
+	flows   []*fluid.Flow
+
+	pmemMedia  []*fluid.Resource // per socket, utilization (capacity 1)
+	dramMedia  []*fluid.Resource
+	dramSystem *fluid.Resource
+	upiDirs    map[[2]int]*fluid.Resource
+	ssdRes     *fluid.Resource
+	coldRes    map[upi.Key]*fluid.Resource
+	unpinned   map[access.Direction]*fluid.Resource
+	// threadRes serializes flows that share a logical core: a thread that
+	// both scans and probes divides its cycles between the two, it does not
+	// run them in parallel. Capacity 1 = one core-second per second.
+	threadRes map[threadKey]*fluid.Resource
+
+	// uW is the per-socket PMEM media write-utilization estimate used by the
+	// mixed-workload read inflation (Section 5.1); uWDram likewise for DRAM.
+	// Both are resolved by fixed-point iteration inside Prepare.
+	uW     []float64
+	uWDram []float64
+
+	// scratch per-flow bookkeeping, rebuilt each Prepare.
+	fctx []flowCtx
+
+	// peakUtil records each resource's highest utilization across the run —
+	// the "which component was the bottleneck" diagnostic that VTune
+	// provides in the paper's methodology (Section 2.3).
+	peakUtil map[string]float64
+}
+
+type flowCtx struct {
+	active           bool
+	far              bool
+	cold             bool
+	coldKey          upi.Key
+	writeUtilPerByte float64 // media write utilization per byte (for uW)
+	writeWA          float64 // effective write amplification (for wear)
+	touchesRegion    *Region
+}
+
+func newRunModel(m *Machine, streams []*Stream) *runModel {
+	rm := &runModel{
+		m:         m,
+		streams:   streams,
+		upiDirs:   make(map[[2]int]*fluid.Resource),
+		coldRes:   make(map[upi.Key]*fluid.Resource),
+		unpinned:  make(map[access.Direction]*fluid.Resource),
+		threadRes: make(map[threadKey]*fluid.Resource),
+		uW:        make([]float64, m.topo.Sockets()),
+		uWDram:    make([]float64, m.topo.Sockets()),
+		peakUtil:  make(map[string]float64),
+	}
+	for s := 0; s < m.topo.Sockets(); s++ {
+		rm.pmemMedia = append(rm.pmemMedia, &fluid.Resource{Name: fmt.Sprintf("pmem-media-%d", s), Capacity: 1})
+		rm.dramMedia = append(rm.dramMedia, &fluid.Resource{Name: fmt.Sprintf("dram-media-%d", s), Capacity: 1})
+	}
+	rm.dramSystem = &fluid.Resource{Name: "dram-system", Capacity: m.cfg.DRAM.SystemReadBytesPerSec}
+	rm.ssdRes = &fluid.Resource{Name: "ssd", Capacity: 1}
+	for a := 0; a < m.topo.Sockets(); a++ {
+		for b := 0; b < m.topo.Sockets(); b++ {
+			if a != b {
+				rm.upiDirs[[2]int{a, b}] = &fluid.Resource{
+					Name:     fmt.Sprintf("upi-%d-%d", a, b),
+					Capacity: m.cfg.UPI.RawBytesPerSecPerDir,
+				}
+			}
+		}
+	}
+	for i, s := range streams {
+		bytes := s.Bytes
+		rm.flows = append(rm.flows, &fluid.Flow{
+			Name:      s.Label,
+			Remaining: bytes,
+		})
+		_ = i
+	}
+	rm.fctx = make([]flowCtx, len(streams))
+	return rm
+}
+
+// population holds per-step aggregate statistics over active streams.
+type population struct {
+	pmemWriteStreams map[topology.SocketID]int // write streams targeting a socket's PMEM
+	individualFlight map[topology.SocketID]int // in-flight stripes of individual streams per socket
+	groupCount       map[string]int            // streams per grouped-access set
+	contended        map[int]bool              // region id accessed from both sockets
+	coldCount        map[upi.Key]int           // cold far readers per (region, socket)
+	unpinnedCount    map[access.Direction]int
+	policyGroup      map[policyKey]int // distinct occupied cores per (policy, thread socket)
+}
+
+type policyKey struct {
+	policy cpu.PinPolicy
+	socket topology.SocketID
+}
+
+type threadKey struct {
+	policy cpu.PinPolicy
+	core   topology.CoreID
+}
+
+func (rm *runModel) gather() population {
+	p := population{
+		pmemWriteStreams: map[topology.SocketID]int{},
+		individualFlight: map[topology.SocketID]int{},
+		groupCount:       map[string]int{},
+		contended:        map[int]bool{},
+		coldCount:        map[upi.Key]int{},
+		unpinnedCount:    map[access.Direction]int{},
+		policyGroup:      map[policyKey]int{},
+	}
+	regionSockets := map[int]map[topology.SocketID]bool{}
+	groupCores := map[policyKey]map[topology.CoreID]bool{}
+	for i, s := range rm.streams {
+		f := rm.flows[i]
+		act := !f.Done && f.Remaining > 0
+		rm.fctx[i] = flowCtx{active: act}
+		if !act {
+			continue
+		}
+		ts := rm.m.threadSocket(s)
+		pk := policyKey{s.Policy, ts}
+		if groupCores[pk] == nil {
+			groupCores[pk] = map[topology.CoreID]bool{}
+		}
+		groupCores[pk][s.Placement.Core] = true
+		if s.Policy == cpu.PinNone {
+			p.unpinnedCount[s.Dir]++
+		}
+		if rs, ok := regionSockets[s.Region.id]; ok {
+			rs[ts] = true
+		} else {
+			regionSockets[s.Region.id] = map[topology.SocketID]bool{ts: true}
+		}
+		if s.Region.Class == access.PMEM {
+			if s.Dir == access.Write {
+				p.pmemWriteStreams[s.Region.Socket]++
+			}
+			if s.Pattern == access.SeqIndividual {
+				stripes := readCoverageStripes
+				if s.Dir == access.Write {
+					stripes = writeCoverageStripes
+				}
+				p.individualFlight[s.Region.Socket] += stripes
+			}
+			if s.Pattern == access.SeqGrouped && s.GroupID != "" {
+				p.groupCount[s.GroupID]++
+			}
+			far := s.Policy != cpu.PinNone && ts != s.Region.Socket
+			if far && s.Dir == access.Read {
+				key := upi.Key{Region: s.Region.id, Socket: int(ts)}
+				if !rm.m.warmth.IsWarm(key) {
+					p.coldCount[key]++
+				}
+			}
+		}
+	}
+	for id, socks := range regionSockets {
+		if len(socks) > 1 {
+			if r := rm.regionByID(id); r != nil && r.CoherenceStable {
+				continue
+			}
+			p.contended[id] = true
+		}
+	}
+	for pk, cores := range groupCores {
+		p.policyGroup[pk] = len(cores)
+	}
+	return p
+}
+
+// dimmParallelism returns how many of the socket's DIMMs serve the stream.
+func (rm *runModel) dimmParallelism(s *Stream, pop population) float64 {
+	d := float64(rm.m.topo.ChannelsPerSocket())
+	switch s.Pattern {
+	case access.Random:
+		return d // interleaving spreads a random region across all DIMMs
+	case access.SeqGrouped:
+		n := pop.groupCount[s.GroupID]
+		if s.GroupID == "" || n == 0 {
+			n = 1
+		}
+		factor := rm.m.cfg.GroupedReadWindowFactor
+		if s.Dir == access.Write {
+			factor = rm.m.cfg.GroupedWriteWindowFactor
+		}
+		window := int64(float64(int64(n)*s.AccessSize) * factor)
+		return rm.m.layout.WindowParallelism(window)
+	default: // SeqIndividual
+		k := pop.individualFlight[s.Region.Socket]
+		if k == 0 {
+			k = readCoverageStripes
+		}
+		return rm.m.layout.IndependentParallelism(k)
+	}
+}
+
+// Prepare implements fluid.Model.
+func (rm *runModel) Prepare(now float64, flows []*fluid.Flow) {
+	pop := rm.gather()
+	// Fixed point on the mixed-workload write-utilization estimates: costs
+	// depend on uW, which depends on the solved rates. Three iterations
+	// converge to well under 1% for every workload in the test suite.
+	for iter := 0; iter < 3; iter++ {
+		rm.computeCosts(pop)
+		fluid.Solve(rm.flows, rm.Resources())
+		rm.updateWriteShares()
+	}
+	rm.computeCosts(pop)
+}
+
+func (rm *runModel) updateWriteShares() {
+	for s := range rm.uW {
+		rm.uW[s] = 0
+		rm.uWDram[s] = 0
+	}
+	for i, f := range rm.flows {
+		ctx := rm.fctx[i]
+		if !ctx.active || ctx.writeUtilPerByte == 0 {
+			continue
+		}
+		st := rm.streams[i]
+		if st.Region.Class == access.PMEM {
+			rm.uW[st.Region.Socket] += f.Rate * ctx.writeUtilPerByte
+		} else if st.Region.Class == access.DRAM {
+			rm.uWDram[st.Region.Socket] += f.Rate * ctx.writeUtilPerByte
+		}
+	}
+	for s := range rm.uW {
+		rm.uW[s] = math.Min(rm.uW[s], 1)
+		rm.uWDram[s] = math.Min(rm.uWDram[s], 1)
+	}
+}
+
+func (rm *runModel) computeCosts(pop population) {
+	cfg := rm.m.cfg
+	topo := rm.m.topo
+	d := float64(topo.ChannelsPerSocket())
+
+	// Refresh dynamic resources.
+	for key, n := range pop.coldCount {
+		if _, ok := rm.coldRes[key]; !ok {
+			rm.coldRes[key] = &fluid.Resource{Name: fmt.Sprintf("cold-r%d-s%d", key.Region, key.Socket)}
+		}
+		rm.coldRes[key].Capacity = cfg.UPI.ColdCap(n)
+	}
+	for dir, n := range pop.unpinnedCount {
+		if _, ok := rm.unpinned[dir]; !ok {
+			rm.unpinned[dir] = &fluid.Resource{Name: "unpinned-" + dir.String()}
+		}
+		rm.unpinned[dir].Capacity = cfg.CPU.UnpinnedCap(dir, n)
+	}
+
+	for i, s := range rm.streams {
+		f := rm.flows[i]
+		if !rm.fctx[i].active {
+			f.Costs = nil
+			continue
+		}
+		ts := rm.m.threadSocket(s)
+		far := s.Policy != cpu.PinNone && s.Region.Class != access.SSD && ts != s.Region.Socket
+		contended := pop.contended[s.Region.id]
+
+		// Demand (MaxRate).
+		htFlag := s.Placement.HTShared && (s.Dir == access.Write || cfg.PrefetcherEnabled)
+		ctx := cpu.StreamCtx{
+			Device:          s.Region.Class,
+			Dir:             s.Dir,
+			Pattern:         s.Pattern,
+			AccessSize:      s.AccessSize,
+			Far:             far,
+			HTPolluted:      htFlag,
+			PrefetcherOn:    cfg.PrefetcherEnabled,
+			Dependent:       s.Dependent,
+			ExtraCPUPerByte: s.CPUPerByte,
+		}
+		demand := cfg.CPU.IssueRate(ctx)
+		// Memory Mode: the socket's DRAM caches the region; per-thread speed
+		// blends DRAM-hit and PMEM-miss service (Section 2.1).
+		mmHit := -1.0
+		if s.Region.Class == access.PMEM && s.Region.Mode == MemoryMode {
+			mmHit = math.Min(1, float64(rm.m.MemoryModeCacheBytes())/float64(s.Region.Size))
+			dramCtx := ctx
+			dramCtx.Device = access.DRAM
+			dDRAM := cfg.CPU.IssueRate(dramCtx)
+			if demand > 0 && dDRAM > 0 {
+				demand = 1 / (mmHit/dDRAM + (1-mmHit)/demand)
+			}
+		}
+		groupN := pop.policyGroup[policyKey{s.Policy, ts}]
+		oversubWrites := false
+		if s.Policy == cpu.PinNUMA && groupN > topo.PhysCoresPerSocket() {
+			demand *= cfg.CPU.NUMAPinOversubscribedFactor
+			oversubWrites = true
+		}
+		if avail := rm.coreBudget(s.Policy); groupN > avail {
+			demand *= float64(avail) / float64(groupN)
+		}
+		if !s.Region.Faulted() {
+			demand *= 1 - cfg.FsdaxColdPenalty
+		}
+		f.MaxRate = demand
+
+		// Weight.
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+			if s.Dir == access.Write {
+				if s.Region.Class == access.PMEM {
+					w = cfg.PMEM.WriteFlowWeight
+				} else if s.Region.Class == access.DRAM {
+					w = cfg.DRAM.WriteFlowWeight
+				}
+			}
+		}
+		f.Weight = w
+
+		// Cost vector. Every flow first pays for its thread's time: flows
+		// sharing a logical core (a query thread that both scans and probes)
+		// split the core's cycles instead of running in parallel.
+		var costs []fluid.Cost
+		if demand > 0 {
+			tk := threadKey{s.Policy, s.Placement.Core}
+			tr, ok := rm.threadRes[tk]
+			if !ok {
+				tr = &fluid.Resource{Name: fmt.Sprintf("thread-%s-c%d", s.Policy, s.Placement.Core), Capacity: 1}
+				rm.threadRes[tk] = tr
+			}
+			costs = append(costs, fluid.Cost{Resource: tr, PerByte: 1 / demand})
+		}
+		fc := flowCtx{active: true, far: far, touchesRegion: s.Region}
+
+		switch s.Region.Class {
+		case access.PMEM:
+			nd := rm.dimmParallelism(s, pop)
+			concentration := d / math.Max(nd, 1e-9)
+			media := rm.pmemMedia[s.Region.Socket]
+			readCap := cfg.PMEM.SocketReadBytesPerSec(topo.ChannelsPerSocket())
+			writeCap := cfg.PMEM.SocketWriteBytesPerSec(topo.ChannelsPerSocket())
+			if s.Dir == access.Read {
+				ra := cfg.PMEM.ReadAmplification(s.AccessSize, s.Pattern)
+				if htFlag && cfg.PrefetcherEnabled {
+					ra *= cfg.CPU.HTMediaAmplification(s.AccessSize, s.Pattern)
+				}
+				if s.Pattern == access.SeqGrouped && cfg.PrefetcherEnabled {
+					eff := cpu.PrefetchEfficiency(s.Pattern, s.AccessSize)
+					ra *= 1 + (1-eff)*cfg.PrefetchWasteFactor
+				}
+				if s.Pattern == access.Random {
+					ra *= cfg.PMEM.RandomMediaPenalty
+				}
+				cost := ra * concentration / readCap
+				if contended {
+					cost /= cfg.PMEM.ContendedEfficiency
+				}
+				cost *= 1 + cfg.PMEM.MixedReadInflation*rm.uW[s.Region.Socket]
+				if !s.Region.Faulted() {
+					cost /= 1 - cfg.FsdaxColdPenalty
+				}
+				if mmHit >= 0 {
+					// Only misses reach the PMEM media, but every byte moves
+					// through the DRAM cache (hits are served from it,
+					// misses fill it), so DRAM bandwidth is charged in full.
+					cost *= 1 - mmHit
+					dramCost := cfg.DRAM.MediaPenalty(s.Pattern) / cfg.DRAM.SocketReadBytesPerSec
+					costs = append(costs,
+						fluid.Cost{Resource: rm.dramMedia[s.Region.Socket], PerByte: dramCost},
+						fluid.Cost{Resource: rm.dramSystem, PerByte: 1})
+				}
+				costs = append(costs, fluid.Cost{Resource: media, PerByte: cost})
+				if far && contended {
+					// Directory updates written to PMEM media (Section 3.5).
+					dirCost := cfg.PMEM.DirectoryWriteFraction / writeCap
+					costs = append(costs, fluid.Cost{Resource: media, PerByte: dirCost})
+					fc.writeUtilPerByte += dirCost
+				}
+			} else {
+				streams := pop.pmemWriteStreams[s.Region.Socket]
+				wa := cfg.PMEM.WriteAmplification(s.AccessSize, s.Pattern, streams)
+				if oversubWrites {
+					wa *= cfg.CPU.NUMAPinWriteWAFactor
+				}
+				if far {
+					wa *= cfg.PMEM.FarWriteWA
+				}
+				fc.writeWA = wa // media bytes actually written, for wear
+				if s.Pattern == access.Random {
+					wa *= cfg.PMEM.RandomMediaPenalty
+				}
+				cost := wa * concentration / writeCap
+				if !s.Region.Faulted() {
+					cost /= 1 - cfg.FsdaxColdPenalty
+				}
+				if mmHit >= 0 {
+					// Write-back caching: every store lands in DRAM; dirty
+					// evictions (the miss fraction) are written to PMEM.
+					cost *= 1 - mmHit
+					dramCost := cfg.DRAM.MediaPenalty(s.Pattern) / cfg.DRAM.SocketWriteBytesPerSec
+					costs = append(costs,
+						fluid.Cost{Resource: rm.dramMedia[s.Region.Socket], PerByte: dramCost},
+						fluid.Cost{Resource: rm.dramSystem, PerByte: 1})
+				}
+				costs = append(costs, fluid.Cost{Resource: media, PerByte: cost})
+				fc.writeUtilPerByte += cost
+			}
+		case access.DRAM:
+			media := rm.dramMedia[s.Region.Socket]
+			fraction := cfg.DRAM.ChannelFraction(s.Region.Size, topo.DRAMNodeBytes())
+			if s.Pattern.Sequential() {
+				fraction = 1 // sequential streams engage the full interleave
+			}
+			penalty := cfg.DRAM.MediaPenalty(s.Pattern)
+			if s.Dir == access.Read {
+				cost := penalty / (cfg.DRAM.SocketReadBytesPerSec * fraction)
+				if contended {
+					cost /= cfg.DRAM.ContendedEfficiency
+				}
+				cost *= 1 + cfg.DRAM.MixedReadInflation*rm.uWDram[s.Region.Socket]
+				costs = append(costs, fluid.Cost{Resource: media, PerByte: cost})
+				if far && contended {
+					dirCost := cfg.DRAM.DirectoryWriteFraction / cfg.DRAM.SocketWriteBytesPerSec
+					costs = append(costs, fluid.Cost{Resource: media, PerByte: dirCost})
+					fc.writeUtilPerByte += dirCost
+				}
+			} else {
+				cost := penalty / (cfg.DRAM.SocketWriteBytesPerSec * fraction)
+				costs = append(costs, fluid.Cost{Resource: media, PerByte: cost})
+				fc.writeUtilPerByte += cost
+			}
+			costs = append(costs, fluid.Cost{Resource: rm.dramSystem, PerByte: 1})
+		case access.SSD:
+			cost := cfg.SSD.Amplification(s.AccessSize) / cfg.SSD.Rate(s.Dir, s.Pattern)
+			costs = append(costs, fluid.Cost{Resource: rm.ssdRes, PerByte: cost})
+		}
+
+		if far {
+			var dataDir, reqDir [2]int
+			if s.Dir == access.Read {
+				dataDir = [2]int{int(s.Region.Socket), int(ts)}
+				reqDir = [2]int{int(ts), int(s.Region.Socket)}
+			} else {
+				dataDir = [2]int{int(ts), int(s.Region.Socket)}
+				reqDir = [2]int{int(s.Region.Socket), int(ts)}
+			}
+			costs = append(costs,
+				fluid.Cost{Resource: rm.upiDirs[dataDir], PerByte: cfg.UPI.DataCostFactor},
+				fluid.Cost{Resource: rm.upiDirs[reqDir], PerByte: cfg.UPI.RequestCostFactor},
+			)
+			if s.Region.Class == access.PMEM && s.Dir == access.Read {
+				key := upi.Key{Region: s.Region.id, Socket: int(ts)}
+				if !rm.m.warmth.IsWarm(key) {
+					fc.cold = true
+					fc.coldKey = key
+					costs = append(costs, fluid.Cost{Resource: rm.coldRes[key], PerByte: 1})
+				}
+			}
+		}
+		if s.Policy == cpu.PinNone {
+			costs = append(costs, fluid.Cost{Resource: rm.unpinned[s.Dir], PerByte: 1})
+		}
+
+		f.Costs = costs
+		rm.fctx[i] = fc
+	}
+}
+
+// coreBudget returns how many logical cores the policy's thread group can
+// occupy before time-sharing sets in.
+func (rm *runModel) coreBudget(policy cpu.PinPolicy) int {
+	if policy == cpu.PinNone {
+		return rm.m.topo.LogicalCores()
+	}
+	return rm.m.topo.LogicalCoresPerSocket()
+}
+
+// Resources implements fluid.Model.
+func (rm *runModel) Resources() []*fluid.Resource {
+	out := make([]*fluid.Resource, 0, 8+len(rm.coldRes)+len(rm.unpinned))
+	out = append(out, rm.pmemMedia...)
+	out = append(out, rm.dramMedia...)
+	out = append(out, rm.dramSystem, rm.ssdRes)
+	for _, r := range rm.upiDirs {
+		out = append(out, r)
+	}
+	for _, r := range rm.coldRes {
+		out = append(out, r)
+	}
+	for _, r := range rm.unpinned {
+		out = append(out, r)
+	}
+	for _, r := range rm.threadRes {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Horizon implements fluid.Model: step boundaries at warm-up completion and
+// fsdax fault-in completion, so the cost model is piecewise accurate.
+func (rm *runModel) Horizon(now float64, flows []*fluid.Flow) float64 {
+	h := math.Inf(1)
+	// Warm-up boundaries.
+	coldRates := map[upi.Key]float64{}
+	for i, f := range rm.flows {
+		if rm.fctx[i].active && rm.fctx[i].cold {
+			coldRates[rm.fctx[i].coldKey] += f.Rate
+		}
+	}
+	for key, rate := range coldRates {
+		if rate <= 0 {
+			continue
+		}
+		region := rm.regionByID(key.Region)
+		if region == nil {
+			continue
+		}
+		rem := rm.m.warmth.RemainingCold(key, region.Size)
+		if t := rem / rate; t < h {
+			h = t
+		}
+	}
+	// fsdax fault-in boundaries.
+	touchRates := map[*Region]float64{}
+	for i, f := range rm.flows {
+		fc := rm.fctx[i]
+		if fc.active && fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
+			touchRates[fc.touchesRegion] += f.Rate
+		}
+	}
+	for region, rate := range touchRates {
+		if rate <= 0 {
+			continue
+		}
+		rem := float64(region.Size) - region.faultedBytes
+		if t := rem / rate; t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// Advance implements fluid.Model: accumulate warmth, fault-in, wear, and
+// peak-utilization diagnostics.
+func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
+	for _, r := range rm.Resources() {
+		if u := r.Utilization(); u > rm.peakUtil[r.Name] {
+			rm.peakUtil[r.Name] = u
+		}
+	}
+	for i, f := range rm.flows {
+		fc := rm.fctx[i]
+		if !fc.active || f.Rate <= 0 {
+			continue
+		}
+		moved := f.Rate * dt
+		if fc.cold {
+			rm.m.warmth.Record(fc.coldKey, moved, fc.touchesRegion.Size)
+		}
+		if fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
+			fc.touchesRegion.faultedBytes = math.Min(
+				fc.touchesRegion.faultedBytes+moved, float64(fc.touchesRegion.Size))
+		}
+		if fc.writeWA > 0 && fc.touchesRegion.Class == access.PMEM {
+			rm.m.wear[fc.touchesRegion.Socket].Record(moved * fc.writeWA)
+		}
+	}
+}
+
+func (rm *runModel) regionByID(id int) *Region {
+	for _, r := range rm.m.regions {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}

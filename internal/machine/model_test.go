@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+)
+
+// Tests for the runModel's less-travelled cost paths: SSD streams, DRAM
+// grouped access, peak-utilization accounting, partial warm-up across runs,
+// and the thread-time resource that serializes co-located flows.
+
+func ssdStream(r *Region, label string, bytes float64) *Stream {
+	return &Stream{
+		Label: label, Placement: cpu.Placement{Core: 0}, Policy: cpu.PinCores,
+		Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Bytes: bytes,
+	}
+}
+
+func TestSSDSequentialRead(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocSSD("file", 100<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]*Stream{ssdStream(r, "s", 32e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The P4610 model: 3.2 GB/s sequential read.
+	if gb := res.Bandwidth / 1e9; math.Abs(gb-3.2) > 0.2 {
+		t.Errorf("SSD read = %.2f GB/s, want 3.2", gb)
+	}
+}
+
+func TestSSDSharedBetweenStreams(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocSSD("file", 100<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ssdStream(r, "a", 16e9)
+	b := ssdStream(r, "b", 16e9)
+	b.Placement = cpu.Placement{Core: 1}
+	res, err := m.Run([]*Stream{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two streams still share the one device.
+	if gb := res.Bandwidth / 1e9; gb > 3.5 {
+		t.Errorf("two-stream SSD read = %.2f GB/s, device limit is 3.2", gb)
+	}
+}
+
+func TestDRAMGroupedReadClose(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocDRAM("d", 0, 80<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 18)
+	var streams []*Stream
+	for i := 0; i < 18; i++ {
+		streams = append(streams, &Stream{
+			Label: "g", Placement: placements[i], Policy: cpu.PinCores,
+			Region: r, Dir: access.Read, Pattern: access.SeqGrouped, GroupID: "g1",
+			AccessSize: 4096, Bytes: 70e9 / 18,
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRAM has no 4 KiB-interleave concentration issue; grouped 4 KiB reads
+	// reach the socket limit.
+	if gb := res.Bandwidth / 1e9; gb < 90 {
+		t.Errorf("DRAM grouped read = %.1f GB/s, want ~100", gb)
+	}
+}
+
+func TestPeakUtilizationReported(t *testing.T) {
+	m := testMachine(t)
+	r, _ := m.AllocPMEM("r", 0, 70<<30, DevDax)
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 18)
+	var streams []*Stream
+	for i := 0; i < 18; i++ {
+		streams = append(streams, &Stream{
+			Label: "u", Placement: placements[i], Policy: cpu.PinCores,
+			Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 70e9 / 18,
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the 40 GB/s peak, the socket's PMEM media must be the saturated
+	// resource.
+	if u := res.PeakUtilization["pmem-media-0"]; u < 0.99 {
+		t.Errorf("pmem-media-0 peak utilization = %.3f, want ~1.0", u)
+	}
+	if u := res.PeakUtilization["pmem-media-1"]; u > 0.01 {
+		t.Errorf("pmem-media-1 utilization = %.3f, want ~0 (untouched socket)", u)
+	}
+}
+
+// TestWarmupSurvivesAcrossRuns: warming is cumulative machine state — half a
+// pass in one run plus half in the next completes the cold pass.
+func TestWarmupSurvivesAcrossRuns(t *testing.T) {
+	m := testMachine(t)
+	r, _ := m.AllocPMEM("far", 1, 20<<30, DevDax)
+	mk := func(bytes float64) []*Stream {
+		placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 4)
+		var streams []*Stream
+		for i := 0; i < 4; i++ {
+			streams = append(streams, &Stream{
+				Label: "w", Placement: placements[i], Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: bytes / 4,
+			})
+		}
+		return streams
+	}
+	size := float64(int64(20) << 30)
+	if _, err := m.Run(mk(size / 2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsWarmFor(0) {
+		t.Fatal("region warm after half a pass")
+	}
+	if _, err := m.Run(mk(size / 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsWarmFor(0) {
+		t.Fatal("region not warm after a full pass across two runs")
+	}
+	res, err := m.Run(mk(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := res.Bandwidth / 1e9; gb < 9 {
+		t.Errorf("post-warm-up 4-thread far read = %.1f GB/s, want near-unthrottled", gb)
+	}
+}
+
+// TestThreadResourceSerializesCoLocatedFlows: two flows on the same core
+// split its cycles; on different cores they run at full speed each.
+func TestThreadResourceSerializesCoLocatedFlows(t *testing.T) {
+	mk := func(sameCore bool) float64 {
+		m := testMachine(t)
+		r, _ := m.AllocPMEM("r", 0, 70<<30, DevDax)
+		core2 := cpu.Placement{Core: 1}
+		if sameCore {
+			core2 = cpu.Placement{Core: 0}
+		}
+		streams := []*Stream{
+			{Label: "a", Placement: cpu.Placement{Core: 0}, Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 5e9},
+			{Label: "b", Placement: core2, Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 5e9},
+		}
+		res, err := m.Run(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	same := mk(true)
+	diff := mk(false)
+	if same < diff*1.8 {
+		t.Errorf("co-located flows not serialized: same-core %.2f s vs diff-core %.2f s", same, diff)
+	}
+}
+
+// TestMemoryModeFarAccess: Memory Mode regions still pay UPI costs when
+// accessed from the far socket.
+func TestMemoryModeFarAccess(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocMemoryMode("mm", 1, 40<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WarmFor(0)
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 18)
+	var streams []*Stream
+	for i := 0; i < 18; i++ {
+		streams = append(streams, &Stream{
+			Label: "far-mm", Placement: placements[i], Policy: cpu.PinCores,
+			Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 40e9 / 18,
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached (DRAM-speed) but UPI-capped at ~33 GB/s.
+	if gb := res.Bandwidth / 1e9; gb > 35 {
+		t.Errorf("far Memory Mode read = %.1f GB/s, want UPI-capped ~33", gb)
+	}
+}

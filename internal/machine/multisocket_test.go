@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/topology"
+)
+
+// TestFourSocketGeneralization: the model is not hard-wired to two sockets.
+// Near-only reads on a four-socket machine scale linearly (the mechanism
+// behind Insight #5 generalizes).
+func TestFourSocketGeneralization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topology.FourSocketServer()
+	m := MustNew(cfg)
+	if m.Topology().Sockets() != 4 {
+		t.Fatalf("sockets = %d", m.Topology().Sockets())
+	}
+
+	var streams []*Stream
+	for s := 0; s < 4; s++ {
+		r, err := m.AllocPMEM("r", topology.SocketID(s), 70<<30, DevDax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, topology.SocketID(s), 18)
+		for i := 0; i < 18; i++ {
+			streams = append(streams, &Stream{
+				Label: "near", Placement: placements[i], Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 70e9 / 18,
+			})
+		}
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := res.Bandwidth / 1e9; gb < 155 || gb > 165 {
+		t.Errorf("4-socket near reads = %.1f GB/s, want ~160 (4 x 40)", gb)
+	}
+}
+
+// TestFourSocketFarStillUPIBound: cross-socket reads on the larger machine
+// remain limited by the pairwise link.
+func TestFourSocketFarStillUPIBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = topology.FourSocketServer()
+	m := MustNew(cfg)
+	r, err := m.AllocPMEM("far", 3, 70<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WarmFor(0)
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 18)
+	var streams []*Stream
+	for i := 0; i < 18; i++ {
+		streams = append(streams, &Stream{
+			Label: "far", Placement: placements[i], Policy: cpu.PinCores,
+			Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 70e9 / 18,
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := res.Bandwidth / 1e9; gb < 30 || gb > 36 {
+		t.Errorf("4-socket far read = %.1f GB/s, want UPI-bound ~33", gb)
+	}
+}

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/topology"
+)
+
+// TestConservationProperty: for arbitrary stream mixes, delivered bandwidth
+// never exceeds the physical ceilings — per-socket PMEM read capacity for
+// reads and write capacity for writes (with amplification, delivered write
+// bandwidth can only be lower).
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		m := MustNew(DefaultConfig())
+		r0, err := m.AllocPMEM("r0", 0, 100<<30, DevDax)
+		if err != nil {
+			return false
+		}
+		r1, err := m.AllocPMEM("r1", 1, 100<<30, DevDax)
+		if err != nil {
+			return false
+		}
+		r0.WarmFor(0)
+		r0.WarmFor(1)
+		r1.WarmFor(0)
+		r1.WarmFor(1)
+
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>16) % n
+		}
+		var streams []*Stream
+		count := next(20) + 2
+		for i := 0; i < count; i++ {
+			dir := access.Read
+			if next(2) == 0 {
+				dir = access.Write
+			}
+			pat := access.Pattern(next(3))
+			sizes := []int64{64, 256, 1024, 4096, 16384}
+			region := r0
+			if next(2) == 0 {
+				region = r1
+			}
+			core := cpu.Placement{Core: topology.CoreID(next(72))}
+			streams = append(streams, &Stream{
+				Label: "p", Placement: core, Policy: cpu.PinCores,
+				Region: region, Dir: dir, Pattern: pat,
+				AccessSize: sizes[next(len(sizes))],
+				Bytes:      float64(next(10)+1) * 1e9,
+				GroupID:    map[bool]string{true: "g", false: ""}[pat == access.SeqGrouped],
+			})
+		}
+		res, err := m.RunFor(streams, 0.5)
+		if err != nil {
+			return false
+		}
+		// Hard physical ceilings with slack for measurement granularity.
+		if res.ReadBandwidth > 2*40e9*1.02 {
+			return false
+		}
+		if res.WriteBandwidth > 2*12.6e9*1.02 {
+			return false
+		}
+		for name, u := range res.PeakUtilization {
+			if u > 1.02 {
+				t.Logf("resource %s over capacity: %.3f", name, u)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

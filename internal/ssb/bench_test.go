@@ -1,0 +1,23 @@
+package ssb
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceQ21(b *testing.B) {
+	d := MustGenerate(0.01)
+	q, err := QueryByID("Q2.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reference(d, q)
+	}
+}

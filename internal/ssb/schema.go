@@ -1,0 +1,144 @@
+// Package ssb implements the Star Schema Benchmark (O'Neil et al., TPCTC
+// 2009) used in the paper's Section 6: the star schema (one lineorder fact
+// table and four dimension tables), a deterministic data generator with the
+// benchmark's scale-factor rules, and the 13 queries in 4 query flights as
+// executable specifications shared by both engines.
+package ssb
+
+import "fmt"
+
+// Lineorder is the fact table row. Monetary values are in cents; discount
+// and tax are integer percentages, as in the SSB specification.
+type Lineorder struct {
+	OrderKey      uint64
+	LineNumber    uint8
+	CustKey       uint32
+	PartKey       uint32
+	SuppKey       uint32
+	OrderDate     uint32 // yyyymmdd, foreign key into Date
+	OrdPriority   uint8  // 0..4
+	ShipPriority  uint8
+	Quantity      uint8  // 1..50
+	ExtendedPrice uint32 // cents
+	OrdTotalPrice uint32
+	Discount      uint8 // 0..10 (%)
+	Revenue       uint32
+	SupplyCost    uint32
+	Tax           uint8 // 0..8 (%)
+	CommitDate    uint32
+	ShipMode      uint8 // 0..6
+}
+
+// TupleBytes is the aligned on-storage footprint of one lineorder tuple in
+// the handcrafted engine: "we align all fields to 128 Byte, which is
+// slightly larger than the size of a tuple (<10%)" (Section 6.2).
+const TupleBytes = 128
+
+// Customer dimension row.
+type Customer struct {
+	CustKey    uint32
+	Name       string
+	Address    string
+	City       string // nation prefix + digit, e.g. "UNITED KI1"
+	Nation     string
+	Region     string
+	Phone      string
+	MktSegment string
+}
+
+// Supplier dimension row.
+type Supplier struct {
+	SuppKey uint32
+	Name    string
+	Address string
+	City    string
+	Nation  string
+	Region  string
+	Phone   string
+}
+
+// Part dimension row.
+type Part struct {
+	PartKey   uint32
+	Name      string
+	MFGR      string // "MFGR#1".."MFGR#5"
+	Category  string // "MFGR#11".."MFGR#55"
+	Brand1    string // category + 1..40, e.g. "MFGR#1221"
+	Color     string
+	Type      string
+	Size      uint8 // 1..50
+	Container string
+}
+
+// Date dimension row (one per calendar day, 7 years: 1992-01-01 to
+// 1998-12-31, 2556 days).
+type Date struct {
+	DateKey         uint32 // yyyymmdd
+	Date            string
+	DayOfWeek       string
+	Month           string
+	Year            uint16
+	YearMonthNum    uint32 // yyyymm
+	YearMonth       string // "Jan1994"
+	DayNumInWeek    uint8  // 1..7
+	DayNumInMonth   uint8
+	DayNumInYear    uint16
+	MonthNumInYear  uint8
+	WeekNumInYear   uint8
+	SellingSeason   string
+	LastDayInWeekFl bool
+	HolidayFl       bool
+	WeekdayFl       bool
+}
+
+// Data is one generated SSB database.
+type Data struct {
+	SF        float64
+	Lineorder []Lineorder
+	Customer  []Customer
+	Supplier  []Supplier
+	Part      []Part
+	Date      []Date
+
+	// Key-indexed lookup maps (dimension keys are dense, but Date is keyed
+	// by yyyymmdd; these maps are what a query engine would build once).
+	dateByKey map[uint32]*Date
+}
+
+// DateByKey returns the date row for a yyyymmdd key.
+func (d *Data) DateByKey(key uint32) *Date {
+	return d.dateByKey[key]
+}
+
+// CustomerByKey returns the customer with the given (1-based, dense) key.
+func (d *Data) CustomerByKey(key uint32) *Customer {
+	if key == 0 || int(key) > len(d.Customer) {
+		return nil
+	}
+	return &d.Customer[key-1]
+}
+
+// SupplierByKey returns the supplier with the given dense key.
+func (d *Data) SupplierByKey(key uint32) *Supplier {
+	if key == 0 || int(key) > len(d.Supplier) {
+		return nil
+	}
+	return &d.Supplier[key-1]
+}
+
+// PartByKey returns the part with the given dense key.
+func (d *Data) PartByKey(key uint32) *Part {
+	if key == 0 || int(key) > len(d.Part) {
+		return nil
+	}
+	return &d.Part[key-1]
+}
+
+// FactBytes returns the handcrafted engine's storage footprint of the fact
+// table (TupleBytes per row).
+func (d *Data) FactBytes() int64 { return int64(len(d.Lineorder)) * TupleBytes }
+
+func (d *Data) String() string {
+	return fmt.Sprintf("ssb sf=%g: lineorder=%d customer=%d supplier=%d part=%d date=%d",
+		d.SF, len(d.Lineorder), len(d.Customer), len(d.Supplier), len(d.Part), len(d.Date))
+}

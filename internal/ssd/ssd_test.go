@@ -1,0 +1,44 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestRates(t *testing.T) {
+	p := DefaultParams()
+	// Footnote 3: Intel SSD DC P4610, 3.20 GB/s seq read, 2.08 GB/s seq write.
+	if got := p.Rate(access.Read, access.SeqIndividual); got != 3.20e9 {
+		t.Errorf("seq read rate = %g, want 3.20e9", got)
+	}
+	if got := p.Rate(access.Write, access.SeqGrouped); got != 2.08e9 {
+		t.Errorf("seq write rate = %g, want 2.08e9", got)
+	}
+	if got := p.Rate(access.Read, access.Random); got != p.RandReadBytesPerSec {
+		t.Errorf("rand read rate = %g, want %g", got, p.RandReadBytesPerSec)
+	}
+	if got := p.Rate(access.Write, access.Random); got != p.RandWriteBytesPerSec {
+		t.Errorf("rand write rate = %g, want %g", got, p.RandWriteBytesPerSec)
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		size int64
+		want float64
+	}{
+		{64, 64}, // 64 B I/O moves a 4 KiB block
+		{4096, 1},
+		{8192, 1},
+		{6000, 8192.0 / 6000},
+		{0, 1},
+	}
+	for _, c := range cases {
+		if got := p.Amplification(c.size); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Amplification(%d) = %g, want %g", c.size, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package topology describes the hardware layout of the modeled server:
+// sockets, NUMA nodes and regions, physical and logical cores, integrated
+// memory controllers (iMCs), memory channels, and DIMM slots.
+//
+// The default configuration mirrors the paper's evaluation platform
+// (Section 2.3): a dual-socket Intel Xeon Gold 5220S system with 18 physical
+// cores per socket (36 with hyperthreading), two iMCs per socket with three
+// memory channels each, one 128 GB Optane DIMM and one 16 GB DRAM DIMM per
+// channel, and a UPI interconnect between the sockets. Each socket forms one
+// NUMA *region* made of two NUMA *nodes* (9 cores + 1 iMC + 3 channels each).
+package topology
+
+import "fmt"
+
+// IDs are dense indices, global across the machine.
+type (
+	// SocketID identifies a CPU socket (a NUMA region in the paper's terms).
+	SocketID int
+	// NodeID identifies a NUMA node. Each socket holds NodesPerSocket nodes.
+	NodeID int
+	// CoreID identifies a logical core. Physical cores are numbered first
+	// (0..P-1 across the machine), hyperthread siblings follow (P..2P-1),
+	// matching the common Linux enumeration on Xeon servers.
+	CoreID int
+	// DIMMID identifies a PMEM DIMM slot, numbered socket-major as in the
+	// paper's Figure 2 (#0..#5 on socket 0, #6..#11 on socket 1).
+	DIMMID int
+	// ChannelID identifies a memory channel, numbered like DIMMs.
+	ChannelID int
+	// IMCID identifies an integrated memory controller (2 per socket).
+	IMCID int
+)
+
+// Config holds the structural parameters of a machine.
+type Config struct {
+	Sockets          int
+	NodesPerSocket   int
+	PhysCoresPerNode int
+	HyperThreading   bool
+	IMCsPerSocket    int
+	ChannelsPerIMC   int
+	PMEMDIMMBytes    int64 // capacity of one Optane DIMM
+	DRAMDIMMBytes    int64 // capacity of one DRAM DIMM
+	InterleaveBytes  int64 // PMEM DIMM interleaving granularity (Figure 2)
+}
+
+// DefaultServer returns the paper's benchmark platform (Section 2.3).
+func DefaultServer() Config {
+	return Config{
+		Sockets:          2,
+		NodesPerSocket:   2,
+		PhysCoresPerNode: 9,
+		HyperThreading:   true,
+		IMCsPerSocket:    2,
+		ChannelsPerIMC:   3,
+		PMEMDIMMBytes:    128 << 30, // 128 GiB Optane DIMM
+		DRAMDIMMBytes:    16 << 30,  // 16 GiB DDR4 DIMM
+		InterleaveBytes:  4 << 10,   // 4 KiB striping across the 6 DIMMs
+	}
+}
+
+// FourSocketServer returns a hypothetical four-socket variant of the
+// evaluation platform — used to check that the model generalizes beyond the
+// paper's dual-socket machine (the paper targets "large, multi-socket
+// servers" in general).
+func FourSocketServer() Config {
+	c := DefaultServer()
+	c.Sockets = 4
+	return c
+}
+
+// Validate reports an error for structurally impossible configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Sockets < 1:
+		return fmt.Errorf("topology: need at least one socket, got %d", c.Sockets)
+	case c.NodesPerSocket < 1:
+		return fmt.Errorf("topology: need at least one node per socket, got %d", c.NodesPerSocket)
+	case c.PhysCoresPerNode < 1:
+		return fmt.Errorf("topology: need at least one core per node, got %d", c.PhysCoresPerNode)
+	case c.IMCsPerSocket < 1 || c.ChannelsPerIMC < 1:
+		return fmt.Errorf("topology: need at least one iMC and channel per socket")
+	case c.InterleaveBytes <= 0:
+		return fmt.Errorf("topology: interleave granularity must be positive, got %d", c.InterleaveBytes)
+	case c.PMEMDIMMBytes <= 0 || c.DRAMDIMMBytes <= 0:
+		return fmt.Errorf("topology: DIMM capacities must be positive")
+	}
+	return nil
+}
+
+// Topology answers structural queries about a configured machine.
+type Topology struct {
+	cfg Config
+}
+
+// New builds a Topology, validating the configuration.
+func New(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Topology{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Sockets returns the number of CPU sockets.
+func (t *Topology) Sockets() int { return t.cfg.Sockets }
+
+// Nodes returns the total number of NUMA nodes.
+func (t *Topology) Nodes() int { return t.cfg.Sockets * t.cfg.NodesPerSocket }
+
+// PhysCoresPerSocket returns physical cores on one socket.
+func (t *Topology) PhysCoresPerSocket() int {
+	return t.cfg.NodesPerSocket * t.cfg.PhysCoresPerNode
+}
+
+// PhysCores returns the total number of physical cores.
+func (t *Topology) PhysCores() int { return t.cfg.Sockets * t.PhysCoresPerSocket() }
+
+// LogicalCores returns the total number of logical cores.
+func (t *Topology) LogicalCores() int {
+	if t.cfg.HyperThreading {
+		return 2 * t.PhysCores()
+	}
+	return t.PhysCores()
+}
+
+// LogicalCoresPerSocket returns logical cores on one socket.
+func (t *Topology) LogicalCoresPerSocket() int { return t.LogicalCores() / t.cfg.Sockets }
+
+// ChannelsPerSocket returns memory channels on one socket.
+func (t *Topology) ChannelsPerSocket() int { return t.cfg.IMCsPerSocket * t.cfg.ChannelsPerIMC }
+
+// PMEMDIMMs returns the total number of Optane DIMMs in the machine.
+func (t *Topology) PMEMDIMMs() int { return t.cfg.Sockets * t.ChannelsPerSocket() }
+
+// PMEMSocketBytes returns the interleaved PMEM capacity of one socket.
+func (t *Topology) PMEMSocketBytes() int64 {
+	return int64(t.ChannelsPerSocket()) * t.cfg.PMEMDIMMBytes
+}
+
+// DRAMSocketBytes returns the DRAM capacity of one socket.
+func (t *Topology) DRAMSocketBytes() int64 {
+	return int64(t.ChannelsPerSocket()) * t.cfg.DRAMDIMMBytes
+}
+
+// DRAMNodeBytes returns the DRAM capacity local to one NUMA node.
+func (t *Topology) DRAMNodeBytes() int64 {
+	return t.DRAMSocketBytes() / int64(t.cfg.NodesPerSocket)
+}
+
+// SocketOfCore returns the socket a logical core belongs to.
+func (t *Topology) SocketOfCore(c CoreID) SocketID {
+	p := t.PhysicalOf(c)
+	return SocketID(int(p) / t.PhysCoresPerSocket())
+}
+
+// NodeOfCore returns the NUMA node a logical core belongs to.
+func (t *Topology) NodeOfCore(c CoreID) NodeID {
+	p := t.PhysicalOf(c)
+	return NodeID(int(p) / t.cfg.PhysCoresPerNode)
+}
+
+// PhysicalOf maps a logical core to its physical core index.
+func (t *Topology) PhysicalOf(c CoreID) CoreID {
+	if int(c) >= t.PhysCores() {
+		return c - CoreID(t.PhysCores())
+	}
+	return c
+}
+
+// IsHyperthread reports whether the logical core is the second context of a
+// physical core.
+func (t *Topology) IsHyperthread(c CoreID) bool { return int(c) >= t.PhysCores() }
+
+// SiblingOf returns the other logical core sharing the same physical core,
+// and false if hyperthreading is disabled.
+func (t *Topology) SiblingOf(c CoreID) (CoreID, bool) {
+	if !t.cfg.HyperThreading {
+		return c, false
+	}
+	if t.IsHyperthread(c) {
+		return c - CoreID(t.PhysCores()), true
+	}
+	return c + CoreID(t.PhysCores()), true
+}
+
+// CoresOfSocket lists the logical cores of a socket, physical first, then
+// hyperthread siblings, matching how the paper fills cores ("we fill up the
+// physical cores before placing threads on the logical sibling cores").
+func (t *Topology) CoresOfSocket(s SocketID) []CoreID {
+	pcs := t.PhysCoresPerSocket()
+	out := make([]CoreID, 0, t.LogicalCoresPerSocket())
+	base := int(s) * pcs
+	for i := 0; i < pcs; i++ {
+		out = append(out, CoreID(base+i))
+	}
+	if t.cfg.HyperThreading {
+		for i := 0; i < pcs; i++ {
+			out = append(out, CoreID(base+i+t.PhysCores()))
+		}
+	}
+	return out
+}
+
+// CoresOfNode lists the logical cores of a NUMA node, physical first.
+func (t *Topology) CoresOfNode(n NodeID) []CoreID {
+	pcn := t.cfg.PhysCoresPerNode
+	out := make([]CoreID, 0, 2*pcn)
+	base := int(n) * pcn
+	for i := 0; i < pcn; i++ {
+		out = append(out, CoreID(base+i))
+	}
+	if t.cfg.HyperThreading {
+		for i := 0; i < pcn; i++ {
+			out = append(out, CoreID(base+i+t.PhysCores()))
+		}
+	}
+	return out
+}
+
+// SocketOfDIMM returns the socket a PMEM DIMM is attached to.
+func (t *Topology) SocketOfDIMM(d DIMMID) SocketID {
+	return SocketID(int(d) / t.ChannelsPerSocket())
+}
+
+// IMCOfDIMM returns the iMC serving a PMEM DIMM's channel.
+func (t *Topology) IMCOfDIMM(d DIMMID) IMCID {
+	local := int(d) % t.ChannelsPerSocket()
+	return IMCID(int(t.SocketOfDIMM(d))*t.cfg.IMCsPerSocket + local/t.cfg.ChannelsPerIMC)
+}
+
+// DIMMsOfSocket lists the PMEM DIMMs of a socket, in interleave order.
+func (t *Topology) DIMMsOfSocket(s SocketID) []DIMMID {
+	n := t.ChannelsPerSocket()
+	out := make([]DIMMID, n)
+	for i := range out {
+		out[i] = DIMMID(int(s)*n + i)
+	}
+	return out
+}
+
+// FarSocket returns a socket other than s (the remote NUMA region). For the
+// two-socket default this is *the* far socket.
+func (t *Topology) FarSocket(s SocketID) SocketID {
+	return SocketID((int(s) + 1) % t.cfg.Sockets)
+}

@@ -1,0 +1,264 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func defaultTopo(t *testing.T) *Topology {
+	t.Helper()
+	topo, err := New(DefaultServer())
+	if err != nil {
+		t.Fatalf("New(DefaultServer()): %v", err)
+	}
+	return topo
+}
+
+func TestDefaultServerCounts(t *testing.T) {
+	topo := defaultTopo(t)
+	if got, want := topo.Sockets(), 2; got != want {
+		t.Errorf("Sockets() = %d, want %d", got, want)
+	}
+	if got, want := topo.Nodes(), 4; got != want {
+		t.Errorf("Nodes() = %d, want %d", got, want)
+	}
+	if got, want := topo.PhysCores(), 36; got != want {
+		t.Errorf("PhysCores() = %d, want %d", got, want)
+	}
+	if got, want := topo.LogicalCores(), 72; got != want {
+		t.Errorf("LogicalCores() = %d, want %d", got, want)
+	}
+	if got, want := topo.PhysCoresPerSocket(), 18; got != want {
+		t.Errorf("PhysCoresPerSocket() = %d, want %d", got, want)
+	}
+	if got, want := topo.ChannelsPerSocket(), 6; got != want {
+		t.Errorf("ChannelsPerSocket() = %d, want %d", got, want)
+	}
+	if got, want := topo.PMEMDIMMs(), 12; got != want {
+		t.Errorf("PMEMDIMMs() = %d, want %d", got, want)
+	}
+}
+
+func TestDefaultServerCapacities(t *testing.T) {
+	topo := defaultTopo(t)
+	// Section 2.3: 1.5 TB PMEM total, 186 GB DRAM total (paper rounds
+	// 192 GiB down; we check the exact binary sizes).
+	if got, want := topo.PMEMSocketBytes(), int64(6*128)<<30; got != want {
+		t.Errorf("PMEMSocketBytes() = %d, want %d", got, want)
+	}
+	if got, want := topo.DRAMSocketBytes(), int64(6*16)<<30; got != want {
+		t.Errorf("DRAMSocketBytes() = %d, want %d", got, want)
+	}
+	if got, want := topo.DRAMNodeBytes(), int64(3*16)<<30; got != want {
+		t.Errorf("DRAMNodeBytes() = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{},
+		func() Config { c := DefaultServer(); c.Sockets = 0; return c }(),
+		func() Config { c := DefaultServer(); c.NodesPerSocket = 0; return c }(),
+		func() Config { c := DefaultServer(); c.PhysCoresPerNode = -1; return c }(),
+		func() Config { c := DefaultServer(); c.IMCsPerSocket = 0; return c }(),
+		func() Config { c := DefaultServer(); c.InterleaveBytes = 0; return c }(),
+		func() Config { c := DefaultServer(); c.PMEMDIMMBytes = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: New() accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestCoreMapping(t *testing.T) {
+	topo := defaultTopo(t)
+	cases := []struct {
+		core   CoreID
+		socket SocketID
+		node   NodeID
+		isHT   bool
+	}{
+		{0, 0, 0, false},
+		{8, 0, 0, false},
+		{9, 0, 1, false},
+		{17, 0, 1, false},
+		{18, 1, 2, false},
+		{35, 1, 3, false},
+		{36, 0, 0, true}, // HT sibling of core 0
+		{53, 0, 1, true}, // HT sibling of core 17
+		{54, 1, 2, true}, // HT sibling of core 18
+		{71, 1, 3, true}, // HT sibling of core 35
+	}
+	for _, c := range cases {
+		if got := topo.SocketOfCore(c.core); got != c.socket {
+			t.Errorf("SocketOfCore(%d) = %d, want %d", c.core, got, c.socket)
+		}
+		if got := topo.NodeOfCore(c.core); got != c.node {
+			t.Errorf("NodeOfCore(%d) = %d, want %d", c.core, got, c.node)
+		}
+		if got := topo.IsHyperthread(c.core); got != c.isHT {
+			t.Errorf("IsHyperthread(%d) = %t, want %t", c.core, got, c.isHT)
+		}
+	}
+}
+
+func TestSiblingInvolution(t *testing.T) {
+	topo := defaultTopo(t)
+	for c := CoreID(0); int(c) < topo.LogicalCores(); c++ {
+		sib, ok := topo.SiblingOf(c)
+		if !ok {
+			t.Fatalf("SiblingOf(%d): hyperthreading unexpectedly disabled", c)
+		}
+		if sib == c {
+			t.Errorf("SiblingOf(%d) = itself", c)
+		}
+		back, _ := topo.SiblingOf(sib)
+		if back != c {
+			t.Errorf("SiblingOf(SiblingOf(%d)) = %d, want %d", c, back, c)
+		}
+		if topo.PhysicalOf(sib) != topo.PhysicalOf(c) {
+			t.Errorf("sibling of %d on different physical core", c)
+		}
+	}
+}
+
+func TestSiblingWithoutHT(t *testing.T) {
+	cfg := DefaultServer()
+	cfg.HyperThreading = false
+	topo := MustNew(cfg)
+	if topo.LogicalCores() != topo.PhysCores() {
+		t.Errorf("LogicalCores() = %d, want %d without HT", topo.LogicalCores(), topo.PhysCores())
+	}
+	if _, ok := topo.SiblingOf(0); ok {
+		t.Error("SiblingOf reported a sibling with HT disabled")
+	}
+}
+
+func TestCoresOfSocketOrdering(t *testing.T) {
+	topo := defaultTopo(t)
+	for s := SocketID(0); int(s) < topo.Sockets(); s++ {
+		cores := topo.CoresOfSocket(s)
+		if len(cores) != topo.LogicalCoresPerSocket() {
+			t.Fatalf("CoresOfSocket(%d) returned %d cores, want %d", s, len(cores), topo.LogicalCoresPerSocket())
+		}
+		// Physical cores first, then hyperthreads.
+		for i, c := range cores {
+			if got := topo.SocketOfCore(c); got != s {
+				t.Errorf("core %d listed for socket %d but belongs to %d", c, s, got)
+			}
+			wantHT := i >= topo.PhysCoresPerSocket()
+			if got := topo.IsHyperthread(c); got != wantHT {
+				t.Errorf("CoresOfSocket(%d)[%d] = core %d, IsHyperthread = %t, want %t", s, i, c, got, wantHT)
+			}
+		}
+	}
+}
+
+func TestCoresOfNode(t *testing.T) {
+	topo := defaultTopo(t)
+	seen := make(map[CoreID]NodeID)
+	for n := NodeID(0); int(n) < topo.Nodes(); n++ {
+		cores := topo.CoresOfNode(n)
+		if len(cores) != 18 { // 9 physical + 9 HT
+			t.Fatalf("CoresOfNode(%d) returned %d cores, want 18", n, len(cores))
+		}
+		for _, c := range cores {
+			if prev, dup := seen[c]; dup {
+				t.Errorf("core %d listed for nodes %d and %d", c, prev, n)
+			}
+			seen[c] = n
+			if got := topo.NodeOfCore(c); got != n {
+				t.Errorf("NodeOfCore(%d) = %d, want %d", c, got, n)
+			}
+		}
+	}
+	if len(seen) != topo.LogicalCores() {
+		t.Errorf("nodes covered %d cores, want all %d", len(seen), topo.LogicalCores())
+	}
+}
+
+func TestDIMMMapping(t *testing.T) {
+	topo := defaultTopo(t)
+	cases := []struct {
+		dimm   DIMMID
+		socket SocketID
+		imc    IMCID
+	}{
+		{0, 0, 0}, {2, 0, 0}, {3, 0, 1}, {5, 0, 1},
+		{6, 1, 2}, {8, 1, 2}, {9, 1, 3}, {11, 1, 3},
+	}
+	for _, c := range cases {
+		if got := topo.SocketOfDIMM(c.dimm); got != c.socket {
+			t.Errorf("SocketOfDIMM(%d) = %d, want %d", c.dimm, got, c.socket)
+		}
+		if got := topo.IMCOfDIMM(c.dimm); got != c.imc {
+			t.Errorf("IMCOfDIMM(%d) = %d, want %d", c.dimm, got, c.imc)
+		}
+	}
+}
+
+func TestDIMMsOfSocket(t *testing.T) {
+	topo := defaultTopo(t)
+	d0 := topo.DIMMsOfSocket(0)
+	d1 := topo.DIMMsOfSocket(1)
+	if len(d0) != 6 || len(d1) != 6 {
+		t.Fatalf("DIMMsOfSocket lengths = %d, %d, want 6, 6", len(d0), len(d1))
+	}
+	if d0[0] != 0 || d0[5] != 5 || d1[0] != 6 || d1[5] != 11 {
+		t.Errorf("DIMMsOfSocket returned %v and %v", d0, d1)
+	}
+}
+
+func TestFarSocket(t *testing.T) {
+	topo := defaultTopo(t)
+	if got := topo.FarSocket(0); got != 1 {
+		t.Errorf("FarSocket(0) = %d, want 1", got)
+	}
+	if got := topo.FarSocket(1); got != 0 {
+		t.Errorf("FarSocket(1) = %d, want 0", got)
+	}
+}
+
+// Property: for any valid small config, every logical core maps to exactly one
+// node, the node belongs to the core's socket, and socket core lists partition
+// the logical cores.
+func TestCorePartitionProperty(t *testing.T) {
+	f := func(sockets, nodes, cores uint8, ht bool) bool {
+		cfg := Config{
+			Sockets:          int(sockets%3) + 1,
+			NodesPerSocket:   int(nodes%3) + 1,
+			PhysCoresPerNode: int(cores%5) + 1,
+			HyperThreading:   ht,
+			IMCsPerSocket:    1,
+			ChannelsPerIMC:   3,
+			PMEMDIMMBytes:    128 << 30,
+			DRAMDIMMBytes:    16 << 30,
+			InterleaveBytes:  4096,
+		}
+		topo, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		seen := make(map[CoreID]bool)
+		for s := SocketID(0); int(s) < topo.Sockets(); s++ {
+			for _, c := range topo.CoresOfSocket(s) {
+				if seen[c] {
+					return false
+				}
+				seen[c] = true
+				if topo.SocketOfCore(c) != s {
+					return false
+				}
+				node := topo.NodeOfCore(c)
+				if int(node)/cfg.NodesPerSocket != int(s) {
+					return false
+				}
+			}
+		}
+		return len(seen) == topo.LogicalCores()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

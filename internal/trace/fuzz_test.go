@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse must never panic on arbitrary input: it either parses or errors.
+func FuzzParse(f *testing.F) {
+	f.Add("read individual 4096 18 0 pmem 70GB")
+	f.Add("write grouped 64 36 1 dram 1GiB far warm pin=numa")
+	f.Add("# only a comment")
+	f.Fuzz(func(t *testing.T, in string) {
+		lines, err := Parse(strings.NewReader(in))
+		if err == nil {
+			for _, l := range lines {
+				if l.Threads < 1 || l.AccessSize <= 0 || l.Bytes <= 0 {
+					t.Fatalf("parsed invalid line: %+v", l)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package trace parses and replays workload traces on the simulated
+// machine: a line-oriented format describing concurrent access streams, so
+// that access mixes beyond the paper's fixed benchmarks (e.g., recorded
+// application phases) can be evaluated against the best practices.
+//
+// Format, one stream per line ('#' starts a comment):
+//
+//	<dir> <pattern> <accessSize> <threads> <socket> <device> <bytes> [far] [warm] [pin=cores|numa|none]
+//
+// Example:
+//
+//	# query stream and concurrent ingest on socket 0
+//	read  individual 4096 30 0 pmem 120GB
+//	write individual 4096 6  0 pmem 25GB pin=numa
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Line is one parsed trace stream.
+type Line struct {
+	Dir        access.Direction
+	Pattern    access.Pattern
+	AccessSize int64
+	Threads    int
+	Socket     topology.SocketID
+	Device     access.DeviceClass
+	Bytes      int64
+	Far        bool
+	Warm       bool
+	Pin        cpu.PinPolicy
+}
+
+// Parse reads a trace.
+func Parse(r io.Reader) ([]Line, error) {
+	var out []Line
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		l, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: no streams")
+	}
+	return out, nil
+}
+
+func parseLine(text string) (Line, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 7 {
+		return Line{}, fmt.Errorf("need at least 7 fields, got %d", len(fields))
+	}
+	l := Line{Pin: cpu.PinCores}
+	switch fields[0] {
+	case "read":
+		l.Dir = access.Read
+	case "write":
+		l.Dir = access.Write
+	default:
+		return Line{}, fmt.Errorf("unknown direction %q", fields[0])
+	}
+	switch fields[1] {
+	case "grouped":
+		l.Pattern = access.SeqGrouped
+	case "individual":
+		l.Pattern = access.SeqIndividual
+	case "random":
+		l.Pattern = access.Random
+	default:
+		return Line{}, fmt.Errorf("unknown pattern %q", fields[1])
+	}
+	var err error
+	if l.AccessSize, err = ParseSize(fields[2]); err != nil {
+		return Line{}, fmt.Errorf("access size: %w", err)
+	}
+	if l.Threads, err = strconv.Atoi(fields[3]); err != nil || l.Threads < 1 {
+		return Line{}, fmt.Errorf("bad thread count %q", fields[3])
+	}
+	socket, err := strconv.Atoi(fields[4])
+	if err != nil || socket < 0 {
+		return Line{}, fmt.Errorf("bad socket %q", fields[4])
+	}
+	l.Socket = topology.SocketID(socket)
+	switch fields[5] {
+	case "pmem":
+		l.Device = access.PMEM
+	case "dram":
+		l.Device = access.DRAM
+	default:
+		return Line{}, fmt.Errorf("unknown device %q", fields[5])
+	}
+	if l.Bytes, err = ParseSize(fields[6]); err != nil {
+		return Line{}, fmt.Errorf("bytes: %w", err)
+	}
+	for _, opt := range fields[7:] {
+		switch {
+		case opt == "far":
+			l.Far = true
+		case opt == "warm":
+			l.Warm = true
+		case strings.HasPrefix(opt, "pin="):
+			switch strings.TrimPrefix(opt, "pin=") {
+			case "cores":
+				l.Pin = cpu.PinCores
+			case "numa":
+				l.Pin = cpu.PinNUMA
+			case "none":
+				l.Pin = cpu.PinNone
+			default:
+				return Line{}, fmt.Errorf("unknown pin policy %q", opt)
+			}
+		default:
+			return Line{}, fmt.Errorf("unknown option %q", opt)
+		}
+	}
+	return l, nil
+}
+
+// ParseSize parses "4096", "64KB", "70GB", "2GiB" and friends into bytes
+// (decimal suffixes are powers of 1000, binary of 1024).
+func ParseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"B", 1},
+	}
+	num := upper
+	for _, sf := range suffixes {
+		if strings.HasSuffix(upper, sf.suffix) {
+			num = strings.TrimSuffix(upper, sf.suffix)
+			mult = sf.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// Replay runs the trace's streams concurrently on the machine, allocating
+// one region per (device, data socket) pair, and returns the run result.
+func Replay(m *machine.Machine, lines []Line) (machine.RunResult, error) {
+	type key struct {
+		dev    access.DeviceClass
+		socket topology.SocketID
+	}
+	regions := map[key]*machine.Region{}
+	var specs []workload.Spec
+	for i, l := range lines {
+		dataSocket := l.Socket
+		if l.Far {
+			dataSocket = m.Topology().FarSocket(l.Socket)
+		}
+		k := key{l.Device, dataSocket}
+		reg, ok := regions[k]
+		if !ok {
+			var err error
+			size := int64(70e9)
+			if l.Pattern == access.Random {
+				size = 2e9
+			}
+			if l.Device == access.DRAM {
+				size = 80e9
+				reg, err = m.AllocDRAM(fmt.Sprintf("trace/%v-%d", l.Device, dataSocket), dataSocket, size)
+			} else {
+				reg, err = m.AllocPMEM(fmt.Sprintf("trace/%v-%d", l.Device, dataSocket), dataSocket, size, machine.DevDax)
+			}
+			if err != nil {
+				return machine.RunResult{}, err
+			}
+			regions[k] = reg
+		}
+		if l.Warm {
+			reg.WarmFor(l.Socket)
+		}
+		specs = append(specs, workload.Spec{
+			Name: fmt.Sprintf("trace%02d", i), Dir: l.Dir, Pattern: l.Pattern,
+			AccessSize: l.AccessSize, Threads: l.Threads, Policy: l.Pin,
+			Socket: l.Socket, Region: reg, TotalBytes: l.Bytes,
+		})
+	}
+	return workload.RunMixed(m, specs...)
+}

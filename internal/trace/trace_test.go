@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+func TestParseBasic(t *testing.T) {
+	in := `
+# mixed workload
+read  individual 4096 30 0 pmem 120GB
+write individual 4096 6  0 pmem 25GB pin=numa
+read  random     256  18 1 dram 10GiB far warm pin=none
+`
+	lines, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("parsed %d lines, want 3", len(lines))
+	}
+	l0 := lines[0]
+	if l0.Dir != access.Read || l0.Pattern != access.SeqIndividual ||
+		l0.AccessSize != 4096 || l0.Threads != 30 || l0.Bytes != 120e9 ||
+		l0.Pin != cpu.PinCores {
+		t.Errorf("line 0 = %+v", l0)
+	}
+	l1 := lines[1]
+	if l1.Dir != access.Write || l1.Pin != cpu.PinNUMA || l1.Bytes != 25e9 {
+		t.Errorf("line 1 = %+v", l1)
+	}
+	l2 := lines[2]
+	if l2.Device != access.DRAM || !l2.Far || !l2.Warm || l2.Pin != cpu.PinNone ||
+		l2.Bytes != 10<<30 || l2.Socket != 1 {
+		t.Errorf("line 2 = %+v", l2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"read individual 4096 30 0 pmem",           // too few fields
+		"scan individual 4096 30 0 pmem 1GB",       // bad direction
+		"read diagonal 4096 30 0 pmem 1GB",         // bad pattern
+		"read individual huge 30 0 pmem 1GB",       // bad size
+		"read individual 4096 zero 0 pmem 1GB",     // bad threads
+		"read individual 4096 30 -1 pmem 1GB",      // bad socket
+		"read individual 4096 30 0 tape 1GB",       // bad device
+		"read individual 4096 30 0 pmem 1GB blorp", // bad option
+		"read individual 4096 30 0 pmem 1GB pin=x", // bad pin
+		"", // no streams at all
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"4096": 4096, "64KB": 64_000, "70GB": 70_000_000_000,
+		"2GiB": 2 << 30, "1MiB": 1 << 20, "3MB": 3_000_000, "100B": 100,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "GB", "-5MB", "0"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) succeeded", in)
+		}
+	}
+}
+
+// TestReplayMatchesDirectRun: replaying a single-stream trace produces the
+// same bandwidth as building the workload directly.
+func TestReplayMatchesDirectRun(t *testing.T) {
+	lines, err := Parse(strings.NewReader("read individual 4096 18 0 pmem 70GB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.DefaultConfig())
+	res, err := Replay(m, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb := res.Bandwidth / 1e9; gb < 38 || gb > 42 {
+		t.Errorf("replayed bandwidth = %.1f GB/s, want ~40", gb)
+	}
+}
+
+// TestReplayMixed: a read+write trace shows the Section 5.1 interference.
+func TestReplayMixed(t *testing.T) {
+	lines, err := Parse(strings.NewReader(`
+read  individual 4096 30 0 pmem 60GB
+write individual 4096 6  0 pmem 20GB
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MustNew(machine.DefaultConfig())
+	res, err := Replay(m, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadBandwidth <= 0 || res.WriteBandwidth <= 0 {
+		t.Fatalf("missing per-direction bandwidth: %+v", res)
+	}
+	// Contended reads run well below the 31+ GB/s solo level.
+	if gb := res.ReadBandwidth / 1e9; gb > 30 {
+		t.Errorf("mixed reads = %.1f GB/s, want visibly contended", gb)
+	}
+}

@@ -1,0 +1,65 @@
+// Package units provides byte-size and bandwidth units shared by the
+// machine model, workloads, and experiment harness.
+package units
+
+import "fmt"
+
+// Byte sizes.
+const (
+	B   int64 = 1
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+)
+
+// Decimal byte sizes (bandwidths in the paper are decimal GB/s).
+const (
+	KB int64 = 1000
+	MB int64 = 1000 * 1000
+	GB int64 = 1000 * 1000 * 1000
+)
+
+// Bandwidth is a data rate in bytes per (virtual) second.
+type Bandwidth float64
+
+// Common bandwidth magnitudes.
+const (
+	BytePerSec Bandwidth = 1
+	KBPerSec   Bandwidth = 1e3
+	MBPerSec   Bandwidth = 1e6
+	GBPerSec   Bandwidth = 1e9
+)
+
+// GBs returns the bandwidth in decimal gigabytes per second, the unit used
+// throughout the paper's figures.
+func (b Bandwidth) GBs() float64 { return float64(b) / 1e9 }
+
+func (b Bandwidth) String() string {
+	switch {
+	case b >= GBPerSec:
+		return fmt.Sprintf("%.2f GB/s", float64(b)/1e9)
+	case b >= MBPerSec:
+		return fmt.Sprintf("%.2f MB/s", float64(b)/1e6)
+	case b >= KBPerSec:
+		return fmt.Sprintf("%.2f KB/s", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", float64(b))
+	}
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(n)/float64(TiB))
+	case n >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

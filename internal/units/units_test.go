@@ -1,0 +1,53 @@
+package units
+
+import "testing"
+
+func TestConstants(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1<<30 || TiB != 1<<40 {
+		t.Error("binary constants wrong")
+	}
+	if KB != 1000 || MB != 1e6 || GB != 1e9 {
+		t.Error("decimal constants wrong")
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	if got := (Bandwidth(40e9)).GBs(); got != 40 {
+		t.Errorf("GBs() = %g, want 40", got)
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	cases := []struct {
+		b    Bandwidth
+		want string
+	}{
+		{40e9, "40.00 GB/s"},
+		{2.5e6, "2.50 MB/s"},
+		{1.5e3, "1.50 KB/s"},
+		{512, "512 B/s"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Bandwidth(%g).String() = %q, want %q", float64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{70 * GB, "65.19 GiB"},
+		{int64(1.5 * float64(TiB)), "1.50 TiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package workload
+
+// Calibration tests: every case anchors the simulator to a number or shape
+// the paper reports. Ranges are deliberately generous — the goal is the
+// paper's *shape* (who wins, by roughly what factor, where the knees are),
+// not digit-exact replay.
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+const seventyGB = 70 * units.GB
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return m
+}
+
+func pmemRegion(t *testing.T, m *machine.Machine, socket int, size int64) *machine.Region {
+	t.Helper()
+	r, err := m.AllocPMEM("bench", topology.SocketID(socket), size, machine.DevDax)
+	if err != nil {
+		t.Fatalf("AllocPMEM: %v", err)
+	}
+	return r
+}
+
+func dramRegion(t *testing.T, m *machine.Machine, socket int, size int64) *machine.Region {
+	t.Helper()
+	r, err := m.AllocDRAM("bench", topology.SocketID(socket), size)
+	if err != nil {
+		t.Fatalf("AllocDRAM: %v", err)
+	}
+	return r
+}
+
+func runGBs(t *testing.T, m *machine.Machine, spec Spec) float64 {
+	t.Helper()
+	bw, err := Run(m, spec)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", spec.Name, err)
+	}
+	return GBs(bw)
+}
+
+func checkRange(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f GB/s, want in [%.1f, %.1f]", name, got, lo, hi)
+	}
+}
+
+// --- Sequential reads (Section 3, Figure 3) ---
+
+func TestSeqReadPeak(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// 18 threads, individual 4 KiB: the paper's ~40 GB/s peak.
+	got := runGBs(t, m, Spec{Name: "peak", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq read 18thr 4K", got, 38, 42)
+}
+
+func TestSeqReadEightThreads(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// "access with as few as 8 threads achieves nearly as much bandwidth
+	// utilization as 36 threads (~15% difference)".
+	got := runGBs(t, m, Spec{Name: "8thr", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq read 8thr 4K", got, 30, 37)
+}
+
+func TestSeqReadGroupedPeaksAt4K(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	got4k := runGBs(t, m, Spec{Name: "g4k", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "grouped read 36thr 4K", got4k, 34, 42)
+}
+
+func TestSeqReadGroupedPrefetcherDip(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// Figure 3a: grouped 1-2 KiB access dips well below the 4 KiB peak.
+	dip := runGBs(t, m, Spec{Name: "g1k", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 1024, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	peak := runGBs(t, m, Spec{Name: "g4k", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "grouped read 18thr 1K (dip)", dip, 15, 30)
+	if dip >= peak-5 {
+		t.Errorf("no prefetcher dip: 1K = %.1f, 4K = %.1f", dip, peak)
+	}
+}
+
+func TestSeqReadGroupedDipGoneWithoutPrefetcher(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.PrefetcherEnabled = false
+	m := machine.MustNew(cfg)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// "When running the same benchmark with the L2 prefetcher disabled, we
+	// do not observe the drop at 1 and 2K access".
+	dip := runGBs(t, m, Spec{Name: "g1k", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 1024, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	big := runGBs(t, m, Spec{Name: "g16k", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 16384, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	if dip < big*0.9 {
+		t.Errorf("dip persists with prefetcher off: 1K = %.1f, 16K = %.1f", dip, big)
+	}
+	// "with a disabled prefetcher, 36 threads also achieve the highest
+	// bandwidth of ~40 GB/s".
+	checkRange(t, "prefetcher-off 36thr", big, 37, 42)
+	// But low thread counts get much slower without prefetching.
+	few := runGBs(t, m, Spec{Name: "few", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	if few > 20 {
+		t.Errorf("prefetcher-off 8 threads = %.1f GB/s, want well below the ~34 of prefetch-on", few)
+	}
+}
+
+func TestSeqReadSmallGrouped(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// Figure 3a at 64 B, 36 threads: ~12 GB/s (all threads on ~2 DIMMs).
+	got := runGBs(t, m, Spec{Name: "g64", Dir: access.Read, Pattern: access.SeqGrouped,
+		AccessSize: 64, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "grouped read 36thr 64B", got, 8, 15)
+	// Individual 64 B reads stay near peak (Optane buffer absorbs them).
+	ind := runGBs(t, m, Spec{Name: "i64", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 64, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "individual read 36thr 64B", ind, 25, 40)
+}
+
+func TestSeqReadHyperthreadingDoesNotHelp(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	bw18 := runGBs(t, m, Spec{Name: "t18", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	bw24 := runGBs(t, m, Spec{Name: "t24", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 24, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	if bw24 > bw18+0.5 {
+		t.Errorf("hyperthreads improved reads: 18thr = %.1f, 24thr = %.1f", bw18, bw24)
+	}
+}
+
+// --- Read pinning and NUMA (Sections 3.3-3.5, Figures 4-6) ---
+
+func TestReadPinningHierarchy(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	cores := runGBs(t, m, Spec{Name: "cores", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	numa := runGBs(t, m, Spec{Name: "numa", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinNUMA, Region: reg, TotalBytes: seventyGB})
+	none := runGBs(t, m, Spec{Name: "none", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinNone, Region: reg, TotalBytes: seventyGB})
+	// Figure 4: Cores ~= NUMA at <= 18 threads, None peaks at ~9 GB/s.
+	if numa > cores+0.5 {
+		t.Errorf("NUMA pinning (%.1f) beat core pinning (%.1f)", numa, cores)
+	}
+	checkRange(t, "no pinning 8thr", none, 7.5, 10.5)
+	if none > cores/3 {
+		t.Errorf("None (%.1f) not drastically below Cores (%.1f)", none, cores)
+	}
+	// Beyond 18 threads, explicit cores beat NUMA-region pinning slightly.
+	cores36 := runGBs(t, m, Spec{Name: "c36", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	numa36 := runGBs(t, m, Spec{Name: "n36", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinNUMA, Region: reg, TotalBytes: seventyGB})
+	if numa36 > cores36 {
+		t.Errorf("NUMA pinning (%.1f) beat core pinning (%.1f) at 36 threads", numa36, cores36)
+	}
+}
+
+func TestReadNUMAWarmup(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 1, seventyGB) // data on socket 1, threads on socket 0
+	spec := Spec{Name: "far", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 4, Policy: cpu.PinCores, Socket: 0, Region: reg, TotalBytes: seventyGB}
+	// First run: cold, ~8 GB/s at the optimal 4 threads (Figure 5).
+	first := runGBs(t, m, spec)
+	checkRange(t, "far read first run 4thr", first, 7, 9)
+	// Second run: warm, ~33 GB/s at 18 threads.
+	spec.Threads = 18
+	second := runGBs(t, m, spec)
+	checkRange(t, "far read second run 18thr", second, 30, 36)
+	// More threads make the *cold* run worse, not better.
+	m2 := newMachine(t)
+	reg2 := pmemRegion(t, m2, 1, seventyGB)
+	cold18 := runGBs(t, m2, Spec{Name: "cold18", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Socket: 0, Region: reg2, TotalBytes: seventyGB})
+	if cold18 >= first {
+		t.Errorf("cold far read with 18 threads (%.1f) not below 4 threads (%.1f)", cold18, first)
+	}
+}
+
+func TestReadNUMAPreReadEliminatesWarmup(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 1, seventyGB)
+	// "reading with a single thread on far memory before reading with
+	// multiple threads eliminates the warm-up".
+	reg.WarmFor(0)
+	got := runGBs(t, m, Spec{Name: "warmed", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Socket: 0, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "pre-warmed far read", got, 30, 36)
+}
+
+func TestMultiSocketReadsPMEM(t *testing.T) {
+	m := newMachine(t)
+	r0 := pmemRegion(t, m, 0, seventyGB)
+	r1 := pmemRegion(t, m, 1, seventyGB)
+	r0.WarmFor(1)
+	r1.WarmFor(0)
+
+	// (iii) 2 Near: linear speedup to ~80 GB/s.
+	res, err := RunMixed(m,
+		Spec{Name: "n0", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 0, Region: r0, TotalBytes: seventyGB},
+		Spec{Name: "n1", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 1, Region: r1, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, "PMEM 2 near", GBs(res.Bandwidth), 76, 84)
+
+	// (iv) 2 Far: UPI-bound at ~50 GB/s.
+	res, err = RunMixed(m,
+		Spec{Name: "f0", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 0, Region: r1, TotalBytes: seventyGB},
+		Spec{Name: "f1", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 1, Region: r0, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, "PMEM 2 far", GBs(res.Bandwidth), 45, 57)
+
+	// (v) both sockets on the same PMEM: very low on PMEM.
+	res, err = RunMixed(m,
+		Spec{Name: "near", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 0, Region: r0, TotalBytes: seventyGB},
+		Spec{Name: "far", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 1, Region: r0, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended := GBs(res.Bandwidth)
+	if contended > 28 {
+		t.Errorf("contended same-region read = %.1f GB/s, want well below 2-near's ~80", contended)
+	}
+}
+
+func TestMultiSocketReadsDRAM(t *testing.T) {
+	m := newMachine(t)
+	d0 := dramRegion(t, m, 0, 80*units.GB)
+	d1 := dramRegion(t, m, 1, 80*units.GB)
+
+	near := runGBs(t, m, Spec{Name: "dn", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinNUMA, Socket: 0, Region: d0, TotalBytes: seventyGB})
+	checkRange(t, "DRAM 1 near", near, 95, 105)
+
+	far := runGBs(t, m, Spec{Name: "df", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinNUMA, Socket: 1, Region: d0, TotalBytes: seventyGB})
+	checkRange(t, "DRAM 1 far", far, 30, 36)
+
+	res, err := RunMixed(m,
+		Spec{Name: "dn0", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 0, Region: d0, TotalBytes: seventyGB},
+		Spec{Name: "dn1", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 18, Policy: cpu.PinNUMA, Socket: 1, Region: d1, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6b: max = 185 GB/s.
+	checkRange(t, "DRAM 2 near", GBs(res.Bandwidth), 175, 186)
+}
+
+// --- Sequential writes (Section 4, Figures 7-10) ---
+
+func TestSeqWritePeak(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// 4 KiB with 4 threads: the paper's 12.5-12.6 GB/s peak.
+	for _, threads := range []int{4, 6} {
+		got := runGBs(t, m, Spec{Name: "w", Dir: access.Write, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Threads: threads, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+		checkRange(t, "seq write 4K", got, 11.5, 13)
+	}
+}
+
+func TestSeqWriteManyThreadsDegrade(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// Figure 7: thread counts > 18 at >= 1 KiB stabilize around 5-6 GB/s.
+	got := runGBs(t, m, Spec{Name: "w36", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq write 36thr 4K", got, 4.5, 7.5)
+	// 256 B stays efficient even at 36 threads (the second peak).
+	got256 := runGBs(t, m, Spec{Name: "w256", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 256, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq write 36thr 256B", got256, 9, 13)
+	// 8 threads at 16 KiB drop to ~8 GB/s while 4 threads hold ~12.
+	got8 := runGBs(t, m, Spec{Name: "w8-16k", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 16 << 10, Threads: 8, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq write 8thr 16K", got8, 7, 10.5)
+	got4 := runGBs(t, m, Spec{Name: "w4-16k", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 16 << 10, Threads: 4, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "seq write 4thr 16K", got4, 11, 13)
+}
+
+func TestSeqWriteSmallAccess(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	// Section 4.1: "2.6 GB/s compared to 9.6 GB/s with 64 Byte and 36
+	// threads" for grouped vs individual.
+	grouped := runGBs(t, m, Spec{Name: "wg64", Dir: access.Write, Pattern: access.SeqGrouped,
+		AccessSize: 64, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	individual := runGBs(t, m, Spec{Name: "wi64", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 64, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "grouped write 36thr 64B", grouped, 1.8, 3.6)
+	checkRange(t, "individual write 36thr 64B", individual, 8.5, 11)
+}
+
+func TestWritePinning(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, seventyGB)
+	cores := runGBs(t, m, Spec{Name: "wc", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 4, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	none := runGBs(t, m, Spec{Name: "wn", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinNone, Region: reg, TotalBytes: seventyGB})
+	// Figure 9: no pinning peaks at ~7 GB/s, about 2x worse than pinned
+	// (whereas reads were 4x worse).
+	checkRange(t, "write no pinning", none, 6, 8)
+	if cores/none > 3 || cores/none < 1.4 {
+		t.Errorf("write pinning ratio = %.2f (cores %.1f / none %.1f), want ~2x", cores/none, cores, none)
+	}
+}
+
+func TestWriteNUMA(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 1, seventyGB)
+	// Far writes peak around ~7 GB/s (Section 4.4) and need more threads.
+	far := runGBs(t, m, Spec{Name: "wf", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinNUMA, Socket: 0, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "far write 8thr", far, 5.5, 7.5)
+	// No warm-up for writes: a second run is no faster.
+	far2 := runGBs(t, m, Spec{Name: "wf2", Dir: access.Write, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 8, Policy: cpu.PinNUMA, Socket: 0, Region: reg, TotalBytes: seventyGB})
+	if far2 > far*1.1 {
+		t.Errorf("far write warmed up: first %.1f, second %.1f", far, far2)
+	}
+}
+
+func TestMultiSocketWrites(t *testing.T) {
+	m := newMachine(t)
+	r0 := pmemRegion(t, m, 0, seventyGB)
+	r1 := pmemRegion(t, m, 1, seventyGB)
+
+	// (iv) both sockets to near PMEM: doubles to ~25 GB/s.
+	res, err := RunMixed(m,
+		Spec{Name: "wn0", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 4, Policy: cpu.PinNUMA, Socket: 0, Region: r0, TotalBytes: seventyGB},
+		Spec{Name: "wn1", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 4, Policy: cpu.PinNUMA, Socket: 1, Region: r1, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, "write 2 near", GBs(res.Bandwidth), 23, 26)
+
+	// (v) both sockets to far PMEM: ~13 GB/s.
+	res, err = RunMixed(m,
+		Spec{Name: "wf0", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 8, Policy: cpu.PinNUMA, Socket: 0, Region: r1, TotalBytes: seventyGB},
+		Spec{Name: "wf1", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 8, Policy: cpu.PinNUMA, Socket: 1, Region: r0, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, "write 2 far", GBs(res.Bandwidth), 11, 15)
+
+	// (iii) near + far to the same PMEM: ~8 GB/s, worse than near-only.
+	res, err = RunMixed(m,
+		Spec{Name: "wsn", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 8, Policy: cpu.PinNUMA, Socket: 0, Region: r0, TotalBytes: seventyGB},
+		Spec{Name: "wsf", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+			Threads: 8, Policy: cpu.PinNUMA, Socket: 1, Region: r0, TotalBytes: seventyGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRange(t, "write near+far same PMEM", GBs(res.Bandwidth), 6.5, 10)
+}
+
+// --- Mixed read/write (Section 5.1, Figure 11) ---
+
+func TestMixedWorkload(t *testing.T) {
+	m := newMachine(t)
+	rRead := pmemRegion(t, m, 0, 40*units.GB)
+	rWrite := pmemRegion(t, m, 0, 40*units.GB)
+
+	mk := func(writeThr, readThr int) (readGB, writeGB float64) {
+		res, err := RunSteady(m, 2.0,
+			Spec{Name: "mw", Dir: access.Write, Pattern: access.SeqIndividual, AccessSize: 4096,
+				Threads: writeThr, Policy: cpu.PinNUMA, Socket: 0, Region: rWrite, TotalBytes: 40 * units.GB},
+			Spec{Name: "mr", Dir: access.Read, Pattern: access.SeqIndividual, AccessSize: 4096,
+				Threads: readThr, Policy: cpu.PinNUMA, Socket: 0, Region: rRead, TotalBytes: 40 * units.GB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return GBs(res.ReadBandwidth), GBs(res.WriteBandwidth)
+	}
+
+	// One writer against 30 readers: reads drop from ~31-39 to ~26.
+	r1, w1 := mk(1, 30)
+	checkRange(t, "mixed 1w/30r read", r1, 22, 29)
+	checkRange(t, "mixed 1w/30r write", w1, 1.5, 3.5)
+
+	// Six writers: both directions fall to roughly a third of their maxima.
+	r6, w6 := mk(6, 30)
+	checkRange(t, "mixed 6w/30r read", r6, 9, 17)
+	checkRange(t, "mixed 6w/30r write", w6, 3.5, 6.8)
+	if r6 >= r1 {
+		t.Errorf("more writers did not hurt reads: 1w %.1f, 6w %.1f", r1, r6)
+	}
+
+	// 4 writers + 1 reader: writes nearly reach their solo maximum.
+	r41, w41 := mk(4, 1)
+	checkRange(t, "mixed 4w/1r write", w41, 10.5, 13)
+	_ = r41
+}
+
+// --- Random access (Section 5.2, Figures 12-13) ---
+
+func TestRandomReadPMEM(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 2*units.GB) // the paper's 2 GB hash-index region
+	// >= 4 KiB random reads reach ~2/3 of the sequential maximum.
+	big := runGBs(t, m, Spec{Name: "rr4k", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: seventyGB})
+	checkRange(t, "random read 4K 36thr", big, 24, 29)
+	// 256 B random reads: ~half of sequential.
+	mid := runGBs(t, m, Spec{Name: "rr256", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 256, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: 20 * units.GB})
+	checkRange(t, "random read 256B 36thr", mid, 15, 22)
+	// 64 B random reads suffer 4x read amplification.
+	small := runGBs(t, m, Spec{Name: "rr64", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 64, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: 5 * units.GB})
+	checkRange(t, "random read 64B 36thr", small, 4, 8)
+	// Hyperthreading *helps* random reads (unlike sequential).
+	half := runGBs(t, m, Spec{Name: "rr256h", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 256, Threads: 18, Policy: cpu.PinCores, Region: reg, TotalBytes: 20 * units.GB})
+	if mid <= half {
+		t.Errorf("hyperthreading did not help random reads: 18thr %.1f, 36thr %.1f", half, mid)
+	}
+}
+
+func TestRandomReadDRAMRegionSize(t *testing.T) {
+	m := newMachine(t)
+	small := dramRegion(t, m, 0, 2*units.GB)
+	big := dramRegion(t, m, 0, 90*units.GB)
+	// Section 5.2: a 2 GB region lives on one NUMA node (3/6 channels);
+	// a 90 GB region nearly doubles random bandwidth.
+	bwSmall := runGBs(t, m, Spec{Name: "dr2", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: small, TotalBytes: seventyGB})
+	bwBig := runGBs(t, m, Spec{Name: "dr90", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: big, TotalBytes: seventyGB})
+	checkRange(t, "DRAM random 2GB region", bwSmall, 40, 55)
+	if bwBig < bwSmall*1.5 {
+		t.Errorf("large region did not scale DRAM random reads: 2GB %.1f, 90GB %.1f", bwSmall, bwBig)
+	}
+	// "exhibits, e.g., 4x bandwidth over PMEM for 512 Byte".
+	pm := pmemRegion(t, m, 0, 90*units.GB)
+	pmemBW := runGBs(t, m, Spec{Name: "pr512", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 512, Threads: 36, Policy: cpu.PinCores, Region: pm, TotalBytes: 20 * units.GB})
+	dramBW := runGBs(t, m, Spec{Name: "dr512", Dir: access.Read, Pattern: access.Random,
+		AccessSize: 512, Threads: 36, Policy: cpu.PinCores, Region: big, TotalBytes: 20 * units.GB})
+	if ratio := dramBW / pmemBW; ratio < 2 {
+		t.Errorf("DRAM/PMEM 512 B random ratio = %.1f, want >= 2 (paper ~4x)", ratio)
+	}
+}
+
+func TestRandomWrite(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 2*units.GB)
+	// Figure 13a: peak ~2/3 of sequential at 4-6 threads; more threads hurt.
+	peak := runGBs(t, m, Spec{Name: "rw6", Dir: access.Write, Pattern: access.Random,
+		AccessSize: 4096, Threads: 6, Policy: cpu.PinCores, Region: reg, TotalBytes: 20 * units.GB})
+	checkRange(t, "random write 4K 6thr", peak, 6.5, 9)
+	many := runGBs(t, m, Spec{Name: "rw36", Dir: access.Write, Pattern: access.Random,
+		AccessSize: 4096, Threads: 36, Policy: cpu.PinCores, Region: reg, TotalBytes: 20 * units.GB})
+	if many >= peak {
+		t.Errorf("36 random writers (%.1f) not below 6 (%.1f)", many, peak)
+	}
+	// Larger access improves PMEM random writes.
+	small := runGBs(t, m, Spec{Name: "rw256", Dir: access.Write, Pattern: access.Random,
+		AccessSize: 256, Threads: 6, Policy: cpu.PinCores, Region: reg, TotalBytes: 10 * units.GB})
+	if small >= peak {
+		t.Errorf("256 B random write (%.1f) not below 4 KiB (%.1f)", small, peak)
+	}
+}
+
+// --- fsdax vs devdax (Section 2.3) ---
+
+func TestFsdaxSlowerUntilFaulted(t *testing.T) {
+	m := newMachine(t)
+	fs, err := m.AllocPMEM("fs", 0, seventyGB, machine.FsDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := pmemRegion(t, m, 0, seventyGB)
+	spec := Spec{Name: "dax", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, TotalBytes: seventyGB}
+	spec.Region = fs
+	cold := runGBs(t, m, spec)
+	spec.Region = dev
+	devBW := runGBs(t, m, spec)
+	// 5-10% gap on the first (faulting) pass.
+	ratio := devBW / cold
+	if ratio < 1.04 || ratio > 1.12 {
+		t.Errorf("devdax/fsdax cold ratio = %.3f, want 1.05-1.10", ratio)
+	}
+	// Identical once pre-faulted.
+	spec.Region = fs
+	warm := runGBs(t, m, spec)
+	if diff := devBW - warm; diff > 0.5 || diff < -0.5 {
+		t.Errorf("faulted fsdax %.1f != devdax %.1f", warm, devBW)
+	}
+}
+
+func TestPreFaultCost(t *testing.T) {
+	m := newMachine(t)
+	fs, err := m.AllocPMEM("fs", 0, units.GB, machine.FsDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "pre-faulting 1 GB of PMEM takes at least 0.25 seconds".
+	sec := fs.PreFault()
+	if sec < 0.2 || sec > 0.35 {
+		t.Errorf("PreFault(1 GB) = %.3f s, want ~0.25 s", sec)
+	}
+	if !fs.Faulted() {
+		t.Error("region not faulted after PreFault")
+	}
+	if again := fs.PreFault(); again != 0 {
+		t.Errorf("second PreFault = %g, want 0", again)
+	}
+}

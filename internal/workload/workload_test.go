@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func TestBuildSplitsBytes(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 10*units.GB)
+	streams, err := Build(m, Spec{Name: "x", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 4, Policy: cpu.PinCores, Region: reg, TotalBytes: 8 * units.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 4 {
+		t.Fatalf("Build returned %d streams, want 4", len(streams))
+	}
+	for _, s := range streams {
+		if s.Bytes != 2e9 {
+			t.Errorf("stream %s bytes = %g, want 2e9", s.Label, s.Bytes)
+		}
+		if s.GroupID != "" {
+			t.Errorf("individual stream %s has GroupID %q", s.Label, s.GroupID)
+		}
+	}
+}
+
+func TestBuildGroupedSharesGroupID(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 10*units.GB)
+	streams, err := Build(m, Spec{Name: "g", Dir: access.Write, Pattern: access.SeqGrouped,
+		AccessSize: 256, Threads: 3, Policy: cpu.PinCores, Region: reg, TotalBytes: 3 * units.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := streams[0].GroupID
+	if id == "" {
+		t.Fatal("grouped stream missing GroupID")
+	}
+	for _, s := range streams {
+		if s.GroupID != id {
+			t.Errorf("GroupID mismatch: %q vs %q", s.GroupID, id)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, units.GB)
+	bad := []Spec{
+		{Name: "no-threads", AccessSize: 64, Region: reg, TotalBytes: 1},
+		{Name: "no-size", Threads: 1, Region: reg, TotalBytes: 1},
+		{Name: "no-region", Threads: 1, AccessSize: 64, TotalBytes: 1},
+		{Name: "no-bytes", Threads: 1, AccessSize: 64, Region: reg},
+	}
+	for _, spec := range bad {
+		if _, err := Build(m, spec); err == nil {
+			t.Errorf("Build(%s) accepted invalid spec", spec.Name)
+		}
+	}
+}
+
+func TestRunSteadyWindow(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 10*units.GB)
+	res, err := RunSteady(m, 1.5, Spec{Name: "s", Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Threads: 2, Policy: cpu.PinCores, Region: reg, TotalBytes: units.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 1.499 || res.Elapsed > 1.501 {
+		t.Errorf("Elapsed = %g, want 1.5", res.Elapsed)
+	}
+	if res.Bandwidth <= 0 {
+		t.Error("zero steady bandwidth")
+	}
+}
+
+func TestGBs(t *testing.T) {
+	if got := GBs(2.5e9); got != 2.5 {
+		t.Errorf("GBs(2.5e9) = %g, want 2.5", got)
+	}
+}
+
+func TestPinningPoliciesProduceValidPlacements(t *testing.T) {
+	m := newMachine(t)
+	reg := pmemRegion(t, m, 0, 10*units.GB)
+	for _, pol := range []cpu.PinPolicy{cpu.PinCores, cpu.PinNUMA, cpu.PinNone} {
+		streams, err := Build(m, Spec{Name: pol.String(), Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 10,
+			Policy: pol, Region: reg, TotalBytes: units.GB})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", pol, err)
+		}
+		if _, err := m.Run(streams); err != nil {
+			t.Errorf("Run(%v): %v", pol, err)
+		}
+	}
+}
+
+var _ = machine.DevDax // keep the import for helpers in calibration_test.go

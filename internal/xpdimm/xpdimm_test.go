@@ -1,0 +1,188 @@
+package xpdimm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+)
+
+func TestSocketCapacitiesMatchPaperAnchors(t *testing.T) {
+	p := DefaultParams()
+	// Section 3: ~40 GB/s socket read. Section 4.1: 12.6 GB/s socket write.
+	if got := p.SocketReadBytesPerSec(6); math.Abs(got-40e9) > 0.1e9 {
+		t.Errorf("socket read capacity = %g, want ~40e9", got)
+	}
+	if got := p.SocketWriteBytesPerSec(6); math.Abs(got-12.6e9) > 0.1e9 {
+		t.Errorf("socket write capacity = %g, want ~12.6e9", got)
+	}
+}
+
+func TestReadAmplificationSequentialIsOne(t *testing.T) {
+	p := DefaultParams()
+	for _, size := range []int64{64, 128, 256, 1024, 4096, 65536} {
+		for _, pat := range []access.Pattern{access.SeqGrouped, access.SeqIndividual} {
+			if got := p.ReadAmplification(size, pat); got != 1 {
+				t.Errorf("ReadAmplification(%d, %v) = %g, want 1 (256 B buffer absorbs sequential)", size, pat, got)
+			}
+		}
+	}
+}
+
+func TestReadAmplificationRandom(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		size int64
+		want float64
+	}{
+		{64, 4}, // 64 B random read fetches a 256 B XPLine
+		{128, 2},
+		{256, 1},
+		{512, 1},
+		{300, 512.0 / 300}, // rounds up to 2 XPLines
+		{4096, 1},
+	}
+	for _, c := range cases {
+		if got := p.ReadAmplification(c.size, access.Random); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ReadAmplification(%d, random) = %g, want %g", c.size, got, c.want)
+		}
+	}
+}
+
+func TestWriteAmplificationSubLine(t *testing.T) {
+	p := DefaultParams()
+	// Grouped sub-256 B stores amplify more than individual ones: the
+	// XPBuffer cannot combine across threads (Section 4.1).
+	grouped := p.WriteAmplification(64, access.SeqGrouped, 36)
+	individual := p.WriteAmplification(64, access.SeqIndividual, 36)
+	if grouped <= individual {
+		t.Errorf("grouped 64 B WA (%g) should exceed individual (%g)", grouped, individual)
+	}
+	// Random sub-line stores pay the full RMW factor.
+	if got := p.WriteAmplification(64, access.Random, 1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("random 64 B WA = %g, want 4", got)
+	}
+}
+
+func TestWriteAmplificationAlignedLowThreads(t *testing.T) {
+	p := DefaultParams()
+	// 4-6 threads at any access size must stay amplification-free enough to
+	// sustain ~12.5 GB/s (Figure 7: "only 4 and 6 threads maintain this
+	// bandwidth for larger access sizes").
+	for _, streams := range []int{1, 2, 4} {
+		for _, size := range []int64{256, 1024, 4096, 1 << 20, 32 << 20} {
+			if got := p.WriteAmplification(size, access.SeqIndividual, streams); got > 1.01 {
+				t.Errorf("WA(size=%d, streams=%d) = %g, want ~1", size, streams, got)
+			}
+		}
+	}
+	// 6 threads may pay a small pressure penalty at huge sizes but nothing
+	// that would break the ~12 GB/s plateau.
+	if got := p.WriteAmplification(32<<20, access.SeqIndividual, 6); got > 1.15 {
+		t.Errorf("WA(32 MiB, 6 streams) = %g, want <= 1.15", got)
+	}
+}
+
+func TestWriteAmplificationPressureShape(t *testing.T) {
+	p := DefaultParams()
+	// Figure 8's boomerang: scaling threads AND access size together
+	// degrades bandwidth; 36 threads at >= 4 KiB should roughly halve
+	// effective bandwidth (WA ~2), and very large accesses hit the cap.
+	wa36at4K := p.WriteAmplification(4096, access.SeqIndividual, 36)
+	if wa36at4K < 1.5 || wa36at4K > 2.5 {
+		t.Errorf("WA(4 KiB, 36) = %g, want in [1.5, 2.5]", wa36at4K)
+	}
+	wa36at64K := p.WriteAmplification(64<<10, access.SeqIndividual, 36)
+	if math.Abs(wa36at64K-p.PressureCap) > 1e-9 {
+		t.Errorf("WA(64 KiB, 36) = %g, want capped at %g", wa36at64K, p.PressureCap)
+	}
+	// 36 threads at 256 B stay efficient (the second peak of Figure 7).
+	if got := p.WriteAmplification(256, access.SeqIndividual, 36); got > 1.01 {
+		t.Errorf("WA(256 B, 36) = %g, want ~1", got)
+	}
+	// 8 threads: fine at 4 KiB, degraded at >= 16 KiB (Figure 7: "the
+	// 8-thread configuration drops to ~8 GB/s").
+	if got := p.WriteAmplification(4096, access.SeqIndividual, 8); got > 1.01 {
+		t.Errorf("WA(4 KiB, 8) = %g, want ~1", got)
+	}
+	wa8at16K := p.WriteAmplification(16<<10, access.SeqIndividual, 8)
+	if wa8at16K < 1.2 || wa8at16K > 1.9 {
+		t.Errorf("WA(16 KiB, 8) = %g, want in [1.2, 1.9] (~8 GB/s delivered)", wa8at16K)
+	}
+}
+
+func TestWriteAmplificationMonotoneInStreams(t *testing.T) {
+	p := DefaultParams()
+	for _, size := range []int64{256, 1024, 4096, 16384, 65536} {
+		prev := 0.0
+		for s := 1; s <= 40; s++ {
+			got := p.WriteAmplification(size, access.SeqIndividual, s)
+			if got < prev-1e-12 {
+				t.Errorf("WA(size=%d) not monotone in streams at %d: %g < %g", size, s, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestWriteAmplificationBoundsProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(sizeRaw uint32, streamsRaw uint8, patRaw uint8) bool {
+		size := int64(sizeRaw%(64<<20)) + 1
+		streams := int(streamsRaw%72) + 1
+		pat := access.Pattern(patRaw % 3)
+		wa := p.WriteAmplification(size, pat, streams)
+		if wa < 1 {
+			return false
+		}
+		// The worst possible amplification: full RMW (256x for 1 B) times the
+		// pressure cap.
+		worst := 256.0 * p.PressureCap
+		return wa <= worst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomWritePressure(t *testing.T) {
+	p := DefaultParams()
+	// Few random writers pay no pressure; many do (Figure 13a: highest
+	// random-write bandwidth at 4-6 threads).
+	if got := p.WriteAmplification(4096, access.Random, 6); got != 1 {
+		t.Errorf("WA(4 KiB random, 6) = %g, want 1", got)
+	}
+	got36 := p.WriteAmplification(4096, access.Random, 36)
+	if got36 < 1.5 || got36 > 2.5 {
+		t.Errorf("WA(4 KiB random, 36) = %g, want in [1.5, 2.5]", got36)
+	}
+	// The pressure window is capped at one stripe: huge random writes do not
+	// blow up beyond the 4 KiB behaviour.
+	if a, b := p.WriteAmplification(64<<10, access.Random, 36), got36; math.Abs(a-b) > 0.2 {
+		t.Errorf("WA(64 KiB random, 36) = %g, want ~WA(4 KiB random, 36) = %g", a, b)
+	}
+}
+
+func TestWear(t *testing.T) {
+	var w Wear
+	w.Record(100)
+	w.Record(-5) // ignored
+	w.Record(50)
+	if got := w.MediaBytesWritten(); got != 150 {
+		t.Errorf("MediaBytesWritten = %g, want 150", got)
+	}
+}
+
+func TestReadAmplificationDegenerateInputs(t *testing.T) {
+	p := DefaultParams()
+	if got := p.ReadAmplification(0, access.Random); got != 1 {
+		t.Errorf("ReadAmplification(0) = %g, want 1", got)
+	}
+	if got := p.WriteAmplification(0, access.SeqGrouped, 4); got != 1 {
+		t.Errorf("WriteAmplification(0) = %g, want 1", got)
+	}
+	if got := p.WriteAmplification(4096, access.SeqGrouped, 0); got != 1 {
+		t.Errorf("WriteAmplification(streams=0) = %g, want 1", got)
+	}
+}

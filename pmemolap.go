@@ -1,0 +1,155 @@
+// Package pmemolap is the public facade of this repository: a Go
+// reproduction of "Maximizing Persistent Memory Bandwidth Utilization for
+// OLAP Workloads" (Daase, Bollmeier, Benson, Rabl; SIGMOD 2021).
+//
+// Because Intel Optane hardware (and Go-level control over non-temporal
+// stores, flushes, and the L2 prefetcher) is unavailable, the repository
+// substitutes a calibrated performance model of the paper's dual-socket
+// evaluation platform, on which all of the paper's experiments — the
+// bandwidth characterization of Sections 3-5 and the Star Schema Benchmark
+// study of Section 6 — execute in virtual time. See DESIGN.md for the
+// substitution argument and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - NewMachine / DefaultConfig: the simulated server;
+//   - NewBench + Point: bandwidth measurement of arbitrary workload points;
+//   - Advise / BestPractices: the paper's 7 best practices as code;
+//   - GenerateSSB + the two engines (NewAwareEngine, NewNaiveEngine);
+//   - Experiments: every table and figure of the paper, regenerable.
+package pmemolap
+
+import (
+	"io"
+
+	"repro/internal/access"
+	"repro/internal/aware"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/naive"
+	"repro/internal/ssb"
+)
+
+// Re-exported machine types.
+type (
+	// MachineConfig configures the simulated server.
+	MachineConfig = machine.Config
+	// Machine is the simulated dual-socket PMEM server.
+	Machine = machine.Machine
+	// Region is an allocation on PMEM, DRAM, or SSD.
+	Region = machine.Region
+	// Stream is one simulated thread's access pattern.
+	Stream = machine.Stream
+)
+
+// Re-exported bench and advisor types.
+type (
+	// Bench measures bandwidth for workload points.
+	Bench = core.Bench
+	// Point is one benchmark configuration.
+	Point = core.Point
+	// WorkloadDesc describes a workload for the Advisor.
+	WorkloadDesc = core.WorkloadDesc
+	// Advice is the Advisor's recommendation.
+	Advice = core.Advice
+	// Practice is one of the paper's 7 best practices.
+	Practice = core.Practice
+	// Insight is one of the paper's 12 numbered insights.
+	Insight = core.Insight
+	// TableDesc describes a data structure for placement planning.
+	TableDesc = core.TableDesc
+	// PlacementPlan is a hybrid PMEM/DRAM layout decision.
+	PlacementPlan = core.PlacementPlan
+)
+
+// Re-exported SSB types.
+type (
+	// SSBData is a generated Star Schema Benchmark database.
+	SSBData = ssb.Data
+	// SSBQuery is one of the 13 SSB queries.
+	SSBQuery = ssb.Query
+	// AwareEngine is the handcrafted PMEM-aware engine (Section 6.2).
+	AwareEngine = aware.Engine
+	// AwareOptions configures the aware engine.
+	AwareOptions = aware.Options
+	// NaiveEngine is the Hyrise-like PMEM-unaware engine (Section 6.1).
+	NaiveEngine = naive.Engine
+	// NaiveOptions configures the naive engine.
+	NaiveOptions = naive.Options
+)
+
+// Device classes, directions, patterns, and pinning policies.
+const (
+	PMEM = access.PMEM
+	DRAM = access.DRAM
+	SSD  = access.SSD
+
+	Read  = access.Read
+	Write = access.Write
+
+	SeqGrouped    = access.SeqGrouped
+	SeqIndividual = access.SeqIndividual
+	Random        = access.Random
+
+	PinCores = cpu.PinCores
+	PinNUMA  = cpu.PinNUMA
+	PinNone  = cpu.PinNone
+
+	DevDax = machine.DevDax
+	FsDax  = machine.FsDax
+)
+
+// DefaultConfig returns the calibrated model of the paper's platform: a
+// dual-socket Xeon Gold 5220S with 12 x 128 GB Optane DIMMs and 186 GB DRAM.
+func DefaultConfig() MachineConfig { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated server.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// NewBench builds a bandwidth bench over a fresh machine.
+func NewBench(cfg MachineConfig) (*Bench, error) { return core.NewBench(cfg) }
+
+// Advise applies the paper's 7 best practices to a described workload.
+func Advise(w WorkloadDesc) Advice { return core.Advise(w) }
+
+// BestPractices returns the paper's Section 7 list.
+func BestPractices() []Practice { return core.BestPractices() }
+
+// Insights returns the paper's 12 numbered insights (Sections 3-5).
+func Insights() []Insight { return core.Insights() }
+
+// PlanPlacement chooses a hybrid PMEM/DRAM layout for the described data
+// structures under a DRAM budget (the paper's future-work direction made
+// executable; see internal/core).
+func PlanPlacement(tables []TableDesc, dramBudget int64, sockets int) (PlacementPlan, error) {
+	return core.PlanPlacement(tables, dramBudget, sockets)
+}
+
+// GenerateSSB builds a deterministic SSB database at the scale factor.
+func GenerateSSB(sf float64) (*SSBData, error) { return ssb.Generate(sf) }
+
+// SSBQueries returns the 13 queries in flight order.
+func SSBQueries() []SSBQuery { return ssb.Queries() }
+
+// NewAwareEngine loads the data into the handcrafted PMEM-aware engine.
+func NewAwareEngine(m *Machine, d *SSBData, opt AwareOptions) (*AwareEngine, error) {
+	return aware.New(m, d, opt)
+}
+
+// NewNaiveEngine loads the data into the Hyrise-like engine.
+func NewNaiveEngine(m *Machine, d *SSBData, opt NaiveOptions) (*NaiveEngine, error) {
+	return naive.New(m, d, opt)
+}
+
+// RunAllExperiments regenerates every table and figure of the paper,
+// printing them to w. cfgSF is the scale factor the SSB engines execute at
+// (their traffic is scaled to the paper's sf 50/100).
+func RunAllExperiments(w io.Writer, cfgSF float64) error {
+	cfg := experiments.DefaultConfig()
+	if cfgSF > 0 {
+		cfg.SF = cfgSF
+	}
+	return experiments.RunAll(cfg, w)
+}

@@ -1,0 +1,85 @@
+package pmemolap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way README's quickstart
+// does: build a machine, measure a point, take advice, run a query.
+func TestFacadeEndToEnd(t *testing.T) {
+	b, err := NewBench(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbs, err := b.Measure(Point{
+		Class: PMEM, Dir: Read, Pattern: SeqIndividual,
+		AccessSize: 4096, Threads: 18, Policy: PinCores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbs < 35 || gbs > 45 {
+		t.Errorf("facade peak read = %.1f GB/s, want ~40", gbs)
+	}
+
+	if got := len(BestPractices()); got != 7 {
+		t.Errorf("BestPractices() returned %d, want 7", got)
+	}
+	a := Advise(WorkloadDesc{FullControl: true})
+	if a.ThreadsPerSocket == 0 || len(a.Notes) == 0 {
+		t.Errorf("empty advice: %+v", a)
+	}
+
+	data, err := GenerateSSB(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewAwareEngine(m, data, AwareOptions{Threads: 8, Sockets: 1, TargetSF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := SSBQueries()[0]
+	run, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Seconds <= 0 {
+		t.Error("query took no time")
+	}
+
+	m2, err := NewMachine(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neng, err := NewNaiveEngine(m2, data, NaiveOptions{TargetSF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrun, err := neng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nrun.Result.Equal(run.Result) {
+		t.Error("engines disagree through the facade")
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry")
+	}
+	var buf bytes.Buffer
+	// Tiny SF; Quick is not exposed through the facade, so this is the full
+	// axis set — still seconds of virtual-time solving.
+	if err := RunAllExperiments(&buf, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
