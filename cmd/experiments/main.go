@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-sf 0.1] [-quick] [-id fig03] [-o out.txt]
+//	experiments [-sf 0.1] [-quick] [-id fig03] [-j 8] [-metrics] [-o out.txt]
 //
-// Without -id, every registered experiment runs (the full reproduction);
-// the output format is the one recorded in EXPERIMENTS.md.
+// Without -id, every registered experiment runs (the full reproduction) on a
+// worker pool of -j goroutines; tables stream in stable ID order and are
+// byte-identical for any -j, so the output format stays the one recorded in
+// EXPERIMENTS.md. -metrics appends each experiment's simulation-counter
+// snapshot (the hardware-counter analogue: per-channel bytes, XPBuffer hit
+// rate, UPI crossings, ...) and -metrics-json exports the suite aggregate.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -24,6 +29,9 @@ func main() {
 	id := flag.String("id", "", "run a single experiment (e.g. fig03, tab01); empty = all")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	format := flag.String("format", "text", "text or csv")
+	jobs := flag.Int("j", 0, "worker-pool width; 0 = GOMAXPROCS (output is identical for any width)")
+	showMetrics := flag.Bool("metrics", false, "append each experiment's metrics snapshot to the output")
+	metricsJSON := flag.String("metrics-json", "", "write the aggregate metrics snapshot as JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -36,35 +44,60 @@ func main() {
 		w = f
 	}
 
-	cfg := experiments.Config{SF: *sf, Quick: *quick}
-	print := func(t experiments.Table) {
-		if *format == "csv" {
-			t.FprintCSV(w)
-		} else {
-			t.Fprint(w)
-		}
-	}
-	var list []experiments.Experiment
-	if *id == "" {
-		list = experiments.All()
-	} else {
+	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics}
+	list := experiments.All()
+	if *id != "" {
 		e, err := experiments.ByID(*id)
 		if err != nil {
 			fatal(err)
 		}
 		list = []experiments.Experiment{e}
 	}
-	for _, e := range list {
-		if *format != "csv" {
-			fmt.Fprintf(w, "# %s: %s\n\n", e.ID, e.Title)
+
+	if *format == "csv" {
+		// CSV rendering streams per-table; metrics text is suppressed (use
+		// -metrics-json for machine-readable counters alongside CSV).
+		cfg.EmitMetrics = false
+		var agg = runCSV(cfg, list, w)
+		writeMetricsJSON(*metricsJSON, agg)
+		return
+	}
+
+	agg, err := experiments.RunList(cfg, list, w)
+	if err != nil {
+		fatal(err)
+	}
+	writeMetricsJSON(*metricsJSON, agg)
+}
+
+func runCSV(cfg experiments.Config, list []experiments.Experiment, w io.Writer) (agg metrics.Snapshot) {
+	for res := range experiments.RunConcurrent(cfg, list) {
+		if res.Err != nil {
+			fatal(res.Err)
 		}
-		tables, err := e.Run(cfg)
+		for _, t := range res.Tables {
+			t.FprintCSV(w)
+		}
+		agg = metrics.Merge(agg, res.Metrics)
+	}
+	return agg
+}
+
+func writeMetricsJSON(path string, agg metrics.Snapshot) {
+	if path == "" {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		for _, t := range tables {
-			print(t)
-		}
+		defer f.Close()
+		w = f
+	}
+	if err := agg.WriteJSON(w); err != nil {
+		fatal(err)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	prefetcher := flag.Bool("prefetcher", true, "L2 hardware prefetcher enabled")
 	sweep := flag.String("sweep", "", "sweep an axis: 'threads' or 'size'")
 	verbose := flag.Bool("verbose", false, "print peak resource utilizations (the bottleneck report)")
+	showMetrics := flag.Bool("metrics", false, "print the machine's metrics snapshot (simulated hardware counters) after the run")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
 	advise := flag.Bool("advise", false, "print the best-practice advice for the workload instead of measuring")
 	traceFile := flag.String("trace", "", "replay a workload trace file (see internal/trace for the format)")
 	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
@@ -110,6 +113,7 @@ func main() {
 		for _, s := range res.Streams {
 			fmt.Printf("  %-12s %8.2f GB/s over %6.2f s\n", s.Label, s.Bandwidth/1e9, s.Seconds)
 		}
+		emitMetrics(m.Metrics(), *showMetrics, *metricsJSON)
 		return
 	}
 
@@ -162,6 +166,33 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown sweep axis %q (threads or size)", *sweep))
+	}
+	emitMetrics(b.M.Metrics(), *showMetrics, *metricsJSON)
+}
+
+// emitMetrics prints the machine registry's snapshot as text and/or JSON.
+func emitMetrics(reg *metrics.Registry, text bool, jsonPath string) {
+	if !text && jsonPath == "" {
+		return
+	}
+	snap := reg.Snapshot()
+	if text {
+		fmt.Println("metrics:")
+		snap.Fprint(os.Stdout)
+	}
+	if jsonPath != "" {
+		w := os.Stdout
+		if jsonPath != "-" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := snap.WriteJSON(w); err != nil {
+			fatal(err)
+		}
 	}
 }
 

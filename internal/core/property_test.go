@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+// Property tests over the bandwidth model: invariants the paper's
+// measurements obey (Sections 4-5) and that any recalibration of the machine
+// config must preserve. Each point runs on a fresh Bench so machine state
+// (warmth, wear, fsdax faults) cannot leak between measurements.
+
+func measure(t *testing.T, p Point) float64 {
+	t.Helper()
+	b := MustNewBench(machine.DefaultConfig())
+	v, err := b.Measure(p)
+	if err != nil {
+		t.Fatalf("Measure(%+v): %v", p, err)
+	}
+	if v <= 0 {
+		t.Fatalf("Measure(%+v) = %g, want > 0", p, v)
+	}
+	return v
+}
+
+// TestPerThreadBandwidthSaturates: aggregate bandwidth divided by thread
+// count must be non-increasing as threads are added — the media saturates,
+// it never speeds up per thread (Figure 3's shape, both devices, both
+// directions).
+func TestPerThreadBandwidthSaturates(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16, 18}
+	cases := []struct {
+		name  string
+		class access.DeviceClass
+		dir   access.Direction
+	}{
+		{"pmem-read", access.PMEM, access.Read},
+		{"pmem-write", access.PMEM, access.Write},
+		{"dram-read", access.DRAM, access.Read},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prev := 0.0
+			for i, n := range threads {
+				agg := measure(t, Point{Class: c.class, Dir: c.dir,
+					Pattern: access.SeqIndividual, AccessSize: 4096,
+					Threads: n, Policy: cpu.PinCores})
+				per := agg / float64(n)
+				// Tiny tolerance: fair-share rounding can wiggle the
+				// per-thread figure by a hair without breaking the shape.
+				if i > 0 && per > prev*1.001 {
+					t.Errorf("%d threads: %.3f GB/s per thread > %.3f at %d threads",
+						n, per, prev, threads[i-1])
+				}
+				prev = per
+			}
+		})
+	}
+}
+
+// TestSequentialBeatsRandom: on PMEM the 256 B XPLine and the read buffer
+// make sequential reads strictly cheaper than random ones at every thread
+// count (Figure 7 vs Figure 3).
+func TestSequentialBeatsRandom(t *testing.T) {
+	for _, n := range []int{4, 18, 36} {
+		seq := measure(t, Point{Class: access.PMEM, Dir: access.Read,
+			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: n, Policy: cpu.PinCores})
+		rnd := measure(t, Point{Class: access.PMEM, Dir: access.Read,
+			Pattern: access.Random, AccessSize: 4096, Threads: n, Policy: cpu.PinCores})
+		if seq < rnd {
+			t.Errorf("%d threads: sequential %.2f GB/s < random %.2f GB/s", n, seq, rnd)
+		}
+	}
+}
+
+// TestDRAMBeatsPMEM: DRAM sustains at least PMEM's bandwidth for the same
+// workload point (the paper's whole premise; Figures 3, 6, 7).
+func TestDRAMBeatsPMEM(t *testing.T) {
+	for _, dir := range []access.Direction{access.Read, access.Write} {
+		for _, n := range []int{1, 18, 36} {
+			dram := measure(t, Point{Class: access.DRAM, Dir: dir,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: n, Policy: cpu.PinCores})
+			pmem := measure(t, Point{Class: access.PMEM, Dir: dir,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: n, Policy: cpu.PinCores})
+			if dram < pmem {
+				t.Errorf("%v %d threads: DRAM %.2f GB/s < PMEM %.2f GB/s", dir, n, dram, pmem)
+			}
+		}
+	}
+}
+
+// TestFarColdSlowerThanLocal: a cold far access pays UPI directory warm-up
+// and must never beat the local access; warming first must never hurt
+// (Section 5, Figure 10).
+func TestFarColdSlowerThanLocal(t *testing.T) {
+	base := Point{Class: access.PMEM, Dir: access.Read,
+		Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18, Policy: cpu.PinCores}
+	local := measure(t, base)
+	farCold := base
+	farCold.Far = true
+	cold := measure(t, farCold)
+	farWarm := farCold
+	farWarm.Warm = true
+	warm := measure(t, farWarm)
+	if cold > local {
+		t.Errorf("cold far read %.2f GB/s beats local %.2f GB/s", cold, local)
+	}
+	if warm < cold {
+		t.Errorf("warmed far read %.2f GB/s slower than cold %.2f GB/s", warm, cold)
+	}
+}

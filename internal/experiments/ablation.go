@@ -6,7 +6,6 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/machine"
 )
 
 func init() {
@@ -33,7 +32,7 @@ func ablPrefetcher(cfg Config) ([]Table, error) {
 		}
 	}
 	for _, on := range []bool{true, false} {
-		mcfg := machine.DefaultConfig()
+		mcfg := cfg.MachineConfig()
 		mcfg.PrefetcherEnabled = on
 		b := core.MustNewBench(mcfg)
 		label := "prefetcher on"
@@ -63,7 +62,7 @@ func ablXPBuffer(cfg Config) ([]Table, error) {
 		Header: "buffer lines", Cols: []string{"bandwidth"},
 		Paper: "(design-choice ablation; the real device behaves like ~384 lines)"}
 	for _, lines := range []int{96, 192, 384, 768, 1536} {
-		mcfg := machine.DefaultConfig()
+		mcfg := cfg.MachineConfig()
 		mcfg.PMEM.BufferLines = lines
 		b := core.MustNewBench(mcfg)
 		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Write,
@@ -83,7 +82,7 @@ func ablInterleave(cfg Config) ([]Table, error) {
 		Header: "stripe", Cols: []string{"bandwidth"},
 		Paper: "(design-choice ablation; the platform stripes at 4 KiB)"}
 	for _, stripe := range []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20} {
-		mcfg := machine.DefaultConfig()
+		mcfg := cfg.MachineConfig()
 		mcfg.Topology.InterleaveBytes = stripe
 		b := core.MustNewBench(mcfg)
 		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
@@ -103,7 +102,7 @@ func ablUPI(cfg Config) ([]Table, error) {
 		Header: "data factor", Cols: []string{"bandwidth"},
 		Paper: "paper: ~25% of the 40 GB/s per direction is metadata -> ~33 GB/s far reads"}
 	for _, f := range []float64{1.0, 1.1, 1.2, 1.4, 1.6} {
-		mcfg := machine.DefaultConfig()
+		mcfg := cfg.MachineConfig()
 		mcfg.UPI.DataCostFactor = f
 		b := core.MustNewBench(mcfg)
 		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
@@ -122,13 +121,13 @@ func ablWarmup(cfg Config) ([]Table, error) {
 	t := Table{ID: "abl5", Title: "18-thread far read: cold vs after 1-thread pre-read", Unit: "GB/s",
 		Header: "state", Cols: []string{"bandwidth"},
 		Paper: "pre-reading with one thread eliminates the warm-up entirely"}
-	cold := core.MustNewBench(machine.DefaultConfig())
+	cold := core.MustNewBench(cfg.MachineConfig())
 	v1, err := cold.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 		Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18, Policy: cpu.PinCores, Far: true})
 	if err != nil {
 		return nil, err
 	}
-	pre := core.MustNewBench(machine.DefaultConfig())
+	pre := core.MustNewBench(cfg.MachineConfig())
 	// Single-thread pre-read pass (cold, slow) ...
 	if _, err := pre.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 		Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 1, Policy: cpu.PinCores, Far: true}); err != nil {
@@ -165,7 +164,7 @@ func bpValidation(cfg Config) ([]Table, error) {
 		{"random read", core.WorkloadDesc{Dir: access.Read, Pattern: access.Random, FullControl: true}, access.Read, access.Random},
 	}
 	for _, c := range cases {
-		b := core.MustNewBench(machine.DefaultConfig())
+		b := core.MustNewBench(cfg.MachineConfig())
 		advice := core.Advise(c.desc)
 		advised, err := b.Measure(core.Point{Class: access.PMEM, Dir: c.dir, Pattern: c.pat,
 			AccessSize: advice.AccessSize, Threads: advice.ThreadsPerSocket, Policy: advice.Pinning})

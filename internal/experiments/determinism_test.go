@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiments are the repository's regression surface: EXPERIMENTS.md
+// records their output, and the parallel runner promises byte-identical
+// results at any -j. These tests lock both properties down.
+
+func detCfg() Config { return Config{SF: 0.02, Quick: true, EmitMetrics: true} }
+
+func runSuite(t *testing.T, cfg Config) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return buf.String()
+}
+
+// TestRunAllDeterministic runs the whole quick suite twice serially: the
+// virtual-time simulation must be bit-reproducible, including every metrics
+// counter (float accumulation order is fixed by the serial machine runs
+// within each experiment).
+func TestRunAllDeterministic(t *testing.T) {
+	cfg := detCfg()
+	cfg.Jobs = 1
+	a := runSuite(t, cfg)
+	b := runSuite(t, cfg)
+	if a != b {
+		t.Fatalf("two serial runs differ:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestRunAllParallelMatchesSerial is the -j contract: a 4-wide worker pool
+// must stream byte-identical output to the serial run — same table bytes,
+// same per-experiment metrics, same aggregate.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	serial := detCfg()
+	serial.Jobs = 1
+	parallel := detCfg()
+	parallel.Jobs = 4
+	a := runSuite(t, serial)
+	b := runSuite(t, parallel)
+	if a != b {
+		t.Fatalf("-j 4 output differs from serial:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestRunAllEmitsMetrics checks the snapshot actually surfaces the headline
+// counters the simulation exists to expose, per experiment and in aggregate.
+func TestRunAllEmitsMetrics(t *testing.T) {
+	out := runSuite(t, detCfg())
+	for _, want := range []string{
+		"# aggregate — metrics",
+		"## fig03 — metrics",
+		"xpdimm.s0.xpbuffer.hit_rate",
+		"pmem.s0.ch0.read_media_bytes",
+		"pmem.s0.ch0.util.mean",
+		"upi.crossings",
+		"xpdimm.s0.write_amplification.mean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// firstDiff locates the first differing line so a regression failure is
+// diagnosable without dumping two full suite outputs.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return "line " + strconv.Itoa(i+1) + ":\n  a: " + al[i] + "\n  b: " + bl[i]
+		}
+	}
+	return "outputs differ in length: " + strconv.Itoa(len(al)) + " vs " + strconv.Itoa(len(bl)) + " lines"
+}

@@ -8,8 +8,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
 )
 
 // Config controls experiment execution.
@@ -20,10 +25,32 @@ type Config struct {
 	SF float64
 	// Quick trims sweep axes for fast smoke runs.
 	Quick bool
+	// Jobs is the worker-pool width of RunAll/RunList; <= 0 means
+	// GOMAXPROCS. Experiments execute on independent Machine instances, so
+	// any width produces byte-identical output (virtual time is
+	// deterministic); Jobs only changes wall-clock time.
+	Jobs int
+	// EmitMetrics appends each experiment's metrics snapshot (and a
+	// suite-wide aggregate) to the rendered output.
+	EmitMetrics bool
+	// Metrics is the registry the experiment's machines record into. The
+	// runner installs a fresh registry per experiment; leave nil when
+	// calling an Experiment.Run directly and the machines fall back to
+	// private registries.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches the repository's documented outputs.
 func DefaultConfig() Config { return Config{SF: 0.1} }
+
+// MachineConfig returns the calibrated machine configuration with this
+// run's metrics registry attached; every experiment builds its machines
+// from it so the runner can aggregate per-experiment counters.
+func (c Config) MachineConfig() machine.Config {
+	mc := machine.DefaultConfig()
+	mc.Metrics = c.Metrics
+	return mc
+}
 
 // Table is one printable result table.
 type Table struct {
@@ -144,19 +171,112 @@ func (t Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// RunAll executes every experiment and prints its tables.
-func RunAll(cfg Config, w io.Writer) error {
-	for _, e := range All() {
-		fmt.Fprintf(w, "# %s: %s\n\n", e.ID, e.Title)
-		tables, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, err)
+// Result is one experiment's outcome from the concurrent runner.
+type Result struct {
+	Experiment Experiment
+	Tables     []Table
+	// Metrics is the experiment's aggregated simulation counters (every
+	// machine the experiment built records into one registry).
+	Metrics metrics.Snapshot
+	Err     error
+}
+
+// RunConcurrent executes the experiments on a pool of cfg.Jobs workers
+// (default GOMAXPROCS), each on its own Machine instances with its own
+// metrics registry, and returns a channel yielding one Result per experiment
+// in stable ID order — each result is delivered as soon as it and all its
+// predecessors have completed, so consumers can stream output while later
+// experiments are still running.
+func RunConcurrent(cfg Config, list []Experiment) <-chan Result {
+	sorted := make([]Experiment, len(list))
+	copy(sorted, list)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(sorted) {
+		jobs = len(sorted)
+	}
+
+	slots := make([]chan Result, len(sorted))
+	for i := range slots {
+		slots[i] = make(chan Result, 1)
+	}
+	var next atomic.Int64
+	for w := 0; w < jobs; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sorted) {
+					return
+				}
+				e := sorted[i]
+				c := cfg
+				c.Metrics = metrics.New()
+				tables, err := e.Run(c)
+				if err != nil {
+					err = fmt.Errorf("experiment %s: %w", e.ID, err)
+				}
+				slots[i] <- Result{Experiment: e, Tables: tables, Metrics: c.Metrics.Snapshot(), Err: err}
+			}
+		}()
+	}
+	out := make(chan Result)
+	go func() {
+		for _, slot := range slots {
+			out <- <-slot
 		}
-		for _, t := range tables {
+		close(out)
+	}()
+	return out
+}
+
+// RunAll executes every experiment on the worker pool and prints its tables
+// in stable ID order.
+func RunAll(cfg Config, w io.Writer) error {
+	_, err := RunList(cfg, All(), w)
+	return err
+}
+
+// RunList runs the given experiments concurrently and renders their tables
+// (and, with cfg.EmitMetrics, per-experiment metrics snapshots) in stable ID
+// order. It returns the suite-wide aggregate snapshot (counters summed,
+// gauges maxed across experiments). On error, output stops at the experiment
+// preceding the first failure (in ID order) and the first failure is
+// returned after the remaining workers drain.
+func RunList(cfg Config, list []Experiment, w io.Writer) (metrics.Snapshot, error) {
+	var agg metrics.Snapshot
+	var firstErr error
+	for res := range RunConcurrent(cfg, list) {
+		if firstErr != nil {
+			continue // drain
+		}
+		if res.Err != nil {
+			firstErr = res.Err
+			continue
+		}
+		fmt.Fprintf(w, "# %s: %s\n\n", res.Experiment.ID, res.Experiment.Title)
+		for _, t := range res.Tables {
 			t.Fprint(w)
 		}
+		if cfg.EmitMetrics {
+			fmt.Fprintf(w, "## %s — metrics\n", res.Experiment.ID)
+			res.Metrics.Fprint(w)
+			fmt.Fprintln(w)
+		}
+		agg = metrics.Merge(agg, res.Metrics)
 	}
-	return nil
+	if firstErr != nil {
+		return agg, firstErr
+	}
+	if cfg.EmitMetrics && len(list) > 1 {
+		fmt.Fprintln(w, "# aggregate — metrics")
+		agg.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	return agg, nil
 }
 
 // Axes shared by the microbenchmark sweeps (the paper's figures).

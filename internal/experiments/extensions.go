@@ -32,7 +32,7 @@ func extMemoryMode(cfg Config) ([]Table, error) {
 		Header: "working set", Cols: []string{"bandwidth"},
 		Paper: "Section 2.1 describes the mode (DRAM as inaccessible L4 cache, no persistence) but does not benchmark it"}
 	for _, size := range []int64{40 << 30, 86 << 30, 160 << 30, 300 << 30, 700 << 30} {
-		m := machine.MustNew(machine.DefaultConfig())
+		m := machine.MustNew(cfg.MachineConfig())
 		r, err := m.AllocMemoryMode("ws", 0, size)
 		if err != nil {
 			return nil, err
@@ -62,7 +62,7 @@ func extHybrid(cfg Config) ([]Table, error) {
 		Paper: "future work in the paper; random probes dominate, so DRAM indexes recover most of the gap"}
 
 	mk := func(device access.DeviceClass, hybrid bool) (*aware.Engine, error) {
-		m := machine.MustNew(machine.DefaultConfig())
+		m := machine.MustNew(cfg.MachineConfig())
 		return aware.New(m, data, aware.Options{
 			Device: device, Threads: 36, Sockets: 2, Pinning: cpu.PinCores,
 			NUMAAware: true, TargetSF: 100, HybridDims: hybrid,
@@ -116,7 +116,7 @@ func extPrice(cfg Config) ([]Table, error) {
 	}
 	secs := map[access.DeviceClass]float64{}
 	for _, dev := range []access.DeviceClass{access.PMEM, access.DRAM} {
-		m := machine.MustNew(machine.DefaultConfig())
+		m := machine.MustNew(cfg.MachineConfig())
 		e, err := aware.New(m, data, aware.Options{Device: dev, Threads: 36,
 			Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100})
 		if err != nil {
@@ -165,7 +165,7 @@ func extWear(cfg Config) ([]Table, error) {
 		{"256 B random, 6 threads", access.Random, 256, 6, false},
 	}
 	for _, c := range cases {
-		m := machine.MustNew(machine.DefaultConfig())
+		m := machine.MustNew(cfg.MachineConfig())
 		dataSocket := 0
 		if c.far {
 			dataSocket = 1

@@ -24,7 +24,7 @@ func extIngest(cfg Config) ([]Table, error) {
 		Header: "writers/socket", Cols: []string{"Q1.1 [s]", "Q2.1 [s]", "ingest GB/s"},
 		Paper: "Section 5.1: queries run while data is ingested; both sides lose bandwidth"}
 
-	m := machine.MustNew(machine.DefaultConfig())
+	m := machine.MustNew(cfg.MachineConfig())
 	e, err := aware.New(m, data, aware.Options{Device: access.PMEM, Threads: 30,
 		Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100})
 	if err != nil {

@@ -21,7 +21,7 @@ func extLoad(cfg Config) ([]Table, error) {
 	for _, threads := range []int{2, 4, 6, 12, 18, 36} {
 		var vals []float64
 		for _, dev := range []access.DeviceClass{access.PMEM, access.DRAM} {
-			m := machine.MustNew(machine.DefaultConfig())
+			m := machine.MustNew(cfg.MachineConfig())
 			e, err := aware.New(m, data, aware.Options{Device: dev, Threads: 36,
 				Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100})
 			if err != nil {

@@ -27,8 +27,8 @@ func init() {
 	register("dax01", "devdax vs fsdax bandwidth (Section 2.3)", dax1)
 }
 
-func sweepGrid(dir access.Direction, pattern access.Pattern, threads []int, sizes []int64) (Table, error) {
-	b := core.MustNewBench(machine.DefaultConfig())
+func sweepGrid(cfg Config, dir access.Direction, pattern access.Pattern, threads []int, sizes []int64) (Table, error) {
+	b := core.MustNewBench(cfg.MachineConfig())
 	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
 	for _, thr := range threads {
 		s := Series{Label: fmt.Sprintf("%d", thr)}
@@ -48,13 +48,13 @@ func sweepGrid(dir access.Direction, pattern access.Pattern, threads []int, size
 }
 
 func fig3(cfg Config) ([]Table, error) {
-	grouped, err := sweepGrid(access.Read, access.SeqGrouped, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
+	grouped, err := sweepGrid(cfg, access.Read, access.SeqGrouped, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
 	grouped.ID, grouped.Title = "fig3a", "Grouped read access"
 	grouped.Paper = "peak ~40 GB/s at 4K/16+ threads; 1-2K prefetcher dip; 64B/36thr ~12 GB/s"
-	individual, err := sweepGrid(access.Read, access.SeqIndividual, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
+	individual, err := sweepGrid(cfg, access.Read, access.SeqIndividual, readThreadAxis(cfg.Quick), sizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +72,7 @@ func fig4(cfg Config) ([]Table, error) {
 		Header: "pinning \\ threads", Cols: intLabels(threads),
 		Paper: "Cores ~41 GB/s at 18thr; NUMA ~40; None peaks ~9 GB/s"}
 	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
-		b := core.MustNewBench(machine.DefaultConfig())
+		b := core.MustNewBench(cfg.MachineConfig())
 		s := Series{Label: pol.String()}
 		for _, thr := range threads {
 			v, err := b.Measure(core.Point{
@@ -103,7 +103,7 @@ func fig5(cfg Config) ([]Table, error) {
 	far2 := Series{Label: "far (2nd run)"}
 	for _, thr := range threads {
 		// Fresh machine per thread count so each "first run" is cold.
-		b := core.MustNewBench(machine.DefaultConfig())
+		b := core.MustNewBench(cfg.MachineConfig())
 		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
 			Policy: cpu.PinCores, Far: true})
@@ -132,7 +132,7 @@ func fig5(cfg Config) ([]Table, error) {
 
 // multiSocket runs the five Figure 6/10 configurations for one direction and
 // device at each per-socket thread count.
-func multiSocket(class access.DeviceClass, dir access.Direction, threads []int) (Table, error) {
+func multiSocket(cfg Config, class access.DeviceClass, dir access.Direction, threads []int) (Table, error) {
 	t := Table{Unit: "GB/s", Header: "config \\ thr/socket", Cols: intLabels(threads)}
 	regionSize := int64(70 * units.GB)
 	if class == access.DRAM {
@@ -154,7 +154,7 @@ func multiSocket(class access.DeviceClass, dir access.Direction, threads []int) 
 	for _, c := range configs {
 		s := Series{Label: c.label}
 		for _, thr := range threads {
-			m := machine.MustNew(machine.DefaultConfig())
+			m := machine.MustNew(cfg.MachineConfig())
 			var regions [2]*machine.Region
 			var err error
 			for sock := 0; sock < 2; sock++ {
@@ -203,13 +203,13 @@ func fig6(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		threads = []int{4, 18}
 	}
-	pm, err := multiSocket(access.PMEM, access.Read, threads)
+	pm, err := multiSocket(cfg, access.PMEM, access.Read, threads)
 	if err != nil {
 		return nil, err
 	}
 	pm.ID, pm.Title = "fig6a", "Multi-socket reads, PMEM"
 	pm.Paper = "2 near ~80 (linear); 2 far ~50; same-region sharing very low; 1 far ~33"
-	dr, err := multiSocket(access.DRAM, access.Read, threads)
+	dr, err := multiSocket(cfg, access.DRAM, access.Read, threads)
 	if err != nil {
 		return nil, err
 	}
@@ -219,13 +219,13 @@ func fig6(cfg Config) ([]Table, error) {
 }
 
 func fig7(cfg Config) ([]Table, error) {
-	grouped, err := sweepGrid(access.Write, access.SeqGrouped, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
+	grouped, err := sweepGrid(cfg, access.Write, access.SeqGrouped, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
 	grouped.ID, grouped.Title = "fig7a", "Grouped write access"
 	grouped.Paper = "swept 64 B - 32 MB; global max 12.6 GB/s at 4K; 64B/36thr 2.6 GB/s; >18 threads decline beyond 256B"
-	individual, err := sweepGrid(access.Write, access.SeqIndividual, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
+	individual, err := sweepGrid(cfg, access.Write, access.SeqIndividual, writeThreadAxis(cfg.Quick), writeSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
@@ -241,13 +241,13 @@ func fig8(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		threads = []int{4, 18, 36}
 	}
-	grouped, err := sweepGrid(access.Write, access.SeqGrouped, threads, writeSizeAxis(cfg.Quick))
+	grouped, err := sweepGrid(cfg, access.Write, access.SeqGrouped, threads, writeSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
 	grouped.ID, grouped.Title = "fig8a", "Write heatmap, grouped"
 	grouped.Paper = "boomerang-shaped >10 GB/s ridge: high-thread/small-size, low-thread/any-size, 4K column"
-	individual, err := sweepGrid(access.Write, access.SeqIndividual, threads, writeSizeAxis(cfg.Quick))
+	individual, err := sweepGrid(cfg, access.Write, access.SeqIndividual, threads, writeSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +265,7 @@ func fig9(cfg Config) ([]Table, error) {
 		Header: "pinning \\ threads", Cols: intLabels(threads),
 		Paper: "Cores peaks ~13 GB/s; None ~7 (2x worse, vs 4x for reads)"}
 	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
-		b := core.MustNewBench(machine.DefaultConfig())
+		b := core.MustNewBench(cfg.MachineConfig())
 		s := Series{Label: pol.String()}
 		for _, thr := range threads {
 			v, err := b.Measure(core.Point{
@@ -287,7 +287,7 @@ func fig10(cfg Config) ([]Table, error) {
 	if cfg.Quick {
 		threads = []int{4, 8}
 	}
-	t, err := multiSocket(access.PMEM, access.Write, threads)
+	t, err := multiSocket(cfg, access.PMEM, access.Write, threads)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +304,7 @@ func fig11(cfg Config) ([]Table, error) {
 		Paper: "30r alone ~31; +1 writer -> read ~26; 6w/30r -> both ~1/3 of maxima"}
 	for _, w := range writeThreads {
 		for _, r := range readThreads {
-			m := machine.MustNew(machine.DefaultConfig())
+			m := machine.MustNew(cfg.MachineConfig())
 			rRead, err := m.AllocPMEM("read", 0, 40*units.GB, machine.DevDax)
 			if err != nil {
 				return nil, err
@@ -332,8 +332,8 @@ func fig11(cfg Config) ([]Table, error) {
 	return []Table{t}, nil
 }
 
-func randomSweep(class access.DeviceClass, dir access.Direction, threads []int, sizes []int64) (Table, error) {
-	b := core.MustNewBench(machine.DefaultConfig())
+func randomSweep(cfg Config, class access.DeviceClass, dir access.Direction, threads []int, sizes []int64) (Table, error) {
+	b := core.MustNewBench(cfg.MachineConfig())
 	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
 	for _, thr := range threads {
 		s := Series{Label: fmt.Sprintf("%d", thr)}
@@ -354,13 +354,13 @@ func randomSweep(class access.DeviceClass, dir access.Direction, threads []int, 
 }
 
 func fig12(cfg Config) ([]Table, error) {
-	pm, err := randomSweep(access.PMEM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	pm, err := randomSweep(cfg, access.PMEM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
 	pm.ID, pm.Title = "fig12a", "Random reads, PMEM (2 GB region)"
 	pm.Paper = "~2/3 of sequential max at >=4K; ~50% at 256/512B; hyperthreading helps"
-	dr, err := randomSweep(access.DRAM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	dr, err := randomSweep(cfg, access.DRAM, access.Read, readThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
@@ -370,13 +370,13 @@ func fig12(cfg Config) ([]Table, error) {
 }
 
 func fig13(cfg Config) ([]Table, error) {
-	pm, err := randomSweep(access.PMEM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	pm, err := randomSweep(cfg, access.PMEM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
 	pm.ID, pm.Title = "fig13a", "Random writes, PMEM (2 GB region)"
 	pm.Paper = "peak ~2/3 of sequential at 4-6 threads; larger access helps"
-	dr, err := randomSweep(access.DRAM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
+	dr, err := randomSweep(cfg, access.DRAM, access.Write, writeThreadAxis(cfg.Quick), randomSizeAxis(cfg.Quick))
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +389,7 @@ func dax1(cfg Config) ([]Table, error) {
 	t := Table{ID: "dax1", Title: "devdax vs fsdax, 18-thread 4K read", Unit: "GB/s",
 		Header: "mode", Cols: []string{"bandwidth"},
 		Paper: "devdax 5-10% faster; identical once pre-faulted; pre-fault 1 GB ~= 0.25 s"}
-	m := machine.MustNew(machine.DefaultConfig())
+	m := machine.MustNew(cfg.MachineConfig())
 	dev, err := m.AllocPMEM("dev", 0, 70*units.GB, machine.DevDax)
 	if err != nil {
 		return nil, err
@@ -417,7 +417,7 @@ func dax1(cfg Config) ([]Table, error) {
 		return nil, err
 	}
 	prefaultSec := func() float64 {
-		m2 := machine.MustNew(machine.DefaultConfig())
+		m2 := machine.MustNew(cfg.MachineConfig())
 		r, _ := m2.AllocPMEM("p", 0, units.GB, machine.FsDax)
 		return r.PreFault()
 	}()

@@ -44,7 +44,7 @@ func extPartition(cfg Config) ([]Table, error) {
 			return nil, err
 		}
 
-		m := machine.MustNew(machine.DefaultConfig())
+		m := machine.MustNew(cfg.MachineConfig())
 		var specs []workload.Spec
 		for s := 0; s < 2; s++ {
 			bytes := int64(float64(totalBytes) * float64(asg.Counts[s]) / float64(tuples))

@@ -4,7 +4,6 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/machine"
 )
 
 func init() {
@@ -29,7 +28,7 @@ func scorecard(cfg Config) ([]Table, error) {
 
 	seqPoint := func(dir access.Direction, pat access.Pattern, size int64, threads int) func() (float64, error) {
 		return func() (float64, error) {
-			b := core.MustNewBench(machine.DefaultConfig())
+			b := core.MustNewBench(cfg.MachineConfig())
 			return b.Measure(core.Point{Class: access.PMEM, Dir: dir, Pattern: pat,
 				AccessSize: size, Threads: threads, Policy: cpu.PinCores})
 		}
@@ -45,25 +44,25 @@ func scorecard(cfg Config) ([]Table, error) {
 		{"random read 4K 36thr [GB/s]", 26.7, 24, 29, seqPoint(access.Read, access.Random, 4096, 36)},
 		{"random write 4K 6thr [GB/s]", 8.4, 6.5, 9, seqPoint(access.Write, access.Random, 4096, 6)},
 		{"warm far read [GB/s]", 33, 30, 36, func() (float64, error) {
-			b := core.MustNewBench(machine.DefaultConfig())
+			b := core.MustNewBench(cfg.MachineConfig())
 			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18,
 				Policy: cpu.PinCores, Far: true, Warm: true})
 		}},
 		{"cold far read 4thr [GB/s]", 8, 7, 9, func() (float64, error) {
-			b := core.MustNewBench(machine.DefaultConfig())
+			b := core.MustNewBench(cfg.MachineConfig())
 			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 4,
 				Policy: cpu.PinCores, Far: true})
 		}},
 		{"unpinned read peak [GB/s]", 9, 7.5, 10.5, func() (float64, error) {
-			b := core.MustNewBench(machine.DefaultConfig())
+			b := core.MustNewBench(cfg.MachineConfig())
 			return b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 8,
 				Policy: cpu.PinNone})
 		}},
 		{"DRAM near read [GB/s]", 100, 95, 105, func() (float64, error) {
-			b := core.MustNewBench(machine.DefaultConfig())
+			b := core.MustNewBench(cfg.MachineConfig())
 			return b.Measure(core.Point{Class: access.DRAM, Dir: access.Read,
 				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: 18,
 				Policy: cpu.PinCores})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/access"
 	"repro/internal/aware"
@@ -19,10 +20,18 @@ func init() {
 }
 
 // dataCache shares the generated data set between the SSB experiments within
-// one process.
-var dataCache = map[float64]*ssb.Data{}
+// one process. The SSB experiments may run on different worker goroutines,
+// so access is serialized; generation happens under the lock so concurrent
+// first users don't duplicate the (expensive) generation work. The cached
+// *ssb.Data is treated as immutable by every engine.
+var (
+	dataCacheMu sync.Mutex
+	dataCache   = map[float64]*ssb.Data{}
+)
 
 func dataAt(sf float64) *ssb.Data {
+	dataCacheMu.Lock()
+	defer dataCacheMu.Unlock()
 	if d, ok := dataCache[sf]; ok {
 		return d
 	}
@@ -37,12 +46,12 @@ func fig14a(cfg Config) ([]Table, error) {
 		Header: "query", Cols: []string{"PMEM", "DRAM", "ratio"},
 		Paper: "PMEM on average 5.3x slower than DRAM (min 2.5x Q3.1, max 7.7x Q2.3)"}
 
-	mp := machine.MustNew(machine.DefaultConfig())
+	mp := machine.MustNew(cfg.MachineConfig())
 	pm, err := naive.New(mp, data, naive.Options{Device: access.PMEM, TargetSF: 50})
 	if err != nil {
 		return nil, err
 	}
-	md := machine.MustNew(machine.DefaultConfig())
+	md := machine.MustNew(cfg.MachineConfig())
 	dr, err := naive.New(md, data, naive.Options{Device: access.DRAM, TargetSF: 50})
 	if err != nil {
 		return nil, err
@@ -73,14 +82,14 @@ func fig14b(cfg Config) ([]Table, error) {
 		Paper: "PMEM 1.66x slower on average; QF1 ~1.3 s vs ~0.5 s; best 1.4x (Q3.3), worst 3x (Q1.3)"}
 
 	opt := aware.Options{Threads: 36, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}
-	mp := machine.MustNew(machine.DefaultConfig())
+	mp := machine.MustNew(cfg.MachineConfig())
 	pm, err := aware.New(mp, data, opt)
 	if err != nil {
 		return nil, err
 	}
 	optD := opt
 	optD.Device = access.DRAM
-	md := machine.MustNew(machine.DefaultConfig())
+	md := machine.MustNew(cfg.MachineConfig())
 	dr, err := aware.New(md, data, optD)
 	if err != nil {
 		return nil, err
@@ -129,7 +138,7 @@ func table1(cfg Config) ([]Table, error) {
 		for _, dev := range []access.DeviceClass{access.PMEM, access.DRAM} {
 			opt := st.opt
 			opt.Device = dev
-			m := machine.MustNew(machine.DefaultConfig())
+			m := machine.MustNew(cfg.MachineConfig())
 			e, err := aware.New(m, data, opt)
 			if err != nil {
 				return nil, err
@@ -155,7 +164,7 @@ func ssd1(cfg Config) ([]Table, error) {
 		Header: "setup", Cols: []string{"seconds"},
 		Paper: "22.8 s, table-scan bound; PMEM outperforms the SSD by over 2.6x"}
 
-	m := machine.MustNew(machine.DefaultConfig())
+	m := machine.MustNew(cfg.MachineConfig())
 	e, err := aware.New(m, data, aware.Options{Threads: 36, Sockets: 2,
 		Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100, SSDScan: true})
 	if err != nil {
@@ -165,7 +174,7 @@ func ssd1(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	mp := machine.MustNew(machine.DefaultConfig())
+	mp := machine.MustNew(cfg.MachineConfig())
 	ep, err := aware.New(mp, data, aware.Options{Threads: 36, Sockets: 2,
 		Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100})
 	if err != nil {

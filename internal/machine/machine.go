@@ -18,6 +18,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dramdimm"
 	"repro/internal/interleave"
+	"repro/internal/metrics"
 	"repro/internal/ssd"
 	"repro/internal/topology"
 	"repro/internal/upi"
@@ -92,6 +93,13 @@ type Config struct {
 	IMCHeadroom float64
 	// MaxVirtualSeconds aborts runaway runs.
 	MaxVirtualSeconds float64
+
+	// Metrics is the registry the machine's simulation counters are recorded
+	// into (per-channel bytes, XPBuffer hit/miss, UPI crossings, prefetch
+	// efficiency, ...). Nil means the machine records into a private registry
+	// reachable via Machine.Metrics; several machines may share one registry
+	// (how an experiment aggregates across its PMEM and DRAM machines).
+	Metrics *metrics.Registry `json:"-"`
 }
 
 // DefaultConfig returns the fully calibrated model of the paper's platform.
@@ -116,11 +124,16 @@ func DefaultConfig() Config {
 
 // Machine is a simulated server.
 type Machine struct {
-	cfg    Config
-	topo   *topology.Topology
-	layout *interleave.Layout
-	warmth *upi.Warmth
-	wear   []*xpdimm.Wear // per socket
+	cfg     Config
+	topo    *topology.Topology
+	layout  *interleave.Layout
+	warmth  *upi.Warmth
+	wear    []*xpdimm.Wear // per socket
+	metrics *metrics.Registry
+	rec     *recorder
+	// chCursor rotates per-channel traffic attribution per socket, mirroring
+	// the round-robin stripe rotation of the interleave layout.
+	chCursor []int
 
 	regions      []*Region
 	nextRegionID int
@@ -135,12 +148,19 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.MaxVirtualSeconds <= 0 {
 		return nil, fmt.Errorf("machine: MaxVirtualSeconds must be positive")
 	}
-	m := &Machine{
-		cfg:    cfg,
-		topo:   topo,
-		layout: interleave.MustNewLayout(topo.ChannelsPerSocket(), cfg.Topology.InterleaveBytes),
-		warmth: upi.NewWarmth(),
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
 	}
+	m := &Machine{
+		cfg:      cfg,
+		topo:     topo,
+		layout:   interleave.MustNewLayout(topo.ChannelsPerSocket(), cfg.Topology.InterleaveBytes),
+		warmth:   upi.NewWarmth(),
+		metrics:  reg,
+		chCursor: make([]int, topo.Sockets()),
+	}
+	m.rec = newRecorder(reg, topo)
 	for s := 0; s < topo.Sockets(); s++ {
 		m.wear = append(m.wear, &xpdimm.Wear{})
 	}
@@ -161,6 +181,10 @@ func (m *Machine) Topology() *topology.Topology { return m.topo }
 
 // Config exposes the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Metrics exposes the registry the machine records its simulation counters
+// into (the one from Config.Metrics, or a private registry if none was set).
+func (m *Machine) Metrics() *metrics.Registry { return m.metrics }
 
 // Wear returns the Optane wear counter of a socket.
 func (m *Machine) Wear(s topology.SocketID) *xpdimm.Wear { return m.wear[s] }
@@ -260,6 +284,7 @@ func (m *Machine) addRegion(name string, class access.DeviceClass, s topology.So
 	r := &Region{id: m.nextRegionID, m: m, Name: name, Class: class, Socket: s, Size: size, Mode: mode}
 	m.nextRegionID++
 	m.regions = append(m.regions, r)
+	m.rec.recordAlloc(class, size)
 	return r
 }
 
@@ -268,6 +293,7 @@ func (m *Machine) Free(r *Region) {
 	for i, reg := range m.regions {
 		if reg == r {
 			m.regions = append(m.regions[:i], m.regions[i+1:]...)
+			m.rec.regionFrees.Inc()
 			return
 		}
 	}
@@ -282,7 +308,10 @@ func (r *Region) PreFault() float64 {
 	}
 	remaining := float64(r.Size) - r.faultedBytes
 	r.faultedBytes = float64(r.Size)
-	return remaining * r.m.cfg.PreFaultSecPerByte
+	sec := remaining * r.m.cfg.PreFaultSecPerByte
+	r.m.rec.prefaultB.Add(remaining)
+	r.m.rec.prefaultSec.Add(sec)
+	return sec
 }
 
 // Faulted reports whether the region's pages are fully faulted in. Only
@@ -296,6 +325,7 @@ func (r *Region) Faulted() bool {
 // (Section 3.4) or data that the far socket has already scanned once.
 func (r *Region) WarmFor(s topology.SocketID) {
 	r.m.warmth.MarkWarm(upi.Key{Region: r.id, Socket: int(s)})
+	r.m.rec.upiMarkWarm.Inc()
 }
 
 // IsWarmFor reports far-access warmth for a socket.
@@ -306,4 +336,5 @@ func (r *Region) IsWarmFor(s topology.SocketID) bool {
 // CoolFor resets warmth (mapping reassigned away).
 func (r *Region) CoolFor(s topology.SocketID) {
 	r.m.warmth.Invalidate(upi.Key{Region: r.id, Socket: int(s)})
+	r.m.rec.upiInval.Inc()
 }

@@ -63,6 +63,15 @@ type flowCtx struct {
 	writeUtilPerByte float64 // media write utilization per byte (for uW)
 	writeWA          float64 // effective write amplification (for wear)
 	touchesRegion    *Region
+
+	// Metrics bookkeeping, filled by computeCosts and consumed by Advance.
+	readRA        float64 // media traffic per app byte read (incl. HT/prefetch waste)
+	readBaseRA    float64 // media traffic from access granularity alone
+	dirWritePerB  float64 // directory-update media writes per far contended read byte
+	engaged       int     // channels engaged (rounded dimmParallelism)
+	mmHit         float64 // Memory Mode DRAM-cache hit fraction; -1 = not Memory Mode
+	prefetched    bool    // sequential PMEM read with the prefetcher engaged
+	prefetchEff   float64
 }
 
 func newRunModel(m *Machine, streams []*Stream) *runModel {
@@ -355,24 +364,34 @@ func (rm *runModel) computeCosts(pop population) {
 			}
 			costs = append(costs, fluid.Cost{Resource: tr, PerByte: 1 / demand})
 		}
-		fc := flowCtx{active: true, far: far, touchesRegion: s.Region}
+		fc := flowCtx{active: true, far: far, touchesRegion: s.Region, mmHit: mmHit}
 
 		switch s.Region.Class {
 		case access.PMEM:
 			nd := rm.dimmParallelism(s, pop)
 			concentration := d / math.Max(nd, 1e-9)
+			fc.engaged = int(math.Round(nd))
 			media := rm.pmemMedia[s.Region.Socket]
 			readCap := cfg.PMEM.SocketReadBytesPerSec(topo.ChannelsPerSocket())
 			writeCap := cfg.PMEM.SocketWriteBytesPerSec(topo.ChannelsPerSocket())
 			if s.Dir == access.Read {
 				ra := cfg.PMEM.ReadAmplification(s.AccessSize, s.Pattern)
+				fc.readBaseRA = ra
 				if htFlag && cfg.PrefetcherEnabled {
 					ra *= cfg.CPU.HTMediaAmplification(s.AccessSize, s.Pattern)
+				}
+				if s.Pattern.Sequential() && cfg.PrefetcherEnabled {
+					fc.prefetched = true
+					fc.prefetchEff = cpu.PrefetchEfficiency(s.Pattern, s.AccessSize)
 				}
 				if s.Pattern == access.SeqGrouped && cfg.PrefetcherEnabled {
 					eff := cpu.PrefetchEfficiency(s.Pattern, s.AccessSize)
 					ra *= 1 + (1-eff)*cfg.PrefetchWasteFactor
 				}
+				// ra so far is real media traffic (granularity, HT-evicted and
+				// mispredicted prefetches); the random penalty below models
+				// lost bank parallelism, not extra bytes.
+				fc.readRA = ra
 				if s.Pattern == access.Random {
 					ra *= cfg.PMEM.RandomMediaPenalty
 				}
@@ -400,6 +419,7 @@ func (rm *runModel) computeCosts(pop population) {
 					dirCost := cfg.PMEM.DirectoryWriteFraction / writeCap
 					costs = append(costs, fluid.Cost{Resource: media, PerByte: dirCost})
 					fc.writeUtilPerByte += dirCost
+					fc.dirWritePerB = cfg.PMEM.DirectoryWriteFraction
 				}
 			} else {
 				streams := pop.pmemWriteStreams[s.Region.Socket]
@@ -580,14 +600,91 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 		}
 		moved := f.Rate * dt
 		if fc.cold {
+			wasWarm := rm.m.warmth.IsWarm(fc.coldKey)
 			rm.m.warmth.Record(fc.coldKey, moved, fc.touchesRegion.Size)
+			if !wasWarm && rm.m.warmth.IsWarm(fc.coldKey) {
+				rm.m.rec.upiWarmups.Inc()
+			}
 		}
 		if fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
+			before := fc.touchesRegion.faultedBytes
 			fc.touchesRegion.faultedBytes = math.Min(
-				fc.touchesRegion.faultedBytes+moved, float64(fc.touchesRegion.Size))
+				before+moved, float64(fc.touchesRegion.Size))
+			rm.m.rec.faultInB.Add(fc.touchesRegion.faultedBytes - before)
 		}
 		if fc.writeWA > 0 && fc.touchesRegion.Class == access.PMEM {
 			rm.m.wear[fc.touchesRegion.Socket].Record(moved * fc.writeWA)
+		}
+		rm.recordTraffic(rm.streams[i], fc, moved)
+	}
+}
+
+// recordTraffic accounts one flow's dt-step traffic in the metrics registry:
+// app vs media bytes per device and socket, per-channel distribution,
+// XPBuffer line flushes, prefetch waste, and UPI link bytes.
+func (rm *runModel) recordTraffic(s *Stream, fc flowCtx, moved float64) {
+	rec := rm.m.rec
+	gran := float64(rm.m.cfg.PMEM.Granularity)
+	switch s.Region.Class {
+	case access.PMEM:
+		sock := s.Region.Socket
+		// In Memory Mode only the DRAM-cache miss share reaches the media;
+		// every byte still moves through the socket's DRAM.
+		missShare := 1.0
+		if fc.mmHit >= 0 {
+			missShare = 1 - fc.mmHit
+		}
+		if s.Dir == access.Read {
+			media := moved * fc.readRA * missShare
+			rec.pmemReadApp[sock].Add(moved)
+			rec.pmemReadMedia[sock].Add(media)
+			rec.rbufApp[sock].Add(moved * missShare)
+			rec.rbufMedia[sock].Add(media)
+			rm.m.recordChannelMedia(sock, access.Read, fc.engaged, media)
+			if fc.prefetched {
+				rec.pfBytes.Add(moved)
+				rec.pfUseful.Add(moved * fc.prefetchEff)
+				rec.pfWasted.Add(moved * (fc.readRA - fc.readBaseRA) * missShare)
+			}
+			if fc.dirWritePerB > 0 {
+				rec.dirWrites[sock].Add(moved * fc.dirWritePerB)
+			}
+		} else {
+			media := moved * fc.writeWA * missShare
+			rec.pmemWriteApp[sock].Add(moved)
+			rec.pmemWriteMedia[sock].Add(media)
+			rec.xpbLineWrites[sock].Add(moved * missShare / gran)
+			rec.xpbLineFlushes[sock].Add(media / gran)
+			rm.m.recordChannelMedia(sock, access.Write, fc.engaged, media)
+		}
+		if fc.mmHit >= 0 {
+			if s.Dir == access.Read {
+				rec.dramRead[sock].Add(moved)
+			} else {
+				rec.dramWrite[sock].Add(moved)
+			}
+		}
+	case access.DRAM:
+		if s.Dir == access.Read {
+			rec.dramRead[s.Region.Socket].Add(moved)
+		} else {
+			rec.dramWrite[s.Region.Socket].Add(moved)
+		}
+	case access.SSD:
+		rec.ssdBytes.Add(moved)
+	}
+	if fc.far {
+		ts := int(rm.m.threadSocket(s))
+		ds := int(s.Region.Socket)
+		dataFrom, dataTo := ds, ts
+		if s.Dir == access.Write {
+			dataFrom, dataTo = ts, ds
+		}
+		rec.upiData[dataFrom][dataTo].Add(moved * rm.m.cfg.UPI.DataCostFactor)
+		rec.upiReq[dataTo][dataFrom].Add(moved * rm.m.cfg.UPI.RequestCostFactor)
+		rec.upiCross.Add(moved / float64(s.AccessSize))
+		if fc.cold {
+			rec.upiColdB.Add(moved)
 		}
 	}
 }

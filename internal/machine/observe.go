@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// recorder holds pre-resolved metric handles for one machine, so the solver
+// hot path (runModel.Advance) performs only atomic adds — no map lookups and
+// no allocations. Counter names are documented in EXPERIMENTS.md ("Metrics");
+// each maps to a hardware counter the paper's methodology reads (iMC channel
+// counters, UPI link events, VTune's buffer and prefetch statistics).
+type recorder struct {
+	reg      *metrics.Registry
+	sockets  int
+	channels int
+
+	regionAllocs *metrics.Counter
+	regionFrees  *metrics.Counter
+	allocPMEM    *metrics.Counter
+	allocDRAM    *metrics.Counter
+	allocSSD     *metrics.Counter
+	prefaultB    *metrics.Counter
+	prefaultSec  *metrics.Counter
+	faultInB     *metrics.Counter
+	runCount     *metrics.Counter
+	runSeconds   *metrics.Counter
+
+	pmemReadApp    []*metrics.Counter // per socket
+	pmemReadMedia  []*metrics.Counter
+	pmemWriteApp   []*metrics.Counter
+	pmemWriteMedia []*metrics.Counter
+	pmemUtilPeak   []*metrics.Gauge
+	chReadMedia    [][]*metrics.Counter // [socket][channel]
+	chWriteMedia   [][]*metrics.Counter
+	chUtilMean     [][]*metrics.Gauge
+
+	dramRead     []*metrics.Counter
+	dramWrite    []*metrics.Counter
+	dramUtilPeak []*metrics.Gauge
+	dirWrites    []*metrics.Counter // directory-update media writes per socket
+	ssdBytes     *metrics.Counter
+
+	upiData     [][]*metrics.Counter // [from][to], nil on the diagonal
+	upiReq      [][]*metrics.Counter
+	upiUtilPeak [][]*metrics.Gauge
+	upiCross    *metrics.Counter
+	upiColdB    *metrics.Counter
+	upiWarmups  *metrics.Counter
+	upiMarkWarm *metrics.Counter
+	upiInval    *metrics.Counter
+
+	xpbLineWrites  []*metrics.Counter
+	xpbLineFlushes []*metrics.Counter
+	xpbHitRate     []*metrics.Gauge
+	rbufApp        []*metrics.Counter
+	rbufMedia      []*metrics.Counter
+	rbufHitRate    []*metrics.Gauge
+	writeAmpMean   []*metrics.Gauge
+	wearBytes      []*metrics.Gauge
+
+	pfBytes    *metrics.Counter
+	pfUseful   *metrics.Counter
+	pfWasted   *metrics.Counter
+	pfEffMean  *metrics.Gauge
+	pinStreams map[cpu.PinPolicy]*metrics.Counter
+	pinBytes   map[cpu.PinPolicy]*metrics.Counter
+	htShared   *metrics.Counter
+}
+
+func newRecorder(reg *metrics.Registry, topo *topology.Topology) *recorder {
+	r := &recorder{
+		reg:      reg,
+		sockets:  topo.Sockets(),
+		channels: topo.ChannelsPerSocket(),
+
+		regionAllocs: reg.Counter("machine.region.allocs"),
+		regionFrees:  reg.Counter("machine.region.frees"),
+		allocPMEM:    reg.Counter("machine.region.alloc_bytes.pmem"),
+		allocDRAM:    reg.Counter("machine.region.alloc_bytes.dram"),
+		allocSSD:     reg.Counter("machine.region.alloc_bytes.ssd"),
+		prefaultB:    reg.Counter("machine.prefault.bytes"),
+		prefaultSec:  reg.Counter("machine.prefault.seconds"),
+		faultInB:     reg.Counter("machine.fault_in.bytes"),
+		runCount:     reg.Counter("machine.run.count"),
+		runSeconds:   reg.Counter("machine.run.virtual_seconds"),
+
+		ssdBytes: reg.Counter("ssd.bytes"),
+
+		upiCross:    reg.Counter("upi.crossings"),
+		upiColdB:    reg.Counter("upi.cold_bytes"),
+		upiWarmups:  reg.Counter("upi.warmups"),
+		upiMarkWarm: reg.Counter("upi.mark_warm"),
+		upiInval:    reg.Counter("upi.invalidations"),
+
+		pfBytes:   reg.Counter("cpu.prefetch.bytes"),
+		pfUseful:  reg.Counter("cpu.prefetch.useful_bytes"),
+		pfWasted:  reg.Counter("cpu.prefetch.wasted_media_bytes"),
+		pfEffMean: reg.Gauge("cpu.prefetch.efficiency.mean"),
+		htShared:  reg.Counter("cpu.ht_shared.streams"),
+	}
+	r.pinStreams = map[cpu.PinPolicy]*metrics.Counter{}
+	r.pinBytes = map[cpu.PinPolicy]*metrics.Counter{}
+	for _, pol := range []cpu.PinPolicy{cpu.PinCores, cpu.PinNUMA, cpu.PinNone} {
+		r.pinStreams[pol] = reg.Counter(fmt.Sprintf("cpu.pin.%s.streams", pol))
+		r.pinBytes[pol] = reg.Counter(fmt.Sprintf("cpu.pin.%s.bytes", pol))
+	}
+	for s := 0; s < r.sockets; s++ {
+		r.pmemReadApp = append(r.pmemReadApp, reg.Counter(fmt.Sprintf("pmem.s%d.read.app_bytes", s)))
+		r.pmemReadMedia = append(r.pmemReadMedia, reg.Counter(fmt.Sprintf("pmem.s%d.read.media_bytes", s)))
+		r.pmemWriteApp = append(r.pmemWriteApp, reg.Counter(fmt.Sprintf("pmem.s%d.write.app_bytes", s)))
+		r.pmemWriteMedia = append(r.pmemWriteMedia, reg.Counter(fmt.Sprintf("pmem.s%d.write.media_bytes", s)))
+		r.pmemUtilPeak = append(r.pmemUtilPeak, reg.Gauge(fmt.Sprintf("pmem.s%d.util.peak", s)))
+		r.dramRead = append(r.dramRead, reg.Counter(fmt.Sprintf("dram.s%d.read.bytes", s)))
+		r.dramWrite = append(r.dramWrite, reg.Counter(fmt.Sprintf("dram.s%d.write.bytes", s)))
+		r.dramUtilPeak = append(r.dramUtilPeak, reg.Gauge(fmt.Sprintf("dram.s%d.util.peak", s)))
+		r.dirWrites = append(r.dirWrites, reg.Counter(fmt.Sprintf("pmem.s%d.directory.write_media_bytes", s)))
+
+		var crm, cwm []*metrics.Counter
+		var cum []*metrics.Gauge
+		for c := 0; c < r.channels; c++ {
+			crm = append(crm, reg.Counter(fmt.Sprintf("pmem.s%d.ch%d.read_media_bytes", s, c)))
+			cwm = append(cwm, reg.Counter(fmt.Sprintf("pmem.s%d.ch%d.write_media_bytes", s, c)))
+			cum = append(cum, reg.Gauge(fmt.Sprintf("pmem.s%d.ch%d.util.mean", s, c)))
+		}
+		r.chReadMedia = append(r.chReadMedia, crm)
+		r.chWriteMedia = append(r.chWriteMedia, cwm)
+		r.chUtilMean = append(r.chUtilMean, cum)
+
+		r.xpbLineWrites = append(r.xpbLineWrites, reg.Counter(fmt.Sprintf("xpdimm.s%d.xpbuffer.line_writes", s)))
+		r.xpbLineFlushes = append(r.xpbLineFlushes, reg.Counter(fmt.Sprintf("xpdimm.s%d.xpbuffer.line_flushes", s)))
+		r.xpbHitRate = append(r.xpbHitRate, reg.Gauge(fmt.Sprintf("xpdimm.s%d.xpbuffer.hit_rate", s)))
+		r.rbufApp = append(r.rbufApp, reg.Counter(fmt.Sprintf("xpdimm.s%d.readbuf.app_bytes", s)))
+		r.rbufMedia = append(r.rbufMedia, reg.Counter(fmt.Sprintf("xpdimm.s%d.readbuf.media_bytes", s)))
+		r.rbufHitRate = append(r.rbufHitRate, reg.Gauge(fmt.Sprintf("xpdimm.s%d.readbuf.hit_rate", s)))
+		r.writeAmpMean = append(r.writeAmpMean, reg.Gauge(fmt.Sprintf("xpdimm.s%d.write_amplification.mean", s)))
+		r.wearBytes = append(r.wearBytes, reg.Gauge(fmt.Sprintf("xpdimm.s%d.wear.media_bytes", s)))
+	}
+	for a := 0; a < r.sockets; a++ {
+		var data, req []*metrics.Counter
+		var util []*metrics.Gauge
+		for b := 0; b < r.sockets; b++ {
+			if a == b {
+				data = append(data, nil)
+				req = append(req, nil)
+				util = append(util, nil)
+				continue
+			}
+			data = append(data, reg.Counter(fmt.Sprintf("upi.s%dto%d.data_bytes", a, b)))
+			req = append(req, reg.Counter(fmt.Sprintf("upi.s%dto%d.req_bytes", a, b)))
+			util = append(util, reg.Gauge(fmt.Sprintf("upi.s%dto%d.util.peak", a, b)))
+		}
+		r.upiData = append(r.upiData, data)
+		r.upiReq = append(r.upiReq, req)
+		r.upiUtilPeak = append(r.upiUtilPeak, util)
+	}
+	return r
+}
+
+// recordAlloc accounts a new region.
+func (r *recorder) recordAlloc(class access.DeviceClass, size int64) {
+	r.regionAllocs.Inc()
+	switch class {
+	case access.PMEM:
+		r.allocPMEM.Add(float64(size))
+	case access.DRAM:
+		r.allocDRAM.Add(float64(size))
+	case access.SSD:
+		r.allocSSD.Add(float64(size))
+	}
+}
+
+// finishRun sets the derived end-of-run gauges from the accumulated
+// counters: buffer hit rates, mean write amplification, mean per-channel
+// utilization, peak resource utilizations, and wear.
+func (m *Machine) finishRun(rm *runModel, elapsed float64) {
+	r := m.rec
+	r.runCount.Inc()
+	r.runSeconds.Add(elapsed)
+	seconds := r.runSeconds.Value()
+
+	chReadCap := m.cfg.PMEM.MediaReadBytesPerSec
+	chWriteCap := m.cfg.PMEM.MediaWriteBytesPerSec
+	for s := 0; s < r.sockets; s++ {
+		if flushes := r.xpbLineFlushes[s].Value(); flushes > 0 {
+			r.xpbHitRate[s].Set(r.xpbLineWrites[s].Value() / flushes)
+		}
+		if media := r.rbufMedia[s].Value(); media > 0 {
+			r.rbufHitRate[s].Set(r.rbufApp[s].Value() / media)
+		}
+		if app := r.pmemWriteApp[s].Value(); app > 0 {
+			r.writeAmpMean[s].Set(r.pmemWriteMedia[s].Value() / app)
+		}
+		r.wearBytes[s].SetMax(m.wear[s].MediaBytesWritten())
+		r.pmemUtilPeak[s].SetMax(rm.peakUtil[fmt.Sprintf("pmem-media-%d", s)])
+		r.dramUtilPeak[s].SetMax(rm.peakUtil[fmt.Sprintf("dram-media-%d", s)])
+		if seconds > 0 {
+			for c := 0; c < r.channels; c++ {
+				u := r.chReadMedia[s][c].Value()/chReadCap + r.chWriteMedia[s][c].Value()/chWriteCap
+				r.chUtilMean[s][c].Set(u / seconds)
+			}
+		}
+	}
+	if pf := r.pfBytes.Value(); pf > 0 {
+		r.pfEffMean.Set(r.pfUseful.Value() / pf)
+	}
+	for a := 0; a < r.sockets; a++ {
+		for b := 0; b < r.sockets; b++ {
+			if a != b {
+				r.upiUtilPeak[a][b].SetMax(rm.peakUtil[fmt.Sprintf("upi-%d-%d", a, b)])
+			}
+		}
+	}
+}
+
+// recordChannelMedia spreads a stream's media traffic over the channels it
+// engages. The interleave layout rotates stripes round-robin across the
+// socket's channels, so a stream engaging nd of them sweeps the whole set
+// over time; the per-socket cursor reproduces that rotation deterministically.
+func (m *Machine) recordChannelMedia(socket topology.SocketID, dir access.Direction, engaged int, mediaBytes float64) {
+	r := m.rec
+	d := r.channels
+	if engaged < 1 {
+		engaged = 1
+	}
+	if engaged > d {
+		engaged = d
+	}
+	counters := r.chReadMedia[socket]
+	if dir == access.Write {
+		counters = r.chWriteMedia[socket]
+	}
+	per := mediaBytes / float64(engaged)
+	start := m.chCursor[socket]
+	for k := 0; k < engaged; k++ {
+		counters[(start+k)%d].Add(per)
+	}
+	m.chCursor[socket] = (start + engaged) % d
+}

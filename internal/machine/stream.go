@@ -105,12 +105,22 @@ func (m *Machine) run(streams []*Stream, maxTime float64) (RunResult, error) {
 			return RunResult{}, err
 		}
 	}
+	for _, s := range streams {
+		m.rec.pinStreams[s.Policy].Inc()
+		if s.Placement.HTShared {
+			m.rec.htShared.Inc()
+		}
+	}
 	rm := newRunModel(m, streams)
 	eng := fluid.NewEngine(rm)
 	eng.Add(rm.flows...)
 	if err := eng.Run(maxTime); err != nil {
 		return RunResult{}, fmt.Errorf("machine: run failed: %w", err)
 	}
+	for i, s := range streams {
+		m.rec.pinBytes[s.Policy].Add(rm.flows[i].Moved)
+	}
+	m.finishRun(rm, eng.Now)
 
 	res := RunResult{Elapsed: eng.Now, PeakUtilization: rm.peakUtil}
 	var readBytes, writeBytes, readEnd, writeEnd float64

@@ -71,7 +71,7 @@ type Part struct {
 }
 
 // Date dimension row (one per calendar day, 7 years: 1992-01-01 to
-// 1998-12-31, 2556 days).
+// 1998-12-31 — 2557 days including the 1992 and 1996 leap days).
 type Date struct {
 	DateKey         uint32 // yyyymmdd
 	Date            string
