@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-sf 0.1] [-quick] [-id fig03] [-j 8] [-metrics] [-o out.txt]
+//	experiments [-sf 0.1] [-quick] [-id fig03] [-list] [-j 8] [-metrics] [-o out.txt]
 //
 // Without -id, every registered experiment runs (the full reproduction) on a
 // worker pool of -j goroutines; tables stream in stable ID order and are
@@ -11,13 +11,18 @@
 // EXPERIMENTS.md. -metrics appends each experiment's simulation-counter
 // snapshot (the hardware-counter analogue: per-channel bytes, XPBuffer hit
 // rate, UPI crossings, ...) and -metrics-json exports the suite aggregate.
+// -list prints the experiment catalog (the same listing pmemd serves at
+// GET /v1/experiments). Ctrl-C / SIGTERM cancels the run cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -27,12 +32,21 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "scale factor the SSB engines execute at (traffic scales to sf 50/100)")
 	quick := flag.Bool("quick", false, "trim sweep axes for a fast smoke run")
 	id := flag.String("id", "", "run a single experiment (e.g. fig03, tab01); empty = all")
+	list := flag.Bool("list", false, "print the experiment catalog and exit")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	format := flag.String("format", "text", "text or csv")
 	jobs := flag.Int("j", 0, "worker-pool width; 0 = GOMAXPROCS (output is identical for any width)")
 	showMetrics := flag.Bool("metrics", false, "append each experiment's metrics snapshot to the output")
 	metricsJSON := flag.String("metrics-json", "", "write the aggregate metrics snapshot as JSON to this file ('-' = stdout)")
 	flag.Parse()
+
+	if *list {
+		experiments.FprintCatalog(os.Stdout)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -45,33 +59,35 @@ func main() {
 	}
 
 	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics}
-	list := experiments.All()
+	exps := experiments.All()
 	if *id != "" {
 		e, err := experiments.ByID(*id)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; valid experiments are:\n", *id)
+			experiments.FprintCatalog(os.Stderr)
+			os.Exit(1)
 		}
-		list = []experiments.Experiment{e}
+		exps = []experiments.Experiment{e}
 	}
 
 	if *format == "csv" {
 		// CSV rendering streams per-table; metrics text is suppressed (use
 		// -metrics-json for machine-readable counters alongside CSV).
 		cfg.EmitMetrics = false
-		var agg = runCSV(cfg, list, w)
+		var agg = runCSV(ctx, cfg, exps, w)
 		writeMetricsJSON(*metricsJSON, agg)
 		return
 	}
 
-	agg, err := experiments.RunList(cfg, list, w)
+	agg, err := experiments.RunList(ctx, cfg, exps, w)
 	if err != nil {
 		fatal(err)
 	}
 	writeMetricsJSON(*metricsJSON, agg)
 }
 
-func runCSV(cfg experiments.Config, list []experiments.Experiment, w io.Writer) (agg metrics.Snapshot) {
-	for res := range experiments.RunConcurrent(cfg, list) {
+func runCSV(ctx context.Context, cfg experiments.Config, list []experiments.Experiment, w io.Writer) (agg metrics.Snapshot) {
+	for res := range experiments.RunConcurrent(ctx, cfg, list) {
 		if res.Err != nil {
 			fatal(res.Err)
 		}

@@ -1,0 +1,91 @@
+// Command pmemd serves the calibrated machine simulation as a long-lived
+// HTTP daemon — the paper's bandwidth model as a queryable performance
+// oracle instead of a batch CLI.
+//
+// Usage:
+//
+//	pmemd [-addr :8080] [-workers 0] [-queue 64] [-cache-bytes 67108864]
+//	      [-job-timeout 2m] [-drain-timeout 30s] [-max-sf 1]
+//
+// API:
+//
+//	POST /v1/run            submit an experiment (optionally with an ad-hoc
+//	                        machine model); waits for the result unless
+//	                        "async": true
+//	GET  /v1/jobs/{id}      job status and result
+//	GET  /v1/experiments    the experiment catalog
+//	GET  /metrics           Prometheus text exposition (server_* counters
+//	                        plus the cumulative sim_* hardware counters)
+//	GET  /healthz, /readyz  liveness / readiness
+//
+// Identical requests are answered from the content-addressed result cache;
+// concurrent identical submissions coalesce onto one simulation. SIGTERM or
+// SIGINT drains in-flight jobs (bounded by -drain-timeout) before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation pool width; 0 = GOMAXPROCS")
+	queue := flag.Int("queue", 64, "admitted jobs that may wait beyond the pool width before 429")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache byte budget")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job simulation timeout (queue wait included)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	maxSF := flag.Float64("max-sf", 1, "largest scale factor a request may ask for; negative = unbounded")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheBytes,
+		JobTimeout: *jobTimeout,
+		MaxSF:      *maxSF,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("pmemd: serving on %s (workers=%d queue=%d cache=%dB)",
+		*addr, s.Pool().Width(), *queue, *cacheBytes)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "pmemd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admitting, let in-flight simulations (and the handlers
+	// waiting on them) finish, then close the listener.
+	log.Printf("pmemd: draining (up to %s)", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Drain(shCtx); err != nil {
+		log.Printf("pmemd: drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("pmemd: shutdown: %v", err)
+	}
+	s.Close()
+	log.Printf("pmemd: exited cleanly")
+}

@@ -32,6 +32,9 @@ func ablPrefetcher(cfg Config) ([]Table, error) {
 		}
 	}
 	for _, on := range []bool{true, false} {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		mcfg := cfg.MachineConfig()
 		mcfg.PrefetcherEnabled = on
 		b := core.MustNewBench(mcfg)

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,10 +18,55 @@ func detCfg() Config { return Config{SF: 0.02, Quick: true, EmitMetrics: true} }
 func runSuite(t *testing.T, cfg Config) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := RunAll(cfg, &buf); err != nil {
+	if err := RunAll(context.Background(), cfg, &buf); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
 	return buf.String()
+}
+
+// TestRunListCanceled locks down the context contract: a canceled context
+// fails the run with context.Canceled and the channel still drains.
+func TestRunListCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	_, err := RunList(ctx, detCfg(), All(), &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunList on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("canceled run still printed %d bytes", buf.Len())
+	}
+}
+
+// TestRunMidExperimentCancel verifies an experiment body observes
+// cancellation through Config.Err mid-sweep.
+func TestRunMidExperimentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := ByID("fig03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(detCfg().WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fig03 with canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPoolBoundsConcurrency runs the quick suite through a width-1 shared
+// pool and checks the output is still the canonical byte stream (the pool
+// must serialize, not reorder or drop).
+func TestPoolBoundsConcurrency(t *testing.T) {
+	cfg := detCfg()
+	cfg.Jobs = 4
+	cfg.Pool = NewPool(1)
+	a := runSuite(t, cfg)
+	cfg = detCfg()
+	cfg.Jobs = 1
+	b := runSuite(t, cfg)
+	if a != b {
+		t.Fatalf("pooled run differs from serial:\n%s", firstDiff(a, b))
+	}
 }
 
 // TestRunAllDeterministic runs the whole quick suite twice serially: the

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -38,36 +39,115 @@ type Config struct {
 	// calling an Experiment.Run directly and the machines fall back to
 	// private registries.
 	Metrics *metrics.Registry
+	// Machine optionally replaces the calibrated machine model: every
+	// machine an experiment builds starts from this configuration instead
+	// of machine.DefaultConfig(). This is how pmemd serves what-if requests
+	// (a hypothetical faster Optane generation, a prefetcher-less CPU)
+	// without a recompile. Nil means the calibrated default.
+	Machine *machine.Config
+	// Pool, when set, bounds concurrent experiment executions across
+	// *multiple* RunConcurrent calls. The batch CLI leaves it nil (Jobs
+	// already bounds one run); long-lived callers such as pmemd share one
+	// Pool so total simulation concurrency stays fixed no matter how many
+	// requests are in flight.
+	Pool *Pool
+
+	// ctx carries the run's cancellation signal into experiment bodies.
+	// The runner installs it; experiment sweep loops poll Err. Nil means
+	// never canceled.
+	ctx context.Context
 }
 
 // DefaultConfig matches the repository's documented outputs.
 func DefaultConfig() Config { return Config{SF: 0.1} }
 
-// MachineConfig returns the calibrated machine configuration with this
-// run's metrics registry attached; every experiment builds its machines
-// from it so the runner can aggregate per-experiment counters.
+// WithContext returns a copy of the config carrying ctx, for calling an
+// Experiment.Run directly with cancellation (the runner does this for you).
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// Context returns the run's context (never nil).
+func (c Config) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Err reports whether the run has been canceled or timed out. Experiment
+// sweep loops poll it between simulation points so the daemon's per-request
+// deadlines (and the CLI's Ctrl-C) take effect mid-experiment rather than
+// only between experiments.
+func (c Config) Err() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// MachineConfig returns the machine configuration experiments build their
+// machines from — the calibrated default or the ad-hoc override — with this
+// run's metrics registry attached so the runner can aggregate
+// per-experiment counters.
 func (c Config) MachineConfig() machine.Config {
 	mc := machine.DefaultConfig()
+	if c.Machine != nil {
+		mc = *c.Machine
+	}
 	mc.Metrics = c.Metrics
 	return mc
 }
 
-// Table is one printable result table.
+// Pool is a counting semaphore bounding concurrent experiment executions.
+// RunConcurrent uses the one in Config when present; a nil *Pool imposes no
+// bound. Sharing one Pool between the HTTP daemon's request handlers and any
+// batch runs in the same process keeps the machine simulations from
+// oversubscribing the host no matter how many runs race.
+type Pool struct{ sem chan struct{} }
+
+// NewPool returns a pool of the given width; width <= 0 means GOMAXPROCS.
+func NewPool(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, width)}
+}
+
+// Width reports the pool's concurrency bound.
+func (p *Pool) Width() int { return cap(p.sem) }
+
+// Acquire blocks until an execution slot is free or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Table is one printable result table. The JSON tags are the wire shape
+// pmemd serves; renaming a field is an API break.
 type Table struct {
-	ID     string
-	Title  string
-	Unit   string // "GB/s" or "s"
-	Header string // axis description of the columns
-	Cols   []string
-	Series []Series
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Unit   string   `json:"unit"`   // "GB/s" or "s"
+	Header string   `json:"header"` // axis description of the columns
+	Cols   []string `json:"cols"`
+	Series []Series `json:"series"`
 	// Paper summarizes the corresponding reference values from the paper.
-	Paper string
+	Paper string `json:"paper,omitempty"`
 }
 
 // Series is one row of a table.
 type Series struct {
-	Label  string
-	Values []float64
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
 }
 
 // Experiment is one registered reproduction.
@@ -91,14 +171,15 @@ func All() []Experiment {
 	return out
 }
 
-// ByID returns one experiment.
+// ByID returns one experiment. The error for an unknown ID enumerates every
+// valid ID so a typo is self-diagnosing at the CLI and over HTTP.
 func ByID(id string) (Experiment, error) {
 	for _, e := range registry {
 		if e.ID == id {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %s)", id, idList())
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q; valid ids: %s", id, idList())
 }
 
 func idList() string {
@@ -107,6 +188,37 @@ func idList() string {
 		ids = append(ids, e.ID)
 	}
 	return strings.Join(ids, ", ")
+}
+
+// CatalogEntry is one experiment in the catalog, as printed by the CLI's
+// -list flag and served by pmemd's GET /v1/experiments.
+type CatalogEntry struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Catalog lists the registered experiments in stable ID order.
+func Catalog() []CatalogEntry {
+	all := All()
+	out := make([]CatalogEntry, len(all))
+	for i, e := range all {
+		out[i] = CatalogEntry{ID: e.ID, Title: e.Title}
+	}
+	return out
+}
+
+// FprintCatalog renders the catalog as aligned text.
+func FprintCatalog(w io.Writer) {
+	entries := Catalog()
+	width := 0
+	for _, e := range entries {
+		if len(e.ID) > width {
+			width = len(e.ID)
+		}
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-*s  %s\n", width, e.ID, e.Title)
+	}
 }
 
 // FprintCSV renders a table as CSV (one header line, then one line per
@@ -187,7 +299,16 @@ type Result struct {
 // in stable ID order — each result is delivered as soon as it and all its
 // predecessors have completed, so consumers can stream output while later
 // experiments are still running.
-func RunConcurrent(cfg Config, list []Experiment) <-chan Result {
+//
+// Canceling ctx stops the run: experiments not yet started fail with the
+// context's error, and running experiments abort at their next sweep-loop
+// poll. The channel still delivers one Result per experiment and closes.
+func RunConcurrent(ctx context.Context, cfg Config, list []Experiment) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.ctx = ctx
+
 	sorted := make([]Experiment, len(list))
 	copy(sorted, list)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
@@ -198,6 +319,25 @@ func RunConcurrent(cfg Config, list []Experiment) <-chan Result {
 	}
 	if jobs > len(sorted) {
 		jobs = len(sorted)
+	}
+
+	runOne := func(e Experiment) Result {
+		if err := ctx.Err(); err != nil {
+			return Result{Experiment: e, Err: fmt.Errorf("experiment %s: %w", e.ID, err)}
+		}
+		if cfg.Pool != nil {
+			if err := cfg.Pool.Acquire(ctx); err != nil {
+				return Result{Experiment: e, Err: fmt.Errorf("experiment %s: %w", e.ID, err)}
+			}
+			defer cfg.Pool.Release()
+		}
+		c := cfg
+		c.Metrics = metrics.New()
+		tables, err := e.Run(c)
+		if err != nil {
+			err = fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		return Result{Experiment: e, Tables: tables, Metrics: c.Metrics.Snapshot(), Err: err}
 	}
 
 	slots := make([]chan Result, len(sorted))
@@ -212,14 +352,7 @@ func RunConcurrent(cfg Config, list []Experiment) <-chan Result {
 				if i >= len(sorted) {
 					return
 				}
-				e := sorted[i]
-				c := cfg
-				c.Metrics = metrics.New()
-				tables, err := e.Run(c)
-				if err != nil {
-					err = fmt.Errorf("experiment %s: %w", e.ID, err)
-				}
-				slots[i] <- Result{Experiment: e, Tables: tables, Metrics: c.Metrics.Snapshot(), Err: err}
+				slots[i] <- runOne(sorted[i])
 			}
 		}()
 	}
@@ -235,21 +368,21 @@ func RunConcurrent(cfg Config, list []Experiment) <-chan Result {
 
 // RunAll executes every experiment on the worker pool and prints its tables
 // in stable ID order.
-func RunAll(cfg Config, w io.Writer) error {
-	_, err := RunList(cfg, All(), w)
+func RunAll(ctx context.Context, cfg Config, w io.Writer) error {
+	_, err := RunList(ctx, cfg, All(), w)
 	return err
 }
 
 // RunList runs the given experiments concurrently and renders their tables
 // (and, with cfg.EmitMetrics, per-experiment metrics snapshots) in stable ID
 // order. It returns the suite-wide aggregate snapshot (counters summed,
-// gauges maxed across experiments). On error, output stops at the experiment
-// preceding the first failure (in ID order) and the first failure is
-// returned after the remaining workers drain.
-func RunList(cfg Config, list []Experiment, w io.Writer) (metrics.Snapshot, error) {
+// gauges maxed across experiments). On error (including ctx cancellation),
+// output stops at the experiment preceding the first failure (in ID order)
+// and the first failure is returned after the remaining workers drain.
+func RunList(ctx context.Context, cfg Config, list []Experiment, w io.Writer) (metrics.Snapshot, error) {
 	var agg metrics.Snapshot
 	var firstErr error
-	for res := range RunConcurrent(cfg, list) {
+	for res := range RunConcurrent(ctx, cfg, list) {
 		if firstErr != nil {
 			continue // drain
 		}

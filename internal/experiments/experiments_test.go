@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -31,8 +32,32 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("fig03"); err != nil {
 		t.Errorf("ByID(fig03): %v", err)
 	}
-	if _, err := ByID("nope"); err == nil {
-		t.Error("ByID(nope) succeeded")
+	_, err := ByID("nope")
+	if err == nil {
+		t.Fatal("ByID(nope) succeeded")
+	}
+	// The unknown-ID error must enumerate every valid ID.
+	for _, e := range All() {
+		if !strings.Contains(err.Error(), e.ID) {
+			t.Errorf("ByID(nope) error missing valid id %s: %v", e.ID, err)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != len(All()) {
+		t.Fatalf("catalog has %d entries, want %d", len(cat), len(All()))
+	}
+	var buf bytes.Buffer
+	FprintCatalog(&buf)
+	for _, e := range cat {
+		if e.ID == "" || e.Title == "" {
+			t.Errorf("catalog entry missing fields: %+v", e)
+		}
+		if !strings.Contains(buf.String(), e.ID) || !strings.Contains(buf.String(), e.Title) {
+			t.Errorf("printed catalog missing %s", e.ID)
+		}
 	}
 }
 
@@ -88,7 +113,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Skip("full registry run")
 	}
 	var buf bytes.Buffer
-	if err := RunAll(quickCfg(), &buf); err != nil {
+	if err := RunAll(context.Background(), quickCfg(), &buf); err != nil {
 		t.Fatalf("RunAll: %v", err)
 	}
 	if buf.Len() == 0 {

@@ -32,6 +32,9 @@ func extMemoryMode(cfg Config) ([]Table, error) {
 		Header: "working set", Cols: []string{"bandwidth"},
 		Paper: "Section 2.1 describes the mode (DRAM as inaccessible L4 cache, no persistence) but does not benchmark it"}
 	for _, size := range []int64{40 << 30, 86 << 30, 160 << 30, 300 << 30, 700 << 30} {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		m := machine.MustNew(cfg.MachineConfig())
 		r, err := m.AllocMemoryMode("ws", 0, size)
 		if err != nil {

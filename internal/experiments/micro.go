@@ -31,6 +31,9 @@ func sweepGrid(cfg Config, dir access.Direction, pattern access.Pattern, threads
 	b := core.MustNewBench(cfg.MachineConfig())
 	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
 	for _, thr := range threads {
+		if err := cfg.Err(); err != nil {
+			return t, err
+		}
 		s := Series{Label: fmt.Sprintf("%d", thr)}
 		for _, size := range sizes {
 			v, err := b.Measure(core.Point{
@@ -304,6 +307,9 @@ func fig11(cfg Config) ([]Table, error) {
 		Paper: "30r alone ~31; +1 writer -> read ~26; 6w/30r -> both ~1/3 of maxima"}
 	for _, w := range writeThreads {
 		for _, r := range readThreads {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			m := machine.MustNew(cfg.MachineConfig())
 			rRead, err := m.AllocPMEM("read", 0, 40*units.GB, machine.DevDax)
 			if err != nil {
@@ -336,6 +342,9 @@ func randomSweep(cfg Config, class access.DeviceClass, dir access.Direction, thr
 	b := core.MustNewBench(cfg.MachineConfig())
 	t := Table{Unit: "GB/s", Header: "threads \\ size", Cols: sizeLabels(sizes)}
 	for _, thr := range threads {
+		if err := cfg.Err(); err != nil {
+			return t, err
+		}
 		s := Series{Label: fmt.Sprintf("%d", thr)}
 		for _, size := range sizes {
 			v, err := b.Measure(core.Point{

@@ -59,6 +59,9 @@ func fig14a(cfg Config) ([]Table, error) {
 	var sumRatio float64
 	qs := ssb.Queries()
 	for _, q := range qs {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		a, err := pm.Run(q)
 		if err != nil {
 			return nil, err
@@ -97,6 +100,9 @@ func fig14b(cfg Config) ([]Table, error) {
 	var sumRatio float64
 	qs := ssb.Queries()
 	for _, q := range qs {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		a, err := pm.Run(q)
 		if err != nil {
 			return nil, err
@@ -134,6 +140,9 @@ func table1(cfg Config) ([]Table, error) {
 		{"Pinning", aware.Options{Threads: 36, Sockets: 2, Pinning: cpu.PinCores, NUMAAware: true, TargetSF: 100}},
 	}
 	for _, st := range steps {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		var vals []float64
 		for _, dev := range []access.DeviceClass{access.PMEM, access.DRAM} {
 			opt := st.opt

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line and one sample per metric,
+// counters first, then gauges, each group in name order. Metric names are
+// sanitized to the Prometheus grammar (dots and other invalid runes become
+// underscores), so the simulation's dotted names ("pmem.s0.ch0.read_bytes")
+// scrape as "pmem_s0_ch0_read_bytes". prefix is prepended verbatim to every
+// name — pmemd uses it to namespace the simulation aggregate ("sim_") apart
+// from its own server_* series.
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	for _, sm := range s.Counters {
+		if err := writeProm(w, prefix, sm, "counter"); err != nil {
+			return err
+		}
+	}
+	for _, sm := range s.Gauges {
+		if err := writeProm(w, prefix, sm, "gauge"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and renders it; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	return r.Snapshot().WritePrometheus(w, prefix)
+}
+
+func writeProm(w io.Writer, prefix string, sm Sample, typ string) error {
+	name := PromName(prefix + sm.Name)
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, promValue(sm.Value))
+	return err
+}
+
+// PromName maps an arbitrary metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid runes become '_'; a leading digit gets
+// an underscore prefix. Distinct registry names can collide after mapping
+// ("a.b" and "a/b"); the registry's dotted naming convention keeps that
+// from happening in practice.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promValue renders a float the way Prometheus parses it; the shortest
+// round-trippable form keeps the exposition byte-stable for a given value.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("pmem.s0.ch0.read_media_bytes").Add(4096)
+	r.Counter("server_cache_hits").Add(2)
+	r.Gauge("xpdimm.s0.xpbuffer.hit_rate").Set(0.75)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pmem_s0_ch0_read_media_bytes counter\npmem_s0_ch0_read_media_bytes 4096\n",
+		"# TYPE server_cache_hits counter\nserver_cache_hits 2\n",
+		"# TYPE xpdimm_s0_xpbuffer_hit_rate gauge\nxpdimm_s0_xpbuffer_hit_rate 0.75\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters come before gauges.
+	if strings.Index(out, "server_cache_hits") > strings.Index(out, "hit_rate gauge") {
+		t.Errorf("counters not grouped before gauges:\n%s", out)
+	}
+}
+
+func TestWritePrometheusPrefix(t *testing.T) {
+	r := New()
+	r.Counter("upi.crossings").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "sim_"); err != nil {
+		t.Fatal(err)
+	}
+	if want := "sim_upi_crossings 1\n"; !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"pmem.s0.ch0": "pmem_s0_ch0",
+		"0weird":      "_0weird",
+		"a-b/c d":     "a_b_c_d",
+		"ok_name:sub": "ok_name:sub",
+		"":            "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

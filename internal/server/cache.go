@@ -1,0 +1,111 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// resultCache is the content-addressed result cache: canonical request key →
+// marshaled RunResult bytes. The simulation is deterministic, so a cached
+// body is indistinguishable from a fresh simulation; the cache turns
+// repeated questions into memory reads, which is the first real scaling
+// lever for serving the model at volume. Entries are kept LRU within a byte
+// budget (bodies plus their keys are charged), and hit/miss/eviction
+// traffic is recorded into the server's metrics registry.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // key -> element holding *cacheEntry
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	bytes     *metrics.Gauge
+	entries   *metrics.Gauge
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(budget int64, reg *metrics.Registry) *resultCache {
+	return &resultCache{
+		budget:    budget,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      reg.Counter("server_cache_hits"),
+		misses:    reg.Counter("server_cache_misses"),
+		evictions: reg.Counter("server_cache_evictions"),
+		bytes:     reg.Gauge("server_cache_bytes"),
+		entries:   reg.Gauge("server_cache_entries"),
+	}
+}
+
+func entrySize(key string, body []byte) int64 { return int64(len(key) + len(body)) }
+
+// get returns the cached body for key and refreshes its recency. The
+// returned slice is shared and must not be mutated.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key and evicts least-recently-used entries until the
+// budget holds again. A body that alone exceeds the whole budget is not
+// cached (it would only flush everything else for a single entry).
+func (c *resultCache) put(key string, body []byte) {
+	size := entrySize(key, body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Deterministic results mean a re-put carries identical bytes, but
+		// replace anyway so the invariant doesn't rest on that.
+		c.used += size - entrySize(key, el.Value.(*cacheEntry).body)
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.used += size
+	}
+	for c.used > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.used -= entrySize(e.key, e.body)
+		c.evictions.Inc()
+	}
+	c.bytes.Set(float64(c.used))
+	c.entries.Set(float64(len(c.items)))
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *resultCache) usedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

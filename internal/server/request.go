@@ -1,0 +1,122 @@
+// Package server is pmemd's serving subsystem: an HTTP/JSON facade over the
+// calibrated machine simulation. Because the simulation is fully
+// deterministic — the same canonical request always produces the same bytes
+// — the server is built around a content-addressed result cache: requests
+// are canonicalized, hashed, and answered from memory whenever the same
+// question has been asked before, with concurrent identical submissions
+// coalesced onto a single simulation. A bounded admission queue (429 +
+// Retry-After when full) and a shared experiments.Pool keep the simulation
+// load on the host fixed no matter how much traffic arrives.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+)
+
+// RunRequest is the body of POST /v1/run: one experiment, optionally on an
+// ad-hoc machine model.
+type RunRequest struct {
+	// ID selects the experiment (see GET /v1/experiments).
+	ID string `json:"id"`
+	// SF is the scale factor the SSB engines execute at; 0 means the
+	// repository default (0.1). Bounded by the server's -max-sf.
+	SF float64 `json:"sf,omitempty"`
+	// Quick trims sweep axes for fast smoke runs.
+	Quick bool `json:"quick,omitempty"`
+	// Metrics includes the experiment's simulation-counter snapshot in the
+	// result.
+	Metrics bool `json:"metrics,omitempty"`
+	// Machine overrides the calibrated machine model. Fields absent from
+	// the document keep the calibrated defaults (the machine.ConfigFromJSON
+	// contract), so a what-if request only spells the knobs it changes.
+	Machine json.RawMessage `json:"machine,omitempty"`
+	// Async makes POST /v1/run return 202 + a job handle immediately
+	// instead of waiting for the result. Not part of the cache identity.
+	Async bool `json:"async,omitempty"`
+}
+
+// canonical is the canonicalized request: defaults applied and the machine
+// config fully resolved. Two requests that differ only in JSON key order,
+// whitespace, explicitly-spelled default fields, or delivery options (Async)
+// canonicalize to the same bytes — and therefore the same cache key.
+type canonical struct {
+	ID      string         `json:"id"`
+	SF      float64        `json:"sf"`
+	Quick   bool           `json:"quick"`
+	Metrics bool           `json:"metrics"`
+	Machine machine.Config `json:"machine"`
+}
+
+// canonicalize validates the request and resolves every default. maxSF <= 0
+// means unbounded.
+func (r RunRequest) canonicalize(maxSF float64) (canonical, error) {
+	c := canonical{ID: r.ID, SF: r.SF, Quick: r.Quick, Metrics: r.Metrics}
+	if c.ID == "" {
+		return c, fmt.Errorf("missing experiment id (see GET /v1/experiments)")
+	}
+	if _, err := experiments.ByID(c.ID); err != nil {
+		return c, err
+	}
+	if c.SF == 0 {
+		c.SF = experiments.DefaultConfig().SF
+	}
+	if c.SF < 0 {
+		return c, fmt.Errorf("sf must be positive, got %g", c.SF)
+	}
+	if maxSF > 0 && c.SF > maxSF {
+		return c, fmt.Errorf("sf %g exceeds this server's limit %g", c.SF, maxSF)
+	}
+	c.Machine = machine.DefaultConfig()
+	if len(r.Machine) > 0 {
+		mc, err := machine.ConfigFromJSON(bytes.NewReader(r.Machine))
+		if err != nil {
+			return c, err
+		}
+		c.Machine = mc
+	}
+	return c, nil
+}
+
+// key is the content address: SHA-256 over the canonical JSON. The canonical
+// struct marshals with a fixed field order and fully resolved values, so the
+// key is a pure function of the request's meaning.
+func (c canonical) key() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// machine.Config and the scalar fields always marshal; a failure
+		// here is a programming error, not an input error.
+		panic(fmt.Sprintf("server: canonical request not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// experimentConfig translates the canonical request into the experiment
+// runner's configuration. Jobs stays 1: request-level parallelism comes from
+// the server's shared pool, not from fan-out inside one request.
+func (c canonical) experimentConfig() experiments.Config {
+	mc := c.Machine
+	return experiments.Config{SF: c.SF, Quick: c.Quick, Jobs: 1, Machine: &mc}
+}
+
+// RunResult is the JSON payload served for a completed run. It carries no
+// timestamps, host names, or serving-instance state, so it is byte-identical
+// for identical canonical requests — cold, cached, or re-simulated at any
+// worker width.
+type RunResult struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Tables []experiments.Table `json:"tables"`
+	// Text is the aligned-text rendering of the tables — the same bytes the
+	// experiments CLI prints for this experiment.
+	Text    string            `json:"text"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// maxRetainedJobs bounds the finished-job history kept for GET /v1/jobs;
+// in-flight jobs are never pruned.
+const maxRetainedJobs = 1024
+
+// maxRequestBytes bounds a POST /v1/run body (an experiment id plus a
+// machine-config override fits in a fraction of this).
+const maxRequestBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the shared simulation pool's width: how many experiments
+	// execute concurrently across all requests. <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many admitted jobs may wait for a pool slot beyond
+	// the ones executing; submissions past Workers+QueueDepth in-flight
+	// jobs are refused with 429 + Retry-After. <= 0 means 64.
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget. <= 0 means 64 MiB.
+	CacheBytes int64
+	// JobTimeout cancels a single simulation that runs longer than this
+	// (queue wait included). <= 0 means 2 minutes.
+	JobTimeout time.Duration
+	// MaxSF bounds the scale factor a request may ask for (SSB data
+	// generation is the one knob that costs real memory). 0 means 1.0;
+	// negative means unbounded.
+	MaxSF float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.MaxSF == 0 {
+		o.MaxSF = 1
+	}
+	return o
+}
+
+// job is one admitted simulation. State transitions and the result fields
+// are guarded by Server.mu; done closes after the final transition, so a
+// waiter that saw done closed may read body/errMsg under mu without racing.
+type job struct {
+	id      string
+	key     string
+	canon   canonical
+	created time.Time
+	done    chan struct{}
+
+	state    string // "queued" -> "running" -> "done" | "failed"
+	started  time.Time
+	finished time.Time
+	body     []byte
+	errMsg   string
+}
+
+// Server is the pmemd serving subsystem, independent of any listener: wire
+// Handler into net/http (or httptest) and drive jobs through it.
+type Server struct {
+	opts  Options
+	reg   *metrics.Registry
+	cache *resultCache
+	pool  *experiments.Pool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	jobsWG  sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	active   int             // admitted, not yet finished
+	running  int             // holding a pool slot
+	inflight map[string]*job // cache key -> the job computing it
+	jobs     map[string]*job // job id -> job (bounded history)
+	history  []string        // finished job ids, oldest first
+	nextID   uint64
+
+	// runFn performs one simulation; tests substitute a controllable fake
+	// to pin down coalescing and admission without timing real runs.
+	runFn func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, error)
+
+	simMu  sync.Mutex
+	simAgg metrics.Snapshot
+
+	cRequests   *metrics.Counter
+	cRejected   *metrics.Counter
+	cCoalesced  *metrics.Counter
+	cJobsDone   *metrics.Counter
+	cJobsFailed *metrics.Counter
+	cJobSecs    *metrics.Counter
+	cReqSecs    *metrics.Counter
+	gActive     *metrics.Gauge
+	gQueueDepth *metrics.Gauge
+}
+
+// New builds a Server; it owns a fresh metrics registry exposed at /metrics.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := metrics.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:        opts,
+		reg:         reg,
+		cache:       newResultCache(opts.CacheBytes, reg),
+		pool:        experiments.NewPool(opts.Workers),
+		baseCtx:     ctx,
+		cancel:      cancel,
+		inflight:    make(map[string]*job),
+		jobs:        make(map[string]*job),
+		cRequests:   reg.Counter("server_requests"),
+		cRejected:   reg.Counter("server_rejected"),
+		cCoalesced:  reg.Counter("server_coalesced"),
+		cJobsDone:   reg.Counter("server_jobs_done"),
+		cJobsFailed: reg.Counter("server_jobs_failed"),
+		cJobSecs:    reg.Counter("server_job_seconds"),
+		cReqSecs:    reg.Counter("server_request_seconds"),
+		gActive:     reg.Gauge("server_jobs_active"),
+		gQueueDepth: reg.Gauge("server_queue_depth"),
+	}
+	s.runFn = s.simulate
+	return s
+}
+
+// Registry exposes the server's metrics registry (the /metrics content).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Pool exposes the shared simulation pool so batch runs in the same process
+// (experiments.Config.Pool) contend with served requests instead of
+// oversubscribing the host.
+func (s *Server) Pool() *experiments.Pool { return s.pool }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w, "")
+	s.simMu.Lock()
+	sim := s.simAgg
+	s.simMu.Unlock()
+	// The cumulative simulation counters scrape under sim_, so one
+	// dashboard watches both serving health and modeled hardware traffic.
+	sim.WritePrometheus(w, "sim_")
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.Catalog())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.cRequests.Inc()
+	defer func() { s.cReqSecs.Add(time.Since(start).Seconds()) }()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	canon, err := req.canonicalize(s.opts.MaxSF)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := canon.key()
+
+	s.mu.Lock()
+	if body, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		serveResult(w, body, "hit")
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	j, coalesced := s.inflight[key]
+	if coalesced {
+		s.cCoalesced.Inc()
+	} else {
+		if s.active >= s.opts.Workers+s.opts.QueueDepth {
+			s.cRejected.Inc()
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
+			return
+		}
+		j = s.startJobLocked(canon, key)
+	}
+	s.mu.Unlock()
+
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": j.id, "state": "queued", "href": "/v1/jobs/" + j.id,
+		})
+		return
+	}
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client gave up (disconnect or its own deadline). The job keeps
+		// running: its result still lands in the cache for the next asker.
+		writeError(w, http.StatusGatewayTimeout,
+			"request canceled while waiting; poll /v1/jobs/"+j.id)
+		return
+	}
+	s.mu.Lock()
+	body, errMsg := j.body, j.errMsg
+	s.mu.Unlock()
+	if errMsg != "" {
+		writeError(w, http.StatusInternalServerError, errMsg)
+		return
+	}
+	state := "miss"
+	if coalesced {
+		state = "coalesced"
+	}
+	serveResult(w, body, state)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	st := JobStatus{
+		ID:         j.id,
+		Experiment: j.canon.ID,
+		Key:        j.key,
+		State:      j.state,
+		Error:      j.errMsg,
+		CreatedAt:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.state == "done" {
+		st.Result = json.RawMessage(j.body)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// JobStatus is the GET /v1/jobs/{id} payload. Unlike RunResult it carries
+// wall-clock metadata, so it is not byte-stable across runs.
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Key        string          `json:"key"`
+	State      string          `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) startJobLocked(c canonical, key string) *job {
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.nextID),
+		key:     key,
+		canon:   c,
+		created: time.Now(),
+		state:   "queued",
+		done:    make(chan struct{}),
+	}
+	s.inflight[key] = j
+	s.jobs[j.id] = j
+	s.active++
+	s.gActive.Set(float64(s.active))
+	s.gQueueDepth.Set(float64(s.active - s.running))
+	s.jobsWG.Add(1)
+	go s.run(j)
+	return j
+}
+
+// run executes one job: wait for a slot in the shared pool, simulate, store
+// the result, publish. It is the only writer of the job's terminal state.
+func (s *Server) run(j *job) {
+	defer s.jobsWG.Done()
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	defer cancel()
+
+	var res RunResult
+	var sim metrics.Snapshot
+	err := s.pool.Acquire(ctx)
+	if err == nil {
+		s.mu.Lock()
+		j.state = "running"
+		j.started = time.Now()
+		s.running++
+		s.gQueueDepth.Set(float64(s.active - s.running))
+		s.mu.Unlock()
+
+		res, sim, err = s.runFn(ctx, j.canon)
+		s.pool.Release()
+	}
+	var body []byte
+	if err == nil {
+		body, err = json.Marshal(res)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	s.active--
+	if !j.started.IsZero() {
+		s.running--
+		s.cJobSecs.Add(time.Since(j.started).Seconds())
+	}
+	s.gActive.Set(float64(s.active))
+	s.gQueueDepth.Set(float64(s.active - s.running))
+	j.finished = time.Now()
+	if err != nil {
+		j.state = "failed"
+		j.errMsg = err.Error()
+		s.cJobsFailed.Inc()
+	} else {
+		j.state = "done"
+		j.body = body
+		s.cache.put(j.key, body)
+		s.cJobsDone.Inc()
+	}
+	s.history = append(s.history, j.id)
+	for len(s.history) > maxRetainedJobs {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+	s.mu.Unlock()
+
+	close(j.done)
+	if err == nil {
+		s.simMu.Lock()
+		s.simAgg = metrics.Merge(s.simAgg, sim)
+		s.simMu.Unlock()
+	}
+}
+
+// simulate is the production runFn: one experiment on the canonical
+// request's machine model. The pool slot is already held by the caller.
+func (s *Server) simulate(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, error) {
+	e, err := experiments.ByID(c.ID)
+	if err != nil {
+		return RunResult{}, metrics.Snapshot{}, err
+	}
+	cfg := c.experimentConfig()
+	reg := metrics.New()
+	cfg.Metrics = reg
+	tables, err := e.Run(cfg.WithContext(ctx))
+	if err != nil {
+		return RunResult{}, metrics.Snapshot{}, fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	var text bytes.Buffer
+	fmt.Fprintf(&text, "# %s: %s\n\n", e.ID, e.Title)
+	for _, t := range tables {
+		t.Fprint(&text)
+	}
+	snap := reg.Snapshot()
+	out := RunResult{ID: e.ID, Title: e.Title, Tables: tables, Text: text.String()}
+	if c.Metrics {
+		ms := snap
+		out.Metrics = &ms
+	}
+	return out, snap, nil
+}
+
+// BeginDrain stops admission: /readyz turns 503 and new submissions are
+// refused while in-flight jobs (and handlers waiting on them) finish.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain stops admission and blocks until every in-flight job has finished.
+// If ctx expires first, the jobs' contexts are canceled and Drain waits for
+// them to unwind before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels all in-flight work and waits for it to unwind.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.cancel()
+	s.jobsWG.Wait()
+}
+
+func serveResult(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Pmemd-Cache", cacheState)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -20,6 +20,7 @@
 package pmemolap
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/access"
@@ -151,5 +152,5 @@ func RunAllExperiments(w io.Writer, cfgSF float64) error {
 	if cfgSF > 0 {
 		cfg.SF = cfgSF
 	}
-	return experiments.RunAll(cfg, w)
+	return experiments.RunAll(context.Background(), cfg, w)
 }
