@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-sf 0.1] [-quick] [-id fig03] [-list] [-j 8] [-metrics] [-o out.txt]
+//	experiments [-sf 0.1] [-quick] [-id fig03] [-list] [-j 8] [-metrics] [-o out.txt] [-trace dir]
 //
 // Without -id, every registered experiment runs (the full reproduction) on a
 // worker pool of -j goroutines; tables stream in stable ID order and are
@@ -12,7 +12,10 @@
 // snapshot (the hardware-counter analogue: per-channel bytes, XPBuffer hit
 // rate, UPI crossings, ...) and -metrics-json exports the suite aggregate.
 // -list prints the experiment catalog (the same listing pmemd serves at
-// GET /v1/experiments). Ctrl-C / SIGTERM cancels the run cleanly.
+// GET /v1/experiments). -trace writes one Chrome trace-event JSON timeline
+// per experiment to the given directory (<id>.trace.json, loadable in
+// Perfetto); the files are byte-identical for any -j. Ctrl-C / SIGTERM
+// cancels the run cleanly.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	jobs := flag.Int("j", 0, "worker-pool width; 0 = GOMAXPROCS (output is identical for any width)")
 	showMetrics := flag.Bool("metrics", false, "append each experiment's metrics snapshot to the output")
 	metricsJSON := flag.String("metrics-json", "", "write the aggregate metrics snapshot as JSON to this file ('-' = stdout)")
+	traceDir := flag.String("trace", "", "write each experiment's simulated-time timeline to <dir>/<id>.trace.json")
 	flag.Parse()
 
 	if *list {
@@ -58,7 +62,7 @@ func main() {
 		w = f
 	}
 
-	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics}
+	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics, TraceDir: *traceDir}
 	exps := experiments.All()
 	if *id != "" {
 		e, err := experiments.ByID(*id)
@@ -93,6 +97,11 @@ func runCSV(ctx context.Context, cfg experiments.Config, list []experiments.Expe
 		}
 		for _, t := range res.Tables {
 			t.FprintCSV(w)
+		}
+		if cfg.TraceDir != "" {
+			if err := experiments.WriteTraceFile(cfg.TraceDir, res.Experiment.ID, res.Trace); err != nil {
+				fatal(err)
+			}
 		}
 		agg = metrics.Merge(agg, res.Metrics)
 	}

@@ -12,19 +12,31 @@
 //	pmembench -device dram -dir read -pattern random -size 512 -threads 36
 //	pmembench -advise -dir write                    # print best practices
 //	pmembench -trace workload.trace                 # replay a trace file
+//	pmembench -sweep threads -trace-dir traces      # + Perfetto timeline
+//
+// -trace-dir writes the machine's simulated-time timeline (every run laid
+// end to end) to <dir>/pmembench.trace.json in Chrome trace-event format.
+// Ctrl-C / SIGTERM stops a sweep cleanly between points; the timeline for
+// the completed points is still written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/simtrace"
 	"repro/internal/trace"
 )
 
@@ -44,8 +56,12 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
 	advise := flag.Bool("advise", false, "print the best-practice advice for the workload instead of measuring")
 	traceFile := flag.String("trace", "", "replay a workload trace file (see internal/trace for the format)")
+	traceDir := flag.String("trace-dir", "", "write the simulated-time timeline to <dir>/pmembench.trace.json (Chrome trace-event JSON, loadable in Perfetto)")
 	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	d, err := parseDir(*dir)
 	if err != nil {
@@ -89,6 +105,15 @@ func main() {
 			cfg.PrefetcherEnabled = *prefetcher
 		}
 	})
+
+	if *traceDir != "" {
+		cfg.Trace = simtrace.New()
+		defer func() {
+			if err := experiments.WriteTraceFile(*traceDir, "pmembench", cfg.Trace); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
@@ -149,18 +174,14 @@ func main() {
 			}
 		}
 	case "threads":
-		res, err := b.SweepThreads(point, []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36})
-		if err != nil {
-			fatal(err)
-		}
+		res, err := b.SweepThreads(ctx, point, []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36})
+		checkSweepErr(err)
 		for i, t := range res.Axis {
 			fmt.Printf("%3d threads: %6.2f GB/s\n", t, res.GBs[i])
 		}
 	case "size":
-		res, err := b.SweepAccessSize(point, []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
-		if err != nil {
-			fatal(err)
-		}
+		res, err := b.SweepAccessSize(ctx, point, []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
+		checkSweepErr(err)
 		for i, s := range res.Axis {
 			fmt.Printf("%6d B: %6.2f GB/s\n", s, res.GBs[i])
 		}
@@ -238,6 +259,20 @@ func parsePin(s string) (cpu.PinPolicy, error) {
 		return cpu.PinNone, nil
 	}
 	return 0, fmt.Errorf("unknown pin policy %q", s)
+}
+
+// checkSweepErr lets an interrupted sweep fall through with its partial
+// results (so a -trace-dir timeline still gets written via the deferred
+// writer) and fatals on everything else.
+func checkSweepErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "pmembench: interrupted, reporting completed points")
+		return
+	}
+	fatal(err)
 }
 
 func fatal(err error) {

@@ -6,29 +6,40 @@
 //
 //	pmemd [-addr :8080] [-workers 0] [-queue 64] [-cache-bytes 67108864]
 //	      [-job-timeout 2m] [-drain-timeout 30s] [-max-sf 1]
+//	      [-debug-addr localhost:6060] [-log-json]
 //
 // API:
 //
 //	POST /v1/run            submit an experiment (optionally with an ad-hoc
 //	                        machine model); waits for the result unless
-//	                        "async": true
+//	                        "async": true. "trace": true records the run's
+//	                        simulated-time timeline
 //	GET  /v1/jobs/{id}      job status and result
+//	GET  /v1/jobs/{id}/trace  the job's timeline as Chrome trace-event JSON
+//	                        (open in Perfetto / chrome://tracing)
 //	GET  /v1/experiments    the experiment catalog
-//	GET  /metrics           Prometheus text exposition (server_* counters
-//	                        plus the cumulative sim_* hardware counters)
+//	GET  /metrics           Prometheus text exposition (server_* counters,
+//	                        latency histograms, pmemd_build_info, plus the
+//	                        cumulative sim_* hardware counters)
+//	GET  /version           build metadata as JSON
 //	GET  /healthz, /readyz  liveness / readiness
 //
-// Identical requests are answered from the content-addressed result cache;
-// concurrent identical submissions coalesce onto one simulation. SIGTERM or
-// SIGINT drains in-flight jobs (bounded by -drain-timeout) before exit.
+// Every response carries an X-Request-ID (echoed from the request when the
+// client supplied one) and each request is logged as one structured line.
+// -debug-addr exposes net/http/pprof on a separate listener, keeping the
+// profiling surface off the serving port. Identical requests are answered
+// from the content-addressed result cache; concurrent identical submissions
+// coalesce onto one simulation. SIGTERM or SIGINT drains in-flight jobs
+// (bounded by -drain-timeout) before exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,7 +56,15 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job simulation timeout (queue wait included)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	maxSF := flag.Float64("max-sf", 1, "largest scale factor a request may ask for; negative = unbounded")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	s := server.New(server.Options{
 		Workers:    *workers,
@@ -53,6 +72,7 @@ func main() {
 		CacheBytes: *cacheBytes,
 		JobTimeout: *jobTimeout,
 		MaxSF:      *maxSF,
+		Logger:     logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -65,8 +85,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("pmemd: serving on %s (workers=%d queue=%d cache=%dB)",
-		*addr, s.Pool().Width(), *queue, *cacheBytes)
+	bi := server.ReadBuildInfo()
+	logger.Info("serving",
+		"addr", *addr, "version", bi.Version, "go", bi.GoVersion, "revision", bi.Revision,
+		"workers", s.Pool().Width(), "queue", *queue, "cache_bytes", *cacheBytes)
+
+	if *debugAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Error("pprof listener failed", "error", err.Error())
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -77,15 +114,15 @@ func main() {
 
 	// Drain: stop admitting, let in-flight simulations (and the handlers
 	// waiting on them) finish, then close the listener.
-	log.Printf("pmemd: draining (up to %s)", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Drain(shCtx); err != nil {
-		log.Printf("pmemd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err.Error())
 	}
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("pmemd: shutdown: %v", err)
+		logger.Warn("shutdown error", "error", err.Error())
 	}
 	s.Close()
-	log.Printf("pmemd: exited cleanly")
+	logger.Info("exited cleanly")
 }

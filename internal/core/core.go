@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/access"
@@ -148,10 +149,15 @@ type SweepResult struct {
 	GBs  []float64
 }
 
-// SweepAccessSize measures the point for each access size.
-func (b *Bench) SweepAccessSize(p Point, sizes []int64) (SweepResult, error) {
+// SweepAccessSize measures the point for each access size. A canceled ctx
+// stops the sweep between points, returning the context's error alongside the
+// points measured so far.
+func (b *Bench) SweepAccessSize(ctx context.Context, p Point, sizes []int64) (SweepResult, error) {
 	out := SweepResult{}
 	for _, s := range sizes {
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
 		q := p
 		q.AccessSize = s
 		v, err := b.Measure(q)
@@ -164,10 +170,14 @@ func (b *Bench) SweepAccessSize(p Point, sizes []int64) (SweepResult, error) {
 	return out, nil
 }
 
-// SweepThreads measures the point for each thread count.
-func (b *Bench) SweepThreads(p Point, threads []int) (SweepResult, error) {
+// SweepThreads measures the point for each thread count, honoring ctx
+// cancellation between points like SweepAccessSize.
+func (b *Bench) SweepThreads(ctx context.Context, p Point, threads []int) (SweepResult, error) {
 	out := SweepResult{}
 	for _, t := range threads {
+		if err := ctxErr(ctx); err != nil {
+			return out, err
+		}
 		q := p
 		q.Threads = t
 		v, err := b.Measure(q)
@@ -178,6 +188,13 @@ func (b *Bench) SweepThreads(p Point, threads []int) (SweepResult, error) {
 		out.GBs = append(out.GBs, v)
 	}
 	return out, nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Best returns the axis value with the highest bandwidth.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/access"
@@ -36,7 +37,7 @@ func TestSweepThreads(t *testing.T) {
 	// Sweep at 16 KiB, where only 4-6 threads hold the peak (Figure 7: the
 	// 8-thread configuration drops to ~8 GB/s for large accesses, while at
 	// exactly 4 KiB several counts tie at ~12.5).
-	res, err := b.SweepThreads(Point{
+	res, err := b.SweepThreads(context.Background(), Point{
 		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
 		AccessSize: 16 << 10, Policy: cpu.PinCores,
 	}, []int{1, 2, 4, 6, 8, 18, 36})
@@ -52,7 +53,7 @@ func TestSweepThreads(t *testing.T) {
 
 func TestSweepAccessSize(t *testing.T) {
 	b := newBench(t)
-	res, err := b.SweepAccessSize(Point{
+	res, err := b.SweepAccessSize(context.Background(), Point{
 		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqGrouped,
 		Threads: 36, Policy: cpu.PinCores,
 	}, []int64{64, 256, 1024, 4096, 16384})
@@ -180,7 +181,7 @@ func TestAdviceBeatsDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweep, err := b.SweepThreads(Point{
+	sweep, err := b.SweepThreads(context.Background(), Point{
 		Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
 		AccessSize: 4096, Policy: cpu.PinCores,
 	}, []int{1, 2, 4, 6, 8, 12, 18, 24, 36})

@@ -1,0 +1,36 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/simtrace"
+)
+
+// TraceStream emits one thread's access stream as a span on its core's
+// timeline row. The caller provides the stream-level facts (bytes moved,
+// bandwidth, pattern); placement and pinning come from the Placement so the
+// row shows where the thread ran.
+func TraceStream(p *simtrace.Process, tid int, label string, pl Placement, pol PinPolicy,
+	startSec, durSec float64, args ...simtrace.Arg) {
+	all := append([]simtrace.Arg{
+		simtrace.F("core", float64(pl.Core)),
+		simtrace.S("pin", pol.String()),
+		simtrace.S("ht_shared", fmt.Sprintf("%t", pl.HTShared)),
+	}, args...)
+	p.Span(simtrace.CatCPU, label, tid, startSec, durSec, all...)
+}
+
+// TracePrefetch emits the prefetcher's run-level effectiveness as an instant:
+// how many bytes the L2 prefetcher speculated on and what fraction was useful
+// (the mechanism behind the grouped-access dip, Section 3.1).
+func TracePrefetch(p *simtrace.Process, tid int, atSec, bytes, useful, wastedMedia float64) {
+	if bytes <= 0 {
+		return
+	}
+	p.Instant(simtrace.CatCPU, "prefetcher", tid, atSec,
+		simtrace.F("prefetched_bytes", bytes),
+		simtrace.F("useful_bytes", useful),
+		simtrace.F("efficiency", useful/bytes),
+		simtrace.F("wasted_media_bytes", wastedMedia),
+	)
+}

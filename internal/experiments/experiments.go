@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/simtrace"
 )
 
 // Config controls experiment execution.
@@ -51,6 +52,16 @@ type Config struct {
 	// Pool so total simulation concurrency stays fixed no matter how many
 	// requests are in flight.
 	Pool *Pool
+	// Trace is the simulated-time timeline recorder the experiment's machines
+	// emit into. Like Metrics, the runner installs a fresh recorder per
+	// experiment when TraceDir is set; set it directly when calling an
+	// Experiment.Run yourself (pmemd does, for traced requests).
+	Trace *simtrace.Recorder
+	// TraceDir, when non-empty, makes the runner record each experiment's
+	// timeline and write it to <TraceDir>/<id>.trace.json. Because the
+	// simulation runs in virtual time, the files are byte-identical across
+	// worker-pool widths.
+	TraceDir string
 
 	// ctx carries the run's cancellation signal into experiment bodies.
 	// The runner installs it; experiment sweep loops poll Err. Nil means
@@ -97,6 +108,7 @@ func (c Config) MachineConfig() machine.Config {
 		mc = *c.Machine
 	}
 	mc.Metrics = c.Metrics
+	mc.Trace = c.Trace
 	return mc
 }
 
@@ -290,7 +302,10 @@ type Result struct {
 	// Metrics is the experiment's aggregated simulation counters (every
 	// machine the experiment built records into one registry).
 	Metrics metrics.Snapshot
-	Err     error
+	// Trace is the experiment's simulated-time timeline; nil unless the run
+	// was configured with TraceDir (or an explicit Trace recorder).
+	Trace *simtrace.Recorder
+	Err   error
 }
 
 // RunConcurrent executes the experiments on a pool of cfg.Jobs workers
@@ -333,11 +348,14 @@ func RunConcurrent(ctx context.Context, cfg Config, list []Experiment) <-chan Re
 		}
 		c := cfg
 		c.Metrics = metrics.New()
+		if c.TraceDir != "" && c.Trace == nil {
+			c.Trace = simtrace.New()
+		}
 		tables, err := e.Run(c)
 		if err != nil {
 			err = fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
-		return Result{Experiment: e, Tables: tables, Metrics: c.Metrics.Snapshot(), Err: err}
+		return Result{Experiment: e, Tables: tables, Metrics: c.Metrics.Snapshot(), Trace: c.Trace, Err: err}
 	}
 
 	slots := make([]chan Result, len(sorted))
@@ -398,6 +416,12 @@ func RunList(ctx context.Context, cfg Config, list []Experiment, w io.Writer) (m
 			fmt.Fprintf(w, "## %s — metrics\n", res.Experiment.ID)
 			res.Metrics.Fprint(w)
 			fmt.Fprintln(w)
+		}
+		if cfg.TraceDir != "" {
+			if err := WriteTraceFile(cfg.TraceDir, res.Experiment.ID, res.Trace); err != nil {
+				firstErr = err
+				continue
+			}
 		}
 		agg = metrics.Merge(agg, res.Metrics)
 	}

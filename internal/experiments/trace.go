@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/simtrace"
+)
+
+// WriteTraceFile renders one experiment's timeline to <dir>/<id>.trace.json,
+// creating dir if needed. A nil recorder still writes a valid (empty) trace
+// document, so a traced run always produces one file per experiment. The
+// write goes through a temp file + rename so a crashed run never leaves a
+// truncated trace behind.
+func WriteTraceFile(dir, id string, rec *simtrace.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	path := filepath.Join(dir, id+".trace.json")
+	tmp, err := os.CreateTemp(dir, "."+id+".trace-*")
+	if err != nil {
+		return fmt.Errorf("experiments: trace file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := rec.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiments: write trace %s: %w", id, err)
+	}
+	if err := tmp.Chmod(0o644); err != nil { // CreateTemp defaults to 0600
+		tmp.Close()
+		return fmt.Errorf("experiments: write trace %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiments: write trace %s: %w", id, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("experiments: write trace %s: %w", id, err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceSubset keeps the golden runs fast while still covering the layers:
+// fig03 is a pure bandwidth sweep, fig05 adds random access + prefetcher
+// behaviour.
+func traceSubset(t *testing.T) []Experiment {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range []string{"fig03", "fig05"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+func runTraced(t *testing.T, jobs int) map[string][]byte {
+	t.Helper()
+	cfg := Config{SF: 0.02, Quick: true, Jobs: jobs, TraceDir: t.TempDir()}
+	var buf bytes.Buffer
+	if _, err := RunList(context.Background(), cfg, traceSubset(t), &buf); err != nil {
+		t.Fatalf("RunList: %v", err)
+	}
+	out := map[string][]byte{}
+	entries, err := os.ReadDir(cfg.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(cfg.TraceDir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[ent.Name()] = data
+	}
+	return out
+}
+
+// TestTraceFilesDeterministicAcrossWorkerWidths is the tracing analogue of
+// the table-output determinism guarantee: the trace file for an experiment
+// is byte-identical whether the suite ran at -j 1 or -j 4, because every
+// experiment records into its own recorder over simulated time.
+func TestTraceFilesDeterministicAcrossWorkerWidths(t *testing.T) {
+	serial := runTraced(t, 1)
+	wide := runTraced(t, 4)
+	if len(serial) != 2 {
+		t.Fatalf("serial run wrote %d files, want 2: %v", len(serial), keys(serial))
+	}
+	if len(wide) != len(serial) {
+		t.Fatalf("widths wrote different file sets: %v vs %v", keys(serial), keys(wide))
+	}
+	for name, a := range serial {
+		b, ok := wide[name]
+		if !ok {
+			t.Fatalf("-j 4 run missing %s", name)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between -j 1 and -j 4 (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+}
+
+// TestTraceFileContent loads fig05's trace as JSON and checks it looks like
+// a real timeline: valid Chrome trace-event structure, spans from each
+// simulation layer, and strictly non-negative timestamps.
+func TestTraceFileContent(t *testing.T) {
+	files := runTraced(t, 1)
+	data, ok := files["fig05.trace.json"]
+	if !ok {
+		t.Fatalf("fig05.trace.json missing: %v", keys(files))
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	spanCats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %q has negative time: ts=%v dur=%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		if ev.Ph == "X" {
+			spanCats[ev.Cat] = true
+		}
+	}
+	for _, cat := range []string{"machine", "xpdimm", "cpu"} {
+		if !spanCats[cat] {
+			t.Errorf("no %q span in fig05 trace (span cats: %v)", cat, spanCats)
+		}
+	}
+}
+
+// TestWriteTraceFileNilRecorder: an untraced result still produces a valid
+// empty document, so a traced suite always writes one file per experiment.
+func TestWriteTraceFileNilRecorder(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteTraceFile(dir, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "empty.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil recorder wrote %d events", len(doc.TraceEvents))
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

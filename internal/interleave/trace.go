@@ -1,0 +1,13 @@
+package interleave
+
+import "repro/internal/simtrace"
+
+// TraceInfo emits the socket's interleave layout (Figure 2) as an instant
+// event: stripe granularity and DIMM count determine every channel-assignment
+// decision the timeline's xpdimm spans reflect.
+func (l *Layout) TraceInfo(p *simtrace.Process, tid int, atSec float64) {
+	p.Instant(simtrace.CatInterleave, "interleave", tid, atSec,
+		simtrace.F("dimms", float64(l.dimms)),
+		simtrace.F("stripe_bytes", float64(l.stripe)),
+	)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dramdimm"
 	"repro/internal/interleave"
 	"repro/internal/metrics"
+	"repro/internal/simtrace"
 	"repro/internal/ssd"
 	"repro/internal/topology"
 	"repro/internal/upi"
@@ -100,6 +101,13 @@ type Config struct {
 	// reachable via Machine.Metrics; several machines may share one registry
 	// (how an experiment aggregates across its PMEM and DRAM machines).
 	Metrics *metrics.Registry `json:"-"`
+
+	// Trace, when non-nil, records the machine's activity as a simulated-time
+	// timeline: run/stream spans, per-socket media activity, UPI link traffic
+	// and directory warm-up phases. Each machine registers as one trace
+	// process; consecutive runs are laid out end to end. Like Metrics, a
+	// recorder may be shared by several machines.
+	Trace *simtrace.Recorder `json:"-"`
 }
 
 // DefaultConfig returns the fully calibrated model of the paper's platform.
@@ -131,6 +139,8 @@ type Machine struct {
 	wear    []*xpdimm.Wear // per socket
 	metrics *metrics.Registry
 	rec     *recorder
+	trace   *simtrace.Process
+	runSeq  int
 	// chCursor rotates per-channel traffic attribution per socket, mirroring
 	// the round-robin stripe rotation of the interleave layout.
 	chCursor []int
@@ -161,6 +171,7 @@ func New(cfg Config) (*Machine, error) {
 		chCursor: make([]int, topo.Sockets()),
 	}
 	m.rec = newRecorder(reg, topo)
+	m.traceInit()
 	for s := 0; s < topo.Sockets(); s++ {
 		m.wear = append(m.wear, &xpdimm.Wear{})
 	}
@@ -311,6 +322,7 @@ func (r *Region) PreFault() float64 {
 	sec := remaining * r.m.cfg.PreFaultSecPerByte
 	r.m.rec.prefaultB.Add(remaining)
 	r.m.rec.prefaultSec.Add(sec)
+	r.m.tracePreFault(r, sec, remaining)
 	return sec
 }
 
@@ -324,8 +336,10 @@ func (r *Region) Faulted() bool {
 // by the given socket — the paper's single-thread pre-read trick
 // (Section 3.4) or data that the far socket has already scanned once.
 func (r *Region) WarmFor(s topology.SocketID) {
-	r.m.warmth.MarkWarm(upi.Key{Region: r.id, Socket: int(s)})
+	k := upi.Key{Region: r.id, Socket: int(s)}
+	r.m.warmth.MarkWarm(k)
 	r.m.rec.upiMarkWarm.Inc()
+	r.m.traceWarmEvent("mark-warm", k)
 }
 
 // IsWarmFor reports far-access warmth for a socket.
@@ -335,6 +349,8 @@ func (r *Region) IsWarmFor(s topology.SocketID) bool {
 
 // CoolFor resets warmth (mapping reassigned away).
 func (r *Region) CoolFor(s topology.SocketID) {
-	r.m.warmth.Invalidate(upi.Key{Region: r.id, Socket: int(s)})
+	k := upi.Key{Region: r.id, Socket: int(s)}
+	r.m.warmth.Invalidate(k)
 	r.m.rec.upiInval.Inc()
+	r.m.traceWarmEvent("invalidate", k)
 }

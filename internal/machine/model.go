@@ -53,6 +53,10 @@ type runModel struct {
 	// the "which component was the bottleneck" diagnostic that VTune
 	// provides in the paper's methodology (Section 2.3).
 	peakUtil map[string]float64
+
+	// tr accumulates the run's timeline bookkeeping; nil when the machine has
+	// no trace recorder attached.
+	tr *runTrace
 }
 
 type flowCtx struct {
@@ -65,13 +69,13 @@ type flowCtx struct {
 	touchesRegion    *Region
 
 	// Metrics bookkeeping, filled by computeCosts and consumed by Advance.
-	readRA        float64 // media traffic per app byte read (incl. HT/prefetch waste)
-	readBaseRA    float64 // media traffic from access granularity alone
-	dirWritePerB  float64 // directory-update media writes per far contended read byte
-	engaged       int     // channels engaged (rounded dimmParallelism)
-	mmHit         float64 // Memory Mode DRAM-cache hit fraction; -1 = not Memory Mode
-	prefetched    bool    // sequential PMEM read with the prefetcher engaged
-	prefetchEff   float64
+	readRA       float64 // media traffic per app byte read (incl. HT/prefetch waste)
+	readBaseRA   float64 // media traffic from access granularity alone
+	dirWritePerB float64 // directory-update media writes per far contended read byte
+	engaged      int     // channels engaged (rounded dimmParallelism)
+	mmHit        float64 // Memory Mode DRAM-cache hit fraction; -1 = not Memory Mode
+	prefetched   bool    // sequential PMEM read with the prefetcher engaged
+	prefetchEff  float64
 }
 
 func newRunModel(m *Machine, streams []*Stream) *runModel {
@@ -111,6 +115,9 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 		_ = i
 	}
 	rm.fctx = make([]flowCtx, len(streams))
+	if m.trace != nil {
+		rm.tr = newRunTrace(m.topo.Sockets(), m.trace.Cursor())
+	}
 	return rm
 }
 
@@ -593,6 +600,7 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 			rm.peakUtil[r.Name] = u
 		}
 	}
+	rm.traceStepStart(now)
 	for i, f := range rm.flows {
 		fc := rm.fctx[i]
 		if !fc.active || f.Rate <= 0 {
@@ -604,6 +612,7 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 			rm.m.warmth.Record(fc.coldKey, moved, fc.touchesRegion.Size)
 			if !wasWarm && rm.m.warmth.IsWarm(fc.coldKey) {
 				rm.m.rec.upiWarmups.Inc()
+				rm.traceWarmFlip(fc.coldKey, now+dt)
 			}
 		}
 		if fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
@@ -616,7 +625,9 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 			rm.m.wear[fc.touchesRegion.Socket].Record(moved * fc.writeWA)
 		}
 		rm.recordTraffic(rm.streams[i], fc, moved)
+		rm.traceAccumulate(rm.streams[i], fc, moved)
 	}
+	rm.traceStepEnd(now, dt)
 }
 
 // recordTraffic accounts one flow's dt-step traffic in the metrics registry:

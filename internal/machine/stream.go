@@ -153,6 +153,7 @@ func (m *Machine) run(streams []*Stream, maxTime float64) (RunResult, error) {
 	if writeEnd > 0 {
 		res.WriteBandwidth = writeBytes / writeEnd
 	}
+	m.traceFinishRun(rm, streams, eng.Now, &res)
 	return res, nil
 }
 

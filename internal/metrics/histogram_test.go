@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("req.seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5.565) > 1e-12 {
+		t.Fatalf("Sum = %v, want ~5.565", got)
+	}
+	s, ok := r.Snapshot().GetHistogram("req.seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// 0.005 and 0.01 land in le=0.01 (bounds are inclusive), 0.05 in le=0.1,
+	// 0.5 in le=1, 5 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+func TestHistogramSameHandle(t *testing.T) {
+	r := New()
+	a := r.Histogram("h", []float64{1, 2})
+	b := r.Histogram("h", []float64{9, 99}) // later bounds ignored
+	if a != b {
+		t.Fatal("second Histogram call must return the first handle")
+	}
+	a.Observe(1.5)
+	if s, _ := r.Snapshot().GetHistogram("h"); s.Bounds[0] != 1 || s.Counts[1] != 1 {
+		t.Fatalf("bounds/counts = %v/%v", s.Bounds, s.Counts)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("h", []float64{1})
+	if h != nil {
+		t.Fatal("nil registry must return nil histogram")
+	}
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", DefaultDurationBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.02)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	mk := func(obs ...float64) Snapshot {
+		r := New()
+		h := r.Histogram("h", []float64{1, 10})
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	m := Merge(mk(0.5, 5), mk(5, 50))
+	h, ok := m.GetHistogram("h")
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count() != 4 || h.Sum != 60.5 {
+		t.Fatalf("Count/Sum = %d/%v, want 4/60.5", h.Count(), h.Sum)
+	}
+	want := []uint64{1, 2, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+
+	// Mismatched bucket layouts keep the first operand.
+	r2 := New()
+	r2.Histogram("h", []float64{7}).Observe(3)
+	m2 := Merge(mk(0.5), r2.Snapshot())
+	h2, _ := m2.GetHistogram("h")
+	if len(h2.Bounds) != 2 || h2.Count() != 1 {
+		t.Fatalf("mismatched merge = %+v, want first operand", h2)
+	}
+}
+
+func TestHistogramPrometheus(t *testing.T) {
+	r := New()
+	h := r.Histogram("server.request.duration.seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE server_request_duration_seconds histogram",
+		`server_request_duration_seconds_bucket{le="0.1"} 1`,
+		`server_request_duration_seconds_bucket{le="1"} 2`,
+		`server_request_duration_seconds_bucket{le="+Inf"} 3`,
+		"server_request_duration_seconds_sum 2.55",
+		"server_request_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := back.GetHistogram("h")
+	if !ok || h.Count() != 1 || h.Sum != 0.5 || len(h.Bounds) != 1 {
+		t.Fatalf("round trip lost histogram: %+v", h)
+	}
+}
+
+func TestHistogramOmittedFromJSONWhenAbsent(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Older snapshots had no histograms key; keep their bytes unchanged.
+	if strings.Contains(string(data), "histograms") {
+		t.Fatalf("empty snapshot must omit histograms key: %s", data)
+	}
+}
+
+func TestHistogramFprint(t *testing.T) {
+	r := New()
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	r.Snapshot().Fprint(&buf)
+	if !strings.Contains(buf.String(), "histograms:") || !strings.Contains(buf.String(), "count=1") {
+		t.Fatalf("Fprint output missing histogram section:\n%s", buf.String())
+	}
+}

@@ -92,16 +92,18 @@ func (g *Gauge) Value() float64 {
 // Gauge return nil handles whose methods do nothing, so model code can
 // record unconditionally.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // New creates an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -144,8 +146,9 @@ type Sample struct {
 // Snapshot is a point-in-time copy of a registry, sorted by name, suitable
 // for rendering, comparison, and aggregation.
 type Snapshot struct {
-	Counters []Sample
-	Gauges   []Sample
+	Counters   []Sample
+	Gauges     []Sample
+	Histograms []HistogramSample
 }
 
 // Snapshot copies the registry's current values. A nil registry yields an
@@ -163,8 +166,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, Sample{name, g.Value()})
 	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, h.sample(name))
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 
@@ -180,7 +187,9 @@ func (s Snapshot) Get(name string) (float64, bool) {
 }
 
 // Empty reports whether the snapshot holds no samples.
-func (s Snapshot) Empty() bool { return len(s.Counters) == 0 && len(s.Gauges) == 0 }
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
 
 // Fprint renders the snapshot as a stable, aligned text report.
 func (s Snapshot) Fprint(w io.Writer) {
@@ -204,6 +213,7 @@ func (s Snapshot) Fprint(w io.Writer) {
 			fmt.Fprintf(w, "  %-*s %s\n", width, sm.Name, formatValue(sm.Value))
 		}
 	}
+	fprintHistograms(w, s.Histograms)
 }
 
 // formatValue prints counts as integers and everything else compactly.
@@ -219,23 +229,39 @@ func formatValue(v float64) string {
 // is byte-stable for a given snapshot.
 func (s Snapshot) MarshalJSON() ([]byte, error) {
 	obj := struct {
-		Counters map[string]float64 `json:"counters"`
-		Gauges   map[string]float64 `json:"gauges"`
-	}{make(map[string]float64, len(s.Counters)), make(map[string]float64, len(s.Gauges))}
+		Counters   map[string]float64       `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]histogramJSON `json:"histograms,omitempty"`
+	}{Counters: make(map[string]float64, len(s.Counters)), Gauges: make(map[string]float64, len(s.Gauges))}
 	for _, sm := range s.Counters {
 		obj.Counters[sm.Name] = sm.Value
 	}
 	for _, sm := range s.Gauges {
 		obj.Gauges[sm.Name] = sm.Value
 	}
+	if len(s.Histograms) > 0 {
+		obj.Histograms = make(map[string]histogramJSON, len(s.Histograms))
+		for _, h := range s.Histograms {
+			obj.Histograms[h.Name] = histogramJSON{Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum}
+		}
+	}
 	return json.Marshal(obj)
+}
+
+// histogramJSON is the wire form of one histogram in a snapshot; the name is
+// the enclosing object key.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
 }
 
 // UnmarshalJSON restores a snapshot written by MarshalJSON.
 func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	var obj struct {
-		Counters map[string]float64 `json:"counters"`
-		Gauges   map[string]float64 `json:"gauges"`
+		Counters   map[string]float64       `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]histogramJSON `json:"histograms"`
 	}
 	if err := json.Unmarshal(data, &obj); err != nil {
 		return err
@@ -247,8 +273,13 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	for name, v := range obj.Gauges {
 		s.Gauges = append(s.Gauges, Sample{name, v})
 	}
+	for name, h := range obj.Histograms {
+		s.Histograms = append(s.Histograms, HistogramSample{
+			Name: name, Bounds: h.Bounds, Counts: h.Counts, Sum: h.Sum})
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return nil
 }
 
@@ -264,8 +295,9 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // snapshots into a suite-wide view (sums of traffic, worst-case peaks).
 func Merge(a, b Snapshot) Snapshot {
 	return Snapshot{
-		Counters: mergeSamples(a.Counters, b.Counters, func(x, y float64) float64 { return x + y }),
-		Gauges:   mergeSamples(a.Gauges, b.Gauges, math.Max),
+		Counters:   mergeSamples(a.Counters, b.Counters, func(x, y float64) float64 { return x + y }),
+		Gauges:     mergeSamples(a.Gauges, b.Gauges, math.Max),
+		Histograms: mergeHistograms(a.Histograms, b.Histograms),
 	}
 }
 

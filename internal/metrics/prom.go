@@ -26,6 +26,11 @@ func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
 			return err
 		}
 	}
+	for _, h := range s.Histograms {
+		if err := writePromHistogram(w, prefix, h); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -29,8 +29,9 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	body []byte
+	key   string
+	body  []byte
+	trace []byte // simulated-time timeline (traced requests only); nil otherwise
 }
 
 func newResultCache(budget int64, reg *metrics.Registry) *resultCache {
@@ -46,28 +47,33 @@ func newResultCache(budget int64, reg *metrics.Registry) *resultCache {
 	}
 }
 
-func entrySize(key string, body []byte) int64 { return int64(len(key) + len(body)) }
+func entrySize(key string, body, trace []byte) int64 {
+	return int64(len(key) + len(body) + len(trace))
+}
 
-// get returns the cached body for key and refreshes its recency. The
-// returned slice is shared and must not be mutated.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached body (and, for traced entries, the trace) for key
+// and refreshes its recency. The returned slices are shared and must not be
+// mutated.
+func (c *resultCache) get(key string) (body, trace []byte, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
+	el, found := c.items[key]
+	if !found {
 		c.misses.Inc()
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits.Inc()
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.trace, true
 }
 
-// put stores body under key and evicts least-recently-used entries until the
-// budget holds again. A body that alone exceeds the whole budget is not
-// cached (it would only flush everything else for a single entry).
-func (c *resultCache) put(key string, body []byte) {
-	size := entrySize(key, body)
+// put stores body (plus an optional trace) under key and evicts
+// least-recently-used entries until the budget holds again. An entry that
+// alone exceeds the whole budget is not cached (it would only flush
+// everything else for a single entry).
+func (c *resultCache) put(key string, body, trace []byte) {
+	size := entrySize(key, body, trace)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if size > c.budget {
@@ -76,11 +82,12 @@ func (c *resultCache) put(key string, body []byte) {
 	if el, ok := c.items[key]; ok {
 		// Deterministic results mean a re-put carries identical bytes, but
 		// replace anyway so the invariant doesn't rest on that.
-		c.used += size - entrySize(key, el.Value.(*cacheEntry).body)
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		c.used += size - entrySize(key, e.body, e.trace)
+		e.body, e.trace = body, trace
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, trace: trace})
 		c.used += size
 	}
 	for c.used > c.budget {
@@ -91,7 +98,7 @@ func (c *resultCache) put(key string, body []byte) {
 		e := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
 		delete(c.items, e.key)
-		c.used -= entrySize(e.key, e.body)
+		c.used -= entrySize(e.key, e.body, e.trace)
 		c.evictions.Inc()
 	}
 	c.bytes.Set(float64(c.used))

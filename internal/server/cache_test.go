@@ -101,7 +101,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		if len(body(i)) != 28 {
 			t.Fatalf("test body size drifted: %d", len(body(i)))
 		}
-		c.put(key(i), body(i))
+		c.put(key(i), body(i), nil)
 	}
 	if c.len() != 3 {
 		t.Fatalf("cache holds %d entries, want 3", c.len())
@@ -109,10 +109,10 @@ func TestCacheLRUEviction(t *testing.T) {
 	if c.usedBytes() > 96 {
 		t.Fatalf("cache uses %d bytes, budget 96", c.usedBytes())
 	}
-	if _, ok := c.get(key(0)); ok {
+	if _, _, ok := c.get(key(0)); ok {
 		t.Error("oldest entry k000 not evicted")
 	}
-	if _, ok := c.get(key(3)); !ok {
+	if _, _, ok := c.get(key(3)); !ok {
 		t.Error("newest entry k003 missing")
 	}
 	_, _, ev := cacheCounters(t, reg)
@@ -121,14 +121,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 
 	// Touching k001 must protect it from the next eviction.
-	if _, ok := c.get(key(1)); !ok {
+	if _, _, ok := c.get(key(1)); !ok {
 		t.Fatal("k001 missing before recency test")
 	}
-	c.put(key(4), body(4))
-	if _, ok := c.get(key(1)); !ok {
+	c.put(key(4), body(4), nil)
+	if _, _, ok := c.get(key(1)); !ok {
 		t.Error("recently-used k001 evicted instead of LRU k002")
 	}
-	if _, ok := c.get(key(2)); ok {
+	if _, _, ok := c.get(key(2)); ok {
 		t.Error("LRU k002 survived over recently-used k001")
 	}
 }
@@ -136,12 +136,12 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheOversizedBodyNotCached(t *testing.T) {
 	reg := metrics.New()
 	c := newResultCache(16, reg)
-	c.put("small", []byte("ok"))
-	c.put("huge", make([]byte, 64))
-	if _, ok := c.get("huge"); ok {
+	c.put("small", []byte("ok"), nil)
+	c.put("huge", make([]byte, 64), nil)
+	if _, _, ok := c.get("huge"); ok {
 		t.Error("oversized body was cached")
 	}
-	if _, ok := c.get("small"); !ok {
+	if _, _, ok := c.get("small"); !ok {
 		t.Error("oversized put evicted the resident entry")
 	}
 }
@@ -150,7 +150,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 	reg := metrics.New()
 	c := newResultCache(1<<10, reg)
 	c.get("absent")
-	c.put("k", []byte("v"))
+	c.put("k", []byte("v"), nil)
 	c.get("k")
 	c.get("k")
 	hits, misses, _ := cacheCounters(t, reg)

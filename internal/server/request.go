@@ -34,6 +34,10 @@ type RunRequest struct {
 	// Metrics includes the experiment's simulation-counter snapshot in the
 	// result.
 	Metrics bool `json:"metrics,omitempty"`
+	// Trace records the experiment's simulated-time timeline; fetch it as
+	// Chrome trace-event JSON at GET /v1/jobs/{id}/trace (the job id comes
+	// back in the X-Pmemd-Job header / the async job handle).
+	Trace bool `json:"trace,omitempty"`
 	// Machine overrides the calibrated machine model. Fields absent from
 	// the document keep the calibrated defaults (the machine.ConfigFromJSON
 	// contract), so a what-if request only spells the knobs it changes.
@@ -52,13 +56,14 @@ type canonical struct {
 	SF      float64        `json:"sf"`
 	Quick   bool           `json:"quick"`
 	Metrics bool           `json:"metrics"`
+	Trace   bool           `json:"trace"`
 	Machine machine.Config `json:"machine"`
 }
 
 // canonicalize validates the request and resolves every default. maxSF <= 0
 // means unbounded.
 func (r RunRequest) canonicalize(maxSF float64) (canonical, error) {
-	c := canonical{ID: r.ID, SF: r.SF, Quick: r.Quick, Metrics: r.Metrics}
+	c := canonical{ID: r.ID, SF: r.SF, Quick: r.Quick, Metrics: r.Metrics, Trace: r.Trace}
 	if c.ID == "" {
 		return c, fmt.Errorf("missing experiment id (see GET /v1/experiments)")
 	}

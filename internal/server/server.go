@@ -6,13 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/simtrace"
 )
 
 // maxRetainedJobs bounds the finished-job history kept for GET /v1/jobs;
@@ -41,6 +45,9 @@ type Options struct {
 	// generation is the one knob that costs real memory). 0 means 1.0;
 	// negative means unbounded.
 	MaxSF float64
+	// Logger receives the structured request/lifecycle log. nil discards
+	// (tests); the daemon passes a real handler.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +83,7 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	body     []byte
+	trace    []byte // Chrome trace-event JSON; nil unless the request asked for it
 	errMsg   string
 }
 
@@ -101,11 +109,15 @@ type Server struct {
 	nextID   uint64
 
 	// runFn performs one simulation; tests substitute a controllable fake
-	// to pin down coalescing and admission without timing real runs.
-	runFn func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, error)
+	// to pin down coalescing and admission without timing real runs. The
+	// []byte is the run's trace document (nil unless c.Trace).
+	runFn func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error)
 
 	simMu  sync.Mutex
 	simAgg metrics.Snapshot
+
+	log     *slog.Logger
+	nextReq atomic.Uint64 // generated X-Request-ID sequence
 
 	cRequests   *metrics.Counter
 	cRejected   *metrics.Counter
@@ -116,6 +128,8 @@ type Server struct {
 	cReqSecs    *metrics.Counter
 	gActive     *metrics.Gauge
 	gQueueDepth *metrics.Gauge
+	hReqDur     *metrics.Histogram
+	hQueueWait  *metrics.Histogram
 }
 
 // New builds a Server; it owns a fresh metrics registry exposed at /metrics.
@@ -141,6 +155,12 @@ func New(opts Options) *Server {
 		cReqSecs:    reg.Counter("server_request_seconds"),
 		gActive:     reg.Gauge("server_jobs_active"),
 		gQueueDepth: reg.Gauge("server_queue_depth"),
+		hReqDur:     reg.Histogram("server_request_duration_seconds", metrics.DefaultDurationBuckets()),
+		hQueueWait:  reg.Histogram("server_job_queue_wait_seconds", metrics.DefaultDurationBuckets()),
+	}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.runFn = s.simulate
 	return s
@@ -154,16 +174,55 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // oversubscribing the host.
 func (s *Server) Pool() *experiments.Pool { return s.pool }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API. Every response carries an X-Request-ID
+// (echoed from the request when the client supplied one) and every request
+// is logged and observed into server_request_duration_seconds.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	return mux
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the API with request-ID propagation, the request-duration
+// histogram, and one structured log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", s.nextReq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.hReqDur.Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"request_id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"duration_ms", float64(elapsed.Microseconds())/1e3,
+		)
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -183,6 +242,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// The registry has no labeled series, so the conventional build_info
+	// gauge is rendered by hand.
+	v := ReadBuildInfo()
+	fmt.Fprintf(w, "# TYPE pmemd_build_info gauge\npmemd_build_info{version=%q,go_version=%q,revision=%q} 1\n",
+		v.Version, v.GoVersion, v.Revision)
 	s.reg.WritePrometheus(w, "")
 	s.simMu.Lock()
 	sim := s.simAgg
@@ -216,8 +280,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := canon.key()
 
 	s.mu.Lock()
-	if body, ok := s.cache.get(key); ok {
+	if body, trace, ok := s.cache.get(key); ok {
+		// Traced hits still get a job handle: the trace endpoint is
+		// job-addressed, so synthesize an already-done job around the cached
+		// bytes. The trace is the same document the cold run recorded.
+		var jobID string
+		if canon.Trace {
+			jobID = s.finishedJobLocked(canon, key, body, trace).id
+		}
 		s.mu.Unlock()
+		if jobID != "" {
+			w.Header().Set("X-Pmemd-Job", jobID)
+		}
 		serveResult(w, body, "hit")
 		return
 	}
@@ -269,7 +343,69 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if coalesced {
 		state = "coalesced"
 	}
+	w.Header().Set("X-Pmemd-Job", j.id)
 	serveResult(w, body, state)
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	state, trace := j.state, j.trace
+	s.mu.Unlock()
+	if state != "done" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s, not done", id, state))
+		return
+	}
+	if trace == nil {
+		writeError(w, http.StatusNotFound,
+			`job was not traced; submit the run with "trace": true`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace)
+}
+
+// BuildInfo is the GET /version payload, assembled from the build metadata
+// the Go linker embeds in the binary.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+}
+
+// ReadBuildInfo resolves the binary's build metadata; fields that the build
+// did not stamp stay empty and Version falls back to "unknown".
+func ReadBuildInfo() BuildInfo {
+	v := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	v.Module = bi.Main.Path
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			v.Revision = kv.Value
+		case "vcs.time":
+			v.VCSTime = kv.Value
+		}
+	}
+	return v
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ReadBuildInfo())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -299,6 +435,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.state == "done" {
 		st.Result = json.RawMessage(j.body)
+		if j.trace != nil {
+			st.TraceHref = "/v1/jobs/" + j.id + "/trace"
+		}
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
@@ -316,6 +455,7 @@ type JobStatus struct {
 	StartedAt  *time.Time      `json:"started_at,omitempty"`
 	FinishedAt *time.Time      `json:"finished_at,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
+	TraceHref  string          `json:"trace_href,omitempty"`
 }
 
 func (s *Server) startJobLocked(c canonical, key string) *job {
@@ -334,8 +474,40 @@ func (s *Server) startJobLocked(c canonical, key string) *job {
 	s.gActive.Set(float64(s.active))
 	s.gQueueDepth.Set(float64(s.active - s.running))
 	s.jobsWG.Add(1)
+	s.log.Info("job admitted", "job_id", j.id, "experiment", c.ID, "key", key)
 	go s.run(j)
 	return j
+}
+
+// finishedJobLocked registers an already-done job around cached bytes, so a
+// cache hit on a traced request still yields a job handle whose trace
+// endpoint serves the cold run's exact document.
+func (s *Server) finishedJobLocked(c canonical, key string, body, trace []byte) *job {
+	s.nextID++
+	now := time.Now()
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.nextID),
+		key:      key,
+		canon:    c,
+		created:  now,
+		finished: now,
+		state:    "done",
+		body:     body,
+		trace:    trace,
+		done:     make(chan struct{}),
+	}
+	close(j.done)
+	s.jobs[j.id] = j
+	s.history = append(s.history, j.id)
+	s.pruneHistoryLocked()
+	return j
+}
+
+func (s *Server) pruneHistoryLocked() {
+	for len(s.history) > maxRetainedJobs {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
 }
 
 // run executes one job: wait for a slot in the shared pool, simulate, store
@@ -347,8 +519,10 @@ func (s *Server) run(j *job) {
 
 	var res RunResult
 	var sim metrics.Snapshot
+	var trace []byte
 	err := s.pool.Acquire(ctx)
 	if err == nil {
+		s.hQueueWait.Observe(time.Since(j.created).Seconds())
 		s.mu.Lock()
 		j.state = "running"
 		j.started = time.Now()
@@ -356,7 +530,7 @@ func (s *Server) run(j *job) {
 		s.gQueueDepth.Set(float64(s.active - s.running))
 		s.mu.Unlock()
 
-		res, sim, err = s.runFn(ctx, j.canon)
+		res, sim, trace, err = s.runFn(ctx, j.canon)
 		s.pool.Release()
 	}
 	var body []byte
@@ -381,15 +555,20 @@ func (s *Server) run(j *job) {
 	} else {
 		j.state = "done"
 		j.body = body
-		s.cache.put(j.key, body)
+		j.trace = trace
+		s.cache.put(j.key, body, trace)
 		s.cJobsDone.Inc()
 	}
 	s.history = append(s.history, j.id)
-	for len(s.history) > maxRetainedJobs {
-		delete(s.jobs, s.history[0])
-		s.history = s.history[1:]
-	}
+	s.pruneHistoryLocked()
 	s.mu.Unlock()
+
+	if err != nil {
+		s.log.Warn("job failed", "job_id", j.id, "experiment", j.canon.ID, "error", err.Error())
+	} else {
+		s.log.Info("job done", "job_id", j.id, "experiment", j.canon.ID,
+			"seconds", time.Since(j.created).Seconds(), "traced", trace != nil)
+	}
 
 	close(j.done)
 	if err == nil {
@@ -400,18 +579,25 @@ func (s *Server) run(j *job) {
 }
 
 // simulate is the production runFn: one experiment on the canonical
-// request's machine model. The pool slot is already held by the caller.
-func (s *Server) simulate(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, error) {
+// request's machine model. The pool slot is already held by the caller. The
+// run is deterministic over simulated time, so the returned trace bytes are
+// identical however often the same canonical request is re-simulated.
+func (s *Server) simulate(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error) {
 	e, err := experiments.ByID(c.ID)
 	if err != nil {
-		return RunResult{}, metrics.Snapshot{}, err
+		return RunResult{}, metrics.Snapshot{}, nil, err
 	}
 	cfg := c.experimentConfig()
 	reg := metrics.New()
 	cfg.Metrics = reg
+	var rec *simtrace.Recorder
+	if c.Trace {
+		rec = simtrace.New()
+		cfg.Trace = rec
+	}
 	tables, err := e.Run(cfg.WithContext(ctx))
 	if err != nil {
-		return RunResult{}, metrics.Snapshot{}, fmt.Errorf("experiment %s: %w", e.ID, err)
+		return RunResult{}, metrics.Snapshot{}, nil, fmt.Errorf("experiment %s: %w", e.ID, err)
 	}
 	var text bytes.Buffer
 	fmt.Fprintf(&text, "# %s: %s\n\n", e.ID, e.Title)
@@ -424,7 +610,11 @@ func (s *Server) simulate(ctx context.Context, c canonical) (RunResult, metrics.
 		ms := snap
 		out.Metrics = &ms
 	}
-	return out, snap, nil
+	var traceBytes []byte
+	if rec != nil {
+		traceBytes = rec.Bytes()
+	}
+	return out, snap, traceBytes, nil
 }
 
 // BeginDrain stops admission: /readyz turns 503 and new submissions are

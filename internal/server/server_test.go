@@ -162,14 +162,14 @@ func TestExperimentsCatalog(t *testing.T) {
 // release is closed, and returns the invocation counter.
 func blockingRun(s *Server, release <-chan struct{}) *atomic.Int64 {
 	var runs atomic.Int64
-	s.runFn = func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, error) {
+	s.runFn = func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error) {
 		runs.Add(1)
 		select {
 		case <-release:
 		case <-ctx.Done():
-			return RunResult{}, metrics.Snapshot{}, ctx.Err()
+			return RunResult{}, metrics.Snapshot{}, nil, ctx.Err()
 		}
-		return RunResult{ID: c.ID, Title: "fake", Text: "fake"}, metrics.Snapshot{}, nil
+		return RunResult{ID: c.ID, Title: "fake", Text: "fake"}, metrics.Snapshot{}, nil, nil
 	}
 	return &runs
 }
@@ -436,6 +436,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"server_jobs_done 1",
 		"# TYPE server_queue_depth gauge",
 		"sim_machine_run_count",
+		"# TYPE pmemd_build_info gauge",
+		`pmemd_build_info{version=`,
+		"# TYPE server_request_duration_seconds histogram",
+		`server_request_duration_seconds_bucket{le="+Inf"} 2`,
+		"server_job_queue_wait_seconds_count 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -454,5 +459,161 @@ func TestHealthz(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestTracedRunColdVsCached is the serving half of the trace determinism
+// guarantee: the trace fetched after a cold traced run and the one fetched
+// after the identical request hit the cache must be byte-identical.
+func TestTracedRunColdVsCached(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	traced := `{"id":"fig04","quick":true,"sf":0.02,"trace":true}`
+
+	fetchTrace := func(resp *http.Response) []byte {
+		t.Helper()
+		jobID := resp.Header.Get("X-Pmemd-Job")
+		if jobID == "" {
+			t.Fatal("traced run response missing X-Pmemd-Job header")
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace for %s: status %d, body %s", jobID, r.StatusCode, b)
+		}
+		return b
+	}
+
+	resp1, _ := postRun(t, ts, traced)
+	if got := resp1.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Fatalf("cold traced run cache header = %q, want miss", got)
+	}
+	cold := fetchTrace(resp1)
+
+	resp2, _ := postRun(t, ts, traced)
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Fatalf("second traced run cache header = %q, want hit", got)
+	}
+	cached := fetchTrace(resp2)
+
+	if !bytes.Equal(cold, cached) {
+		t.Errorf("trace differs cold vs cached (%d vs %d bytes)", len(cold), len(cached))
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(cold, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("traced run produced an empty timeline")
+	}
+}
+
+// TestTracedDistinctFromUntraced: trace is part of the cache identity, so a
+// traced request must not be served an untraced entry (which has no trace).
+func TestTracedDistinctFromUntraced(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	postRun(t, ts, quickBody)
+	resp, _ := postRun(t, ts, `{"id":"fig04","quick":true,"sf":0.02,"trace":true}`)
+	if got := resp.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Errorf("traced request after untraced: cache header %q, want miss", got)
+	}
+}
+
+// TestJobTraceErrors pins the trace endpoint's failure modes.
+func TestJobTraceErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	r, err := http.Get(ts.URL + "/v1/jobs/job-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: status %d, want 404", r.StatusCode)
+	}
+
+	// A finished but untraced job has no trace document.
+	resp, _ := postRun(t, ts, quickBody)
+	jobID := resp.Header.Get("X-Pmemd-Job")
+	if jobID == "" {
+		t.Fatal("untraced run response missing X-Pmemd-Job header")
+	}
+	r, err = http.Get(ts.URL + "/v1/jobs/" + jobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound || !strings.Contains(string(b), "not traced") {
+		t.Errorf("untraced job trace: status %d body %s, want 404 'not traced'", r.StatusCode, b)
+	}
+}
+
+// TestJobStatusTraceHref: a traced done job advertises its trace.
+func TestJobStatusTraceHref(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, _ := postRun(t, ts, `{"id":"fig04","quick":true,"sf":0.02,"trace":true}`)
+	jobID := resp.Header.Get("X-Pmemd-Job")
+	r, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceHref != "/v1/jobs/"+jobID+"/trace" {
+		t.Errorf("trace_href = %q", st.TraceHref)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	r, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /version: status %d", r.StatusCode)
+	}
+	var v BuildInfo
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Version == "" {
+		t.Errorf("incomplete build info: %+v", v)
+	}
+}
+
+// TestRequestIDPropagation: a client-supplied X-Request-ID is echoed; absent
+// one, the server assigns an id of its own.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me-7")
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if got := r.Header.Get("X-Request-ID"); got != "trace-me-7" {
+		t.Errorf("echoed request id = %q, want trace-me-7", got)
+	}
+
+	r2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if got := r2.Header.Get("X-Request-ID"); got == "" {
+		t.Error("server did not assign a request id")
 	}
 }

@@ -1,0 +1,342 @@
+// Package simtrace records spans, instants, and counter series over
+// *simulated* time and exports them as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. It is the timeline
+// counterpart of internal/metrics: where metrics answer "how much, in
+// total?", a trace answers "when, and for how long?" — when a channel
+// saturates, when a UPI directory warm-up phase ends, how a run's streams
+// overlap.
+//
+// The recorder is deterministic by construction: events are appended in call
+// order into a bounded in-memory buffer, process/thread identifiers are
+// assigned sequentially, and WriteJSON renders with a fixed field order and
+// fixed float formatting. Because the machine simulation itself is
+// deterministic, the exported trace bytes are identical across worker-pool
+// widths and cold-vs-cached replays — the same property the repository's
+// golden tests enforce for experiment tables.
+//
+// A nil *Recorder (and the nil *Process it hands out) is a valid no-op sink,
+// so model code can emit unconditionally, exactly like the metrics registry.
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Categories tag events with the hardware layer that emitted them. The
+// catalogue is documented in EXPERIMENTS.md ("Tracing").
+const (
+	CatMachine    = "machine"
+	CatXPDIMM     = "xpdimm"
+	CatUPI        = "upi"
+	CatCPU        = "cpu"
+	CatInterleave = "interleave"
+	CatTopology   = "topology"
+)
+
+// DefaultMaxEvents bounds a recorder's buffer when no explicit limit is
+// given: large enough for every experiment in the suite, small enough that a
+// runaway sweep cannot exhaust memory (events are a few hundred bytes each).
+const DefaultMaxEvents = 1 << 18
+
+// Arg is one key/value pair in an event's args object. Exactly one of the
+// value fields is used; construct with F (number) or S (string).
+type Arg struct {
+	Key   string
+	Num   float64
+	Str   string
+	isStr bool
+}
+
+// F builds a numeric argument.
+func F(key string, v float64) Arg { return Arg{Key: key, Num: v} }
+
+// S builds a string argument.
+func S(key, v string) Arg { return Arg{Key: key, Str: v, isStr: true} }
+
+// event is one trace-event record. ts and dur are in microseconds, the unit
+// the Chrome trace-event format specifies.
+type event struct {
+	ph   byte // 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+	cat  string
+	name string
+	pid  int
+	tid  int
+	ts   float64
+	dur  float64
+	args []Arg
+}
+
+// Recorder accumulates events from any number of processes. All methods are
+// safe for concurrent use, but deterministic output requires deterministic
+// call order — one experiment records from one goroutine, which the
+// experiment runner guarantees.
+type Recorder struct {
+	mu      sync.Mutex
+	max     int
+	events  []event
+	dropped int
+	nextPID int
+}
+
+// New creates a recorder bounded at DefaultMaxEvents.
+func New() *Recorder { return NewWithLimit(DefaultMaxEvents) }
+
+// NewWithLimit creates a recorder that keeps at most maxEvents events;
+// further emissions are counted as dropped (the count is exported in the
+// JSON's otherData). maxEvents <= 0 means DefaultMaxEvents.
+func NewWithLimit(maxEvents int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Recorder{max: maxEvents}
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events the buffer bound rejected.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+func (r *Recorder) emit(e event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Process registers a new trace process (one simulated machine, typically)
+// and returns its handle. The display name is "<name> #<pid>" so repeated
+// machines within one experiment stay distinguishable. Nil-safe: a nil
+// recorder returns a nil process whose methods no-op.
+func (r *Recorder) Process(name string) *Process {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextPID++
+	pid := r.nextPID
+	r.mu.Unlock()
+	p := &Process{r: r, pid: pid, threads: make(map[int]bool)}
+	r.emit(event{ph: 'M', name: "process_name", pid: pid,
+		args: []Arg{S("name", fmt.Sprintf("%s #%d", name, pid))}})
+	r.emit(event{ph: 'M', name: "process_sort_index", pid: pid,
+		args: []Arg{F("sort_index", float64(pid))}})
+	return p
+}
+
+// Process is one timeline row group (pid) with its own simulated-time cursor.
+// Runs on the same machine each start their virtual clock at zero; the cursor
+// lays consecutive runs out end to end so the process forms one timeline.
+type Process struct {
+	r   *Recorder
+	pid int
+
+	mu      sync.Mutex
+	cursor  float64      // seconds
+	threads map[int]bool // tids whose names have been emitted
+}
+
+// PID returns the process identifier (0 for a nil process).
+func (p *Process) PID() int {
+	if p == nil {
+		return 0
+	}
+	return p.pid
+}
+
+// Cursor returns the process's current timeline offset in simulated seconds.
+func (p *Process) Cursor() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cursor
+}
+
+// Advance moves the timeline cursor forward by sec simulated seconds
+// (negative deltas are ignored).
+func (p *Process) Advance(sec float64) {
+	if p == nil || sec <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.cursor += sec
+	p.mu.Unlock()
+}
+
+// Thread names a tid within the process; idempotent, so emitters may call it
+// lazily before every span.
+func (p *Process) Thread(tid int, name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	seen := p.threads[tid]
+	if !seen {
+		p.threads[tid] = true
+	}
+	p.mu.Unlock()
+	if seen {
+		return
+	}
+	p.r.emit(event{ph: 'M', name: "thread_name", pid: p.pid, tid: tid,
+		args: []Arg{S("name", name)}})
+	p.r.emit(event{ph: 'M', name: "thread_sort_index", pid: p.pid, tid: tid,
+		args: []Arg{F("sort_index", float64(tid))}})
+}
+
+// Span emits a complete ('X') event covering [startSec, startSec+durSec).
+func (p *Process) Span(cat, name string, tid int, startSec, durSec float64, args ...Arg) {
+	if p == nil {
+		return
+	}
+	if durSec < 0 {
+		durSec = 0
+	}
+	p.r.emit(event{ph: 'X', cat: cat, name: name, pid: p.pid, tid: tid,
+		ts: startSec * 1e6, dur: durSec * 1e6, args: args})
+}
+
+// Instant emits a point-in-time ('i') event.
+func (p *Process) Instant(cat, name string, tid int, atSec float64, args ...Arg) {
+	if p == nil {
+		return
+	}
+	p.r.emit(event{ph: 'i', cat: cat, name: name, pid: p.pid, tid: tid,
+		ts: atSec * 1e6, args: args})
+}
+
+// Counter emits a counter ('C') sample: each arg is one series of the
+// counter track named name.
+func (p *Process) Counter(cat, name string, tid int, atSec float64, args ...Arg) {
+	if p == nil {
+		return
+	}
+	p.r.emit(event{ph: 'C', cat: cat, name: name, pid: p.pid, tid: tid,
+		ts: atSec * 1e6, args: args})
+}
+
+// WriteJSON renders the buffered events as a Chrome trace-event JSON object.
+// The rendering is byte-deterministic: fixed key order, sequential event
+// order, shortest round-trippable float formatting.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	var buf bytes.Buffer
+	if r == nil {
+		buf.WriteString(`{"displayTimeUnit":"ms","otherData":{"clock":"simulated-virtual-time","droppedEvents":"0"},"traceEvents":[]}`)
+		buf.WriteByte('\n')
+		_, err := w.Write(buf.Bytes())
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf.WriteString(`{"displayTimeUnit":"ms","otherData":{"clock":"simulated-virtual-time","droppedEvents":"`)
+	buf.WriteString(strconv.Itoa(r.dropped))
+	buf.WriteString(`"},"traceEvents":[`)
+	for i := range r.events {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n")
+		writeEvent(&buf, &r.events[i])
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Bytes returns the WriteJSON rendering as a byte slice.
+func (r *Recorder) Bytes() []byte {
+	var buf bytes.Buffer
+	r.WriteJSON(&buf) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+func writeEvent(buf *bytes.Buffer, e *event) {
+	buf.WriteString(`{"ph":"`)
+	buf.WriteByte(e.ph)
+	buf.WriteString(`","pid":`)
+	buf.WriteString(strconv.Itoa(e.pid))
+	buf.WriteString(`,"tid":`)
+	buf.WriteString(strconv.Itoa(e.tid))
+	if e.ph != 'M' {
+		buf.WriteString(`,"ts":`)
+		buf.WriteString(num(e.ts))
+	}
+	if e.ph == 'X' {
+		buf.WriteString(`,"dur":`)
+		buf.WriteString(num(e.dur))
+	}
+	if e.cat != "" {
+		buf.WriteString(`,"cat":`)
+		buf.Write(jstr(e.cat))
+	}
+	buf.WriteString(`,"name":`)
+	buf.Write(jstr(e.name))
+	if e.ph == 'i' {
+		buf.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	if len(e.args) > 0 {
+		buf.WriteString(`,"args":{`)
+		for i, a := range e.args {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(jstr(a.Key))
+			buf.WriteByte(':')
+			if a.isStr {
+				buf.Write(jstr(a.Str))
+			} else {
+				buf.WriteString(num(a.Num))
+			}
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte('}')
+}
+
+// num renders a float the shortest round-trippable way; NaN/Inf (not valid
+// JSON) degrade to 0, which deterministic model code never produces anyway.
+func num(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "NaN", "+Inf", "-Inf", "Inf":
+		return "0"
+	}
+	return s
+}
+
+// jstr renders a JSON string with encoding/json's escaping rules (stable for
+// a given input).
+func jstr(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return []byte(`""`)
+	}
+	return b
+}

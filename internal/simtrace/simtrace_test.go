@@ -1,0 +1,165 @@
+package simtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// record drives one recorder through a representative mix of event kinds.
+func record() *Recorder {
+	r := New()
+	p := r.Process("machine")
+	p.Thread(0, "control")
+	p.Thread(1, "upi")
+	p.Thread(1, "upi") // idempotent: second naming emits nothing
+	p.Span(CatMachine, "run", 0, 0, 1.25, F("bytes", 1<<30), S("mode", "devdax"))
+	p.Instant(CatTopology, "topology", 0, 0, F("sockets", 2))
+	p.Counter(CatXPDIMM, "media GB/s", 2, 0.5, F("read", 6.5), F("write", 1.25))
+	p.Advance(1.25)
+	p.Span(CatUPI, "warmup", 1, p.Cursor(), 0.125)
+	return r
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	a, b := record().Bytes(), record().Bytes()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical recordings rendered differently:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestWriteJSONWellFormed(t *testing.T) {
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+		TraceEvents     []map[string]any  `json:"traceEvents"`
+	}
+	raw := record().Bytes()
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["clock"] != "simulated-virtual-time" {
+		t.Fatalf("otherData.clock = %q", doc.OtherData["clock"])
+	}
+	// 2 process metadata + 4 thread metadata + 4 payload events.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d events, want 10:\n%s", len(doc.TraceEvents), raw)
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	want := []string{"M", "M", "M", "M", "M", "M", "X", "i", "C", "X"}
+	if strings.Join(phases, "") != strings.Join(want, "") {
+		t.Fatalf("phase order = %v, want %v", phases, want)
+	}
+}
+
+func TestSpanFieldsAndUnits(t *testing.T) {
+	r := New()
+	p := r.Process("m")
+	p.Span(CatMachine, "run", 3, 1.5, 0.25, F("gbps", 6.5))
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(r.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	ev := doc.TraceEvents[len(doc.TraceEvents)-1]
+	// Simulated seconds become microseconds in the file.
+	if ev["ts"].(float64) != 1.5e6 || ev["dur"].(float64) != 0.25e6 {
+		t.Fatalf("ts/dur = %v/%v, want 1.5e6/0.25e6", ev["ts"], ev["dur"])
+	}
+	if ev["tid"].(float64) != 3 || ev["cat"].(string) != CatMachine {
+		t.Fatalf("tid/cat = %v/%v", ev["tid"], ev["cat"])
+	}
+	if args := ev["args"].(map[string]any); args["gbps"].(float64) != 6.5 {
+		t.Fatalf("args = %v", args)
+	}
+}
+
+func TestBoundedBuffer(t *testing.T) {
+	r := NewWithLimit(4)
+	p := r.Process("m") // 2 metadata events
+	for i := 0; i < 10; i++ {
+		p.Instant(CatMachine, "tick", 0, float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 8 {
+		t.Fatalf("Dropped = %d, want 8", r.Dropped())
+	}
+	var doc struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(r.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["droppedEvents"] != "8" {
+		t.Fatalf("droppedEvents = %q", doc.OtherData["droppedEvents"])
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	p := r.Process("m")
+	if p != nil {
+		t.Fatal("nil recorder must hand out a nil process")
+	}
+	p.Thread(0, "control")
+	p.Span(CatMachine, "run", 0, 0, 1)
+	p.Instant(CatMachine, "x", 0, 0)
+	p.Counter(CatMachine, "c", 0, 0, F("v", 1))
+	p.Advance(1)
+	if p.Cursor() != 0 || p.PID() != 0 || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil handles must be inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil recorder JSON invalid: %s", buf.Bytes())
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	r := New()
+	p := r.Process(`quo"te`)
+	p.Instant(CatMachine, "tab\there", 0, 0, S("k", "line\nbreak"))
+	if !json.Valid(r.Bytes()) {
+		t.Fatalf("escaping broke JSON validity: %s", r.Bytes())
+	}
+}
+
+func TestCursorLayout(t *testing.T) {
+	r := New()
+	p := r.Process("m")
+	p.Span(CatMachine, "run 1", 0, p.Cursor(), 2)
+	p.Advance(2)
+	p.Span(CatMachine, "run 2", 0, p.Cursor(), 3)
+	p.Advance(3)
+	if p.Cursor() != 5 {
+		t.Fatalf("cursor = %v, want 5", p.Cursor())
+	}
+	p.Advance(-1) // ignored
+	if p.Cursor() != 5 {
+		t.Fatalf("cursor after negative advance = %v, want 5", p.Cursor())
+	}
+}
+
+func TestMultipleProcesses(t *testing.T) {
+	r := New()
+	a, b := r.Process("m"), r.Process("m")
+	if a.PID() == b.PID() {
+		t.Fatalf("pids collide: %d", a.PID())
+	}
+	if a.PID() != 1 || b.PID() != 2 {
+		t.Fatalf("pids = %d,%d, want 1,2", a.PID(), b.PID())
+	}
+}

@@ -1,0 +1,19 @@
+package topology
+
+import "repro/internal/simtrace"
+
+// TraceInfo emits the machine's structural layout as an instant event, so a
+// timeline is self-describing: a reader can tell how many sockets, channels,
+// and cores the traced run was simulated on without the original config.
+func (t *Topology) TraceInfo(p *simtrace.Process, tid int, atSec float64) {
+	p.Instant(simtrace.CatTopology, "topology", tid, atSec,
+		simtrace.F("sockets", float64(t.Sockets())),
+		simtrace.F("nodes", float64(t.Nodes())),
+		simtrace.F("phys_cores", float64(t.PhysCores())),
+		simtrace.F("logical_cores", float64(t.LogicalCores())),
+		simtrace.F("channels_per_socket", float64(t.ChannelsPerSocket())),
+		simtrace.F("pmem_dimms", float64(t.PMEMDIMMs())),
+		simtrace.F("pmem_socket_bytes", float64(t.PMEMSocketBytes())),
+		simtrace.F("dram_socket_bytes", float64(t.DRAMSocketBytes())),
+	)
+}

@@ -1,0 +1,43 @@
+package upi
+
+import (
+	"fmt"
+
+	"repro/internal/simtrace"
+)
+
+// TraceWarmup emits the directory warm-up phase of one (region, socket) pair
+// as a span: the window during which far reads crawl at the cold cap while
+// address-space mappings are reassigned (Section 3.4). The span ends at the
+// instant the pair flips warm.
+func TraceWarmup(p *simtrace.Process, tid int, k Key, startSec, durSec, coldBytes float64) {
+	p.Span(simtrace.CatUPI, fmt.Sprintf("directory warm-up r%d s%d", k.Region, k.Socket),
+		tid, startSec, durSec,
+		simtrace.F("region", float64(k.Region)),
+		simtrace.F("socket", float64(k.Socket)),
+		simtrace.F("cold_bytes", coldBytes),
+	)
+}
+
+// TraceLink emits one run's traffic over a directed UPI link as a span with
+// the data and request byte volumes (Section 3.5's per-direction accounting).
+func TraceLink(p *simtrace.Process, tid, from, to int, startSec, durSec, dataBytes, reqBytes float64) {
+	gbps := 0.0
+	if durSec > 0 {
+		gbps = dataBytes / durSec / 1e9
+	}
+	p.Span(simtrace.CatUPI, fmt.Sprintf("upi s%d->s%d", from, to), tid, startSec, durSec,
+		simtrace.F("data_bytes", dataBytes),
+		simtrace.F("req_bytes", reqBytes),
+		simtrace.F("data_gbps", gbps),
+	)
+}
+
+// TraceWarmEvent emits an instant for an explicit warmth transition — the
+// paper's single-thread pre-read trick (MarkWarm) or a mapping invalidation.
+func TraceWarmEvent(p *simtrace.Process, tid int, name string, k Key, atSec float64) {
+	p.Instant(simtrace.CatUPI, name, tid, atSec,
+		simtrace.F("region", float64(k.Region)),
+		simtrace.F("socket", float64(k.Socket)),
+	)
+}

@@ -1,0 +1,29 @@
+package xpdimm
+
+import (
+	"fmt"
+
+	"repro/internal/simtrace"
+)
+
+// TraceMedia emits one socket's Optane media activity over a run as a span:
+// media bytes moved in each direction plus the XPBuffer line-combining
+// statistics (line writes = 256 B lines the application filled, line flushes
+// = lines actually written to media; their ratio is the combining hit rate of
+// Section 4.2).
+func TraceMedia(p *simtrace.Process, tid, socket int, startSec, durSec,
+	readMedia, writeMedia, lineWrites, lineFlushes float64) {
+	readGBps, writeGBps := 0.0, 0.0
+	if durSec > 0 {
+		readGBps = readMedia / durSec / 1e9
+		writeGBps = writeMedia / durSec / 1e9
+	}
+	p.Span(simtrace.CatXPDIMM, fmt.Sprintf("media s%d", socket), tid, startSec, durSec,
+		simtrace.F("read_media_bytes", readMedia),
+		simtrace.F("write_media_bytes", writeMedia),
+		simtrace.F("read_gbps", readGBps),
+		simtrace.F("write_gbps", writeGBps),
+		simtrace.F("xpbuffer_line_writes", lineWrites),
+		simtrace.F("xpbuffer_line_flushes", lineFlushes),
+	)
+}
