@@ -28,12 +28,14 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/simtrace"
@@ -58,6 +60,7 @@ func main() {
 	traceFile := flag.String("trace", "", "replay a workload trace file (see internal/trace for the format)")
 	traceDir := flag.String("trace-dir", "", "write the simulated-time timeline to <dir>/pmembench.trace.json (Chrome trace-event JSON, loadable in Perfetto)")
 	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
+	faultsFlag := flag.String("faults", "", "deterministic fault plan: inline JSON or a path to a plan file (see internal/faults)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -97,6 +100,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *faultsFlag != "" {
+		src := []byte(*faultsFlag)
+		if !strings.HasPrefix(strings.TrimSpace(*faultsFlag), "{") {
+			src, err = os.ReadFile(*faultsFlag)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		plan, err := faults.Parse(src)
+		if err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+		cfg.Faults = plan
 	}
 	// The -prefetcher flag only overrides the config when explicitly set,
 	// so a config file's PrefetcherEnabled survives the flag default.
@@ -153,7 +170,7 @@ func main() {
 
 	switch *sweep {
 	case "":
-		res, err := b.MeasureDetailed(point)
+		res, err := b.MeasureDetailedContext(ctx, point)
 		if err != nil {
 			fatal(err)
 		}
@@ -175,16 +192,18 @@ func main() {
 		}
 	case "threads":
 		res, err := b.SweepThreads(ctx, point, []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36})
-		checkSweepErr(err)
+		degraded := checkSweepErr(err)
 		for i, t := range res.Axis {
 			fmt.Printf("%3d threads: %6.2f GB/s\n", t, res.GBs[i])
 		}
+		markDegraded(degraded)
 	case "size":
 		res, err := b.SweepAccessSize(ctx, point, []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
-		checkSweepErr(err)
+		degraded := checkSweepErr(err)
 		for i, s := range res.Axis {
 			fmt.Printf("%6d B: %6.2f GB/s\n", s, res.GBs[i])
 		}
+		markDegraded(degraded)
 	default:
 		fatal(fmt.Errorf("unknown sweep axis %q (threads or size)", *sweep))
 	}
@@ -263,16 +282,26 @@ func parsePin(s string) (cpu.PinPolicy, error) {
 
 // checkSweepErr lets an interrupted sweep fall through with its partial
 // results (so a -trace-dir timeline still gets written via the deferred
-// writer) and fatals on everything else.
-func checkSweepErr(err error) {
+// writer) and fatals on everything else. It reports whether the sweep was
+// cut short, so the output can carry the degraded marker.
+func checkSweepErr(err error) bool {
 	if err == nil {
-		return
+		return false
 	}
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "pmembench: interrupted, reporting completed points")
-		return
+		return true
 	}
 	fatal(err)
+	return false
+}
+
+// markDegraded stamps partial sweep output so downstream parsers never
+// mistake a truncated axis for a completed one.
+func markDegraded(degraded bool) {
+	if degraded {
+		fmt.Println("degraded: true")
+	}
 }
 
 func fatal(err error) {

@@ -56,6 +56,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job simulation timeout (queue wait included)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	maxSF := flag.Float64("max-sf", 1, "largest scale factor a request may ask for; negative = unbounded")
+	retryAttempts := flag.Int("retry-attempts", 2, "retries for jobs failing with a transient error (bounded exponential backoff)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial transient-error retry backoff (doubles per retry, with deterministic jitter)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
 	flag.Parse()
@@ -67,12 +69,14 @@ func main() {
 	logger := slog.New(handler)
 
 	s := server.New(server.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheBytes,
-		JobTimeout: *jobTimeout,
-		MaxSF:      *maxSF,
-		Logger:     logger,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheBytes:    *cacheBytes,
+		JobTimeout:    *jobTimeout,
+		MaxSF:         *maxSF,
+		Logger:        logger,
+		RetryAttempts: *retryAttempts,
+		RetryBackoff:  *retryBackoff,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

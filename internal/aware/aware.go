@@ -87,6 +87,10 @@ type Engine struct {
 	factScale float64 // target fact rows / data fact rows
 	dimScale  map[string]float64
 
+	// shares, when non-nil, is the normalized fact-scan split across the
+	// active sockets (fault re-planning); nil means an equal split.
+	shares []float64
+
 	fact       [][]byte // encoded 128 B tuples, one partition per active socket
 	factRegion []*machine.Region
 	dimRegion  []*machine.Region

@@ -1,0 +1,114 @@
+package aware
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/ssb"
+)
+
+func faultedEngine(t *testing.T, planJSON string) *Engine {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	if planJSON != "" {
+		p, err := faults.Parse([]byte(planJSON))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		cfg.Faults = p
+	}
+	m := machine.MustNew(cfg)
+	e, err := New(m, testData, Options{NUMAAware: true, TargetSF: 100})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+// TestReplanRecoversBandwidth is the graceful-degradation contract: losing
+// 4 of socket 0's 6 channels slows Q2.1, and re-planning the fact-scan
+// split toward the healthy socket claws back part of the loss —
+// healthy < re-planned < equal-split query seconds.
+func TestReplanRecoversBandwidth(t *testing.T) {
+	const plan = `{"events":[{"type":"channel-offline","start":0,"channels":4,"socket":0}]}`
+	q, err := ssb.QueryByID("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runQ := func(planJSON string, replan bool) (float64, ssb.Result) {
+		e := faultedEngine(t, planJSON)
+		if replan {
+			rep, err := e.ReplanForFaults()
+			if err != nil {
+				t.Fatalf("ReplanForFaults: %v", err)
+			}
+			if !rep.Degraded {
+				t.Fatal("replan did not detect the degraded socket")
+			}
+			if rep.Shares[0] >= rep.Shares[1] {
+				t.Fatalf("replan kept %v of the scan on the degraded socket", rep.Shares)
+			}
+		}
+		run, err := e.Run(q)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return run.Seconds, run.Result
+	}
+	healthySec, healthyRes := runQ("", false)
+	equalSec, equalRes := runQ(plan, false)
+	replanSec, replanRes := runQ(plan, true)
+
+	if !equalRes.Equal(healthyRes) || !replanRes.Equal(healthyRes) {
+		t.Fatal("fault plan changed query results; faults must only affect timing")
+	}
+	if equalSec <= healthySec*1.05 {
+		t.Errorf("channel loss barely slowed the query: healthy %.3fs, faulted %.3fs", healthySec, equalSec)
+	}
+	if replanSec >= equalSec {
+		t.Errorf("re-planning did not help: equal split %.3fs, re-planned %.3fs", equalSec, replanSec)
+	}
+	if replanSec <= healthySec {
+		t.Errorf("re-planned run %.3fs impossibly beat the healthy run %.3fs", replanSec, healthySec)
+	}
+}
+
+func TestReplanHealthyIsNoop(t *testing.T) {
+	e := faultedEngine(t, "")
+	rep, err := e.ReplanForFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || rep.Shares != nil {
+		t.Errorf("healthy machine produced a degraded plan: %+v", rep)
+	}
+	if e.shareOf(0) != 0.5 || e.shareOf(1) != 0.5 {
+		t.Errorf("healthy shares not equal: %g / %g", e.shareOf(0), e.shareOf(1))
+	}
+}
+
+func TestSetPlacementSharesValidation(t *testing.T) {
+	e := faultedEngine(t, "")
+	if err := e.SetPlacementShares([]float64{1}); err == nil {
+		t.Error("accepted wrong share count")
+	}
+	if err := e.SetPlacementShares([]float64{-1, 2}); err == nil {
+		t.Error("accepted negative share")
+	}
+	if err := e.SetPlacementShares([]float64{0, 0}); err == nil {
+		t.Error("accepted all-zero shares")
+	}
+	if err := e.SetPlacementShares([]float64{1, 3}); err != nil {
+		t.Fatalf("rejected valid shares: %v", err)
+	}
+	if e.shareOf(0) != 0.25 || e.shareOf(1) != 0.75 {
+		t.Errorf("shares not normalized: %g / %g", e.shareOf(0), e.shareOf(1))
+	}
+	if err := e.SetPlacementShares(nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.shareOf(0) != 0.5 {
+		t.Error("nil did not restore the equal split")
+	}
+}

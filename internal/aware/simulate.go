@@ -93,7 +93,7 @@ func (e *Engine) simulateFactPhase(q ssb.Query, indexes []*dimIndex, qualifying 
 		if n == 0 {
 			continue
 		}
-		scanBytesSocket := float64(stats.BytesScanned) / float64(e.activeSockets())
+		scanBytesSocket := float64(stats.BytesScanned) * e.shareOf(s)
 		for t := 0; t < n; t++ {
 			pl := placements[s][t]
 			perThread := scanBytesSocket / float64(n)

@@ -113,6 +113,14 @@ func (b *Bench) Measure(p Point) (float64, error) {
 // MeasureDetailed runs the point and returns the full result, including the
 // peak resource utilizations (the bottleneck diagnostic).
 func (b *Bench) MeasureDetailed(p Point) (machine.RunResult, error) {
+	return b.MeasureDetailedContext(context.Background(), p)
+}
+
+// MeasureDetailedContext is MeasureDetailed with cooperative cancellation,
+// polled once per solver step. Fault-plan runs can stretch a point's virtual
+// (and wall) time far past a healthy run's, so interactive callers thread
+// their signal context through here.
+func (b *Bench) MeasureDetailedContext(ctx context.Context, p Point) (machine.RunResult, error) {
 	p = p.withDefaults()
 	dataSocket := p.Socket
 	threadSocket := p.Socket
@@ -140,7 +148,7 @@ func (b *Bench) MeasureDetailed(p Point) (machine.RunResult, error) {
 	if err != nil {
 		return machine.RunResult{}, err
 	}
-	return b.M.Run(streams)
+	return b.M.RunContext(ctx, streams)
 }
 
 // SweepAxis measures the point across one varying axis.

@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl01", "abl02", "abl03", "abl04", "abl05", "bp01", "dax01",
 		"ext01", "ext02", "ext03", "ext04", "ext05", "ext06", "ext07",
+		"fault01", "fault02", "fault03", "fault04",
 		"fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
 		"fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b",
 		"ssd01", "tab01", "val01",

@@ -1,0 +1,340 @@
+// Package faults is a seeded, deterministic fault-plan engine for the
+// simulated machine. A Plan is a JSON document listing hardware fault
+// events — per-DIMM thermal throttling, XPBuffer degradation, a channel
+// going offline, UPI link degradation or outage — scheduled on the
+// machine's *simulated*-time axis. Because event times are virtual and the
+// only randomness (per-event start jitter) is drawn from a seeded
+// splitmix64 stream over the canonical event order, a faulted run is just
+// as deterministic as a healthy one: byte-identical across worker-pool
+// widths and cold-vs-cached serving.
+//
+// Plans are validated (negative times, factor ranges, overlapping windows
+// on the same target are all rejected) and canonicalized (defaults
+// resolved, events sorted into a total order) before use, so that two
+// spellings of the same plan hash to the same pmemd cache key.
+//
+// Two event types exist for failure-path testing rather than bandwidth
+// modelling: "panic" makes the simulation panic at a virtual instant
+// (pmemd's per-job recover turns that into a failed job, not a dead
+// daemon), and "transient-error" makes the first Count attempts of a job
+// fail with ErrTransient so the server's bounded-retry path is exercised
+// deterministically.
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event type names accepted in a plan's "type" field.
+const (
+	EvDimmThrottle    = "dimm-throttle"
+	EvXPBufferDegrade = "xpbuffer-degrade"
+	EvChannelOffline  = "channel-offline"
+	EvUPIDegrade      = "upi-degrade"
+	EvPanic           = "panic"
+	EvTransientError  = "transient-error"
+)
+
+// MaxEvents bounds a plan's event list; anything larger is a config error,
+// not a workload.
+const MaxEvents = 64
+
+// MaxTransientCount bounds how many attempts a transient-error event may
+// fail, so a plan cannot demand unbounded retries.
+const MaxTransientCount = 8
+
+// ErrTransient marks an injected (or internal) failure as retryable.
+// Callers classify with IsTransient, never by string matching.
+var ErrTransient = errors.New("transient fault")
+
+// IsTransient reports whether err is (or wraps) a retryable fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// InjectedPanic is the value a "panic" event panics with, so recover sites
+// can distinguish an injected failure from a genuine model bug.
+type InjectedPanic struct {
+	At float64 // virtual seconds at which the event fired
+}
+
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faults: injected panic at t=%gs (simulated)", p.At)
+}
+
+// Event is one scheduled hardware fault. Times are simulated seconds on
+// the machine's lifetime axis (pre-faulting and every run advance it).
+// Fields are per-type; Validate rejects combinations that make no sense.
+type Event struct {
+	// Type selects the fault (see the Ev* constants).
+	Type string `json:"type"`
+	// Start is the nominal activation time in simulated seconds.
+	Start float64 `json:"start"`
+	// Duration is the length of the fault window; 0 means "until the end
+	// of the machine's life" (permanent). Ignored by panic/transient-error.
+	Duration float64 `json:"duration,omitempty"`
+	// Socket targets dimm-throttle, xpbuffer-degrade, and channel-offline.
+	Socket int `json:"socket"`
+	// Channels is how many channels a channel-offline event takes down
+	// (default 1; at least one channel always stays online).
+	Channels int `json:"channels,omitempty"`
+	// From/To name the socket pair of a upi-degrade event (unordered: a
+	// degraded link slows both directions).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Factor scales the affected capacity while the fault is active:
+	// media bandwidth for dimm-throttle, XPBuffer lines for
+	// xpbuffer-degrade, link bandwidth for upi-degrade (0 = outage).
+	Factor float64 `json:"factor,omitempty"`
+	// Ramp is the thermal ramp-down time for dimm-throttle: media
+	// bandwidth slides from healthy to Factor over this many seconds.
+	Ramp float64 `json:"ramp,omitempty"`
+	// Recovery is the ramp back up after the window ends; 0 defaults to
+	// 2*Ramp (thermal hysteresis: cooling is slower than tripping).
+	Recovery float64 `json:"recovery,omitempty"`
+	// Jitter bounds the seeded random offset added to Start (uniform in
+	// [0, Jitter)); 0 means the event fires exactly at Start.
+	Jitter float64 `json:"jitter,omitempty"`
+	// Count is how many attempts a transient-error event fails (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// Plan is a validated, canonicalized fault schedule plus the seed that
+// fixes its jitter draws.
+type Plan struct {
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Parse decodes, validates, and canonicalizes a plan from JSON. Unknown
+// fields are rejected so typos fail loudly instead of silently injecting
+// nothing. Parse never panics, whatever the input (see FuzzPlan).
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("faults: parse plan: trailing data after plan object")
+	}
+	return p.Normalize()
+}
+
+// Normalize validates the plan and returns a canonicalized deep copy:
+// defaults resolved, events sorted into a total order. The receiver is not
+// modified. Two plans that normalize to equal values are the same plan for
+// caching purposes.
+func (p *Plan) Normalize() (*Plan, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Plan{Seed: p.Seed, Events: make([]Event, len(p.Events))}
+	copy(out.Events, p.Events)
+	for i := range out.Events {
+		e := &out.Events[i]
+		switch e.Type {
+		case EvChannelOffline:
+			if e.Channels == 0 {
+				e.Channels = 1
+			}
+		case EvDimmThrottle:
+			if e.Recovery == 0 {
+				e.Recovery = 2 * e.Ramp
+			}
+		case EvUPIDegrade:
+			if e.From > e.To {
+				e.From, e.To = e.To, e.From
+			}
+		case EvTransientError:
+			if e.Count == 0 {
+				e.Count = 1
+			}
+		}
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		return out.Events[i].less(&out.Events[j])
+	})
+	return out, nil
+}
+
+func (e *Event) less(o *Event) bool {
+	if e.Start != o.Start {
+		return e.Start < o.Start
+	}
+	if e.Type != o.Type {
+		return e.Type < o.Type
+	}
+	if e.Socket != o.Socket {
+		return e.Socket < o.Socket
+	}
+	if e.From != o.From {
+		return e.From < o.From
+	}
+	if e.To != o.To {
+		return e.To < o.To
+	}
+	if e.Channels != o.Channels {
+		return e.Channels < o.Channels
+	}
+	return e.Factor < o.Factor
+}
+
+// finite rejects NaN and ±Inf, which JSON cannot encode but a hand-built
+// Plan could still carry.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks every event for well-formedness and the plan for
+// overlapping windows on the same target. It never panics.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Events) > MaxEvents {
+		return fmt.Errorf("faults: %d events exceeds the %d-event limit", len(p.Events), MaxEvents)
+	}
+	transients := 0
+	for i := range p.Events {
+		e := &p.Events[i]
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("faults: event %d (%s): %w", i, e.Type, err)
+		}
+		if e.Type == EvTransientError {
+			transients++
+		}
+	}
+	if transients > 1 {
+		return errors.New("faults: at most one transient-error event per plan")
+	}
+	for i := range p.Events {
+		for j := i + 1; j < len(p.Events); j++ {
+			a, b := &p.Events[i], &p.Events[j]
+			if a.sameTarget(b) && a.overlaps(b) {
+				return fmt.Errorf("faults: events %d and %d: overlapping %s windows on the same target", i, j, a.Type)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Event) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"start", e.Start}, {"duration", e.Duration}, {"factor", e.Factor},
+		{"ramp", e.Ramp}, {"recovery", e.Recovery}, {"jitter", e.Jitter},
+	} {
+		if !finite(f.v) {
+			return fmt.Errorf("%s must be finite", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("%s must be >= 0, got %g", f.name, f.v)
+		}
+	}
+	if e.Socket < 0 || e.From < 0 || e.To < 0 {
+		return errors.New("socket indices must be >= 0")
+	}
+	switch e.Type {
+	case EvDimmThrottle:
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("factor must be in (0, 1], got %g", e.Factor)
+		}
+		if e.Duration > 0 && e.Ramp > e.Duration {
+			return errors.New("ramp longer than the fault window")
+		}
+	case EvXPBufferDegrade:
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("factor must be in (0, 1], got %g", e.Factor)
+		}
+	case EvChannelOffline:
+		if e.Channels < 0 {
+			return errors.New("channels must be >= 0")
+		}
+	case EvUPIDegrade:
+		if e.Factor < 0 || e.Factor > 1 {
+			return fmt.Errorf("factor must be in [0, 1], got %g", e.Factor)
+		}
+		if e.From == e.To {
+			return errors.New("from and to must name different sockets")
+		}
+	case EvPanic:
+		// Only Start (plus jitter) matters.
+	case EvTransientError:
+		if e.Count < 0 || e.Count > MaxTransientCount {
+			return fmt.Errorf("count must be in [0, %d], got %d", MaxTransientCount, e.Count)
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+	return nil
+}
+
+// sameTarget reports whether two events would fight over the same piece of
+// hardware if their windows overlapped.
+func (e *Event) sameTarget(o *Event) bool {
+	if e.Type != o.Type {
+		return false
+	}
+	switch e.Type {
+	case EvDimmThrottle, EvXPBufferDegrade, EvChannelOffline:
+		return e.Socket == o.Socket
+	case EvUPIDegrade:
+		return (e.From == o.From && e.To == o.To) || (e.From == o.To && e.To == o.From)
+	case EvPanic:
+		return e.Start == o.Start
+	case EvTransientError:
+		return true
+	}
+	return false
+}
+
+// overlaps reports whether the nominal windows [Start, Start+Duration)
+// intersect; Duration 0 extends to infinity.
+func (e *Event) overlaps(o *Event) bool {
+	aEnd, bEnd := math.Inf(1), math.Inf(1)
+	if e.Duration > 0 {
+		aEnd = e.Start + e.Duration
+	}
+	if o.Duration > 0 {
+		bEnd = o.Start + o.Duration
+	}
+	return e.Start < bEnd && o.Start < aEnd
+}
+
+// TransientFailures returns how many attempts of a job the plan's
+// transient-error event (if any) should fail.
+func (p *Plan) TransientFailures() int {
+	if p == nil {
+		return 0
+	}
+	for i := range p.Events {
+		if p.Events[i].Type == EvTransientError {
+			return p.Events[i].Count
+		}
+	}
+	return 0
+}
+
+// splitmix64 is the usual 64-bit finalizer-based PRNG step: tiny, seedable,
+// and stable across platforms — exactly what deterministic jitter needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitterFrac returns the deterministic uniform [0,1) draw for event index
+// i (in canonical order) under seed.
+func jitterFrac(seed int64, i int) float64 {
+	v := splitmix64(uint64(seed) ^ splitmix64(uint64(i)+1))
+	return float64(v>>11) / float64(1<<53)
+}

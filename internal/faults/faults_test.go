@@ -1,0 +1,256 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Plan {
+	t.Helper()
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return p
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected error
+	}{
+		{"negative start", `{"events":[{"type":"dimm-throttle","start":-1,"factor":0.5}]}`, "start must be"},
+		{"negative duration", `{"events":[{"type":"panic","start":1,"duration":-2}]}`, "duration must be"},
+		{"unknown type", `{"events":[{"type":"quantum-flip","start":0}]}`, "unknown event type"},
+		{"unknown field", `{"events":[{"type":"panic","start":0,"zap":1}]}`, "unknown field"},
+		{"factor zero throttle", `{"events":[{"type":"dimm-throttle","start":0}]}`, "factor must be in (0, 1]"},
+		{"factor above one", `{"events":[{"type":"dimm-throttle","start":0,"factor":1.5}]}`, "factor must be in (0, 1]"},
+		{"upi self link", `{"events":[{"type":"upi-degrade","start":0,"from":1,"to":1,"factor":0.5}]}`, "different sockets"},
+		{"ramp exceeds window", `{"events":[{"type":"dimm-throttle","start":0,"duration":1,"ramp":2,"factor":0.5}]}`, "ramp longer"},
+		{"transient count", `{"events":[{"type":"transient-error","count":99}]}`, "count must be"},
+		{"double transient", `{"events":[{"type":"transient-error"},{"type":"transient-error","start":5}]}`, "at most one transient-error"},
+		{"negative socket", `{"events":[{"type":"dimm-throttle","start":0,"factor":0.5,"socket":-1}]}`, "socket indices"},
+		{"overlap same target", `{"events":[
+			{"type":"dimm-throttle","start":0,"duration":5,"factor":0.5},
+			{"type":"dimm-throttle","start":3,"duration":5,"factor":0.8}]}`, "overlapping"},
+		{"overlap permanent", `{"events":[
+			{"type":"channel-offline","start":0},
+			{"type":"channel-offline","start":100}]}`, "overlapping"},
+		{"trailing data", `{"events":[]} {"events":[]}`, "trailing data"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.src))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestOverlapDifferentTargetsAllowed(t *testing.T) {
+	mustParse(t, `{"events":[
+		{"type":"dimm-throttle","start":0,"duration":5,"factor":0.5,"socket":0},
+		{"type":"dimm-throttle","start":3,"duration":5,"factor":0.8,"socket":1},
+		{"type":"channel-offline","start":1,"duration":2,"socket":0}]}`)
+}
+
+func TestNormalizeDefaultsAndOrder(t *testing.T) {
+	p := mustParse(t, `{"seed":7,"events":[
+		{"type":"upi-degrade","start":2,"from":1,"to":0,"factor":0.5,"duration":1},
+		{"type":"dimm-throttle","start":1,"duration":4,"ramp":0.5,"factor":0.4},
+		{"type":"channel-offline","start":0,"duration":1},
+		{"type":"transient-error"}]}`)
+	// Events sorted by (start, type); defaults resolved.
+	if p.Events[0].Type != EvChannelOffline || p.Events[0].Channels != 1 {
+		t.Errorf("event 0 = %+v, want channel-offline channels 1", p.Events[0])
+	}
+	if p.Events[1].Type != EvTransientError || p.Events[1].Count != 1 {
+		t.Errorf("event 1 = %+v, want transient-error count 1", p.Events[1])
+	}
+	if p.Events[2].Recovery != 1.0 { // 2x ramp hysteresis default
+		t.Errorf("throttle recovery = %g, want 1.0", p.Events[2].Recovery)
+	}
+	if p.Events[3].From != 0 || p.Events[3].To != 1 { // link pair ordered
+		t.Errorf("upi link = %d-%d, want 0-1", p.Events[3].From, p.Events[3].To)
+	}
+	if p.TransientFailures() != 1 {
+		t.Errorf("TransientFailures = %d, want 1", p.TransientFailures())
+	}
+}
+
+func TestCanonicalBytesIndependentOfSpelling(t *testing.T) {
+	a := mustParse(t, `{"seed":3,"events":[
+		{"type":"dimm-throttle","start":1,"duration":2,"factor":0.5,"socket":1},
+		{"type":"channel-offline","start":1,"duration":2,"socket":0,"channels":1}]}`)
+	b := mustParse(t, `{"seed":3,"events":[
+		{"type":"channel-offline","start":1,"duration":2,"socket":0},
+		{"type":"dimm-throttle","socket":1,"factor":0.5,"duration":2,"start":1}]}`)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("canonical forms differ:\n%s\n%s", aj, bj)
+	}
+}
+
+func TestThrottleProfile(t *testing.T) {
+	p := mustParse(t, `{"events":[{"type":"dimm-throttle","start":1,"duration":2,"ramp":0.5,"factor":0.4}]}`)
+	inj, err := p.Compile(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery defaults to 2*ramp = 1.0; window is [1, 3), recovery to 4.
+	for _, c := range []struct{ t, want float64 }{
+		{0.5, 1},    // before
+		{1.25, 0.7}, // halfway down the ramp: 1 + (0.4-1)*0.5
+		{2.0, 0.4},  // plateau
+		{3.5, 0.7},  // halfway up the recovery
+		{4.1, 1},    // fully recovered
+	} {
+		if got := inj.MediaScale(0, c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MediaScale(0, %g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := inj.MediaScale(1, 2.0); got != 1 {
+		t.Errorf("untargeted socket scaled: %g", got)
+	}
+	// Boundaries are monotonic and eventually exhausted.
+	prev := -1.0
+	for i := 0; i < 20; i++ {
+		nb := inj.NextBoundary(prev)
+		if math.IsInf(nb, 1) {
+			if prev < 4 {
+				t.Fatalf("boundaries exhausted at %g, before recovery end", prev)
+			}
+			return
+		}
+		if nb <= prev {
+			t.Fatalf("NextBoundary(%g) = %g, not increasing", prev, nb)
+		}
+		prev = nb
+	}
+	t.Fatalf("more than 20 boundaries for one event")
+}
+
+func TestChannelOfflineClamp(t *testing.T) {
+	p := mustParse(t, `{"events":[{"type":"channel-offline","start":0,"channels":10}]}`)
+	inj, err := p.Compile(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.ChannelsOffline(0, 1); got != 5 {
+		t.Errorf("ChannelsOffline = %d, want 5 (one channel must survive)", got)
+	}
+}
+
+func TestUPIScaleBothDirections(t *testing.T) {
+	p := mustParse(t, `{"events":[{"type":"upi-degrade","start":0,"duration":10,"from":1,"to":0,"factor":0.25}]}`)
+	inj, err := p.Compile(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.UPIScale(0, 1, 5); got != 0.25 {
+		t.Errorf("UPIScale(0,1) = %g, want 0.25", got)
+	}
+	if got := inj.UPIScale(1, 0, 5); got != 0.25 {
+		t.Errorf("UPIScale(1,0) = %g, want 0.25", got)
+	}
+	if got := inj.UPIScale(0, 1, 11); got != 1 {
+		t.Errorf("UPIScale after window = %g, want 1", got)
+	}
+}
+
+func TestCompileRangeChecks(t *testing.T) {
+	p := mustParse(t, `{"events":[{"type":"dimm-throttle","start":0,"factor":0.5,"socket":3}]}`)
+	if _, err := p.Compile(2, 6); err == nil {
+		t.Error("Compile accepted socket 3 on a 2-socket machine")
+	}
+	p = mustParse(t, `{"events":[{"type":"upi-degrade","start":0,"from":0,"to":5,"factor":0.5}]}`)
+	if _, err := p.Compile(2, 6); err == nil {
+		t.Error("Compile accepted link 0-5 on a 2-socket machine")
+	}
+}
+
+func TestJitterDeterminism(t *testing.T) {
+	src := `{"seed":%SEED%,"events":[{"type":"panic","start":1,"jitter":0.5}]}`
+	build := func(seed string) float64 {
+		p := mustParse(t, strings.Replace(src, "%SEED%", seed, 1))
+		inj, err := p.Compile(2, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Start(0)
+	}
+	a, b := build("42"), build("42")
+	if a != b {
+		t.Errorf("same seed, different jitter: %g vs %g", a, b)
+	}
+	if c := build("43"); c == a {
+		t.Errorf("different seed, identical jitter %g", c)
+	}
+	if a < 1 || a >= 1.5 {
+		t.Errorf("jittered start %g outside [1, 1.5)", a)
+	}
+}
+
+func TestTransitionsAndPanic(t *testing.T) {
+	p := mustParse(t, `{"events":[
+		{"type":"channel-offline","start":0,"duration":2},
+		{"type":"panic","start":5},
+		{"type":"dimm-throttle","start":1,"duration":1,"factor":0.5}]}`)
+	inj, err := p.Compile(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A t=0 event's activation must be reported when scanning from before 0.
+	trs := inj.Transitions(-1, 10)
+	var got []string
+	for _, tr := range trs {
+		kind := "start"
+		if tr.Kind == TransitionEnd {
+			kind = "end"
+		}
+		got = append(got, tr.Event.Type+"/"+kind)
+	}
+	want := []string{
+		"channel-offline/start", "dimm-throttle/start",
+		"channel-offline/end", "dimm-throttle/end",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", got, want)
+		}
+	}
+	// Transitions are reported once per interval, not re-reported.
+	if again := inj.Transitions(10, 20); len(again) != 0 {
+		t.Errorf("re-reported transitions: %v", again)
+	}
+	if p := inj.PanicDue(-1, 4); p != nil {
+		t.Errorf("panic due early: %v", p)
+	}
+	p2 := inj.PanicDue(4, 6)
+	if p2 == nil || p2.At != 5 {
+		t.Errorf("PanicDue(4,6) = %v, want at t=5", p2)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(ErrTransient) {
+		t.Error("ErrTransient not transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil transient")
+	}
+	if IsTransient((&InjectedPanic{At: 1})) == true {
+		t.Error("injected panic classified transient")
+	}
+}

@@ -1,0 +1,51 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlan feeds arbitrary bytes through the plan parser: whatever the
+// input, Parse must never panic, and any plan it accepts must be
+// self-consistent — it revalidates cleanly, normalizes to a fixed point,
+// and compiles against a topology without panicking.
+func FuzzPlan(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"events":[]}`,
+		`{"seed":42,"events":[{"type":"dimm-throttle","start":1,"duration":2,"ramp":0.5,"factor":0.4,"socket":1}]}`,
+		`{"events":[{"type":"channel-offline","start":0,"channels":2},{"type":"upi-degrade","start":3,"duration":1,"from":0,"to":1}]}`,
+		`{"events":[{"type":"panic","start":0.5,"jitter":1},{"type":"transient-error","count":2}]}`,
+		`{"events":[{"type":"dimm-throttle","start":-1}]}`,
+		`{"events":[{"type":"xpbuffer-degrade","start":1e308,"duration":1e308,"factor":1}]}`,
+		`{"events":[{"type":"dimm-throttle","start":0,"duration":5,"factor":0.5},{"type":"dimm-throttle","start":3,"factor":0.8}]}`,
+		`[1,2,3]`,
+		`{"events":[{"type":"upi-degrade","from":9999999,"to":-2}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails revalidation: %v", err)
+		}
+		// Normalize must be a fixed point on its own output.
+		p2, err := p.Normalize()
+		if err != nil {
+			t.Fatalf("accepted plan fails renormalization: %v", err)
+		}
+		aj, _ := json.Marshal(p)
+		bj, _ := json.Marshal(p2)
+		if string(aj) != string(bj) {
+			t.Fatalf("normalization is not a fixed point:\n%s\n%s", aj, bj)
+		}
+		// Compile may reject out-of-range targets, but must not panic.
+		if _, err := p.Compile(2, 6); err != nil {
+			return
+		}
+	})
+}

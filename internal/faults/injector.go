@@ -1,0 +1,369 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TransitionKind distinguishes the two edges of a fault window.
+type TransitionKind int
+
+const (
+	// TransitionStart marks the instant a fault window opens.
+	TransitionStart TransitionKind = iota
+	// TransitionEnd marks the instant a fault fully clears (after any
+	// recovery ramp).
+	TransitionEnd
+)
+
+// Transition is one fault edge crossed during an Advance interval; the
+// machine turns these into metrics and trace events.
+type Transition struct {
+	Index int    // event index in the compiled plan
+	Event *Event // the (canonicalized) event
+	Kind  TransitionKind
+	At    float64 // effective (jittered) edge time, simulated seconds
+}
+
+// compiledEvent is an Event with its jitter applied and window edges
+// resolved to absolute simulated times.
+type compiledEvent struct {
+	ev Event
+	// start..rampEnd ramps down, rampEnd..end holds the plateau,
+	// end..recoverEnd ramps back up. For step faults rampEnd == start and
+	// recoverEnd == end. end is +Inf for permanent faults.
+	start, rampEnd, end, recoverEnd float64
+}
+
+// Injector answers "how degraded is this piece of hardware at simulated
+// time t?" for a compiled plan. All queries are pure functions of t, so the
+// machine solver stays deterministic; the only state is which transitions
+// have already been reported, which the caller drives monotonically via
+// Transitions.
+type Injector struct {
+	sockets  int
+	channels int
+	seed     int64
+	events   []compiledEvent
+	knots    []float64 // sorted, deduplicated boundary times
+}
+
+// rampKnots subdivides each throttle ramp so the piecewise-constant solver
+// re-evaluates capacities a few times along the slope instead of jumping.
+const rampKnots = 4
+
+// Compile resolves a normalized plan against a machine topology: applies
+// seeded jitter, checks socket/channel targets are in range, and
+// precomputes the time boundaries the solver must not step across.
+func (p *Plan) Compile(sockets, channelsPerSocket int) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	np, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	inj := &Injector{sockets: sockets, channels: channelsPerSocket, seed: np.Seed}
+	for i := range np.Events {
+		e := np.Events[i]
+		switch e.Type {
+		case EvDimmThrottle, EvXPBufferDegrade, EvChannelOffline:
+			if e.Socket >= sockets {
+				return nil, fmt.Errorf("faults: event %d (%s): socket %d out of range (machine has %d)", i, e.Type, e.Socket, sockets)
+			}
+		case EvUPIDegrade:
+			if e.From >= sockets || e.To >= sockets {
+				return nil, fmt.Errorf("faults: event %d (%s): link %d-%d out of range (machine has %d sockets)", i, e.Type, e.From, e.To, sockets)
+			}
+		case EvTransientError:
+			continue // handled at the serving layer, not on the time axis
+		}
+		if e.Type == EvChannelOffline && e.Channels >= channelsPerSocket {
+			// At least one channel stays online; a plan written for a
+			// wider machine degrades gracefully instead of erroring.
+			e.Channels = channelsPerSocket - 1
+		}
+		ce := compiledEvent{ev: e}
+		ce.start = e.Start + e.Jitter*jitterFrac(np.Seed, i)
+		ce.rampEnd = ce.start
+		if e.Type == EvDimmThrottle {
+			ce.rampEnd = ce.start + e.Ramp
+		}
+		if e.Duration > 0 {
+			ce.end = ce.start + e.Duration
+		} else {
+			ce.end = math.Inf(1)
+		}
+		ce.recoverEnd = ce.end
+		if e.Type == EvDimmThrottle && !math.IsInf(ce.end, 1) {
+			ce.recoverEnd = ce.end + e.Recovery
+		}
+		inj.events = append(inj.events, ce)
+	}
+	inj.buildKnots()
+	return inj, nil
+}
+
+func (inj *Injector) buildKnots() {
+	add := func(t float64) {
+		if t >= 0 && !math.IsInf(t, 1) {
+			inj.knots = append(inj.knots, t)
+		}
+	}
+	for i := range inj.events {
+		ce := &inj.events[i]
+		add(ce.start)
+		add(ce.end)
+		add(ce.recoverEnd)
+		if ce.rampEnd > ce.start {
+			step := (ce.rampEnd - ce.start) / rampKnots
+			for k := 1; k <= rampKnots; k++ {
+				add(ce.start + float64(k)*step)
+			}
+		}
+		if ce.recoverEnd > ce.end && !math.IsInf(ce.end, 1) {
+			step := (ce.recoverEnd - ce.end) / rampKnots
+			for k := 1; k < rampKnots; k++ {
+				add(ce.end + float64(k)*step)
+			}
+		}
+	}
+	sort.Float64s(inj.knots)
+	dedup := inj.knots[:0]
+	for _, t := range inj.knots {
+		if len(dedup) == 0 || t-dedup[len(dedup)-1] > 1e-12 {
+			dedup = append(dedup, t)
+		}
+	}
+	inj.knots = dedup
+}
+
+// Timed reports whether the plan schedules anything on the simulated-time
+// axis (a pure transient-error/panic-free plan may not).
+func (inj *Injector) Timed() bool { return inj != nil && len(inj.events) > 0 }
+
+// NextBoundary returns the first precomputed fault boundary strictly after
+// t, or +Inf. The machine's Horizon clamps solver steps to it so capacity
+// changes land on exact, width-independent step edges.
+func (inj *Injector) NextBoundary(t float64) float64 {
+	if inj == nil {
+		return math.Inf(1)
+	}
+	i := sort.SearchFloat64s(inj.knots, t+1e-12)
+	for i < len(inj.knots) {
+		if inj.knots[i] > t+1e-12 {
+			return inj.knots[i]
+		}
+		i++
+	}
+	return math.Inf(1)
+}
+
+// throttleProfile evaluates one dimm-throttle event's media scale at t:
+// ramp down to Factor, plateau, ramp back to 1 (hysteresis: the recovery
+// ramp defaults to twice the trip ramp).
+func (ce *compiledEvent) throttleProfile(t float64) float64 {
+	f := ce.ev.Factor
+	switch {
+	case t < ce.start || t >= ce.recoverEnd:
+		return 1
+	case t < ce.rampEnd:
+		return 1 + (f-1)*(t-ce.start)/(ce.rampEnd-ce.start)
+	case t < ce.end:
+		return f
+	default:
+		return f + (1-f)*(t-ce.end)/(ce.recoverEnd-ce.end)
+	}
+}
+
+// active reports whether the event's full window (including ramps) covers t.
+func (ce *compiledEvent) active(t float64) bool {
+	return t >= ce.start && t < ce.recoverEnd
+}
+
+// MediaScale returns the multiplicative media-bandwidth derate for a
+// socket's DIMMs at time t: 1 when healthy, the product of all active
+// thermal-throttle profiles otherwise.
+func (inj *Injector) MediaScale(socket int, t float64) float64 {
+	if inj == nil {
+		return 1
+	}
+	scale := 1.0
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type == EvDimmThrottle && ce.ev.Socket == socket {
+			scale *= ce.throttleProfile(t)
+		}
+	}
+	return scale
+}
+
+// BufferScale returns the XPBuffer capacity derate for a socket at t:
+// active xpbuffer-degrade events shrink the effective buffer-line count,
+// which raises write amplification under concurrent streams.
+func (inj *Injector) BufferScale(socket int, t float64) float64 {
+	if inj == nil {
+		return 1
+	}
+	scale := 1.0
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type == EvXPBufferDegrade && ce.ev.Socket == socket && ce.active(t) {
+			scale *= ce.ev.Factor
+		}
+	}
+	return scale
+}
+
+// ChannelsOffline returns how many of a socket's channels are down at t;
+// at least one channel always stays online.
+func (inj *Injector) ChannelsOffline(socket int, t float64) int {
+	if inj == nil {
+		return 0
+	}
+	down := 0
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type == EvChannelOffline && ce.ev.Socket == socket && ce.active(t) {
+			down += ce.ev.Channels
+		}
+	}
+	if down > inj.channels-1 {
+		down = inj.channels - 1
+	}
+	return down
+}
+
+// UPIScale returns the bandwidth derate of the a<->b link at t (applied to
+// both directions: a degraded link is degraded both ways). 0 means the
+// link is out.
+func (inj *Injector) UPIScale(a, b int, t float64) float64 {
+	if inj == nil {
+		return 1
+	}
+	scale := 1.0
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type != EvUPIDegrade || !ce.active(t) {
+			continue
+		}
+		if (ce.ev.From == a && ce.ev.To == b) || (ce.ev.From == b && ce.ev.To == a) {
+			scale *= ce.ev.Factor
+		}
+	}
+	return scale
+}
+
+// ActiveCount returns how many fault windows (panic events excluded — they
+// are instants, not windows) cover t.
+func (inj *Injector) ActiveCount(t float64) int {
+	if inj == nil {
+		return 0
+	}
+	n := 0
+	for i := range inj.events {
+		if inj.events[i].ev.Type != EvPanic && inj.events[i].active(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyActive reports whether any timed fault window covers t.
+func (inj *Injector) AnyActive(t float64) bool {
+	if inj == nil {
+		return false
+	}
+	return inj.ActiveCount(t) > 0
+}
+
+// Transitions returns the fault edges crossed in (prev, now], in
+// deterministic (time, index) order. The caller advances prev
+// monotonically, so each edge is reported exactly once per machine life.
+func (inj *Injector) Transitions(prev, now float64) []Transition {
+	if inj == nil || now <= prev {
+		return nil
+	}
+	var out []Transition
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type == EvPanic {
+			continue
+		}
+		if ce.start > prev && ce.start <= now {
+			out = append(out, Transition{Index: i, Event: &ce.ev, Kind: TransitionStart, At: ce.start})
+		}
+		if ce.recoverEnd > prev && ce.recoverEnd <= now {
+			out = append(out, Transition{Index: i, Event: &ce.ev, Kind: TransitionEnd, At: ce.recoverEnd})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Index != out[j].Index {
+			return out[i].Index < out[j].Index
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// PanicDue returns the first "panic" event whose (jittered) trigger time
+// falls in (prev, now], or nil.
+func (inj *Injector) PanicDue(prev, now float64) *InjectedPanic {
+	if inj == nil {
+		return nil
+	}
+	best := math.Inf(1)
+	for i := range inj.events {
+		ce := &inj.events[i]
+		if ce.ev.Type == EvPanic && ce.start > prev && ce.start <= now && ce.start < best {
+			best = ce.start
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil
+	}
+	return &InjectedPanic{At: best}
+}
+
+// Start returns the compiled (jittered) start time of event index i, for
+// trace emission.
+func (inj *Injector) Start(i int) float64 { return inj.events[i].start }
+
+// WorstSocketScale returns the minimum over the whole plan of a socket's
+// effective media capacity factor: thermal throttle scale times the fraction
+// of channels still online. Placement re-planning uses it as a conservative
+// per-socket capacity weight — the plan's worst moment, not its average, so
+// a re-planned layout never overcommits a socket mid-fault.
+//
+// All profiles are piecewise linear between the precomputed knots, so the
+// minimum is attained at (the midpoint of) some inter-knot interval or at a
+// knot itself; sampling both finds it exactly.
+func (inj *Injector) WorstSocketScale(socket int) float64 {
+	if inj == nil {
+		return 1
+	}
+	at := func(t float64) float64 {
+		online := float64(inj.channels-inj.ChannelsOffline(socket, t)) / float64(inj.channels)
+		return inj.MediaScale(socket, t) * online
+	}
+	worst := at(0)
+	for i, k := range inj.knots {
+		if v := at(k); v < worst {
+			worst = v
+		}
+		// Sample inside the interval after this knot (plateaus and step
+		// windows hold their value strictly between boundaries).
+		next := k + 1
+		if i+1 < len(inj.knots) {
+			next = (k + inj.knots[i+1]) / 2
+		}
+		if v := at(next); v < worst {
+			worst = v
+		}
+	}
+	return worst
+}

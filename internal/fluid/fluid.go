@@ -13,6 +13,7 @@
 package fluid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -228,9 +229,24 @@ var ErrStalled = fmt.Errorf("fluid: engine stalled with active flows at zero rat
 // (Remaining = +Inf) do not prevent completion of the run; they accumulate
 // Moved bytes until all finite flows are done.
 func (e *Engine) Run(maxTime float64) error {
+	return e.RunContext(context.Background(), maxTime)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// once per solver step (virtual time, so steps are cheap and bounded), and
+// the context's error is returned verbatim on cancellation. Cancellation
+// does not perturb determinism — a completed run takes the exact same
+// steps whether or not a context is attached.
+func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 	const minStep = 1e-9 // 1 ns of virtual time
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if e.Now >= maxTime {
 			return nil
 		}
@@ -277,7 +293,21 @@ func (e *Engine) Run(maxTime float64) error {
 			}
 		}
 		if stalled {
-			return ErrStalled
+			// Zero-rate flows with a finite model horizon are a pause, not a
+			// deadlock: an injected outage (capacity 0) ends at a scheduled
+			// boundary, so idle across it and re-solve. Only an unbounded
+			// stall is an error.
+			h := e.Model.Horizon(e.Now, e.flows)
+			if math.IsInf(h, 1) || h <= 0 {
+				return ErrStalled
+			}
+			dt = math.Min(h, maxTime-e.Now)
+			if dt < minStep {
+				dt = minStep
+			}
+			e.Model.Advance(e.Now, dt, e.flows)
+			e.Now += dt
+			continue
 		}
 		if h := e.Model.Horizon(e.Now, e.flows); h < dt {
 			dt = h

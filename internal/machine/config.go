@@ -32,5 +32,14 @@ func ConfigFromJSON(r io.Reader) (Config, error) {
 	if cfg.MaxVirtualSeconds <= 0 {
 		return Config{}, fmt.Errorf("machine: MaxVirtualSeconds must be positive")
 	}
+	if cfg.Faults != nil {
+		// Normalize here so two spellings of the same fault plan produce the
+		// same canonical Config (and thus the same pmemd cache key).
+		plan, err := cfg.Faults.Normalize()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Faults = plan
+	}
 	return cfg, nil
 }

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"repro/internal/faults"
+	"repro/internal/interleave"
+	"repro/internal/upi"
+)
+
+// Clock returns the machine's lifetime simulated time in seconds: runs and
+// explicit pre-faults advance it, and fault plans are scheduled against it.
+func (m *Machine) Clock() float64 { return m.clock }
+
+// FaultsActive reports whether a fault plan is attached to the machine.
+func (m *Machine) FaultsActive() bool { return m.inj != nil }
+
+// degradedLayout returns the interleave layout of a socket with only
+// `online` channels still populated, built lazily and cached: stream
+// parallelism during a channel-offline window is computed against the
+// surviving stripe set, not the healthy one.
+func (m *Machine) degradedLayout(online int) *interleave.Layout {
+	if online >= m.topo.ChannelsPerSocket() {
+		return m.layout
+	}
+	if online < 1 {
+		online = 1
+	}
+	l, ok := m.degraded[online]
+	if !ok {
+		l = interleave.MustNewLayout(online, m.cfg.Topology.InterleaveBytes)
+		m.degraded[online] = l
+	}
+	return l
+}
+
+// FaultSocketScales returns each socket's worst-case effective media
+// capacity factor over the machine's whole fault plan (1.0 per socket when
+// no plan is attached). Placement planners use these as conservative
+// capacity weights when re-planning partitions around a fault.
+func (m *Machine) FaultSocketScales() []float64 {
+	out := make([]float64, m.topo.Sockets())
+	for s := range out {
+		out[s] = m.inj.WorstSocketScale(s)
+	}
+	return out
+}
+
+// faultTick accounts the simulated interval [prev, cur) against the fault
+// plan: per-type degraded socket/link seconds, fault window transitions
+// (metrics + trace), directory re-warm-up after a UPI fault clears, and
+// injected panics. traceOff converts machine-clock times into the trace
+// process's coordinate space (they coincide, but only when a recorder is
+// attached from the machine's birth, so the offset is passed explicitly).
+func (m *Machine) faultTick(prev, cur, traceOff float64) {
+	if m.inj == nil || cur <= prev {
+		return
+	}
+	r := m.rec
+	dt := cur - prev
+	d := float64(m.topo.ChannelsPerSocket())
+	for s := 0; s < m.topo.Sockets(); s++ {
+		ms := m.inj.MediaScale(s, prev)
+		off := m.inj.ChannelsOffline(s, prev)
+		if ms < 1 {
+			r.faultThrottleSec.Add(dt)
+		}
+		if off > 0 {
+			r.faultChanSec.Add(dt)
+		}
+		if total := ms * (d - float64(off)) / d; total < m.minMediaScale {
+			m.minMediaScale = total
+		}
+		if m.inj.BufferScale(s, prev) < 1 {
+			r.faultXPBSec.Add(dt)
+		}
+	}
+	for a := 0; a < m.topo.Sockets(); a++ {
+		for b := a + 1; b < m.topo.Sockets(); b++ {
+			if m.inj.UPIScale(a, b, prev) < 1 {
+				r.faultUPISec.Add(dt)
+			}
+		}
+	}
+	r.faultScaleMin.Set(m.minMediaScale)
+
+	from := m.faultCursor
+	m.faultCursor = cur
+	for _, t := range m.inj.Transitions(from, cur) {
+		at := traceOff + t.At
+		if t.Kind == faults.TransitionStart {
+			r.faultActivations.Inc()
+			m.faultStartTrace[t.Index] = at
+			m.traceFaultEdge("fault start", t, at)
+		} else {
+			r.faultRecoveries.Inc()
+			start, seen := m.faultStartTrace[t.Index]
+			if !seen {
+				start = at
+			}
+			delete(m.faultStartTrace, t.Index)
+			m.traceFaultSpan(t, start, at)
+			if t.Event.Type == faults.EvUPIDegrade {
+				// The link flap dropped the snoop-directory state that made
+				// far reads cheap; every cross-link mapping must re-warm
+				// (Section 3.4's warm-up, now repaying itself).
+				m.rewarmAcross(t.Event.From, t.Event.To)
+			}
+		}
+	}
+	r.faultActive.Set(float64(m.inj.ActiveCount(cur)))
+	if p := m.inj.PanicDue(from, cur); p != nil {
+		panic(p)
+	}
+}
+
+// rewarmAcross invalidates directory warmth for every (region, far socket)
+// pair whose traffic crosses the a<->b link, forcing the cold-read warm-up
+// phase to repeat after the link recovers.
+func (m *Machine) rewarmAcross(a, b int) {
+	for _, reg := range m.regions {
+		var far int
+		switch int(reg.Socket) {
+		case a:
+			far = b
+		case b:
+			far = a
+		default:
+			continue
+		}
+		k := upi.Key{Region: reg.id, Socket: far}
+		if m.warmth.IsWarm(k) {
+			m.rec.faultRewarm.Inc()
+		}
+		m.warmth.Invalidate(k) // also clears partial warm-up progress
+	}
+}

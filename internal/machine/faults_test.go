@@ -1,0 +1,284 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/faults"
+	"repro/internal/simtrace"
+	"repro/internal/topology"
+)
+
+func metricVal(t *testing.T, m *Machine, name string) float64 {
+	t.Helper()
+	v, ok := m.Metrics().Snapshot().Get(name)
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return v
+}
+
+func faultPlan(t *testing.T, src string) *faults.Plan {
+	t.Helper()
+	p, err := faults.Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return p
+}
+
+// scanResult runs a small four-thread sequential read scan on socket 0 and
+// returns the result; cfg lets each test attach a fault plan or recorder.
+func scanResult(t *testing.T, cfg Config) RunResult {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, err := m.AllocPMEM("scan", 0, 64<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams []*Stream
+	for i := 0; i < 4; i++ {
+		streams = append(streams, &Stream{
+			Label:     fmt.Sprintf("t%d", i),
+			Placement: cpu.Placement{Core: topology.CoreID(i)},
+			Policy:    cpu.PinCores,
+			Region:    r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 8e9,
+		})
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestThrottleReducesBandwidthDeterministically(t *testing.T) {
+	healthy := scanResult(t, DefaultConfig())
+	// The scan takes ~1-2 virtual seconds; throttle socket 0 mid-scan.
+	plan := faultPlan(t, `{"events":[{"type":"dimm-throttle","start":0.3,"duration":0.8,"ramp":0.1,"factor":0.3}]}`)
+	cfg := DefaultConfig()
+	cfg.Faults = plan
+	throttled := scanResult(t, cfg)
+	if throttled.Bandwidth >= healthy.Bandwidth*0.97 {
+		t.Errorf("throttled bandwidth %.2f GB/s not measurably below healthy %.2f GB/s",
+			throttled.Bandwidth/1e9, healthy.Bandwidth/1e9)
+	}
+	if throttled.Bandwidth <= 0 {
+		t.Error("throttled run moved no bytes")
+	}
+	// Same plan on a fresh machine: byte-identical results.
+	again := scanResult(t, cfg)
+	if fmt.Sprintf("%v", throttled) != fmt.Sprintf("%v", again) {
+		t.Errorf("faulted run not deterministic:\n%v\n%v", throttled, again)
+	}
+}
+
+func TestChannelOfflineReducesBandwidth(t *testing.T) {
+	healthy := scanResult(t, DefaultConfig())
+	// Five of six channels offline pulls the socket's media capacity well
+	// below the four threads' demand, so the scan becomes media-bound.
+	plan := faultPlan(t, `{"events":[{"type":"channel-offline","start":0,"channels":5}]}`)
+	cfg := DefaultConfig()
+	cfg.Faults = plan
+	degraded := scanResult(t, cfg)
+	if degraded.Bandwidth >= healthy.Bandwidth*0.95 {
+		t.Errorf("3-channels-offline bandwidth %.2f GB/s not below healthy %.2f GB/s",
+			degraded.Bandwidth/1e9, healthy.Bandwidth/1e9)
+	}
+}
+
+func TestXPBufferDegradeSlowsWrites(t *testing.T) {
+	// 12 threads of 4 KiB stores sit just under the healthy buffer-pressure
+	// threshold (12 x 16 lines / 384 = 0.5 occupancy); quartering the buffer
+	// pushes occupancy to 2.0 and write amplification toward the cap.
+	write := func(cfg Config) RunResult {
+		m := MustNew(cfg)
+		r, err := m.AllocPMEM("w", 0, 64<<30, DevDax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streams []*Stream
+		for i := 0; i < 12; i++ {
+			streams = append(streams, &Stream{
+				Label:     fmt.Sprintf("w%d", i),
+				Placement: cpu.Placement{Core: topology.CoreID(i)},
+				Policy:    cpu.PinCores,
+				Region:    r, Dir: access.Write, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 1e9,
+			})
+		}
+		res, err := m.Run(streams)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	healthy := write(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"xpbuffer-degrade","start":0,"factor":0.25}]}`)
+	degraded := write(cfg)
+	if degraded.Bandwidth >= healthy.Bandwidth*0.99 {
+		t.Errorf("xpbuffer-degraded write bandwidth %.2f GB/s not below healthy %.2f GB/s",
+			degraded.Bandwidth/1e9, healthy.Bandwidth/1e9)
+	}
+}
+
+// TestUPIOutageStallsAndRewarms drives a warm far read through a mid-run
+// full link outage: the flow pauses (instead of erring out as stalled),
+// resumes at the scheduled recovery, and the recovery invalidates the
+// directory warmth that made the far read cheap.
+func TestUPIOutageStallsAndRewarms(t *testing.T) {
+	run := func(cfg Config) (RunResult, *Machine) {
+		m := MustNew(cfg)
+		r, err := m.AllocPMEM("far", 0, 64<<30, DevDax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.WarmFor(1)
+		streams := []*Stream{{
+			Label:     "far-read",
+			Placement: cpu.Placement{Core: topology.CoreID(18)}, // socket 1
+			Policy:    cpu.PinCores,
+			Region:    r, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Bytes: 8e9,
+		}}
+		res, err := m.Run(streams)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res, m
+	}
+	healthy, _ := run(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"upi-degrade","start":0.2,"duration":0.5,"from":0,"to":1,"factor":0}]}`)
+	faulted, m := run(cfg)
+	if faulted.Elapsed < healthy.Elapsed+0.45 {
+		t.Errorf("outage elapsed %.3fs, want at least healthy %.3fs + ~0.5s stall",
+			faulted.Elapsed, healthy.Elapsed)
+	}
+	if v := metricVal(t, m, "fault.rewarm.invalidations"); v < 1 {
+		t.Errorf("fault.rewarm.invalidations = %g, want >= 1", v)
+	}
+	if v := metricVal(t, m, "fault.upi_degraded.link_seconds"); v <= 0 {
+		t.Errorf("fault.upi_degraded.link_seconds = %g, want > 0", v)
+	}
+}
+
+func TestFaultMetricsAndTrace(t *testing.T) {
+	rec := simtrace.New()
+	cfg := DefaultConfig()
+	cfg.Trace = rec
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"dimm-throttle","start":0.3,"duration":0.6,"ramp":0.1,"factor":0.5}]}`)
+	res := scanResult(t, cfg)
+	if res.TotalBytes <= 0 {
+		t.Fatal("no bytes moved")
+	}
+	trace := string(rec.Bytes())
+	if !strings.Contains(trace, `"cat":"fault"`) {
+		t.Error("trace has no fault-category events")
+	}
+	if !strings.Contains(trace, `"name":"dimm-throttle"`) {
+		t.Error("trace has no completed dimm-throttle span")
+	}
+}
+
+func TestFaultCountersAccumulate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"dimm-throttle","start":0.3,"duration":0.6,"ramp":0.1,"factor":0.5}]}`)
+	m := MustNew(cfg)
+	r, err := m.AllocPMEM("scan", 0, 64<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]*Stream{{
+		Label:     "t0",
+		Placement: cpu.Placement{Core: 0},
+		Policy:    cpu.PinCores,
+		Region:    r, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Bytes: 30e9,
+	}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Elapsed < 1.5 {
+		t.Fatalf("scan too short (%.2fs) to cover the fault window", res.Elapsed)
+	}
+	if v := metricVal(t, m, "fault.activations"); v != 1 {
+		t.Errorf("fault.activations = %g, want 1", v)
+	}
+	if v := metricVal(t, m, "fault.recoveries"); v != 1 {
+		t.Errorf("fault.recoveries = %g, want 1", v)
+	}
+	if v := metricVal(t, m, "fault.throttle.socket_seconds"); v <= 0 {
+		t.Errorf("fault.throttle.socket_seconds = %g, want > 0", v)
+	}
+	if v := metricVal(t, m, "fault.media_scale.min"); v > 0.51 || v <= 0 {
+		t.Errorf("fault.media_scale.min = %g, want ~0.5", v)
+	}
+	if m.Clock() != res.Elapsed {
+		t.Errorf("machine clock %g, want run elapsed %g", m.Clock(), res.Elapsed)
+	}
+}
+
+func TestInjectedPanicCarriesType(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"panic","start":0.2}]}`)
+	m := MustNew(cfg)
+	r, err := m.AllocPMEM("p", 0, 64<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		ip, ok := v.(*faults.InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *faults.InjectedPanic", v, v)
+		}
+		if ip.At != 0.2 {
+			t.Errorf("panic at %g, want 0.2", ip.At)
+		}
+	}()
+	m.Run([]*Stream{{
+		Label:     "t0",
+		Placement: cpu.Placement{Core: 0},
+		Policy:    cpu.PinCores,
+		Region:    r, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Bytes: 30e9,
+	}})
+	t.Fatal("run completed; expected injected panic")
+}
+
+func TestBadPlanRejectedAtConstruction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = &faults.Plan{Events: []faults.Event{{Type: "dimm-throttle", Start: -1, Factor: 0.5}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted a plan with negative start")
+	}
+	cfg.Faults = &faults.Plan{Events: []faults.Event{{Type: "dimm-throttle", Start: 0, Factor: 0.5, Socket: 9}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted a plan targeting socket 9")
+	}
+}
+
+func TestTransientErrorPlanDoesNotPerturbRun(t *testing.T) {
+	// transient-error is a serving-layer fault: the simulation itself must
+	// be byte-identical with and without it.
+	healthy := scanResult(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"transient-error","count":2}]}`)
+	with := scanResult(t, cfg)
+	if fmt.Sprintf("%v", healthy) != fmt.Sprintf("%v", with) {
+		t.Errorf("transient-error plan changed the simulation:\n%v\n%v", healthy, with)
+	}
+	if errors.Is(faults.ErrTransient, faults.ErrTransient) != true {
+		t.Error("sentinel identity broken")
+	}
+}

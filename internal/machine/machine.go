@@ -17,6 +17,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cpu"
 	"repro/internal/dramdimm"
+	"repro/internal/faults"
 	"repro/internal/interleave"
 	"repro/internal/metrics"
 	"repro/internal/simtrace"
@@ -95,6 +96,15 @@ type Config struct {
 	// MaxVirtualSeconds aborts runaway runs.
 	MaxVirtualSeconds float64
 
+	// Faults, when non-nil, schedules deterministic hardware degradation on
+	// the machine's lifetime simulated-time axis: thermal DIMM throttling,
+	// XPBuffer shrinkage, channels going offline, UPI link degradation or
+	// outage. The plan is normalized at machine construction; because the
+	// field serializes with the rest of the config it participates in
+	// pmemd's content-addressed cache identity, so a degraded run replays
+	// byte-identically from cache.
+	Faults *faults.Plan `json:",omitempty"`
+
 	// Metrics is the registry the machine's simulation counters are recorded
 	// into (per-channel bytes, XPBuffer hit/miss, UPI crossings, prefetch
 	// efficiency, ...). Nil means the machine records into a private registry
@@ -147,6 +157,21 @@ type Machine struct {
 
 	regions      []*Region
 	nextRegionID int
+
+	// Fault-injection state. clock is the machine's lifetime simulated time
+	// (runs and pre-faults advance it); the injector schedules degradation
+	// against it. faultCursor is the last clock value whose fault
+	// transitions have been reported (starts before zero so a t=0 fault
+	// still gets its activation edge); faultStartTrace remembers each active
+	// fault's activation point in trace coordinates so its span can be
+	// emitted at recovery; minMediaScale tracks the deepest throttle seen.
+	inj             *faults.Injector
+	clock           float64
+	faultCursor     float64
+	faultStartTrace map[int]float64
+	minMediaScale   float64
+	// degraded caches channel-offline interleave layouts by online count.
+	degraded map[int]*interleave.Layout
 }
 
 // New builds a machine from the configuration.
@@ -162,13 +187,31 @@ func New(cfg Config) (*Machine, error) {
 	if reg == nil {
 		reg = metrics.New()
 	}
+	if cfg.Faults != nil {
+		plan, err := cfg.Faults.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = plan
+	}
 	m := &Machine{
-		cfg:      cfg,
-		topo:     topo,
-		layout:   interleave.MustNewLayout(topo.ChannelsPerSocket(), cfg.Topology.InterleaveBytes),
-		warmth:   upi.NewWarmth(),
-		metrics:  reg,
-		chCursor: make([]int, topo.Sockets()),
+		cfg:             cfg,
+		topo:            topo,
+		layout:          interleave.MustNewLayout(topo.ChannelsPerSocket(), cfg.Topology.InterleaveBytes),
+		warmth:          upi.NewWarmth(),
+		metrics:         reg,
+		chCursor:        make([]int, topo.Sockets()),
+		faultCursor:     -1,
+		faultStartTrace: map[int]float64{},
+		minMediaScale:   1,
+		degraded:        map[int]*interleave.Layout{},
+	}
+	if cfg.Faults != nil {
+		inj, err := cfg.Faults.Compile(topo.Sockets(), topo.ChannelsPerSocket())
+		if err != nil {
+			return nil, err
+		}
+		m.inj = inj
 	}
 	m.rec = newRecorder(reg, topo)
 	m.traceInit()
@@ -322,7 +365,11 @@ func (r *Region) PreFault() float64 {
 	sec := remaining * r.m.cfg.PreFaultSecPerByte
 	r.m.rec.prefaultB.Add(remaining)
 	r.m.rec.prefaultSec.Add(sec)
+	traceOff := r.m.traceCursor() - r.m.clock
 	r.m.tracePreFault(r, sec, remaining)
+	prev := r.m.clock
+	r.m.clock += sec
+	r.m.faultTick(prev, r.m.clock, traceOff)
 	return sec
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cpu"
 	"repro/internal/fluid"
+	"repro/internal/interleave"
 	"repro/internal/topology"
 	"repro/internal/upi"
 )
@@ -27,6 +28,12 @@ type runModel struct {
 	m       *Machine
 	streams []*Stream
 	flows   []*fluid.Flow
+
+	// clock0 is the machine's lifetime clock at run start; clock0 + now is
+	// the absolute simulated time the fault injector is queried at. now is
+	// the run-relative time of the current Prepare, cached for computeCosts.
+	clock0 float64
+	now    float64
 
 	pmemMedia  []*fluid.Resource // per socket, utilization (capacity 1)
 	dramMedia  []*fluid.Resource
@@ -81,6 +88,7 @@ type flowCtx struct {
 func newRunModel(m *Machine, streams []*Stream) *runModel {
 	rm := &runModel{
 		m:         m,
+		clock0:    m.clock,
 		streams:   streams,
 		upiDirs:   make(map[[2]int]*fluid.Resource),
 		coldRes:   make(map[upi.Key]*fluid.Resource),
@@ -213,11 +221,12 @@ func (rm *runModel) gather() population {
 }
 
 // dimmParallelism returns how many of the socket's DIMMs serve the stream.
-func (rm *runModel) dimmParallelism(s *Stream, pop population) float64 {
-	d := float64(rm.m.topo.ChannelsPerSocket())
+// lay is the socket's current interleave layout — the healthy one, or a
+// reduced layout while a channel-offline fault holds.
+func (rm *runModel) dimmParallelism(s *Stream, pop population, lay *interleave.Layout) float64 {
 	switch s.Pattern {
 	case access.Random:
-		return d // interleaving spreads a random region across all DIMMs
+		return float64(lay.DIMMs()) // interleaving spreads a random region across all DIMMs
 	case access.SeqGrouped:
 		n := pop.groupCount[s.GroupID]
 		if s.GroupID == "" || n == 0 {
@@ -228,18 +237,19 @@ func (rm *runModel) dimmParallelism(s *Stream, pop population) float64 {
 			factor = rm.m.cfg.GroupedWriteWindowFactor
 		}
 		window := int64(float64(int64(n)*s.AccessSize) * factor)
-		return rm.m.layout.WindowParallelism(window)
+		return lay.WindowParallelism(window)
 	default: // SeqIndividual
 		k := pop.individualFlight[s.Region.Socket]
 		if k == 0 {
 			k = readCoverageStripes
 		}
-		return rm.m.layout.IndependentParallelism(k)
+		return lay.IndependentParallelism(k)
 	}
 }
 
 // Prepare implements fluid.Model.
 func (rm *runModel) Prepare(now float64, flows []*fluid.Flow) {
+	rm.now = now
 	pop := rm.gather()
 	// Fixed point on the mixed-workload write-utilization estimates: costs
 	// depend on uW, which depends on the solved rates. Three iterations
@@ -279,6 +289,22 @@ func (rm *runModel) computeCosts(pop population) {
 	cfg := rm.m.cfg
 	topo := rm.m.topo
 	d := float64(topo.ChannelsPerSocket())
+
+	// Fault-injection snapshot: media capacity, channel availability, and
+	// UPI link derates are pure functions of absolute simulated time and
+	// stay constant within a solver step (Horizon breaks steps at every
+	// fault boundary). Healthy machines skip this block entirely, so their
+	// solver path is bit-for-bit the pre-fault-engine one.
+	if inj := rm.m.inj; inj != nil {
+		at := rm.clock0 + rm.now
+		for s := 0; s < topo.Sockets(); s++ {
+			online := float64(topo.ChannelsPerSocket() - inj.ChannelsOffline(s, at))
+			rm.pmemMedia[s].Capacity = inj.MediaScale(s, at) * online / d
+		}
+		for key, res := range rm.upiDirs {
+			res.Capacity = cfg.UPI.RawBytesPerSecPerDir * inj.UPIScale(key[0], key[1], at)
+		}
+	}
 
 	// Refresh dynamic resources.
 	for key, n := range pop.coldCount {
@@ -375,8 +401,20 @@ func (rm *runModel) computeCosts(pop population) {
 
 		switch s.Region.Class {
 		case access.PMEM:
-			nd := rm.dimmParallelism(s, pop)
-			concentration := d / math.Max(nd, 1e-9)
+			// During a channel-offline window the stream only sees the
+			// surviving stripe set: parallelism and concentration are both
+			// computed against the reduced layout, while the media resource's
+			// capacity above already lost the offline channels' share.
+			lay := rm.m.layout
+			dEff := d
+			if inj := rm.m.inj; inj != nil {
+				if off := inj.ChannelsOffline(int(s.Region.Socket), rm.clock0+rm.now); off > 0 {
+					dEff = d - float64(off)
+					lay = rm.m.degradedLayout(int(dEff))
+				}
+			}
+			nd := rm.dimmParallelism(s, pop, lay)
+			concentration := dEff / math.Max(nd, 1e-9)
 			fc.engaged = int(math.Round(nd))
 			media := rm.pmemMedia[s.Region.Socket]
 			readCap := cfg.PMEM.SocketReadBytesPerSec(topo.ChannelsPerSocket())
@@ -430,7 +468,13 @@ func (rm *runModel) computeCosts(pop population) {
 				}
 			} else {
 				streams := pop.pmemWriteStreams[s.Region.Socket]
-				wa := cfg.PMEM.WriteAmplification(s.AccessSize, s.Pattern, streams)
+				pmem := cfg.PMEM
+				if inj := rm.m.inj; inj != nil {
+					// A degraded XPBuffer has fewer write-combining lines, so
+					// the same stream population runs at higher pressure.
+					pmem = pmem.DerateBuffer(inj.BufferScale(int(s.Region.Socket), rm.clock0+rm.now))
+				}
+				wa := pmem.WriteAmplification(s.AccessSize, s.Pattern, streams)
 				if oversubWrites {
 					wa *= cfg.CPU.NUMAPinWriteWAFactor
 				}
@@ -589,6 +633,16 @@ func (rm *runModel) Horizon(now float64, flows []*fluid.Flow) float64 {
 			h = t
 		}
 	}
+	// Fault-plan boundaries: the solver must not step across a capacity
+	// change (and an all-zero-rate outage must pause exactly until one).
+	if inj := rm.m.inj; inj != nil {
+		at := rm.clock0 + now
+		if nb := inj.NextBoundary(at); !math.IsInf(nb, 1) {
+			if t := nb - at; t > 0 && t < h {
+				h = t
+			}
+		}
+	}
 	return h
 }
 
@@ -628,6 +682,13 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 		rm.traceAccumulate(rm.streams[i], fc, moved)
 	}
 	rm.traceStepEnd(now, dt)
+	if rm.m.inj != nil {
+		traceOff := 0.0
+		if rm.tr != nil {
+			traceOff = rm.tr.base - rm.clock0
+		}
+		rm.m.faultTick(rm.clock0+now, rm.clock0+now+dt, traceOff)
+	}
 }
 
 // recordTraffic accounts one flow's dt-step traffic in the metrics registry:

@@ -70,6 +70,17 @@ type recorder struct {
 	pinStreams map[cpu.PinPolicy]*metrics.Counter
 	pinBytes   map[cpu.PinPolicy]*metrics.Counter
 	htShared   *metrics.Counter
+
+	// Fault-injection observability (scraped as sim_fault_* by pmemd).
+	faultActivations *metrics.Counter
+	faultRecoveries  *metrics.Counter
+	faultActive      *metrics.Gauge
+	faultThrottleSec *metrics.Counter
+	faultChanSec     *metrics.Counter
+	faultXPBSec      *metrics.Counter
+	faultUPISec      *metrics.Counter
+	faultRewarm      *metrics.Counter
+	faultScaleMin    *metrics.Gauge
 }
 
 func newRecorder(reg *metrics.Registry, topo *topology.Topology) *recorder {
@@ -102,7 +113,20 @@ func newRecorder(reg *metrics.Registry, topo *topology.Topology) *recorder {
 		pfWasted:  reg.Counter("cpu.prefetch.wasted_media_bytes"),
 		pfEffMean: reg.Gauge("cpu.prefetch.efficiency.mean"),
 		htShared:  reg.Counter("cpu.ht_shared.streams"),
+
+		faultActivations: reg.Counter("fault.activations"),
+		faultRecoveries:  reg.Counter("fault.recoveries"),
+		faultActive:      reg.Gauge("fault.active"),
+		faultThrottleSec: reg.Counter("fault.throttle.socket_seconds"),
+		faultChanSec:     reg.Counter("fault.channel_offline.socket_seconds"),
+		faultXPBSec:      reg.Counter("fault.xpbuffer.socket_seconds"),
+		faultUPISec:      reg.Counter("fault.upi_degraded.link_seconds"),
+		faultRewarm:      reg.Counter("fault.rewarm.invalidations"),
+		faultScaleMin:    reg.Gauge("fault.media_scale.min"),
 	}
+	// A healthy machine never ticks the fault path; 1 (no derate) is the
+	// meaningful resting value for the min-scale gauge, not 0.
+	r.faultScaleMin.Set(1)
 	r.pinStreams = map[cpu.PinPolicy]*metrics.Counter{}
 	r.pinBytes = map[cpu.PinPolicy]*metrics.Counter{}
 	for _, pol := range []cpu.PinPolicy{cpu.PinCores, cpu.PinNUMA, cpu.PinNone} {

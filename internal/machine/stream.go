@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -81,7 +82,15 @@ type RunResult struct {
 // measured bandwidths. Machine state (warmth, fsdax faults, wear) persists
 // across runs, which is exactly what the paper's warm-up experiments need.
 func (m *Machine) Run(streams []*Stream) (RunResult, error) {
-	return m.run(streams, m.cfg.MaxVirtualSeconds)
+	return m.run(context.Background(), streams, m.cfg.MaxVirtualSeconds)
+}
+
+// RunContext is Run with cooperative cancellation, polled once per solver
+// step. Fault-plan runs can stretch virtual (and thus wall) time well past
+// a healthy run's, so interactive callers (pmembench under SIGINT) thread
+// their signal context through here.
+func (m *Machine) RunContext(ctx context.Context, streams []*Stream) (RunResult, error) {
+	return m.run(ctx, streams, m.cfg.MaxVirtualSeconds)
 }
 
 // RunFor executes the streams for a fixed virtual-time window and reports
@@ -93,10 +102,10 @@ func (m *Machine) RunFor(streams []*Stream, seconds float64) (RunResult, error) 
 	if seconds <= 0 {
 		return RunResult{}, fmt.Errorf("machine: window must be positive, got %g", seconds)
 	}
-	return m.run(streams, seconds)
+	return m.run(context.Background(), streams, seconds)
 }
 
-func (m *Machine) run(streams []*Stream, maxTime float64) (RunResult, error) {
+func (m *Machine) run(ctx context.Context, streams []*Stream, maxTime float64) (RunResult, error) {
 	if len(streams) == 0 {
 		return RunResult{}, fmt.Errorf("machine: no streams")
 	}
@@ -114,9 +123,12 @@ func (m *Machine) run(streams []*Stream, maxTime float64) (RunResult, error) {
 	rm := newRunModel(m, streams)
 	eng := fluid.NewEngine(rm)
 	eng.Add(rm.flows...)
-	if err := eng.Run(maxTime); err != nil {
+	if err := eng.RunContext(ctx, maxTime); err != nil {
 		return RunResult{}, fmt.Errorf("machine: run failed: %w", err)
 	}
+	// The run's virtual seconds advance the machine's lifetime clock, which
+	// is the axis fault plans are scheduled on.
+	m.clock = rm.clock0 + eng.Now
 	for i, s := range streams {
 		m.rec.pinBytes[s.Policy].Add(rm.flows[i].Moved)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/simtrace"
 	"repro/internal/upi"
 	"repro/internal/xpdimm"
@@ -18,6 +19,7 @@ const (
 	tidControl = 0
 	tidUPI     = 1
 	tidXPDIMM  = 2 // + socket
+	tidFault   = 50
 	tidCore    = 100
 )
 
@@ -45,6 +47,58 @@ func (m *Machine) traceSocketTid(socket int) int {
 func (m *Machine) traceCoreTid(core int) int {
 	m.trace.Thread(tidCore+core, fmt.Sprintf("core %d", core))
 	return tidCore + core
+}
+
+// traceCursor returns the trace process's current timeline offset (0
+// without a recorder); used to convert machine-clock fault times into
+// trace coordinates.
+func (m *Machine) traceCursor() float64 { return m.trace.Cursor() }
+
+func (m *Machine) traceFaultTid() int {
+	m.trace.Thread(tidFault, "faults")
+	return tidFault
+}
+
+// faultArgs renders a fault event's target and severity for trace tooltips.
+func faultArgs(e *faults.Event) []simtrace.Arg {
+	args := []simtrace.Arg{simtrace.S("type", e.Type)}
+	switch e.Type {
+	case faults.EvUPIDegrade:
+		args = append(args,
+			simtrace.F("from", float64(e.From)),
+			simtrace.F("to", float64(e.To)),
+			simtrace.F("factor", e.Factor))
+	case faults.EvChannelOffline:
+		args = append(args,
+			simtrace.F("socket", float64(e.Socket)),
+			simtrace.F("channels", float64(e.Channels)))
+	default:
+		args = append(args,
+			simtrace.F("socket", float64(e.Socket)),
+			simtrace.F("factor", e.Factor))
+	}
+	return args
+}
+
+// traceFaultEdge marks a fault transition as an instant on the fault row.
+func (m *Machine) traceFaultEdge(name string, t faults.Transition, atSec float64) {
+	if m.trace == nil {
+		return
+	}
+	tid := m.traceFaultTid()
+	m.trace.Instant(simtrace.CatFault, fmt.Sprintf("%s: %s", name, t.Event.Type),
+		tid, atSec, faultArgs(t.Event)...)
+}
+
+// traceFaultSpan lays the completed fault window (activation through full
+// recovery) out on the fault row.
+func (m *Machine) traceFaultSpan(t faults.Transition, startSec, endSec float64) {
+	if m.trace == nil {
+		return
+	}
+	tid := m.traceFaultTid()
+	m.trace.Span(simtrace.CatFault, t.Event.Type, tid, startSec, endSec-startSec,
+		faultArgs(t.Event)...)
 }
 
 // runTrace accumulates one run's timeline bookkeeping: per-socket media

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 )
@@ -42,6 +43,12 @@ type RunRequest struct {
 	// the document keep the calibrated defaults (the machine.ConfigFromJSON
 	// contract), so a what-if request only spells the knobs it changes.
 	Machine json.RawMessage `json:"machine,omitempty"`
+	// Faults attaches a deterministic fault plan (see internal/faults) to
+	// the run's machines. The canonicalized plan becomes part of the machine
+	// config — and therefore of the cache key — so degraded results never
+	// alias healthy ones. Takes precedence over a plan spelled inside
+	// Machine.
+	Faults json.RawMessage `json:"faults,omitempty"`
 	// Async makes POST /v1/run return 202 + a job handle immediately
 	// instead of waiting for the result. Not part of the cache identity.
 	Async bool `json:"async,omitempty"`
@@ -86,6 +93,13 @@ func (r RunRequest) canonicalize(maxSF float64) (canonical, error) {
 			return c, err
 		}
 		c.Machine = mc
+	}
+	if len(r.Faults) > 0 {
+		plan, err := faults.Parse(r.Faults)
+		if err != nil {
+			return c, fmt.Errorf("bad fault plan: %w", err)
+		}
+		c.Machine.Faults = plan
 	}
 	return c, nil
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/simtrace"
 )
@@ -45,6 +47,14 @@ type Options struct {
 	// generation is the one knob that costs real memory). 0 means 1.0;
 	// negative means unbounded.
 	MaxSF float64
+	// RetryAttempts is how many times a job is retried after a transient
+	// simulation error (faults.ErrTransient — injected by fault plans or
+	// surfaced by the runner). <= 0 means 2 retries (3 attempts total).
+	RetryAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// retry attempts. <= 0 means 50ms. Backoff is wall-clock only; it never
+	// influences the simulated result bytes.
+	RetryBackoff time.Duration
 	// Logger receives the structured request/lifecycle log. nil discards
 	// (tests); the daemon passes a real handler.
 	Logger *slog.Logger
@@ -65,6 +75,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSF == 0 {
 		o.MaxSF = 1
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
 	}
 	return o
 }
@@ -108,10 +124,12 @@ type Server struct {
 	history  []string        // finished job ids, oldest first
 	nextID   uint64
 
-	// runFn performs one simulation; tests substitute a controllable fake
-	// to pin down coalescing and admission without timing real runs. The
-	// []byte is the run's trace document (nil unless c.Trace).
-	runFn func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error)
+	// runFn performs one simulation attempt (1-based; retries after
+	// transient errors re-invoke it with the next attempt number); tests
+	// substitute a controllable fake to pin down coalescing and admission
+	// without timing real runs. The []byte is the run's trace document (nil
+	// unless c.Trace).
+	runFn func(ctx context.Context, c canonical, attempt int) (RunResult, metrics.Snapshot, []byte, error)
 
 	simMu  sync.Mutex
 	simAgg metrics.Snapshot
@@ -124,6 +142,8 @@ type Server struct {
 	cCoalesced  *metrics.Counter
 	cJobsDone   *metrics.Counter
 	cJobsFailed *metrics.Counter
+	cJobPanics  *metrics.Counter
+	cJobRetries *metrics.Counter
 	cJobSecs    *metrics.Counter
 	cReqSecs    *metrics.Counter
 	gActive     *metrics.Gauge
@@ -151,6 +171,8 @@ func New(opts Options) *Server {
 		cCoalesced:  reg.Counter("server_coalesced"),
 		cJobsDone:   reg.Counter("server_jobs_done"),
 		cJobsFailed: reg.Counter("server_jobs_failed"),
+		cJobPanics:  reg.Counter("server_job_panics_total"),
+		cJobRetries: reg.Counter("server_job_retries_total"),
 		cJobSecs:    reg.Counter("server_job_seconds"),
 		cReqSecs:    reg.Counter("server_request_seconds"),
 		gActive:     reg.Gauge("server_jobs_active"),
@@ -234,6 +256,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
+		// Load balancers honoring Retry-After stop probing a draining
+		// instance instead of hammering it through shutdown.
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -530,7 +555,7 @@ func (s *Server) run(j *job) {
 		s.gQueueDepth.Set(float64(s.active - s.running))
 		s.mu.Unlock()
 
-		res, sim, trace, err = s.runFn(ctx, j.canon)
+		res, sim, trace, err = s.guardedRun(ctx, j)
 		s.pool.Release()
 	}
 	var body []byte
@@ -578,14 +603,68 @@ func (s *Server) run(j *job) {
 	}
 }
 
+// guardedRun drives runFn to completion for one job: transient errors are
+// retried a bounded number of times with jittered exponential backoff, and a
+// panicking simulation is converted into a structured job failure instead of
+// taking the daemon down.
+func (s *Server) guardedRun(ctx context.Context, j *job) (RunResult, metrics.Snapshot, []byte, error) {
+	backoff := s.opts.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		res, sim, trace, err := s.attemptRun(ctx, j, attempt)
+		if err == nil || !faults.IsTransient(err) || attempt > s.opts.RetryAttempts || ctx.Err() != nil {
+			return res, sim, trace, err
+		}
+		s.cJobRetries.Inc()
+		s.log.Warn("job retrying after transient error",
+			"job_id", j.id, "experiment", j.canon.ID, "attempt", attempt, "error", err.Error())
+		// Jitter is deterministic per (job key, attempt): wall-clock pacing
+		// only, never part of the simulated result.
+		sleep := backoff + time.Duration(float64(backoff)*retryJitter(j.key, attempt))
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return res, sim, trace, ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// attemptRun is one runFn invocation with panic containment.
+func (s *Server) attemptRun(ctx context.Context, j *job, attempt int) (res RunResult, sim metrics.Snapshot, trace []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cJobPanics.Inc()
+			err = fmt.Errorf("experiment %s: simulation panicked: %v", j.canon.ID, r)
+			s.log.Error("job panicked", "job_id", j.id, "experiment", j.canon.ID, "panic", fmt.Sprint(r))
+		}
+	}()
+	return s.runFn(ctx, j.canon, attempt)
+}
+
+// retryJitter maps (key, attempt) to a stable fraction in [0, 1).
+func retryJitter(key string, attempt int) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	fmt.Fprintf(h, "/%d", attempt)
+	return float64(h.Sum64()%1000) / 1000
+}
+
 // simulate is the production runFn: one experiment on the canonical
 // request's machine model. The pool slot is already held by the caller. The
 // run is deterministic over simulated time, so the returned trace bytes are
 // identical however often the same canonical request is re-simulated.
-func (s *Server) simulate(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error) {
+func (s *Server) simulate(ctx context.Context, c canonical, attempt int) (RunResult, metrics.Snapshot, []byte, error) {
 	e, err := experiments.ByID(c.ID)
 	if err != nil {
 		return RunResult{}, metrics.Snapshot{}, nil, err
+	}
+	// A fault plan's transient-error events fail the first N attempts before
+	// any simulation runs, so the eventual result bytes (and the cache) are
+	// exactly what a fault-free serving path would have produced.
+	if p := c.Machine.Faults; p != nil && attempt <= p.TransientFailures() {
+		return RunResult{}, metrics.Snapshot{}, nil,
+			fmt.Errorf("experiment %s: injected transient failure %d/%d: %w",
+				e.ID, attempt, p.TransientFailures(), faults.ErrTransient)
 	}
 	cfg := c.experimentConfig()
 	reg := metrics.New()

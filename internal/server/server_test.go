@@ -162,7 +162,7 @@ func TestExperimentsCatalog(t *testing.T) {
 // release is closed, and returns the invocation counter.
 func blockingRun(s *Server, release <-chan struct{}) *atomic.Int64 {
 	var runs atomic.Int64
-	s.runFn = func(ctx context.Context, c canonical) (RunResult, metrics.Snapshot, []byte, error) {
+	s.runFn = func(ctx context.Context, c canonical, attempt int) (RunResult, metrics.Snapshot, []byte, error) {
 		runs.Add(1)
 		select {
 		case <-release:

@@ -36,6 +36,7 @@ const (
 	CatCPU        = "cpu"
 	CatInterleave = "interleave"
 	CatTopology   = "topology"
+	CatFault      = "fault"
 )
 
 // DefaultMaxEvents bounds a recorder's buffer when no explicit limit is

@@ -111,6 +111,23 @@ func DefaultParams() Params {
 	}
 }
 
+// DerateBuffer returns a copy of the parameters with the XPBuffer shrunk to
+// scale times its healthy line count (at least one line survives). Fault
+// injection uses this to model buffer degradation: fewer lines raise
+// write-combining pressure, and with it write amplification, under the same
+// stream population.
+func (p Params) DerateBuffer(scale float64) Params {
+	if scale >= 1 {
+		return p
+	}
+	lines := int(math.Round(float64(p.BufferLines) * scale))
+	if lines < 1 {
+		lines = 1
+	}
+	p.BufferLines = lines
+	return p
+}
+
 // SocketReadBytesPerSec returns the aggregate sequential read capacity of a
 // socket with the given DIMM count.
 func (p Params) SocketReadBytesPerSec(dimms int) float64 {
