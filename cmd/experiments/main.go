@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/experiments"
@@ -42,6 +44,9 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "append each experiment's metrics snapshot to the output")
 	metricsJSON := flag.String("metrics-json", "", "write the aggregate metrics snapshot as JSON to this file ('-' = stdout)")
 	traceDir := flag.String("trace", "", "write each experiment's simulated-time timeline to <dir>/<id>.trace.json")
+	sweepJ := flag.Int("sweep-j", 1, "intra-experiment sweep parallelism on a pool shared with -j; output is identical for any width (forced serial when metrics or traces are recorded)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -51,6 +56,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -62,7 +82,25 @@ func main() {
 		w = f
 	}
 
-	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics, TraceDir: *traceDir}
+	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics, TraceDir: *traceDir, SweepWidth: *sweepJ}
+	// -metrics-json consumes the aggregate float counters even without
+	// -metrics; concurrent sweep points would reorder their accumulation,
+	// so force the serial path (the Config gate handles -metrics/-trace).
+	if *metricsJSON != "" {
+		cfg.SweepWidth = 1
+	}
+	if cfg.SweepWidth > 1 {
+		// One pool bounds total simulation concurrency: experiment workers
+		// acquire a slot each, sweep workers borrow the spare ones.
+		width := *jobs
+		if width <= 0 {
+			width = runtime.GOMAXPROCS(0)
+		}
+		if cfg.SweepWidth > width {
+			width = cfg.SweepWidth
+		}
+		cfg.Pool = experiments.NewPool(width)
+	}
 	exps := experiments.All()
 	if *id != "" {
 		e, err := experiments.ByID(*id)
@@ -122,6 +160,23 @@ func writeMetricsJSON(path string, agg metrics.Snapshot) {
 		w = f
 	}
 	if err := agg.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+// writeMemProfile dumps the heap profile after a GC, mirroring
+// `go test -memprofile`.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
 		fatal(err)
 	}
 }

@@ -13,6 +13,15 @@
 //	pmembench -advise -dir write                    # print best practices
 //	pmembench -trace workload.trace                 # replay a trace file
 //	pmembench -sweep threads -trace-dir traces      # + Perfetto timeline
+//	pmembench -sweep threads -sweep-j 4             # parallel sweep points
+//	pmembench -bench-json BENCH_sim.json            # tier-0 benchmark report
+//
+// -sweep-j N evaluates sweep points concurrently, each on its own fresh
+// machine, so the output is byte-identical at any width; 0 (the default)
+// keeps the classic serial sweep on one shared machine. -bench-json runs
+// the tier-0 experiment catalogue as a benchmark and writes a BENCH_sim
+// report; with -bench-baseline it exits non-zero when wall-clock regresses
+// past -bench-tolerance. -cpuprofile/-memprofile write pprof profiles.
 //
 // -trace-dir writes the machine's simulated-time timeline (every run laid
 // end to end) to <dir>/pmembench.trace.json in Chrome trace-event format.
@@ -27,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -53,6 +64,7 @@ func main() {
 	warm := flag.Bool("warm", false, "pre-establish cross-socket mappings")
 	prefetcher := flag.Bool("prefetcher", true, "L2 hardware prefetcher enabled")
 	sweep := flag.String("sweep", "", "sweep an axis: 'threads' or 'size'")
+	sweepJ := flag.Int("sweep-j", 0, "evaluate sweep points concurrently, each on a fresh machine; 0 = classic serial sweep sharing one machine (output is identical for any value >= 1)")
 	verbose := flag.Bool("verbose", false, "print peak resource utilizations (the bottleneck report)")
 	showMetrics := flag.Bool("metrics", false, "print the machine's metrics snapshot (simulated hardware counters) after the run")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics snapshot as JSON to this file ('-' = stdout)")
@@ -61,10 +73,35 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write the simulated-time timeline to <dir>/pmembench.trace.json (Chrome trace-event JSON, loadable in Perfetto)")
 	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
 	faultsFlag := flag.String("faults", "", "deterministic fault plan: inline JSON or a path to a plan file (see internal/faults)")
+	benchJSON := flag.String("bench-json", "", "run the tier-0 experiment catalogue as a benchmark and write BENCH_sim.json to this file ('-' = stdout)")
+	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-json run against this committed BENCH_sim.json and exit non-zero on regression")
+	benchTolerance := flag.Float64("bench-tolerance", 0.20, "allowed wall-clock regression vs the calibration-scaled baseline (0.20 = +20%)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
+
+	if *benchJSON != "" {
+		runBenchMode(ctx, *benchJSON, *benchBaseline, *benchTolerance)
+		return
+	}
 
 	d, err := parseDir(*dir)
 	if err != nil {
@@ -191,14 +228,50 @@ func main() {
 			}
 		}
 	case "threads":
-		res, err := b.SweepThreads(ctx, point, []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36})
+		axis := []int{1, 2, 4, 6, 8, 12, 16, 18, 24, 32, 36}
+		if *sweepJ > 0 {
+			requireIsolatedSweep(*showMetrics, *metricsJSON, *traceDir, *faultsFlag)
+			points := make([]core.Point, len(axis))
+			for i, t := range axis {
+				points[i] = point
+				points[i].Threads = t
+			}
+			gbs, err := core.MeasurePoints(ctx, cfg, *sweepJ, points)
+			degraded := checkSweepErr(err)
+			if !degraded {
+				for i, t := range axis {
+					fmt.Printf("%3d threads: %6.2f GB/s\n", t, gbs[i])
+				}
+			}
+			markDegraded(degraded)
+			return
+		}
+		res, err := b.SweepThreads(ctx, point, axis)
 		degraded := checkSweepErr(err)
 		for i, t := range res.Axis {
 			fmt.Printf("%3d threads: %6.2f GB/s\n", t, res.GBs[i])
 		}
 		markDegraded(degraded)
 	case "size":
-		res, err := b.SweepAccessSize(ctx, point, []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536})
+		axis := []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+		if *sweepJ > 0 {
+			requireIsolatedSweep(*showMetrics, *metricsJSON, *traceDir, *faultsFlag)
+			points := make([]core.Point, len(axis))
+			for i, s := range axis {
+				points[i] = point
+				points[i].AccessSize = s
+			}
+			gbs, err := core.MeasurePoints(ctx, cfg, *sweepJ, points)
+			degraded := checkSweepErr(err)
+			if !degraded {
+				for i, s := range axis {
+					fmt.Printf("%6d B: %6.2f GB/s\n", s, gbs[i])
+				}
+			}
+			markDegraded(degraded)
+			return
+		}
+		res, err := b.SweepAccessSize(ctx, point, axis)
 		degraded := checkSweepErr(err)
 		for i, s := range res.Axis {
 			fmt.Printf("%6d B: %6.2f GB/s\n", s, res.GBs[i])
@@ -208,6 +281,69 @@ func main() {
 		fatal(fmt.Errorf("unknown sweep axis %q (threads or size)", *sweep))
 	}
 	emitMetrics(b.M.Metrics(), *showMetrics, *metricsJSON)
+}
+
+// requireIsolatedSweep rejects flag combinations that need every sweep
+// point on one shared machine: -sweep-j gives each point a fresh machine,
+// which would silently change what -metrics/-trace-dir record and when a
+// -faults plan (scheduled on the machine's lifetime clock) fires.
+func requireIsolatedSweep(showMetrics bool, metricsJSON, traceDir, faultsFlag string) {
+	if showMetrics || metricsJSON != "" || traceDir != "" || faultsFlag != "" {
+		fatal(errors.New("-sweep-j runs points on independent machines; drop it to combine a sweep with -metrics, -metrics-json, -trace-dir, or -faults"))
+	}
+}
+
+// runBenchMode runs the tier-0 catalogue (quick axes, sf 0.05 — the same
+// configuration the committed BENCH_sim.json baseline was recorded with),
+// writes the report, and optionally gates against a baseline.
+func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance float64) {
+	rep, err := experiments.RunBench(ctx, experiments.Config{SF: 0.05, Quick: true})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	if baselinePath == "" {
+		return
+	}
+	base, err := experiments.ReadBenchReport(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if findings := experiments.CompareBench(base, rep, tolerance); len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "pmembench: bench regression:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pmembench: bench within tolerance of baseline")
+}
+
+// writeMemProfile dumps the heap profile after a GC, mirroring
+// `go test -memprofile`.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }
 
 // emitMetrics prints the machine registry's snapshot as text and/or JSON.

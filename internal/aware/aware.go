@@ -154,22 +154,28 @@ func New(m *machine.Machine, data *ssb.Data, opt Options) (*Engine, error) {
 	}
 
 	// Encode and stripe the fact table ("the fact table is shuffled and
-	// striped across PMEM on both sockets").
-	e.fact = make([][]byte, opt.Sockets)
-	rows := len(data.Lineorder)
-	per := (rows + opt.Sockets - 1) / opt.Sockets
-	for s := 0; s < opt.Sockets; s++ {
-		lo := s * per
-		hi := lo + per
-		if hi > rows {
-			hi = rows
+	// striped across PMEM on both sockets"). The encoding is a pure function
+	// of the data set and the stripe count, so engines sharing a data set
+	// (every machine configuration of an experiment) share one copy per
+	// layout instead of re-encoding 128 B per row each.
+	e.fact = data.Memo(fmt.Sprintf("aware/fact/%d", opt.Sockets), func() any {
+		fact := make([][]byte, opt.Sockets)
+		rows := len(data.Lineorder)
+		per := (rows + opt.Sockets - 1) / opt.Sockets
+		for s := 0; s < opt.Sockets; s++ {
+			lo := s * per
+			hi := lo + per
+			if hi > rows {
+				hi = rows
+			}
+			buf := make([]byte, (hi-lo)*ssb.TupleBytes)
+			for i := lo; i < hi; i++ {
+				encodeTuple(buf[(i-lo)*ssb.TupleBytes:], &data.Lineorder[i])
+			}
+			fact[s] = buf
 		}
-		buf := make([]byte, (hi-lo)*ssb.TupleBytes)
-		for i := lo; i < hi; i++ {
-			encodeTuple(buf[(i-lo)*ssb.TupleBytes:], &data.Lineorder[i])
-		}
-		e.fact[s] = buf
-	}
+		return fact
+	}).([][]byte)
 
 	// Allocate the simulated regions at target scale.
 	factBytesTarget := rowsAt(opt.TargetSF) * ssb.TupleBytes
@@ -310,6 +316,47 @@ type dimIndex struct {
 	entries     int
 	buildStats  dash.Stats
 	selectivity float64
+	// factStats snapshots the index's counters after the fact-phase probes
+	// (stats reset between build and probe). Memoized executions are shared
+	// across engines, so the traffic model reads this frozen copy rather
+	// than the live counters.
+	factStats dash.Stats
+}
+
+// factExec is one query's executed fact pipeline: the built indexes (in
+// build order, with fact-phase stats snapshots), the selectivity-sorted
+// probe order, and the exact result. It is a pure function of (data, query):
+// index contents depend only on the dimension filters, the probe loop is
+// deterministic per row, and the per-worker partial aggregates merge
+// commutatively — which is exactly what TestParallelExecutionDeterministic
+// asserts. Engines therefore share one execution per query via Data.Memo,
+// no matter which device/thread/socket configuration they simulate.
+type factExec struct {
+	indexes    []*dimIndex
+	probeOrder []*dimIndex
+	qualifying int64
+	result     ssb.Result
+}
+
+// factExecFor builds (or recalls) the executed fact pipeline for q.
+func (e *Engine) factExecFor(q ssb.Query) *factExec {
+	return e.data.Memo("aware/exec/"+q.ID, func() any {
+		indexes := e.buildIndexes(q)
+		probeOrder := make([]*dimIndex, len(indexes))
+		copy(probeOrder, indexes)
+		sort.Slice(probeOrder, func(i, j int) bool {
+			return probeOrder[i].selectivity < probeOrder[j].selectivity
+		})
+		for _, ix := range probeOrder {
+			ix.ix.ResetStats()
+		}
+		result := ssb.Result{}
+		qualifying := e.executeFact(q, probeOrder, result)
+		for _, ix := range indexes {
+			ix.factStats = ix.ix.Stats()
+		}
+		return &factExec{indexes: indexes, probeOrder: probeOrder, qualifying: qualifying, result: result}
+	}).(*factExec)
 }
 
 // Run executes one query and returns its exact result plus simulated timing.
@@ -322,28 +369,24 @@ func (e *Engine) Run(q ssb.Query) (QueryRun, error) {
 // ingested" scenario).
 func (e *Engine) runWith(q ssb.Query, extra []*machine.Stream) (QueryRun, error) {
 	run := QueryRun{ID: q.ID, Result: ssb.Result{}}
+	exec := e.factExecFor(q)
 
 	// --- Build phase: Dash indexes over the filtered dimensions. ---
-	indexes := e.buildIndexes(q)
-	buildSec, err := e.simulateBuild(indexes)
+	buildSec, err := e.simulateBuild(exec.indexes)
 	if err != nil {
 		return run, err
 	}
 	run.Phases = append(run.Phases, Phase{"build", buildSec})
 
-	// --- Fact phase: scan, probe, aggregate (really executed). ---
-	probeOrder := make([]*dimIndex, len(indexes))
-	copy(probeOrder, indexes)
-	sort.Slice(probeOrder, func(i, j int) bool {
-		return probeOrder[i].selectivity < probeOrder[j].selectivity
-	})
-	for _, ix := range probeOrder {
-		ix.ix.ResetStats()
+	// --- Fact phase: scan, probe, aggregate (really executed, shared
+	// across engines via the data memo). Copy the result: the memoized map
+	// is shared and callers may hold QueryRun.Result past this run.
+	for k, v := range exec.result {
+		run.Result[k] = v
 	}
+	qualifying := exec.qualifying
 
-	qualifying := e.executeFact(q, probeOrder, run.Result)
-
-	factSec, stats, err := e.simulateFactPhase(q, probeOrder, qualifying, len(run.Result), extra)
+	factSec, stats, err := e.simulateFactPhase(q, exec.probeOrder, qualifying, len(run.Result), extra)
 	if err != nil {
 		return run, err
 	}

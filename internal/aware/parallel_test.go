@@ -4,11 +4,15 @@ import (
 	"testing"
 
 	"repro/internal/cpu"
+	"repro/internal/machine"
 	"repro/internal/ssb"
 )
 
 // TestParallelExecutionDeterministic: the worker count must not change any
 // query's result (integer aggregation commutes; partials merge exactly).
+// Each engine gets its own generated data set: executions are memoized per
+// data set, and sharing one would let the second engine reuse the first's
+// answers instead of proving its own worker split agrees.
 func TestParallelExecutionDeterministic(t *testing.T) {
 	base := Options{Threads: 8, Sockets: 1, Pinning: cpu.PinCores, NUMAAware: true}
 	one := base
@@ -16,8 +20,17 @@ func TestParallelExecutionDeterministic(t *testing.T) {
 	many := base
 	many.ExecWorkers = 7 // deliberately not dividing the row count evenly
 
-	e1 := newEngine(t, one)
-	e7 := newEngine(t, many)
+	mk := func(opt Options) *Engine {
+		t.Helper()
+		m := machine.MustNew(machine.DefaultConfig())
+		e, err := New(m, ssb.MustGenerate(0.05), opt)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return e
+	}
+	e1 := mk(one)
+	e7 := mk(many)
 	for _, q := range ssb.Queries() {
 		r1, err := e1.Run(q)
 		if err != nil {

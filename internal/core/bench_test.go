@@ -1,0 +1,31 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+)
+
+// BenchmarkSweep measures a full thread-count sweep through MeasurePoints —
+// the path cmd/pmembench -sweep-j and the catalogue's parallel sweeps take.
+func BenchmarkSweep(b *testing.B) {
+	b.ReportAllocs()
+	cfg := machine.DefaultConfig()
+	points := make([]Point, 0, 6)
+	for _, thr := range []int{1, 2, 4, 8, 18, 36} {
+		points = append(points, Point{
+			Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+			AccessSize: 4096, Threads: thr, Policy: cpu.PinCores,
+		})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasurePoints(ctx, cfg, 1, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

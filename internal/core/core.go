@@ -8,6 +8,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/cpu"
@@ -194,6 +196,56 @@ func (b *Bench) SweepThreads(ctx context.Context, p Point, threads []int) (Sweep
 		}
 		out.Axis = append(out.Axis, int64(t))
 		out.GBs = append(out.GBs, v)
+	}
+	return out, nil
+}
+
+// MeasurePoints measures each point on its own fresh Bench built from cfg,
+// evaluating up to width of them concurrently (width <= 1 still uses
+// per-point benches, just serially). Because every point runs on a cold
+// machine, the values are independent of evaluation order, so the result is
+// byte-identical for any width. That also means cross-point machine state
+// (warm-up, wear) is deliberately NOT modeled — sweeps that rely on it
+// (Figure 5's repeated far runs) must keep a shared Bench. On failure the
+// lowest-index error is returned with the values measured so far.
+func MeasurePoints(ctx context.Context, cfg machine.Config, width int, points []Point) ([]float64, error) {
+	out := make([]float64, len(points))
+	errs := make([]error, len(points))
+	if width > len(points) {
+		width = len(points)
+	}
+	if width < 1 {
+		width = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if err := ctxErr(ctx); err != nil {
+					errs[i] = err
+					continue
+				}
+				b, err := NewBench(cfg)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = b.Measure(points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

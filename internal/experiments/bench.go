@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// BenchSchema versions the BENCH_sim.json layout.
+const BenchSchema = 1
+
+// FullCatalogID is the pseudo-entry aggregating the whole catalogue run —
+// the wall-clock number the ≥2x speedup target and the CI gate track.
+const FullCatalogID = "_full_catalog"
+
+// BenchEntry is one experiment's measured cost in a benchmark run.
+type BenchEntry struct {
+	ID string `json:"id"`
+	// WallMS is host wall-clock time for the experiment, in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Allocs is the number of heap allocations the experiment performed
+	// (runtime.MemStats.Mallocs delta).
+	Allocs uint64 `json:"allocs"`
+	// PeakGBs is the largest bandwidth value in the experiment's tables
+	// (0 for experiments reporting seconds) — a coarse output fingerprint
+	// that catches "fast because it computed nothing" regressions.
+	PeakGBs float64 `json:"peak_gbs"`
+}
+
+// BenchReport is the BENCH_sim.json document: the tier-0 (quick catalogue)
+// benchmark trajectory entry for one commit.
+type BenchReport struct {
+	Schema int     `json:"schema"`
+	SF     float64 `json:"sf"`
+	Quick  bool    `json:"quick"`
+	// Calibration is a dimensionless single-core speed score for the host
+	// that produced the report (higher = faster). Comparisons scale the
+	// baseline's wall-clock numbers by the calibration ratio, so a report
+	// committed from one machine still gates runs on another.
+	Calibration float64      `json:"calibration"`
+	Entries     []BenchEntry `json:"entries"`
+}
+
+// calibrationSink keeps the calibration loop from being optimized away.
+var calibrationSink uint64
+
+// Calibrate measures a dimensionless single-core speed score (higher is
+// faster): iterations of a fixed LCG loop per nanosecond. The loop is pure
+// register arithmetic, so the score tracks CPU speed rather than memory;
+// the best of three passes filters out scheduler interference.
+func Calibrate() float64 {
+	const n = 50_000_000
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		x := uint64(1)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			x = x*2862933555777941757 + 3037000493
+		}
+		elapsed := time.Since(start).Seconds()
+		calibrationSink = x
+		if elapsed > 0 {
+			if score := n / elapsed / 1e9; score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+// RunBench executes every registered experiment serially (Jobs and
+// SweepWidth forced to 1, so the wall-clock numbers measure the simulation
+// core, not host parallelism) and returns the benchmark report.
+func RunBench(ctx context.Context, cfg Config) (BenchReport, error) {
+	cfg.Jobs = 1
+	cfg.SweepWidth = 1
+	cfg.ctx = ctx
+	rep := BenchReport{Schema: BenchSchema, SF: cfg.SF, Quick: cfg.Quick, Calibration: Calibrate()}
+
+	var total BenchEntry
+	total.ID = FullCatalogID
+	for _, e := range All() {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return rep, fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		ent := BenchEntry{
+			ID:     e.ID,
+			WallMS: float64(wall.Nanoseconds()) / 1e6,
+			Allocs: after.Mallocs - before.Mallocs,
+		}
+		for _, t := range tables {
+			if t.Unit != "GB/s" {
+				continue
+			}
+			for _, s := range t.Series {
+				for _, v := range s.Values {
+					if v > ent.PeakGBs {
+						ent.PeakGBs = v
+					}
+				}
+			}
+		}
+		rep.Entries = append(rep.Entries, ent)
+		total.WallMS += ent.WallMS
+		total.Allocs += ent.Allocs
+		if ent.PeakGBs > total.PeakGBs {
+			total.PeakGBs = ent.PeakGBs
+		}
+	}
+	rep.Entries = append(rep.Entries, total)
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].ID < rep.Entries[j].ID })
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport loads a BENCH_sim.json file.
+func ReadBenchReport(path string) (BenchReport, error) {
+	var r BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return r, fmt.Errorf("bench baseline %s: schema %d, want %d", path, r.Schema, BenchSchema)
+	}
+	return r, nil
+}
+
+// BenchGateFloorMS exempts entries whose baseline wall-clock is below this
+// from the regression gate: short experiments jitter far beyond any useful
+// tolerance (scheduler noise on a loaded runner easily inflates a ~50 ms
+// entry past 20%), and the FullCatalogID total already covers their
+// aggregate cost.
+const BenchGateFloorMS = 75
+
+// CompareBench checks cur against a committed baseline: any entry at or
+// above BenchGateFloorMS whose wall-clock exceeds the calibration-scaled
+// baseline by more than tolerance (0.20 = +20%) is a regression. Entries
+// new in cur are ignored (no baseline to compare against); entries that
+// disappeared are reported, so a deleted experiment forces a baseline
+// refresh. The returned strings are human-readable findings; empty means
+// the gate passes.
+func CompareBench(baseline, cur BenchReport, tolerance float64) []string {
+	var findings []string
+	// A slower host than the baseline's is allowed proportionally more wall
+	// time (ratio > 1), a faster one less.
+	ratio := 1.0
+	if baseline.Calibration > 0 && cur.Calibration > 0 {
+		ratio = baseline.Calibration / cur.Calibration
+	}
+	curByID := make(map[string]BenchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByID[e.ID] = e
+	}
+	for _, base := range baseline.Entries {
+		e, ok := curByID[base.ID]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: present in baseline but not in this run", base.ID))
+			continue
+		}
+		if base.WallMS < BenchGateFloorMS {
+			continue
+		}
+		allowed := base.WallMS * ratio * (1 + tolerance)
+		if e.WallMS > allowed {
+			findings = append(findings, fmt.Sprintf(
+				"%s: wall %.1f ms exceeds %.1f ms (baseline %.1f ms x %.2f calibration x %.0f%% tolerance)",
+				e.ID, e.WallMS, allowed, base.WallMS, ratio, 100*(1+tolerance)))
+		}
+	}
+	return findings
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBenchGate(t *testing.T) {
+	base := BenchReport{
+		Schema:      BenchSchema,
+		Calibration: 1.0,
+		Entries: []BenchEntry{
+			{ID: "big", WallMS: 100},
+			{ID: "tiny", WallMS: 1}, // below BenchGateFloorMS: never gated
+			{ID: "gone", WallMS: 50},
+		},
+	}
+	cur := BenchReport{
+		Schema:      BenchSchema,
+		Calibration: 1.0,
+		Entries: []BenchEntry{
+			{ID: "big", WallMS: 150}, // +50% > 20% tolerance
+			{ID: "tiny", WallMS: 30}, // 30x, but exempt by the floor
+			{ID: "new", WallMS: 999}, // no baseline: ignored
+		},
+	}
+	findings := CompareBench(base, cur, 0.20)
+	joined := strings.Join(findings, "\n")
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2 (big regression + gone entry):\n%s", len(findings), joined)
+	}
+	if !strings.Contains(joined, "big:") || !strings.Contains(joined, "gone:") {
+		t.Errorf("findings missing expected entries:\n%s", joined)
+	}
+	if strings.Contains(joined, "tiny") || strings.Contains(joined, "new") {
+		t.Errorf("floor-exempt or baseline-less entry gated:\n%s", joined)
+	}
+
+	// A 2x slower host is allowed 2x the wall time: the same cur passes
+	// against a baseline recorded on hardware twice as fast.
+	fast := base
+	fast.Calibration = 2.0
+	fast.Entries = []BenchEntry{{ID: "big", WallMS: 100}}
+	if f := CompareBench(fast, cur, 0.20); len(f) != 0 {
+		t.Errorf("calibration scaling not applied: %v", f)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := BenchReport{
+		Schema: BenchSchema, SF: 0.05, Quick: true, Calibration: 1.5,
+		Entries: []BenchEntry{{ID: "fig03", WallMS: 12.5, Allocs: 42, PeakGBs: 40.1}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Calibration != rep.Calibration || len(got.Entries) != 1 || got.Entries[0] != rep.Entries[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Schema drift must be refused, not silently compared.
+	bad, _ := json.Marshal(BenchReport{Schema: BenchSchema + 1})
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(path); err == nil {
+		t.Fatal("future-schema baseline accepted")
+	}
+}
+
+// TestRunBenchQuickSubset smoke-tests the harness on one experiment's worth
+// of work by checking the report invariants RunBench promises: one entry per
+// experiment plus the _full_catalog aggregate, sorted by ID, with the
+// aggregate's wall equal to the sum of the parts.
+func TestRunBenchQuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick catalogue")
+	}
+	rep, err := RunBench(context.Background(), Config{SF: 0.02, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema || rep.Calibration <= 0 {
+		t.Fatalf("report header invalid: %+v", rep)
+	}
+	if want := len(All()) + 1; len(rep.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(rep.Entries), want)
+	}
+	var sum float64
+	var total *BenchEntry
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		if i > 0 && rep.Entries[i-1].ID >= e.ID {
+			t.Errorf("entries not sorted: %q before %q", rep.Entries[i-1].ID, e.ID)
+		}
+		if e.ID == FullCatalogID {
+			total = e
+		} else {
+			sum += e.WallMS
+		}
+	}
+	if total == nil {
+		t.Fatal("no _full_catalog aggregate entry")
+	}
+	if diff := total.WallMS - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("aggregate wall %.3f != sum of entries %.3f", total.WallMS, sum)
+	}
+}

@@ -98,6 +98,42 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSweepWidthMatchesSerial is the intra-experiment parallelism contract:
+// the whole quick suite (bandwidth sweeps, SSB, fault plans) must stream
+// byte-identical output whether sweep points are evaluated serially or four
+// at a time on a shared pool. Metrics are off so the parallel sweep path
+// actually engages (recording forces the serial path — see the gate test
+// below).
+func TestSweepWidthMatchesSerial(t *testing.T) {
+	serial := Config{SF: 0.02, Quick: true, Jobs: 1, SweepWidth: 1}
+	wide := Config{SF: 0.02, Quick: true, Jobs: 1, SweepWidth: 4, Pool: NewPool(4)}
+	a := runSuite(t, serial)
+	b := runSuite(t, wide)
+	if a != b {
+		t.Fatalf("sweep-width 4 output differs from serial:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestSweepWidthForcedSerialWithMetrics: metrics counters accumulate floats
+// in evaluation order, so a recorded run must take the serial sweep path and
+// still produce the canonical byte stream even when SweepWidth asks for 4.
+func TestSweepWidthForcedSerialWithMetrics(t *testing.T) {
+	wide := detCfg()
+	wide.Jobs = 1
+	wide.SweepWidth = 4
+	wide.Pool = NewPool(4)
+	if got := wide.sweepWidth(); got != 1 {
+		t.Fatalf("sweepWidth() with metrics = %d, want 1 (forced serial)", got)
+	}
+	serial := detCfg()
+	serial.Jobs = 1
+	a := runSuite(t, serial)
+	b := runSuite(t, wide)
+	if a != b {
+		t.Fatalf("metrics run with SweepWidth=4 differs from serial:\n%s", firstDiff(a, b))
+	}
+}
+
 // TestRunAllEmitsMetrics checks the snapshot actually surfaces the headline
 // counters the simulation exists to expose, per experiment and in aggregate.
 func TestRunAllEmitsMetrics(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/machine"
@@ -62,6 +63,16 @@ type Config struct {
 	// simulation runs in virtual time, the files are byte-identical across
 	// worker-pool widths.
 	TraceDir string
+	// SweepWidth bounds intra-experiment parallelism: experiments whose
+	// sweep points build independent machines evaluate up to this many
+	// points concurrently, assembling results in index order so rendered
+	// tables are byte-identical at any width. <= 1 means serial. Metrics
+	// and trace recording force the serial path (see Config.sweepWidth):
+	// concurrent machines interleave their float-counter accumulation and
+	// timeline events, which would perturb those outputs. Callers that
+	// consume the aggregate metrics snapshot through other means (the
+	// CLI's -metrics-json without -metrics) must leave this at 1.
+	SweepWidth int
 
 	// ctx carries the run's cancellation signal into experiment bodies.
 	// The runner installs it; experiment sweep loops poll Err. Nil means
@@ -140,7 +151,20 @@ func (p *Pool) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release returns a slot taken by Acquire.
+// TryAcquire takes a slot without blocking, reporting success. Sweep loops
+// use it to borrow spare capacity for extra point workers: blocking here
+// could deadlock when every slot is already held by experiments waiting on
+// their own sweeps.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
 func (p *Pool) Release() { <-p.sem }
 
 // Table is one printable result table. The JSON tags are the wire shape
@@ -434,6 +458,88 @@ func RunList(ctx context.Context, cfg Config, list []Experiment, w io.Writer) (m
 		fmt.Fprintln(w)
 	}
 	return agg, nil
+}
+
+// sweepWidth returns the effective intra-experiment parallelism: the
+// configured SweepWidth, forced to 1 whenever metrics or trace output is
+// being recorded (shared float counters and timelines are order-sensitive
+// under concurrency; table values are not, because every sweep point runs
+// wholly inside its own machines).
+func (c Config) sweepWidth() int {
+	if c.SweepWidth <= 1 {
+		return 1
+	}
+	if c.EmitMetrics || c.Trace != nil || c.TraceDir != "" {
+		return 1
+	}
+	return c.SweepWidth
+}
+
+// sweepPoints evaluates n independent sweep points, calling eval(i) for each,
+// up to cfg.sweepWidth() concurrently. Each point must build its own machines
+// and store its result into an index-addressed slot; the caller assembles the
+// table in index order afterwards, which keeps the rendered output
+// byte-identical at any width. The first worker always runs; additional
+// workers borrow slots from cfg.Pool without blocking (the experiment itself
+// already holds one), so sweeps compose with the -j experiment pool and with
+// pmemd's shared pool without deadlock. On failure the lowest-index error is
+// returned, so attribution does not depend on scheduling.
+func sweepPoints(cfg Config, n int, eval func(i int) error) error {
+	width := cfg.sweepWidth()
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cfg.Err(); err != nil {
+				return err
+			}
+			if err := eval(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	worker := func(release func()) {
+		defer wg.Done()
+		if release != nil {
+			defer release()
+		}
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := cfg.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = eval(i)
+		}
+	}
+	wg.Add(1)
+	go worker(nil)
+	for w := 1; w < width; w++ {
+		var release func()
+		if cfg.Pool != nil {
+			if !cfg.Pool.TryAcquire() {
+				break
+			}
+			release = cfg.Pool.Release
+		}
+		wg.Add(1)
+		go worker(release)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Axes shared by the microbenchmark sweeps (the paper's figures).

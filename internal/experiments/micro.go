@@ -74,22 +74,38 @@ func fig4(cfg Config) ([]Table, error) {
 	t := Table{ID: "fig4", Title: "Read bandwidth by pinning", Unit: "GB/s",
 		Header: "pinning \\ threads", Cols: intLabels(threads),
 		Paper: "Cores ~41 GB/s at 18thr; NUMA ~40; None peaks ~9 GB/s"}
-	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
+	series, err := pinningSweep(cfg, access.Read, threads)
+	if err != nil {
+		return nil, err
+	}
+	t.Series = series
+	return []Table{t}, nil
+}
+
+// pinningSweep measures one pinning-policy row per sweep point (figures 4
+// and 9); each row runs on its own bench, so rows evaluate concurrently
+// under cfg.SweepWidth.
+func pinningSweep(cfg Config, dir access.Direction, threads []int) ([]Series, error) {
+	policies := []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores}
+	series := make([]Series, len(policies))
+	err := sweepPoints(cfg, len(policies), func(i int) error {
+		pol := policies[i]
 		b := core.MustNewBench(cfg.MachineConfig())
 		s := Series{Label: pol.String()}
 		for _, thr := range threads {
 			v, err := b.Measure(core.Point{
-				Class: access.PMEM, Dir: access.Read, Pattern: access.SeqIndividual,
+				Class: access.PMEM, Dir: dir, Pattern: access.SeqIndividual,
 				AccessSize: 4096, Threads: thr, Policy: pol,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s.Values = append(s.Values, v)
 		}
-		t.Series = append(t.Series, s)
-	}
-	return []Table{t}, nil
+		series[i] = s
+		return nil
+	})
+	return series, err
 }
 
 func fig5(cfg Config) ([]Table, error) {
@@ -101,33 +117,38 @@ func fig5(cfg Config) ([]Table, error) {
 		Header: "locality \\ threads", Cols: intLabels(threads),
 		Paper: "near ~40; 1st far ~8 peaking at 4 threads; 2nd far ~33"}
 
-	near := Series{Label: "near"}
-	far1 := Series{Label: "far (1st run)"}
-	far2 := Series{Label: "far (2nd run)"}
-	for _, thr := range threads {
+	near := Series{Label: "near", Values: make([]float64, len(threads))}
+	far1 := Series{Label: "far (1st run)", Values: make([]float64, len(threads))}
+	far2 := Series{Label: "far (2nd run)", Values: make([]float64, len(threads))}
+	err := sweepPoints(cfg, len(threads), func(i int) error {
+		thr := threads[i]
 		// Fresh machine per thread count so each "first run" is cold.
 		b := core.MustNewBench(cfg.MachineConfig())
 		v, err := b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
 			Policy: cpu.PinCores, Far: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		far1.Values = append(far1.Values, v)
+		far1.Values[i] = v
 		v, err = b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
 			Policy: cpu.PinCores, Far: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		far2.Values = append(far2.Values, v)
+		far2.Values[i] = v
 		v, err = b.Measure(core.Point{Class: access.PMEM, Dir: access.Read,
 			Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
 			Policy: cpu.PinCores})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		near.Values = append(near.Values, v)
+		near.Values[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Series = []Series{far1, far2, near}
 	return []Table{t}, nil
@@ -154,49 +175,61 @@ func multiSocket(cfg Config, class access.DeviceClass, dir access.Direction, thr
 		{"2 far", []int{0, 1}, true, false},
 		{"1 near + 1 far", []int{0, 1}, false, true},
 	}
-	for _, c := range configs {
-		s := Series{Label: c.label}
-		for _, thr := range threads {
-			m := machine.MustNew(cfg.MachineConfig())
-			var regions [2]*machine.Region
-			var err error
-			for sock := 0; sock < 2; sock++ {
-				if class == access.DRAM {
-					regions[sock], err = m.AllocDRAM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize)
-				} else {
-					regions[sock], err = m.AllocPMEM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize, machine.DevDax)
-				}
-				if err != nil {
-					return t, err
-				}
-				// Figure 6/10 report steady-state numbers; warm-up is
-				// Figure 5's subject.
-				regions[sock].WarmFor(0)
-				regions[sock].WarmFor(1)
+	// Each (config, thread-count) point runs on its own machine, so the
+	// whole grid evaluates concurrently under cfg.SweepWidth.
+	values := make([][]float64, len(configs))
+	for ci := range values {
+		values[ci] = make([]float64, len(threads))
+	}
+	err := sweepPoints(cfg, len(configs)*len(threads), func(k int) error {
+		ci, ti := k/len(threads), k%len(threads)
+		c := configs[ci]
+		thr := threads[ti]
+		m := machine.MustNew(cfg.MachineConfig())
+		var regions [2]*machine.Region
+		var err error
+		for sock := 0; sock < 2; sock++ {
+			if class == access.DRAM {
+				regions[sock], err = m.AllocDRAM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize)
+			} else {
+				regions[sock], err = m.AllocPMEM(fmt.Sprintf("r%d", sock), topoSock(sock), regionSize, machine.DevDax)
 			}
-			var specs []workload.Spec
-			for _, ts := range c.sockets {
-				target := ts
-				if c.far {
-					target = 1 - ts
-				}
-				if c.same {
-					target = 0
-				}
-				specs = append(specs, workload.Spec{
-					Name: fmt.Sprintf("%s/s%d", c.label, ts), Dir: dir,
-					Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
-					Policy: cpu.PinNUMA, Socket: topoSock(ts), Region: regions[target],
-					TotalBytes: 70 * units.GB,
-				})
-			}
-			res, err := workload.RunSteady(m, 1.0, specs...)
 			if err != nil {
-				return t, err
+				return err
 			}
-			s.Values = append(s.Values, workload.GBs(res.Bandwidth))
+			// Figure 6/10 report steady-state numbers; warm-up is
+			// Figure 5's subject.
+			regions[sock].WarmFor(0)
+			regions[sock].WarmFor(1)
 		}
-		t.Series = append(t.Series, s)
+		var specs []workload.Spec
+		for _, ts := range c.sockets {
+			target := ts
+			if c.far {
+				target = 1 - ts
+			}
+			if c.same {
+				target = 0
+			}
+			specs = append(specs, workload.Spec{
+				Name: fmt.Sprintf("%s/s%d", c.label, ts), Dir: dir,
+				Pattern: access.SeqIndividual, AccessSize: 4096, Threads: thr,
+				Policy: cpu.PinNUMA, Socket: topoSock(ts), Region: regions[target],
+				TotalBytes: 70 * units.GB,
+			})
+		}
+		res, err := workload.RunSteady(m, 1.0, specs...)
+		if err != nil {
+			return err
+		}
+		values[ci][ti] = workload.GBs(res.Bandwidth)
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for ci, c := range configs {
+		t.Series = append(t.Series, Series{Label: c.label, Values: values[ci]})
 	}
 	return t, nil
 }
@@ -267,21 +300,11 @@ func fig9(cfg Config) ([]Table, error) {
 	t := Table{ID: "fig9", Title: "Write bandwidth by pinning", Unit: "GB/s",
 		Header: "pinning \\ threads", Cols: intLabels(threads),
 		Paper: "Cores peaks ~13 GB/s; None ~7 (2x worse, vs 4x for reads)"}
-	for _, pol := range []cpu.PinPolicy{cpu.PinNone, cpu.PinNUMA, cpu.PinCores} {
-		b := core.MustNewBench(cfg.MachineConfig())
-		s := Series{Label: pol.String()}
-		for _, thr := range threads {
-			v, err := b.Measure(core.Point{
-				Class: access.PMEM, Dir: access.Write, Pattern: access.SeqIndividual,
-				AccessSize: 4096, Threads: thr, Policy: pol,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Values = append(s.Values, v)
-		}
-		t.Series = append(t.Series, s)
+	series, err := pinningSweep(cfg, access.Write, threads)
+	if err != nil {
+		return nil, err
 	}
+	t.Series = series
 	return []Table{t}, nil
 }
 
@@ -305,36 +328,41 @@ func fig11(cfg Config) ([]Table, error) {
 	t := Table{ID: "fig11", Title: "Mixed workload performance", Unit: "GB/s",
 		Header: "w/r threads", Cols: []string{"write BW", "read BW"},
 		Paper: "30r alone ~31; +1 writer -> read ~26; 6w/30r -> both ~1/3 of maxima"}
-	for _, w := range writeThreads {
-		for _, r := range readThreads {
-			if err := cfg.Err(); err != nil {
-				return nil, err
-			}
-			m := machine.MustNew(cfg.MachineConfig())
-			rRead, err := m.AllocPMEM("read", 0, 40*units.GB, machine.DevDax)
-			if err != nil {
-				return nil, err
-			}
-			rWrite, err := m.AllocPMEM("write", 0, 40*units.GB, machine.DevDax)
-			if err != nil {
-				return nil, err
-			}
-			res, err := workload.RunSteady(m, 2.0,
-				workload.Spec{Name: "w", Dir: access.Write, Pattern: access.SeqIndividual,
-					AccessSize: 4096, Threads: w, Policy: cpu.PinNUMA, Socket: 0,
-					Region: rWrite, TotalBytes: 40 * units.GB},
-				workload.Spec{Name: "r", Dir: access.Read, Pattern: access.SeqIndividual,
-					AccessSize: 4096, Threads: r, Policy: cpu.PinNUMA, Socket: 0,
-					Region: rRead, TotalBytes: 40 * units.GB})
-			if err != nil {
-				return nil, err
-			}
-			t.Series = append(t.Series, Series{
-				Label:  fmt.Sprintf("%d/%d", w, r),
-				Values: []float64{workload.GBs(res.WriteBandwidth), workload.GBs(res.ReadBandwidth)},
-			})
+	// One fresh machine per (writer, reader) grid point: the points are
+	// independent and evaluate concurrently under cfg.SweepWidth.
+	rows := make([]Series, len(writeThreads)*len(readThreads))
+	err := sweepPoints(cfg, len(rows), func(k int) error {
+		w := writeThreads[k/len(readThreads)]
+		r := readThreads[k%len(readThreads)]
+		m := machine.MustNew(cfg.MachineConfig())
+		rRead, err := m.AllocPMEM("read", 0, 40*units.GB, machine.DevDax)
+		if err != nil {
+			return err
 		}
+		rWrite, err := m.AllocPMEM("write", 0, 40*units.GB, machine.DevDax)
+		if err != nil {
+			return err
+		}
+		res, err := workload.RunSteady(m, 2.0,
+			workload.Spec{Name: "w", Dir: access.Write, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Threads: w, Policy: cpu.PinNUMA, Socket: 0,
+				Region: rWrite, TotalBytes: 40 * units.GB},
+			workload.Spec{Name: "r", Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Threads: r, Policy: cpu.PinNUMA, Socket: 0,
+				Region: rRead, TotalBytes: 40 * units.GB})
+		if err != nil {
+			return err
+		}
+		rows[k] = Series{
+			Label:  fmt.Sprintf("%d/%d", w, r),
+			Values: []float64{workload.GBs(res.WriteBandwidth), workload.GBs(res.ReadBandwidth)},
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Series = rows
 	return []Table{t}, nil
 }
 

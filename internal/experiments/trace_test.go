@@ -27,7 +27,11 @@ func traceSubset(t *testing.T) []Experiment {
 
 func runTraced(t *testing.T, jobs int) map[string][]byte {
 	t.Helper()
-	cfg := Config{SF: 0.02, Quick: true, Jobs: jobs, TraceDir: t.TempDir()}
+	return runTracedCfg(t, Config{SF: 0.02, Quick: true, Jobs: jobs, TraceDir: t.TempDir()})
+}
+
+func runTracedCfg(t *testing.T, cfg Config) map[string][]byte {
+	t.Helper()
 	var buf bytes.Buffer
 	if _, err := RunList(context.Background(), cfg, traceSubset(t), &buf); err != nil {
 		t.Fatalf("RunList: %v", err)
@@ -67,6 +71,25 @@ func TestTraceFilesDeterministicAcrossWorkerWidths(t *testing.T) {
 		}
 		if !bytes.Equal(a, b) {
 			t.Errorf("%s differs between -j 1 and -j 4 (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+}
+
+// TestTraceFilesDeterministicAcrossSweepWidths: trace recording forces the
+// serial sweep path (span order over simulated time is part of the file), so
+// a SweepWidth=4 request must still write files byte-identical to width 1.
+func TestTraceFilesDeterministicAcrossSweepWidths(t *testing.T) {
+	serial := runTraced(t, 1)
+	wide := runTracedCfg(t, Config{
+		SF: 0.02, Quick: true, Jobs: 1, TraceDir: t.TempDir(),
+		SweepWidth: 4, Pool: NewPool(4),
+	})
+	if len(wide) != len(serial) {
+		t.Fatalf("sweep widths wrote different file sets: %v vs %v", keys(serial), keys(wide))
+	}
+	for name, a := range serial {
+		if !bytes.Equal(a, wide[name]) {
+			t.Errorf("%s differs between sweep widths 1 and 4 (%d vs %d bytes)", name, len(a), len(wide[name]))
 		}
 	}
 }

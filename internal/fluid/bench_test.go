@@ -1,16 +1,22 @@
 package fluid
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-func BenchmarkSolve(b *testing.B) {
+// benchPopulation builds the shared 10-resource / 100-flow benchmark
+// topology. Resources carry distinct names so TopUtilization-style output
+// stays meaningful in profiles.
+func benchPopulation() ([]*Resource, []*Flow) {
 	resources := make([]*Resource, 10)
 	for i := range resources {
-		resources[i] = &Resource{Name: "r", Capacity: 1e9 * float64(i+1)}
+		resources[i] = &Resource{Name: fmt.Sprintf("bench-res-%d", i), Capacity: 1e9 * float64(i+1)}
 	}
 	flows := make([]*Flow, 100)
 	for i := range flows {
 		flows[i] = &Flow{
-			Name:      "f",
+			Name:      fmt.Sprintf("bench-flow-%d", i),
 			Remaining: 1e9,
 			MaxRate:   float64(i+1) * 1e8,
 			Costs: []Cost{
@@ -19,18 +25,50 @@ func BenchmarkSolve(b *testing.B) {
 			},
 		}
 	}
+	return resources, flows
+}
+
+func BenchmarkSolve(b *testing.B) {
+	b.ReportAllocs()
+	resources, flows := benchPopulation()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Solve(flows, resources)
 	}
 }
 
-func BenchmarkEngineRun(b *testing.B) {
+// BenchmarkSolverSteady is the reused-Solver hot path: after the first call
+// warms the scratch state, every subsequent Solve must measure 0 allocs/op
+// (TestSolverSteadyZeroAllocs enforces it).
+func BenchmarkSolverSteady(b *testing.B) {
+	b.ReportAllocs()
+	resources, flows := benchPopulation()
+	var s Solver
+	s.Solve(flows, resources)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := &Resource{Name: "r", Capacity: 10e9}
+		s.Solve(flows, resources)
+	}
+}
+
+// TestSolverSteadyZeroAllocs pins the tentpole's allocation contract: a
+// warmed Solver allocates nothing per Solve.
+func TestSolverSteadyZeroAllocs(t *testing.T) {
+	resources, flows := benchPopulation()
+	var s Solver
+	s.Solve(flows, resources)
+	if allocs := testing.AllocsPerRun(100, func() { s.Solve(flows, resources) }); allocs != 0 {
+		t.Fatalf("steady Solve allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := &Resource{Name: "engine-res", Capacity: 10e9}
 		e := NewEngine(&StaticModel{Res: []*Resource{r}})
 		for f := 0; f < 36; f++ {
-			e.Add(&Flow{Name: "f", Remaining: 1e9 + float64(f)*1e8, Costs: []Cost{{r, 1}}})
+			e.Add(&Flow{Name: fmt.Sprintf("engine-flow-%d", f), Remaining: 1e9 + float64(f)*1e8, Costs: []Cost{{r, 1}}})
 		}
 		if err := e.Run(1e6); err != nil {
 			b.Fatal(err)

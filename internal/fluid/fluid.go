@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Resource is a capacity-constrained hardware component. Capacity is in
@@ -27,6 +28,13 @@ type Resource struct {
 	Capacity float64
 
 	load float64 // transient: units/s allocated in the current solve
+
+	// Solver scratch registration: sidx indexes the solver's per-resource
+	// slope slot; valid only while sepoch matches the registering solve
+	// call. Epochs are globally unique (see solveEpoch), so a resource can
+	// move between Solver instances without carrying stale indices.
+	sidx   int
+	sepoch uint64
 }
 
 // Load returns the units/s allocated on the resource by the last Solve call.
@@ -68,57 +76,112 @@ func (f *Flow) weight() float64 {
 	return 1
 }
 
+// solveEpoch issues a globally unique epoch per Solve call so resource
+// registrations from one Solver instance can never be mistaken for another's.
+var solveEpoch atomic.Uint64
+
+// Solver computes weighted max-min fair allocations with reusable scratch
+// state. A zero Solver is ready to use; after the first Solve on a given
+// flow/resource population, subsequent Solve calls allocate nothing. The
+// allocation it computes is bit-identical to the package-level Solve: slopes
+// accumulate in flow order, loads update in flow order, and the per-round
+// step is a minimum (order-independent).
+type Solver struct {
+	touched []*Resource // resources registered this solve, first-touch order
+	slope   []float64   // parallel to touched: load increase per unit theta
+	active  []*Flow
+	frozen  []bool // parallel to active
+}
+
+// register stamps the resource with this solve's epoch and assigns it a
+// slope slot. Loads are deliberately NOT reset here: only resources passed
+// in the resources list are zeroed, matching Solve's historical contract
+// for cost-only resources.
+func (s *Solver) register(r *Resource, epoch uint64) {
+	if r.sepoch == epoch {
+		return
+	}
+	r.sepoch = epoch
+	r.sidx = len(s.touched)
+	s.touched = append(s.touched, r)
+	if len(s.slope) < len(s.touched) {
+		s.slope = append(s.slope, 0)
+	}
+}
+
 // Solve computes a weighted max-min fair rate allocation for the active
 // (not-Done, Remaining > 0) flows, writing each flow's Rate and each
 // resource's load. It implements progressive filling: all active flows'
 // rates rise proportionally to their weights until a resource saturates
 // (freezing every flow that uses it) or a flow reaches MaxRate.
-func Solve(flows []*Flow, resources []*Resource) {
+func (s *Solver) Solve(flows []*Flow, resources []*Resource) {
 	const eps = 1e-12
 
+	epoch := solveEpoch.Add(1)
+	s.touched = s.touched[:0]
 	for _, r := range resources {
 		r.load = 0
+		s.register(r, epoch)
 	}
-	active := make([]*Flow, 0, len(flows))
+	s.active = s.active[:0]
 	for _, f := range flows {
 		f.Rate = 0
 		if !f.Done && f.Remaining > 0 {
-			active = append(active, f)
+			s.active = append(s.active, f)
 		}
 	}
-	frozen := make(map[*Flow]bool, len(active))
+	// Register cost-only resources up front; cost vectors do not change
+	// during a solve, so rounds below only reset slope slots.
+	for _, f := range s.active {
+		for _, c := range f.Costs {
+			if c.PerByte > 0 {
+				s.register(c.Resource, epoch)
+			}
+		}
+	}
+	if cap(s.frozen) < len(s.active) {
+		s.frozen = make([]bool, len(s.active))
+	}
+	s.frozen = s.frozen[:len(s.active)]
+	for i := range s.frozen {
+		s.frozen[i] = false
+	}
+	nFrozen := 0
 
-	for len(frozen) < len(active) {
+	for nFrozen < len(s.active) {
 		// Per-resource load increase per unit of theta.
-		slope := make(map[*Resource]float64)
-		for _, f := range active {
-			if frozen[f] {
+		for i := range s.touched {
+			s.slope[i] = 0
+		}
+		for i, f := range s.active {
+			if s.frozen[i] {
 				continue
 			}
 			w := f.weight()
 			for _, c := range f.Costs {
 				if c.PerByte > 0 {
-					slope[c.Resource] += w * c.PerByte
+					s.slope[c.Resource.sidx] += w * c.PerByte
 				}
 			}
 		}
 
 		// Largest theta increment before a resource saturates or a flow caps.
 		step := math.Inf(1)
-		for r, s := range slope {
-			if s <= 0 {
+		for i, r := range s.touched {
+			sl := s.slope[i]
+			if sl <= 0 {
 				continue
 			}
 			headroom := r.Capacity - r.load
 			if headroom < 0 {
 				headroom = 0
 			}
-			if d := headroom / s; d < step {
+			if d := headroom / sl; d < step {
 				step = d
 			}
 		}
-		for _, f := range active {
-			if frozen[f] || f.MaxRate <= 0 {
+		for i, f := range s.active {
+			if s.frozen[i] || f.MaxRate <= 0 {
 				continue
 			}
 			if d := (f.MaxRate - f.Rate) / f.weight(); d < step {
@@ -136,8 +199,8 @@ func Solve(flows []*Flow, resources []*Resource) {
 		}
 
 		// Advance all unfrozen flows by step.
-		for _, f := range active {
-			if frozen[f] {
+		for i, f := range s.active {
+			if s.frozen[i] {
 				continue
 			}
 			inc := f.weight() * step
@@ -151,12 +214,13 @@ func Solve(flows []*Flow, resources []*Resource) {
 
 		// Freeze flows on saturated resources and flows at their cap.
 		progressed := false
-		for _, f := range active {
-			if frozen[f] {
+		for i, f := range s.active {
+			if s.frozen[i] {
 				continue
 			}
 			if f.MaxRate > 0 && f.Rate >= f.MaxRate-eps*math.Max(1, f.MaxRate) {
-				frozen[f] = true
+				s.frozen[i] = true
+				nFrozen++
 				progressed = true
 				continue
 			}
@@ -166,7 +230,8 @@ func Solve(flows []*Flow, resources []*Resource) {
 				}
 				r := c.Resource
 				if r.load >= r.Capacity-eps*math.Max(1, r.Capacity) {
-					frozen[f] = true
+					s.frozen[i] = true
+					nFrozen++
 					progressed = true
 					break
 				}
@@ -179,6 +244,13 @@ func Solve(flows []*Flow, resources []*Resource) {
 			break
 		}
 	}
+}
+
+// Solve is the package-level convenience wrapper: a one-shot Solver. Loops
+// that solve repeatedly should hold a Solver to reuse its scratch state.
+func Solve(flows []*Flow, resources []*Resource) {
+	var s Solver
+	s.Solve(flows, resources)
 }
 
 // Model supplies state-dependent behaviour to the Engine.
@@ -198,12 +270,34 @@ type Model interface {
 	Advance(now, dt float64, flows []*Flow)
 }
 
+// SteadyModel is an optional Model extension. A model that can cheaply
+// report that costs and capacities are unchanged since its last
+// Prepare/Advance cycle lets the engine skip re-preparing and re-solving:
+// virtual time fast-forwards to the next event horizon (flow completion,
+// model horizon such as a warm-up or fault-plan knot, or the run deadline)
+// with the existing rate allocation. Because the engine's step sequence is
+// unchanged — only redundant solves are skipped — results are byte-identical
+// to the non-steady path.
+type SteadyModel interface {
+	Model
+	// Steady reports whether the cost model at virtual time now is
+	// guaranteed identical to the one used for the last solve. Return
+	// false whenever in doubt; the engine then re-prepares as usual.
+	Steady(now float64) bool
+}
+
 // Engine advances flows through a Model in virtual time.
 type Engine struct {
 	Model Model
 	Now   float64
 
-	flows []*Flow
+	// DisableSteady forces a Prepare+Solve on every step even when the
+	// model implements SteadyModel; a test hook for verifying the
+	// fast-forward path changes nothing.
+	DisableSteady bool
+
+	flows  []*Flow
+	solver Solver
 }
 
 // NewEngine creates an engine over the model.
@@ -243,6 +337,9 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sm, hasSteady := e.Model.(SteadyModel)
+	hasSteady = hasSteady && !e.DisableSteady
+	solved := false // rates from the last solve still describe the flow set
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -273,8 +370,11 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 			return nil
 		}
 
-		e.Model.Prepare(e.Now, e.flows)
-		Solve(e.flows, e.Model.Resources())
+		if !solved || !hasSteady || !sm.Steady(e.Now) {
+			e.Model.Prepare(e.Now, e.flows)
+			e.solver.Solve(e.flows, e.Model.Resources())
+			solved = true
+		}
 
 		// Time to the next completion among finite flows.
 		dt := maxTime - e.Now
@@ -307,6 +407,9 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 			}
 			e.Model.Advance(e.Now, dt, e.flows)
 			e.Now += dt
+			// A pause exists precisely because state is about to change at
+			// the horizon; always re-solve after it.
+			solved = false
 			continue
 		}
 		if h := e.Model.Horizon(e.Now, e.flows); h < dt {
@@ -316,6 +419,7 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 			dt = minStep
 		}
 
+		completed := false
 		for _, f := range e.flows {
 			if f.Done || f.Remaining <= 0 {
 				continue
@@ -328,11 +432,17 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 					f.Remaining = 0
 					f.Done = true
 					f.FinishedAt = e.Now + dt
+					completed = true
 				}
 			}
 		}
 		e.Model.Advance(e.Now, dt, e.flows)
 		e.Now += dt
+		if completed {
+			// The active flow population changed; the allocation must be
+			// recomputed even for a steady cost model.
+			solved = false
+		}
 	}
 }
 

@@ -1,0 +1,130 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// faultKnotModel is a piecewise-constant capacity profile — the shape of a
+// fault plan: full capacity, an outage, then degraded-or-restored capacity,
+// with knots at fixed virtual times. Steady is true only while the engine
+// stays inside the segment the last Prepare solved for, and Horizon clamps
+// every step to the next knot (with a sub-segment granularity so the steady
+// path actually gets multi-step segments to fast-forward across).
+type faultKnotModel struct {
+	res   *Resource
+	knots []float64 // segment boundaries, ascending
+	caps  []float64 // capacity per segment; len(knots)+1
+	grain float64   // max step Horizon allows within a segment
+
+	prepared int // segment index of the last Prepare; -1 before the first
+	prepares int // Prepare invocations (the cost the steady path avoids)
+}
+
+func (m *faultKnotModel) segment(now float64) int {
+	s := 0
+	for _, k := range m.knots {
+		if now >= k {
+			s++
+		}
+	}
+	return s
+}
+
+func (m *faultKnotModel) Prepare(now float64, flows []*Flow) {
+	m.prepares++
+	m.prepared = m.segment(now)
+	m.res.Capacity = m.caps[m.prepared]
+}
+
+func (m *faultKnotModel) Resources() []*Resource { return []*Resource{m.res} }
+
+func (m *faultKnotModel) Horizon(now float64, flows []*Flow) float64 {
+	h := m.grain
+	for _, k := range m.knots {
+		if k > now {
+			if t := k - now; t < h {
+				h = t
+			}
+			break
+		}
+	}
+	return h
+}
+
+func (m *faultKnotModel) Advance(now, dt float64, flows []*Flow) {}
+
+func (m *faultKnotModel) Steady(now float64) bool { return m.prepared == m.segment(now) }
+
+type steadyRunOutcome struct {
+	now      float64
+	moved    []float64
+	finished []float64
+	prepares int
+}
+
+func runFaultKnots(t *testing.T, disable bool) steadyRunOutcome {
+	t.Helper()
+	m := &faultKnotModel{
+		res:      &Resource{Name: "faulted", Capacity: 4e9},
+		knots:    []float64{1, 2}, // outage during [1,2)
+		caps:     []float64{4e9, 0, 2e9},
+		grain:    0.25,
+		prepared: -1,
+	}
+	e := NewEngine(m)
+	e.DisableSteady = disable
+	flows := []*Flow{
+		{Name: "short", Remaining: 1e9, Costs: []Cost{{m.res, 1}}},
+		{Name: "long", Remaining: 10e9, Costs: []Cost{{m.res, 1}}},
+	}
+	e.Add(flows...)
+	if err := e.Run(100); err != nil {
+		t.Fatalf("Run(DisableSteady=%v): %v", disable, err)
+	}
+	out := steadyRunOutcome{now: e.Now, prepares: m.prepares}
+	for _, f := range flows {
+		out.moved = append(out.moved, f.Moved)
+		out.finished = append(out.finished, f.FinishedAt)
+	}
+	return out
+}
+
+// TestSteadyFastForwardClampsToFaultKnots is the fast-forward safety
+// contract: under a fault-plan-shaped capacity profile the steady path must
+// produce bit-identical results to the always-solve path — it may skip
+// redundant solves inside a segment, but never step across a knot (including
+// a zero-capacity outage) with stale rates.
+func TestSteadyFastForwardClampsToFaultKnots(t *testing.T) {
+	steady := runFaultKnots(t, false)
+	full := runFaultKnots(t, true)
+
+	if steady.now != full.now {
+		t.Errorf("Now: steady %v, full %v", steady.now, full.now)
+	}
+	for i := range steady.moved {
+		if steady.moved[i] != full.moved[i] {
+			t.Errorf("flow %d Moved: steady %v, full %v", i, steady.moved[i], full.moved[i])
+		}
+		if steady.finished[i] != full.finished[i] {
+			t.Errorf("flow %d FinishedAt: steady %v, full %v", i, steady.finished[i], full.finished[i])
+		}
+	}
+
+	// Sanity on the schedule itself: 1 GB + 10 GB through 4 GB/s, a 1 s
+	// outage, then 2 GB/s. short: shared 2 GB/s each -> done at 0.5 s.
+	// long: 1 + 2 GB by t=1, outage, then 7 GB at 2 GB/s -> done at 5.5 s.
+	if math.Abs(full.now-5.5) > 1e-6 {
+		t.Errorf("schedule Now = %v, want 5.5", full.now)
+	}
+	if math.Abs(full.finished[0]-0.5) > 1e-6 {
+		t.Errorf("short FinishedAt = %v, want 0.5", full.finished[0])
+	}
+
+	// The steady path must have actually fast-forwarded: strictly fewer
+	// Prepare+Solve cycles than one-per-step.
+	if steady.prepares >= full.prepares {
+		t.Errorf("steady path ran %d prepares, full path %d — fast-forward never engaged",
+			steady.prepares, full.prepares)
+	}
+}

@@ -8,6 +8,7 @@ import (
 )
 
 func BenchmarkRun18ThreadRead(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNew(DefaultConfig())
 	r, err := m.AllocPMEM("bench", 0, 70<<30, DevDax)
 	if err != nil {
@@ -22,6 +23,33 @@ func BenchmarkRun18ThreadRead(b *testing.B) {
 				Label: "b", Placement: placements[t], Policy: cpu.PinCores,
 				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
 				AccessSize: 4096, Bytes: 70e9 / 18,
+			}
+		}
+		if _, err := m.Run(streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineRun measures the steady-state Run hot path: one machine,
+// streams rebuilt per iteration but the region and cost model reused, so the
+// dirty-flag memoization and solver scratch reuse dominate the profile.
+func BenchmarkMachineRun(b *testing.B) {
+	b.ReportAllocs()
+	m := MustNew(DefaultConfig())
+	r, err := m.AllocPMEM("bench", 0, 70<<30, DevDax)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := cpu.AssignThreads(m.Topology(), cpu.PinCores, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		streams := make([]*Stream, 4)
+		for t := 0; t < 4; t++ {
+			streams[t] = &Stream{
+				Label: "bench-run", Placement: placements[t], Policy: cpu.PinCores,
+				Region: r, Dir: access.Read, Pattern: access.SeqIndividual,
+				AccessSize: 4096, Bytes: 70e9 / 4,
 			}
 		}
 		if _, err := m.Run(streams); err != nil {

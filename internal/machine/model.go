@@ -56,14 +56,48 @@ type runModel struct {
 	// scratch per-flow bookkeeping, rebuilt each Prepare.
 	fctx []flowCtx
 
-	// peakUtil records each resource's highest utilization across the run —
-	// the "which component was the bottleneck" diagnostic that VTune
-	// provides in the paper's methodology (Section 2.3).
-	peakUtil map[string]float64
+	// solver holds the progressive-filling scratch reused across the
+	// write-share fixed-point iterations; with it, a steady-population step
+	// allocates nothing.
+	solver fluid.Solver
+
+	// Resource-list cache: resCache holds every resource in a stable,
+	// append-only order (fixed resources first, then dynamic ones in
+	// creation order), so peaks — each resource's highest utilization
+	// across the run, the paper's VTune-style bottleneck diagnostic — can
+	// live in a parallel slice instead of a name-keyed map. resValid is
+	// cleared whenever a dynamic resource is created.
+	resCache []*fluid.Resource
+	peaks    []float64
+	resValid bool
+	upiList  []*fluid.Resource
+	dynList  []*fluid.Resource // cold/unpinned/thread resources, creation order
+	threadOf []*fluid.Resource // per-stream thread resource, resolved once
+
+	// dirty marks machine-state changes (directory warm-up flips, fsdax
+	// fault-in completion) that invalidate the memoized cost model; while
+	// clear, Steady lets the engine fast-forward without re-solving.
+	dirty bool
+
+	// gather scratch, reused across steps.
+	pop           population
+	gsRegionSocks map[int]uint64 // region id -> socket bitmask
+	gsPkCore      map[pkCoreKey]bool
+
+	// Horizon scratch, reused across steps.
+	hzColdKeys    []upi.Key
+	hzColdRates   []float64
+	hzRegions     []*Region
+	hzRegionRates []float64
 
 	// tr accumulates the run's timeline bookkeeping; nil when the machine has
 	// no trace recorder attached.
 	tr *runTrace
+}
+
+type pkCoreKey struct {
+	pk   policyKey
+	core topology.CoreID
 }
 
 type flowCtx struct {
@@ -96,7 +130,6 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 		threadRes: make(map[threadKey]*fluid.Resource),
 		uW:        make([]float64, m.topo.Sockets()),
 		uWDram:    make([]float64, m.topo.Sockets()),
-		peakUtil:  make(map[string]float64),
 	}
 	for s := 0; s < m.topo.Sockets(); s++ {
 		rm.pmemMedia = append(rm.pmemMedia, &fluid.Resource{Name: fmt.Sprintf("pmem-media-%d", s), Capacity: 1})
@@ -107,10 +140,12 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 	for a := 0; a < m.topo.Sockets(); a++ {
 		for b := 0; b < m.topo.Sockets(); b++ {
 			if a != b {
-				rm.upiDirs[[2]int{a, b}] = &fluid.Resource{
+				r := &fluid.Resource{
 					Name:     fmt.Sprintf("upi-%d-%d", a, b),
 					Capacity: m.cfg.UPI.RawBytesPerSecPerDir,
 				}
+				rm.upiDirs[[2]int{a, b}] = r
+				rm.upiList = append(rm.upiList, r)
 			}
 		}
 	}
@@ -123,6 +158,18 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 		_ = i
 	}
 	rm.fctx = make([]flowCtx, len(streams))
+	rm.threadOf = make([]*fluid.Resource, len(streams))
+	rm.pop = population{
+		pmemWriteStreams: map[topology.SocketID]int{},
+		individualFlight: map[topology.SocketID]int{},
+		groupCount:       map[string]int{},
+		contended:        map[int]bool{},
+		coldCount:        map[upi.Key]int{},
+		unpinnedCount:    map[access.Direction]int{},
+		policyGroup:      map[policyKey]int{},
+	}
+	rm.gsRegionSocks = map[int]uint64{}
+	rm.gsPkCore = map[pkCoreKey]bool{}
 	if m.trace != nil {
 		rm.tr = newRunTrace(m.topo.Sockets(), m.trace.Cursor())
 	}
@@ -151,17 +198,16 @@ type threadKey struct {
 }
 
 func (rm *runModel) gather() population {
-	p := population{
-		pmemWriteStreams: map[topology.SocketID]int{},
-		individualFlight: map[topology.SocketID]int{},
-		groupCount:       map[string]int{},
-		contended:        map[int]bool{},
-		coldCount:        map[upi.Key]int{},
-		unpinnedCount:    map[access.Direction]int{},
-		policyGroup:      map[policyKey]int{},
-	}
-	regionSockets := map[int]map[topology.SocketID]bool{}
-	groupCores := map[policyKey]map[topology.CoreID]bool{}
+	p := rm.pop
+	clear(p.pmemWriteStreams)
+	clear(p.individualFlight)
+	clear(p.groupCount)
+	clear(p.contended)
+	clear(p.coldCount)
+	clear(p.unpinnedCount)
+	clear(p.policyGroup)
+	clear(rm.gsRegionSocks)
+	clear(rm.gsPkCore)
 	for i, s := range rm.streams {
 		f := rm.flows[i]
 		act := !f.Done && f.Remaining > 0
@@ -171,18 +217,14 @@ func (rm *runModel) gather() population {
 		}
 		ts := rm.m.threadSocket(s)
 		pk := policyKey{s.Policy, ts}
-		if groupCores[pk] == nil {
-			groupCores[pk] = map[topology.CoreID]bool{}
+		if key := (pkCoreKey{pk, s.Placement.Core}); !rm.gsPkCore[key] {
+			rm.gsPkCore[key] = true
+			p.policyGroup[pk]++
 		}
-		groupCores[pk][s.Placement.Core] = true
 		if s.Policy == cpu.PinNone {
 			p.unpinnedCount[s.Dir]++
 		}
-		if rs, ok := regionSockets[s.Region.id]; ok {
-			rs[ts] = true
-		} else {
-			regionSockets[s.Region.id] = map[topology.SocketID]bool{ts: true}
-		}
+		rm.gsRegionSocks[s.Region.id] |= 1 << uint(ts)
 		if s.Region.Class == access.PMEM {
 			if s.Dir == access.Write {
 				p.pmemWriteStreams[s.Region.Socket]++
@@ -206,16 +248,13 @@ func (rm *runModel) gather() population {
 			}
 		}
 	}
-	for id, socks := range regionSockets {
-		if len(socks) > 1 {
+	for id, mask := range rm.gsRegionSocks {
+		if mask&(mask-1) != 0 { // accessed from more than one socket
 			if r := rm.regionByID(id); r != nil && r.CoherenceStable {
 				continue
 			}
 			p.contended[id] = true
 		}
-	}
-	for pk, cores := range groupCores {
-		p.policyGroup[pk] = len(cores)
 	}
 	return p
 }
@@ -256,10 +295,19 @@ func (rm *runModel) Prepare(now float64, flows []*fluid.Flow) {
 	// converge to well under 1% for every workload in the test suite.
 	for iter := 0; iter < 3; iter++ {
 		rm.computeCosts(pop)
-		fluid.Solve(rm.flows, rm.Resources())
+		rm.solver.Solve(rm.flows, rm.Resources())
 		rm.updateWriteShares()
 	}
 	rm.computeCosts(pop)
+	rm.dirty = false
+}
+
+// Steady implements fluid.SteadyModel: with no fault injector attached (whose
+// piecewise-linear profiles change capacities continuously) and no state flip
+// recorded by Advance since the last Prepare, the cost model is unchanged and
+// the engine may fast-forward to the next event horizon without re-solving.
+func (rm *runModel) Steady(now float64) bool {
+	return !rm.dirty && rm.m.inj == nil
 }
 
 func (rm *runModel) updateWriteShares() {
@@ -309,13 +357,19 @@ func (rm *runModel) computeCosts(pop population) {
 	// Refresh dynamic resources.
 	for key, n := range pop.coldCount {
 		if _, ok := rm.coldRes[key]; !ok {
-			rm.coldRes[key] = &fluid.Resource{Name: fmt.Sprintf("cold-r%d-s%d", key.Region, key.Socket)}
+			r := &fluid.Resource{Name: fmt.Sprintf("cold-r%d-s%d", key.Region, key.Socket)}
+			rm.coldRes[key] = r
+			rm.dynList = append(rm.dynList, r)
+			rm.resValid = false
 		}
 		rm.coldRes[key].Capacity = cfg.UPI.ColdCap(n)
 	}
 	for dir, n := range pop.unpinnedCount {
 		if _, ok := rm.unpinned[dir]; !ok {
-			rm.unpinned[dir] = &fluid.Resource{Name: "unpinned-" + dir.String()}
+			r := &fluid.Resource{Name: "unpinned-" + dir.String()}
+			rm.unpinned[dir] = r
+			rm.dynList = append(rm.dynList, r)
+			rm.resValid = false
 		}
 		rm.unpinned[dir].Capacity = cfg.CPU.UnpinnedCap(dir, n)
 	}
@@ -386,14 +440,22 @@ func (rm *runModel) computeCosts(pop population) {
 
 		// Cost vector. Every flow first pays for its thread's time: flows
 		// sharing a logical core (a query thread that both scans and probes)
-		// split the core's cycles instead of running in parallel.
-		var costs []fluid.Cost
+		// split the core's cycles instead of running in parallel. The
+		// vector's backing array is reused across recomputations.
+		costs := f.Costs[:0]
 		if demand > 0 {
-			tk := threadKey{s.Policy, s.Placement.Core}
-			tr, ok := rm.threadRes[tk]
-			if !ok {
-				tr = &fluid.Resource{Name: fmt.Sprintf("thread-%s-c%d", s.Policy, s.Placement.Core), Capacity: 1}
-				rm.threadRes[tk] = tr
+			tr := rm.threadOf[i]
+			if tr == nil {
+				tk := threadKey{s.Policy, s.Placement.Core}
+				var ok bool
+				tr, ok = rm.threadRes[tk]
+				if !ok {
+					tr = &fluid.Resource{Name: fmt.Sprintf("thread-%s-c%d", s.Policy, s.Placement.Core), Capacity: 1}
+					rm.threadRes[tk] = tr
+					rm.dynList = append(rm.dynList, tr)
+					rm.resValid = false
+				}
+				rm.threadOf[i] = tr
 			}
 			costs = append(costs, fluid.Cost{Resource: tr, PerByte: 1 / demand})
 		}
@@ -571,39 +633,55 @@ func (rm *runModel) coreBudget(policy cpu.PinPolicy) int {
 	return rm.m.topo.LogicalCoresPerSocket()
 }
 
-// Resources implements fluid.Model.
+// Resources implements fluid.Model. The returned slice is cached and
+// rebuilt only when a dynamic resource (cold-access bridge, unpinned
+// scheduler slot, thread core) appears; its order is stable and append-only,
+// which keeps rm.peaks index-aligned across rebuilds.
 func (rm *runModel) Resources() []*fluid.Resource {
-	out := make([]*fluid.Resource, 0, 8+len(rm.coldRes)+len(rm.unpinned))
-	out = append(out, rm.pmemMedia...)
-	out = append(out, rm.dramMedia...)
-	out = append(out, rm.dramSystem, rm.ssdRes)
-	for _, r := range rm.upiDirs {
-		out = append(out, r)
+	if !rm.resValid {
+		rm.resCache = rm.resCache[:0]
+		rm.resCache = append(rm.resCache, rm.pmemMedia...)
+		rm.resCache = append(rm.resCache, rm.dramMedia...)
+		rm.resCache = append(rm.resCache, rm.dramSystem, rm.ssdRes)
+		rm.resCache = append(rm.resCache, rm.upiList...)
+		rm.resCache = append(rm.resCache, rm.dynList...)
+		for len(rm.peaks) < len(rm.resCache) {
+			rm.peaks = append(rm.peaks, 0)
+		}
+		rm.resValid = true
 	}
-	for _, r := range rm.coldRes {
-		out = append(out, r)
-	}
-	for _, r := range rm.unpinned {
-		out = append(out, r)
-	}
-	for _, r := range rm.threadRes {
-		out = append(out, r)
-	}
-	return out
+	return rm.resCache
 }
 
 // Horizon implements fluid.Model: step boundaries at warm-up completion and
 // fsdax fault-in completion, so the cost model is piecewise accurate.
 func (rm *runModel) Horizon(now float64, flows []*fluid.Flow) float64 {
 	h := math.Inf(1)
-	// Warm-up boundaries.
-	coldRates := map[upi.Key]float64{}
+	// Warm-up boundaries. Rates accumulate per key in flow order (the same
+	// order the old map-based version added them), into small reused slices:
+	// the handful of cold keys per run never justifies a per-step map.
+	rm.hzColdKeys = rm.hzColdKeys[:0]
+	rm.hzColdRates = rm.hzColdRates[:0]
 	for i, f := range rm.flows {
 		if rm.fctx[i].active && rm.fctx[i].cold {
-			coldRates[rm.fctx[i].coldKey] += f.Rate
+			key := rm.fctx[i].coldKey
+			at := -1
+			for j, k := range rm.hzColdKeys {
+				if k == key {
+					at = j
+					break
+				}
+			}
+			if at < 0 {
+				rm.hzColdKeys = append(rm.hzColdKeys, key)
+				rm.hzColdRates = append(rm.hzColdRates, 0)
+				at = len(rm.hzColdKeys) - 1
+			}
+			rm.hzColdRates[at] += f.Rate
 		}
 	}
-	for key, rate := range coldRates {
+	for j, key := range rm.hzColdKeys {
+		rate := rm.hzColdRates[j]
 		if rate <= 0 {
 			continue
 		}
@@ -617,14 +695,28 @@ func (rm *runModel) Horizon(now float64, flows []*fluid.Flow) float64 {
 		}
 	}
 	// fsdax fault-in boundaries.
-	touchRates := map[*Region]float64{}
+	rm.hzRegions = rm.hzRegions[:0]
+	rm.hzRegionRates = rm.hzRegionRates[:0]
 	for i, f := range rm.flows {
 		fc := rm.fctx[i]
 		if fc.active && fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
-			touchRates[fc.touchesRegion] += f.Rate
+			at := -1
+			for j, r := range rm.hzRegions {
+				if r == fc.touchesRegion {
+					at = j
+					break
+				}
+			}
+			if at < 0 {
+				rm.hzRegions = append(rm.hzRegions, fc.touchesRegion)
+				rm.hzRegionRates = append(rm.hzRegionRates, 0)
+				at = len(rm.hzRegions) - 1
+			}
+			rm.hzRegionRates[at] += f.Rate
 		}
 	}
-	for region, rate := range touchRates {
+	for j, region := range rm.hzRegions {
+		rate := rm.hzRegionRates[j]
 		if rate <= 0 {
 			continue
 		}
@@ -649,9 +741,9 @@ func (rm *runModel) Horizon(now float64, flows []*fluid.Flow) float64 {
 // Advance implements fluid.Model: accumulate warmth, fault-in, wear, and
 // peak-utilization diagnostics.
 func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
-	for _, r := range rm.Resources() {
-		if u := r.Utilization(); u > rm.peakUtil[r.Name] {
-			rm.peakUtil[r.Name] = u
+	for i, r := range rm.Resources() {
+		if u := r.Utilization(); u > rm.peaks[i] {
+			rm.peaks[i] = u
 		}
 	}
 	rm.traceStepStart(now)
@@ -667,6 +759,7 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 			if !wasWarm && rm.m.warmth.IsWarm(fc.coldKey) {
 				rm.m.rec.upiWarmups.Inc()
 				rm.traceWarmFlip(fc.coldKey, now+dt)
+				rm.dirty = true // warm directory: the cold bridge cost disappears
 			}
 		}
 		if fc.touchesRegion != nil && !fc.touchesRegion.Faulted() {
@@ -674,6 +767,9 @@ func (rm *runModel) Advance(now, dt float64, flows []*fluid.Flow) {
 			fc.touchesRegion.faultedBytes = math.Min(
 				before+moved, float64(fc.touchesRegion.Size))
 			rm.m.rec.faultInB.Add(fc.touchesRegion.faultedBytes - before)
+			if fc.touchesRegion.Faulted() {
+				rm.dirty = true // fully faulted in: the fsdax penalty lifts
+			}
 		}
 		if fc.writeWA > 0 && fc.touchesRegion.Class == access.PMEM {
 			rm.m.wear[fc.touchesRegion.Socket].Record(moved * fc.writeWA)
@@ -759,6 +855,28 @@ func (rm *runModel) recordTraffic(s *Stream, fc flowCtx, moved float64) {
 			rec.upiColdB.Add(moved)
 		}
 	}
+}
+
+// peakFor returns the run-peak utilization recorded for the resource.
+func (rm *runModel) peakFor(target *fluid.Resource) float64 {
+	for i, r := range rm.resCache {
+		if r == target {
+			return rm.peaks[i]
+		}
+	}
+	return 0
+}
+
+// peakUtilMap materializes the bottleneck diagnostic for RunResult; like the
+// old per-step map it only carries resources that saw load.
+func (rm *runModel) peakUtilMap() map[string]float64 {
+	out := make(map[string]float64, len(rm.resCache))
+	for i, r := range rm.resCache {
+		if rm.peaks[i] > 0 {
+			out[r.Name] = rm.peaks[i]
+		}
+	}
+	return out
 }
 
 func (rm *runModel) regionByID(id int) *Region {

@@ -220,8 +220,8 @@ func (m *Machine) finishRun(rm *runModel, elapsed float64) {
 			r.writeAmpMean[s].Set(r.pmemWriteMedia[s].Value() / app)
 		}
 		r.wearBytes[s].SetMax(m.wear[s].MediaBytesWritten())
-		r.pmemUtilPeak[s].SetMax(rm.peakUtil[fmt.Sprintf("pmem-media-%d", s)])
-		r.dramUtilPeak[s].SetMax(rm.peakUtil[fmt.Sprintf("dram-media-%d", s)])
+		r.pmemUtilPeak[s].SetMax(rm.peakFor(rm.pmemMedia[s]))
+		r.dramUtilPeak[s].SetMax(rm.peakFor(rm.dramMedia[s]))
 		if seconds > 0 {
 			for c := 0; c < r.channels; c++ {
 				u := r.chReadMedia[s][c].Value()/chReadCap + r.chWriteMedia[s][c].Value()/chWriteCap
@@ -235,7 +235,7 @@ func (m *Machine) finishRun(rm *runModel, elapsed float64) {
 	for a := 0; a < r.sockets; a++ {
 		for b := 0; b < r.sockets; b++ {
 			if a != b {
-				r.upiUtilPeak[a][b].SetMax(rm.peakUtil[fmt.Sprintf("upi-%d-%d", a, b)])
+				r.upiUtilPeak[a][b].SetMax(rm.peakFor(rm.upiDirs[[2]int{a, b}]))
 			}
 		}
 	}

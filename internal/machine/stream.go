@@ -134,7 +134,7 @@ func (m *Machine) run(ctx context.Context, streams []*Stream, maxTime float64) (
 	}
 	m.finishRun(rm, eng.Now)
 
-	res := RunResult{Elapsed: eng.Now, PeakUtilization: rm.peakUtil}
+	res := RunResult{Elapsed: eng.Now, PeakUtilization: rm.peakUtilMap()}
 	var readBytes, writeBytes, readEnd, writeEnd float64
 	for i, s := range streams {
 		f := rm.flows[i]

@@ -173,123 +173,155 @@ type joinStage struct {
 	first      bool  // stage reads the base column, later stages gather
 }
 
+// dimMeta is what the traffic model needs to know about one build-side
+// dimension after execution: the build maps themselves are not retained.
+type dimMeta struct {
+	name    string
+	entries int // filtered dim rows in the build-side map
+}
+
+// naiveExec is one query's executed plan. Like the aware engine's factExec
+// it is a pure function of (data, query) — the dimension filters, the
+// pipeline's stage cardinalities, and the exact result cannot depend on
+// which simulated machine the engine charges — so engines sharing a data
+// set share one execution via Data.Memo.
+type naiveExec struct {
+	dims          []dimMeta
+	scanSurvivors int64
+	stages        []joinStage
+	matched       int64
+	result        ssb.Result
+}
+
+// execFor builds (or recalls) the executed plan for q.
+func (e *Engine) execFor(q ssb.Query) *naiveExec {
+	return e.data.Memo("naive/exec/"+q.ID, func() any {
+		d := e.data
+
+		// Build-side hash maps over the filtered dimensions. Hyrise joins the
+		// date dimension like any other table (no predicate pushdown into date
+		// arithmetic — that is exactly the PMEM-aware trick it lacks).
+		var dims []dimSet
+		if q.DateFilter != nil || q.GroupBy != nil {
+			keep := map[uint32]int{}
+			for i := range d.Date {
+				if q.DateFilter == nil || q.DateFilter(&d.Date[i]) {
+					keep[d.Date[i].DateKey] = i
+				}
+			}
+			dims = append(dims, dimSet{"date", keep, float64(len(keep)) / float64(len(d.Date))})
+		}
+		if q.NeedsCust {
+			keep := map[uint32]int{}
+			for i := range d.Customer {
+				if q.CustFilter == nil || q.CustFilter(&d.Customer[i]) {
+					keep[d.Customer[i].CustKey] = i
+				}
+			}
+			dims = append(dims, dimSet{"customer", keep, float64(len(keep)) / float64(len(d.Customer))})
+		}
+		if q.NeedsSupp {
+			keep := map[uint32]int{}
+			for i := range d.Supplier {
+				if q.SuppFilter == nil || q.SuppFilter(&d.Supplier[i]) {
+					keep[d.Supplier[i].SuppKey] = i
+				}
+			}
+			dims = append(dims, dimSet{"supplier", keep, float64(len(keep)) / float64(len(d.Supplier))})
+		}
+		if q.NeedsPart {
+			keep := map[uint32]int{}
+			for i := range d.Part {
+				if q.PartFilter == nil || q.PartFilter(&d.Part[i]) {
+					keep[d.Part[i].PartKey] = i
+				}
+			}
+			dims = append(dims, dimSet{"part", keep, float64(len(keep)) / float64(len(d.Part))})
+		}
+		sort.Slice(dims, func(i, j int) bool { return dims[i].sel < dims[j].sel })
+
+		// Fact pipeline: a column scan for the fact-local predicates, then one
+		// hash-join stage per dimension, then the aggregate. Really executed.
+		survivors := make([]int32, 0, len(d.Lineorder)/8)
+		for i := range d.Lineorder {
+			if q.LOFilter == nil || q.LOFilter(&d.Lineorder[i]) {
+				survivors = append(survivors, int32(i))
+			}
+		}
+
+		ex := &naiveExec{scanSurvivors: int64(len(survivors)), result: ssb.Result{}}
+		matched := survivors
+		for si, ds := range dims {
+			ex.dims = append(ex.dims, dimMeta{name: ds.name, entries: len(ds.keep)})
+			st := joinStage{dim: ds.name, mapEntries: len(ds.keep), probesIn: int64(len(matched)), first: si == 0}
+			var next []int32
+			for _, ri := range matched {
+				lo := &d.Lineorder[ri]
+				var key uint32
+				switch ds.name {
+				case "date":
+					key = lo.OrderDate
+				case "customer":
+					key = lo.CustKey
+				case "supplier":
+					key = lo.SuppKey
+				case "part":
+					key = lo.PartKey
+				}
+				if ord, ok := ds.keep[key]; ok {
+					_ = ord
+					next = append(next, ri)
+				}
+			}
+			st.survivors = int64(len(next))
+			ex.stages = append(ex.stages, st)
+			matched = next
+		}
+		ex.matched = int64(len(matched))
+
+		// Aggregate the survivors (exact result).
+		for _, ri := range matched {
+			lo := &d.Lineorder[ri]
+			date := d.DateByKey(lo.OrderDate)
+			var c *ssb.Customer
+			var s *ssb.Supplier
+			var p *ssb.Part
+			if q.NeedsCust {
+				c = d.CustomerByKey(lo.CustKey)
+			}
+			if q.NeedsSupp {
+				s = d.SupplierByKey(lo.SuppKey)
+			}
+			if q.NeedsPart {
+				p = d.PartByKey(lo.PartKey)
+			}
+			key := ""
+			if q.GroupBy != nil {
+				key = q.GroupBy(lo, date, c, s, p)
+			}
+			ex.result[key] += q.Aggregate(lo)
+		}
+		return ex
+	}).(*naiveExec)
+}
+
 // Run executes one query.
 func (e *Engine) Run(q ssb.Query) (QueryRun, error) {
 	run := QueryRun{ID: q.ID, Result: ssb.Result{}}
-	d := e.data
+	ex := e.execFor(q)
 
-	// Build-side hash maps over the filtered dimensions. Hyrise joins the
-	// date dimension like any other table (no predicate pushdown into date
-	// arithmetic — that is exactly the PMEM-aware trick it lacks).
-	var dims []dimSet
-	if q.DateFilter != nil || q.GroupBy != nil {
-		keep := map[uint32]int{}
-		for i := range d.Date {
-			if q.DateFilter == nil || q.DateFilter(&d.Date[i]) {
-				keep[d.Date[i].DateKey] = i
-			}
-		}
-		dims = append(dims, dimSet{"date", keep, float64(len(keep)) / float64(len(d.Date))})
-	}
-	if q.NeedsCust {
-		keep := map[uint32]int{}
-		for i := range d.Customer {
-			if q.CustFilter == nil || q.CustFilter(&d.Customer[i]) {
-				keep[d.Customer[i].CustKey] = i
-			}
-		}
-		dims = append(dims, dimSet{"customer", keep, float64(len(keep)) / float64(len(d.Customer))})
-	}
-	if q.NeedsSupp {
-		keep := map[uint32]int{}
-		for i := range d.Supplier {
-			if q.SuppFilter == nil || q.SuppFilter(&d.Supplier[i]) {
-				keep[d.Supplier[i].SuppKey] = i
-			}
-		}
-		dims = append(dims, dimSet{"supplier", keep, float64(len(keep)) / float64(len(d.Supplier))})
-	}
-	if q.NeedsPart {
-		keep := map[uint32]int{}
-		for i := range d.Part {
-			if q.PartFilter == nil || q.PartFilter(&d.Part[i]) {
-				keep[d.Part[i].PartKey] = i
-			}
-		}
-		dims = append(dims, dimSet{"part", keep, float64(len(keep)) / float64(len(d.Part))})
-	}
-	sort.Slice(dims, func(i, j int) bool { return dims[i].sel < dims[j].sel })
-
-	buildSec, err := e.simulateBuild(dims)
+	buildSec, err := e.simulateBuild(ex.dims)
 	if err != nil {
 		return run, err
 	}
 	run.Phases = append(run.Phases, Phase{"dim-scan+build", buildSec})
 
-	// Fact pipeline: a column scan for the fact-local predicates, then one
-	// hash-join stage per dimension, then the aggregate. Really executed.
-	survivors := make([]int32, 0, len(d.Lineorder)/8)
-	for i := range d.Lineorder {
-		if q.LOFilter == nil || q.LOFilter(&d.Lineorder[i]) {
-			survivors = append(survivors, int32(i))
-		}
-	}
-	scanSurvivors := int64(len(survivors))
-
-	var stages []joinStage
-	matched := survivors
-	dimRows := map[string]int{}
-	for si, ds := range dims {
-		st := joinStage{dim: ds.name, mapEntries: len(ds.keep), probesIn: int64(len(matched)), first: si == 0}
-		var next []int32
-		for _, ri := range matched {
-			lo := &d.Lineorder[ri]
-			var key uint32
-			switch ds.name {
-			case "date":
-				key = lo.OrderDate
-			case "customer":
-				key = lo.CustKey
-			case "supplier":
-				key = lo.SuppKey
-			case "part":
-				key = lo.PartKey
-			}
-			if ord, ok := ds.keep[key]; ok {
-				_ = ord
-				next = append(next, ri)
-			}
-		}
-		st.survivors = int64(len(next))
-		stages = append(stages, st)
-		matched = next
-		dimRows[ds.name] = len(ds.keep)
+	// Copy the exact result out of the shared memo.
+	for k, v := range ex.result {
+		run.Result[k] = v
 	}
 
-	// Aggregate the survivors (exact result).
-	for _, ri := range matched {
-		lo := &d.Lineorder[ri]
-		date := d.DateByKey(lo.OrderDate)
-		var c *ssb.Customer
-		var s *ssb.Supplier
-		var p *ssb.Part
-		if q.NeedsCust {
-			c = d.CustomerByKey(lo.CustKey)
-		}
-		if q.NeedsSupp {
-			s = d.SupplierByKey(lo.SuppKey)
-		}
-		if q.NeedsPart {
-			p = d.PartByKey(lo.PartKey)
-		}
-		key := ""
-		if q.GroupBy != nil {
-			key = q.GroupBy(lo, date, c, s, p)
-		}
-		run.Result[key] += q.Aggregate(lo)
-	}
-
-	factSec, stats, err := e.simulatePipeline(q, scanSurvivors, stages, int64(len(matched)))
+	factSec, stats, err := e.simulatePipeline(q, ex.scanSurvivors, ex.stages, ex.matched)
 	if err != nil {
 		return run, err
 	}

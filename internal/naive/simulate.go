@@ -11,7 +11,7 @@ import (
 
 // simulateBuild charges the dimension scans plus the chained-map node
 // writes: small random writes, the pattern Section 4.1 warns about.
-func (e *Engine) simulateBuild(dims []dimSet) (float64, error) {
+func (e *Engine) simulateBuild(dims []dimMeta) (float64, error) {
 	if len(dims) == 0 {
 		return 0, nil
 	}
@@ -20,7 +20,7 @@ func (e *Engine) simulateBuild(dims []dimSet) (float64, error) {
 	for i, ds := range dims {
 		scale := e.dimScale[ds.name]
 		rows := float64(e.dimRowsOf(ds.name)) * scale
-		entries := float64(len(ds.keep)) * scale
+		entries := float64(ds.entries) * scale
 		streams = append(streams,
 			&machine.Stream{
 				Label:      "build-scan/" + ds.name,

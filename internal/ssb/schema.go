@@ -5,7 +5,10 @@
 // executable specifications shared by both engines.
 package ssb
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Lineorder is the fact table row. Monetary values are in cents; discount
 // and tax are integer percentages, as in the SSB specification.
@@ -103,10 +106,53 @@ type Data struct {
 	// Key-indexed lookup maps (dimension keys are dense, but Date is keyed
 	// by yyyymmdd; these maps are what a query engine would build once).
 	dateByKey map[uint32]*Date
+	// dateIdx is a dense yyyymmdd decoding of dateByKey: slot
+	// (y-1992)*372 + (m-1)*31 + (day-1), -1 for days outside the calendar.
+	// Scan loops hit DateByKey once per fact row, so the map lookup shows
+	// up in profiles; the dense form is a bounds check and an array load.
+	dateIdx []int32
+
+	// memo caches query-execution artifacts that are pure functions of the
+	// generated data (encoded fact tables, per-query join results). The
+	// engines re-execute every query on every machine configuration; the
+	// answers cannot differ, only the simulated traffic charged for them.
+	memoMu sync.Mutex
+	memo   map[string]any
+}
+
+// Memo returns the value cached under key, computing it with build on first
+// use. Builds run under the data's lock, so concurrent callers of the same
+// key compute it once and mutate nothing shared. build must be a pure
+// function of the (immutable) data set, and callers must not modify the
+// returned value.
+func (d *Data) Memo(key string, build func() any) any {
+	d.memoMu.Lock()
+	defer d.memoMu.Unlock()
+	if v, ok := d.memo[key]; ok {
+		return v
+	}
+	if d.memo == nil {
+		d.memo = make(map[string]any)
+	}
+	v := build()
+	d.memo[key] = v
+	return v
 }
 
 // DateByKey returns the date row for a yyyymmdd key.
 func (d *Data) DateByKey(key uint32) *Date {
+	if d.dateIdx != nil {
+		y := key / 10000
+		m := key / 100 % 100
+		dd := key % 100
+		if y < 1992 || y > 1998 || m < 1 || m > 12 || dd < 1 || dd > 31 {
+			return nil
+		}
+		if ix := d.dateIdx[(y-1992)*372+(m-1)*31+(dd-1)]; ix >= 0 {
+			return &d.Date[ix]
+		}
+		return nil
+	}
 	return d.dateByKey[key]
 }
 
