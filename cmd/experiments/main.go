@@ -27,10 +27,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/queueing"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the aggregate metrics snapshot as JSON to this file ('-' = stdout)")
 	traceDir := flag.String("trace", "", "write each experiment's simulated-time timeline to <dir>/<id>.trace.json")
 	sweepJ := flag.Int("sweep-j", 1, "intra-experiment sweep parallelism on a pool shared with -j; output is identical for any width (forced serial when metrics or traces are recorded)")
+	arrivals := flag.String("arrivals", "", "replace the serve0x experiments' built-in traffic with this arrival spec, inline JSON or a path to a spec file (see internal/queueing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -83,6 +86,21 @@ func main() {
 	}
 
 	cfg := experiments.Config{SF: *sf, Quick: *quick, Jobs: *jobs, EmitMetrics: *showMetrics, TraceDir: *traceDir, SweepWidth: *sweepJ}
+	if *arrivals != "" {
+		src := []byte(*arrivals)
+		if !strings.HasPrefix(strings.TrimSpace(*arrivals), "{") {
+			b, err := os.ReadFile(*arrivals)
+			if err != nil {
+				fatal(err)
+			}
+			src = b
+		}
+		spec, err := queueing.ParseSpec(src)
+		if err != nil {
+			fatal(fmt.Errorf("-arrivals: %w", err))
+		}
+		cfg.Arrivals = spec
+	}
 	// -metrics-json consumes the aggregate float counters even without
 	// -metrics; concurrent sweep points would reorder their accumulation,
 	// so force the serial path (the Config gate handles -metrics/-trace).

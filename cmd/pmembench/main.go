@@ -12,6 +12,7 @@
 //	pmembench -device dram -dir read -pattern random -size 512 -threads 36
 //	pmembench -advise -dir write                    # print best practices
 //	pmembench -trace workload.trace                 # replay a trace file
+//	pmembench -arrivals traffic.json                # serve a query stream
 //	pmembench -sweep threads -trace-dir traces      # + Perfetto timeline
 //	pmembench -sweep threads -sweep-j 4             # parallel sweep points
 //	pmembench -bench-json BENCH_sim.json            # tier-0 benchmark report
@@ -22,6 +23,12 @@
 // the tier-0 experiment catalogue as a benchmark and writes a BENCH_sim
 // report; with -bench-baseline it exits non-zero when wall-clock regresses
 // past -bench-tolerance. -cpuprofile/-memprofile write pprof profiles.
+//
+// -arrivals switches to serve mode: instead of one workload point, the
+// machine serves a deterministic query stream described by an arrival spec
+// (inline JSON or a file; see internal/queueing) and the report covers
+// per-SLO-class latency percentiles, conservation counts, and fairness.
+// Serve mode composes with -faults, -metrics, and -trace-dir.
 //
 // -trace-dir writes the machine's simulated-time timeline (every run laid
 // end to end) to <dir>/pmembench.trace.json in Chrome trace-event format.
@@ -49,6 +56,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/queueing"
 	"repro/internal/simtrace"
 	"repro/internal/trace"
 )
@@ -73,6 +81,7 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write the simulated-time timeline to <dir>/pmembench.trace.json (Chrome trace-event JSON, loadable in Perfetto)")
 	configFile := flag.String("config", "", "machine config JSON (partial overrides of the calibrated defaults; see machine.ConfigFromJSON)")
 	faultsFlag := flag.String("faults", "", "deterministic fault plan: inline JSON or a path to a plan file (see internal/faults)")
+	arrivalsFlag := flag.String("arrivals", "", "serve mode: run the query-stream serving co-simulation under this arrival spec, inline JSON or a path to a spec file (see internal/queueing)")
 	benchJSON := flag.String("bench-json", "", "run the tier-0 experiment catalogue as a benchmark and write BENCH_sim.json to this file ('-' = stdout)")
 	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-json run against this committed BENCH_sim.json and exit non-zero on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 0.20, "allowed wall-clock regression vs the calibration-scaled baseline (0.20 = +20%)")
@@ -167,6 +176,31 @@ func main() {
 				fatal(err)
 			}
 		}()
+	}
+
+	if *arrivalsFlag != "" {
+		src := []byte(*arrivalsFlag)
+		if !strings.HasPrefix(strings.TrimSpace(*arrivalsFlag), "{") {
+			src, err = os.ReadFile(*arrivalsFlag)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		spec, err := queueing.ParseSpec(src)
+		if err != nil {
+			fatal(fmt.Errorf("-arrivals: %w", err))
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := queueing.Serve(m, spec)
+		if err != nil {
+			fatal(err)
+		}
+		res.Fprint(os.Stdout)
+		emitMetrics(m.Metrics(), *showMetrics, *metricsJSON)
+		return
 	}
 
 	if *traceFile != "" {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/queueing"
 	"repro/internal/simtrace"
 )
 
@@ -47,6 +48,14 @@ type Config struct {
 	// (a hypothetical faster Optane generation, a prefetcher-less CPU)
 	// without a recompile. Nil means the calibrated default.
 	Machine *machine.Config
+	// Arrivals optionally replaces the serving experiments' built-in
+	// traffic spec: every serve0x entry draws its arrival processes,
+	// admission policy, and scheduler from this spec instead of the
+	// defaults (serve02/serve03 still vary load and scheduler around it).
+	// Like Machine.Faults, the spec is canonicalized (queueing.Normalize)
+	// before use, so pmemd cache keys and RunList outputs depend only on
+	// the scenario, not its JSON spelling. Nil means the built-in traffic.
+	Arrivals *queueing.Spec
 	// Pool, when set, bounds concurrent experiment executions across
 	// *multiple* RunConcurrent calls. The batch CLI leaves it nil (Jobs
 	// already bounds one run); long-lived callers such as pmemd share one

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/queueing"
+)
+
+func init() {
+	register("serve01", "Serving co-simulation: mixed-process traffic, SLO classes, fairness", serveTraffic)
+	register("serve02", "Serving co-simulation: capacity curve (offered load vs achieved QPS and p99)", serveCapacity)
+	register("serve03", "Serving co-simulation: scheduler policy shootout on one arrival trace", serveSchedulers)
+}
+
+// defaultArrivalSpec is the built-in serving scenario: three clients
+// exercising all three arrival processes against one machine — latency-
+// critical point probes, heavier analytics scans, and a steady write
+// ingest — under SLO-class scheduling and token-bucket admission.
+func defaultArrivalSpec(quick bool) *queueing.Spec {
+	horizon := 6.0
+	if quick {
+		horizon = 2
+	}
+	return &queueing.Spec{
+		Seed: 42, Horizon: horizon, Slots: 4, Scheduler: queueing.SchedSLO,
+		Admission: &queueing.Admission{Policy: queueing.AdmitTokenBucket, RateQPS: 12, Burst: 8},
+		Clients: []queueing.Client{
+			{Name: "interactive", Process: queueing.ProcPoisson, RateQPS: 5,
+				Class: "interactive", Priority: 10, SLOSeconds: 0.3,
+				Queries: []queueing.QueryMix{
+					{Kind: queueing.KindProbe, Weight: 3},
+					{Kind: queueing.KindScanSmall, Weight: 1}}},
+			{Name: "analytics", Process: queueing.ProcWeibull, RateQPS: 2, Shape: 2,
+				Class: "analytics", Priority: 5, SLOSeconds: 2,
+				Queries: []queueing.QueryMix{
+					{Kind: queueing.KindScanSmall, Weight: 2},
+					{Kind: queueing.KindScanLarge, Weight: 1}}},
+			{Name: "ingest", Process: queueing.ProcGamma, RateQPS: 3, Shape: 2,
+				Class: "ingest", Priority: 1,
+				Queries: []queueing.QueryMix{{Kind: queueing.KindIngest}}},
+		},
+	}
+}
+
+// arrivalSpec returns this run's serving scenario: the -arrivals override
+// when one was given, the built-in traffic otherwise. Always a private
+// copy, so experiments may mutate it (scale load, swap schedulers).
+func (c Config) arrivalSpec() *queueing.Spec {
+	if c.Arrivals != nil {
+		return c.Arrivals.Clone()
+	}
+	return defaultArrivalSpec(c.Quick)
+}
+
+// runServe executes one serving scenario on a fresh machine built from this
+// run's configuration.
+func runServe(cfg Config, spec *queueing.Spec) (*queueing.Result, error) {
+	m, err := machine.New(cfg.MachineConfig())
+	if err != nil {
+		return nil, err
+	}
+	return queueing.Serve(m, spec)
+}
+
+// serveTraffic is serve01: one serving run of the full mixed scenario,
+// reporting per-SLO-class latency percentiles, per-client conservation
+// counts, and the fairness/throughput summary.
+func serveTraffic(cfg Config) ([]Table, error) {
+	if err := cfg.Err(); err != nil {
+		return nil, err
+	}
+	res, err := runServe(cfg, cfg.arrivalSpec())
+	if err != nil {
+		return nil, err
+	}
+
+	lat := Table{ID: "serve01", Title: "Per-SLO-class latency (arrival to completion)", Unit: "s",
+		Header: "class \\ metric", Cols: []string{"p50", "p95", "p99", "mean", "mean wait", "SLO met"},
+		Paper: "no paper reference; serving extension (open-loop traffic on the machine model)"}
+	for _, c := range res.Classes {
+		lat.Series = append(lat.Series, Series{Label: c.Class, Values: []float64{
+			c.P50, c.P95, c.P99, c.Mean, c.MeanWait, c.SLOMet}})
+	}
+
+	counts := Table{ID: "serve01", Title: "Per-client conservation counts", Unit: "queries",
+		Header: "client \\ count", Cols: []string{"arrivals", "admitted", "rejected", "completed"}}
+	for _, c := range res.Clients {
+		counts.Series = append(counts.Series, Series{Label: c.Client, Values: []float64{
+			float64(c.Arrivals), float64(c.Admitted), float64(c.Rejected), float64(c.Completed)}})
+	}
+	counts.Series = append(counts.Series, Series{Label: "total", Values: []float64{
+		float64(res.Arrivals), float64(res.Admitted), float64(res.Rejected), float64(res.Completed)}})
+
+	sum := Table{ID: "serve01", Title: "Throughput and fairness summary", Unit: "mixed",
+		Header: "run \\ metric",
+		Cols:   []string{"QPS", "served GB", "machine GB", "Jain", "peak queue", "makespan s"}}
+	qps := 0.0
+	if res.Elapsed > 0 {
+		qps = float64(res.Completed) / res.Elapsed
+	}
+	sum.Series = []Series{{Label: "serving", Values: []float64{
+		qps, res.ServedBytes / 1e9, res.MachineBytes / 1e9, res.Jain,
+		float64(res.PeakQueue), res.Elapsed}}}
+
+	return []Table{lat, counts, sum}, nil
+}
+
+// serveCapacity is serve02: the capacity-planning curve. The base
+// scenario's offered load is scaled by a multiplier axis (admission
+// disabled and classes merged so saturation shows up as latency, not
+// rejections) and each point runs on a fresh machine.
+func serveCapacity(cfg Config) ([]Table, error) {
+	mults := []float64{0.25, 0.5, 1, 2, 4}
+	if cfg.Quick {
+		mults = []float64{0.5, 2}
+	}
+	base := cfg.arrivalSpec()
+	offered := make([]float64, len(mults))
+	achieved := make([]float64, len(mults))
+	p99 := make([]float64, len(mults))
+	wait := make([]float64, len(mults))
+	err := sweepPoints(cfg, len(mults), func(i int) error {
+		sp := base.Clone()
+		sp.Admission = nil
+		rate := 0.0
+		for j := range sp.Clients {
+			sp.Clients[j].RateQPS *= mults[i]
+			sp.Clients[j].Class = "all"
+			sp.Clients[j].SLOSeconds = 0
+			rate += sp.Clients[j].RateQPS
+		}
+		res, err := runServe(cfg, sp)
+		if err != nil {
+			return err
+		}
+		offered[i] = rate
+		if res.Elapsed > 0 {
+			achieved[i] = float64(res.Completed) / res.Elapsed
+		}
+		if len(res.Classes) > 0 {
+			p99[i] = res.Classes[0].P99
+			wait[i] = res.Classes[0].MeanWait
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(mults))
+	for i, m := range mults {
+		cols[i] = fmt.Sprintf("x%g", m)
+	}
+	t := Table{ID: "serve02", Title: "Capacity curve: offered load vs achieved QPS and p99", Unit: "QPS / s",
+		Header: "metric \\ load", Cols: cols,
+		Paper: "achieved QPS tracks offered load until the machine saturates; past that p99 and wait climb"}
+	t.Series = []Series{
+		{Label: "offered QPS", Values: offered},
+		{Label: "achieved QPS", Values: achieved},
+		{Label: "p99 latency s", Values: p99},
+		{Label: "mean wait s", Values: wait},
+	}
+	return []Table{t}, nil
+}
+
+// serveSchedulers is serve03: the identical arrival trace (same spec seed)
+// run under each scheduler policy, reporting per-class p99 so the
+// policy trade-offs are visible side by side.
+func serveSchedulers(cfg Config) ([]Table, error) {
+	schedulers := []string{queueing.SchedFCFS, queueing.SchedSJF, queueing.SchedPriority, queueing.SchedSLO}
+	base := cfg.arrivalSpec()
+	// Stress the scenario past saturation (more traffic, fewer slots, no
+	// admission gate): scheduling order only matters once a queue forms.
+	base.Admission = nil
+	if base.Slots > 2 {
+		base.Slots = 2
+	}
+	for j := range base.Clients {
+		base.Clients[j].RateQPS *= 4
+	}
+	results := make([]*queueing.Result, len(schedulers))
+	err := sweepPoints(cfg, len(schedulers), func(i int) error {
+		sp := base.Clone()
+		sp.Scheduler = schedulers[i]
+		res, err := runServe(cfg, sp)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Column per class (canonical order from the first result) plus the
+	// completion-weighted mean wait across classes.
+	var cols []string
+	for _, c := range results[0].Classes {
+		cols = append(cols, "p99 "+c.Class)
+	}
+	cols = append(cols, "mean wait")
+	t := Table{ID: "serve03", Title: "Scheduler shootout on one arrival trace", Unit: "s",
+		Header: "scheduler \\ metric", Cols: cols,
+		Paper: "SLO/priority trade bulk latency for interactive latency; SJF minimizes mean wait"}
+	for i, res := range results {
+		vals := make([]float64, 0, len(cols))
+		var waitSum float64
+		var n int
+		for _, c := range res.Classes {
+			vals = append(vals, c.P99)
+			waitSum += c.MeanWait * float64(c.Completed)
+			n += c.Completed
+		}
+		mw := 0.0
+		if n > 0 {
+			mw = waitSum / float64(n)
+		}
+		vals = append(vals, mw)
+		t.Series = append(t.Series, Series{Label: schedulers[i], Values: vals})
+	}
+	return []Table{t}, nil
+}

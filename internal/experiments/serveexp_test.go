@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func runServeExp(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := RunList(context.Background(), cfg, []Experiment{e}, &buf); err != nil {
+		t.Fatalf("RunList(%s): %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestServe01Shape(t *testing.T) {
+	out := runServeExp(t, "serve01", Config{SF: 0.02, Quick: true})
+	for _, frag := range []string{
+		"Per-SLO-class latency", "p50", "p95", "p99", "SLO met",
+		"Per-client conservation counts", "arrivals", "rejected",
+		"fairness summary", "Jain",
+		"interactive", "analytics", "ingest",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("serve01 output missing %q", frag)
+		}
+	}
+}
+
+func TestServe02CurveShape(t *testing.T) {
+	out := runServeExp(t, "serve02", Config{SF: 0.02, Quick: true})
+	for _, frag := range []string{"offered QPS", "achieved QPS", "p99 latency", "mean wait"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("serve02 output missing %q", frag)
+		}
+	}
+}
+
+func TestServe03AllPolicies(t *testing.T) {
+	out := runServeExp(t, "serve03", Config{SF: 0.02, Quick: true})
+	for _, pol := range []string{"fcfs", "sjf", "priority", "slo"} {
+		if !strings.Contains(out, pol) {
+			t.Errorf("serve03 output missing policy %q", pol)
+		}
+	}
+}
+
+// TestServeArrivalsOverride: Config.Arrivals must actually replace the
+// built-in traffic — and must be canonicalized, so two spellings of the
+// same spec render byte-identical tables.
+func TestServeArrivalsOverride(t *testing.T) {
+	base := runServeExp(t, "serve01", Config{SF: 0.02, Quick: true})
+	spec, err := queueing.ParseSpec([]byte(
+		`{"seed":5,"horizon":2,"clients":[{"name":"only","rate_qps":3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := runServeExp(t, "serve01", Config{SF: 0.02, Quick: true, Arrivals: spec})
+	if over == base {
+		t.Error("arrival-spec override did not change serve01 output")
+	}
+	if !strings.Contains(over, "only") {
+		t.Error("override output does not mention the overriding client")
+	}
+	// A differently-spelled but canonically identical spec: same bytes.
+	spec2, err := queueing.ParseSpec([]byte(
+		`{"clients":[{"queries":[{"kind":"scan-s","weight":1}],"process":"poisson","rate_qps":3,"name":"only"}],"horizon":2,"seed":5,"slots":4,"scheduler":"fcfs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over2 := runServeExp(t, "serve01", Config{SF: 0.02, Quick: true, Arrivals: spec2})
+	if over != over2 {
+		t.Errorf("canonically identical specs rendered different output:\n%s\n%s", over, over2)
+	}
+}
+
+// TestServeWidthIdentical: serve experiments render byte-identical output
+// across worker-pool widths, the property the CI serving-smoke job diffs.
+func TestServeWidthIdentical(t *testing.T) {
+	ids := []string{"serve01", "serve02", "serve03"}
+	var list []Experiment
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = append(list, e)
+	}
+	run := func(jobs, sweep int) string {
+		var buf bytes.Buffer
+		cfg := Config{SF: 0.02, Quick: true, Jobs: jobs, SweepWidth: sweep}
+		if _, err := RunList(context.Background(), cfg, list, &buf); err != nil {
+			t.Fatalf("RunList(j=%d): %v", jobs, err)
+		}
+		return buf.String()
+	}
+	a, b := run(1, 1), run(4, 4)
+	if a != b {
+		t.Error("serve output differs between -j 1/-sweep-j 1 and -j 4/-sweep-j 4")
+	}
+}

@@ -296,6 +296,15 @@ type Engine struct {
 	// fast-forward path changes nothing.
 	DisableSteady bool
 
+	// StopOnCompletion makes Run return as soon as any finite flow
+	// completes instead of running the remaining flows to their own ends.
+	// Discrete-event layers on top of the engine (the serving
+	// co-simulation) use it: a flow completion is an event at which the
+	// caller may change the flow population, so the engine must hand
+	// control back. The steps taken up to the completion are identical to
+	// an uninterrupted run's.
+	StopOnCompletion bool
+
 	flows  []*Flow
 	solver Solver
 }
@@ -442,6 +451,9 @@ func (e *Engine) RunContext(ctx context.Context, maxTime float64) error {
 			// The active flow population changed; the allocation must be
 			// recomputed even for a steady cost model.
 			solved = false
+			if e.StopOnCompletion {
+				return nil
+			}
 		}
 	}
 }

@@ -13,6 +13,23 @@ func (m *Machine) Clock() float64 { return m.clock }
 // FaultsActive reports whether a fault plan is attached to the machine.
 func (m *Machine) FaultsActive() bool { return m.inj != nil }
 
+// AdvanceIdle moves the machine's lifetime clock forward by sec simulated
+// seconds with no streams running. The serving co-simulation uses it for the
+// gaps between a drain and the next arrival: fault windows still open and
+// close (and scheduled panics still fire) on the lifetime axis even while
+// the machine is idle, and the trace timeline keeps pace so later runs land
+// at the right spot.
+func (m *Machine) AdvanceIdle(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	traceOff := m.traceCursor() - m.clock
+	prev := m.clock
+	m.clock += sec
+	m.trace.Advance(sec)
+	m.faultTick(prev, m.clock, traceOff)
+}
+
 // degradedLayout returns the interleave layout of a socket with only
 // `online` channels still populated, built lazily and cached: stream
 // parallelism during a channel-offline window is computed against the

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/faults"
+	"repro/internal/topology"
+)
+
+// Tests for the discrete-event primitives under the serving co-simulation:
+// RunUntil (stop at the first finite-stream completion) and AdvanceIdle
+// (move the lifetime clock across a gap with no streams running).
+
+func untilStream(r *Region, label string, core int, bytes float64) *Stream {
+	return &Stream{
+		Label:     label,
+		Placement: cpu.Placement{Core: topology.CoreID(core)},
+		Policy:    cpu.PinCores,
+		Region:    r, Dir: access.Read, Pattern: access.SeqIndividual,
+		AccessSize: 4096, Bytes: bytes,
+	}
+}
+
+func TestRunUntilStopsAtFirstCompletion(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocPMEM("q", 0, 64<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := untilStream(r, "small", 0, 1e9)
+	large := untilStream(r, "large", 1, 20e9)
+	res, err := m.RunUntil([]*Stream{small, large}, 100)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if res.Streams[0].Bytes < small.Bytes*0.999 {
+		t.Errorf("small stream moved %.3g of %.3g bytes; RunUntil should run it to completion",
+			res.Streams[0].Bytes, small.Bytes)
+	}
+	if res.Streams[1].Bytes > large.Bytes*0.5 {
+		t.Errorf("large stream moved %.3g of %.3g bytes; RunUntil should have stopped long before",
+			res.Streams[1].Bytes, large.Bytes)
+	}
+	if got, want := res.Elapsed, res.Streams[0].Seconds; math.Abs(got-want) > 1e-9 {
+		t.Errorf("elapsed %.9g, want first completion time %.9g", got, want)
+	}
+	if m.Clock() != res.Elapsed {
+		t.Errorf("machine clock %g, want %g", m.Clock(), res.Elapsed)
+	}
+}
+
+func TestRunUntilRespectsWindow(t *testing.T) {
+	m := testMachine(t)
+	r, err := m.AllocPMEM("q", 0, 64<<30, DevDax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := untilStream(r, "s", 0, 50e9) // far more than 0.1 s of work
+	res, err := m.RunUntil([]*Stream{s}, 0.1)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// The engine's minimum step may overshoot the window by under 1 ns.
+	if res.Elapsed > 0.1+1e-9 {
+		t.Errorf("elapsed %.9g, want <= window 0.1", res.Elapsed)
+	}
+	if res.Streams[0].Bytes >= s.Bytes {
+		t.Error("stream completed inside a window far too short for it")
+	}
+	if _, err := m.RunUntil([]*Stream{s}, 0); err == nil {
+		t.Error("RunUntil accepted a non-positive window")
+	}
+}
+
+// TestRunUntilPrefixMatchesRun pins down the contract that RunUntil's steps
+// are the same ones Run would take: the first completion's time and the
+// co-runner's progress at that instant must be identical to what a full Run
+// on a fresh machine reports for the same stream set.
+func TestRunUntilPrefixMatchesRun(t *testing.T) {
+	build := func(m *Machine) []*Stream {
+		r, err := m.AllocPMEM("q", 0, 64<<30, DevDax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*Stream{
+			untilStream(r, "small", 0, 2e9),
+			untilStream(r, "large", 1, 12e9),
+		}
+	}
+	mA := testMachine(t)
+	full, err := mA.Run(build(mA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := testMachine(t)
+	until, err := mB.RunUntil(build(mB), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Streams[0].Seconds != until.Streams[0].Seconds {
+		t.Errorf("first completion at %.9g via RunUntil, %.9g via Run",
+			until.Streams[0].Seconds, full.Streams[0].Seconds)
+	}
+	if full.Streams[0].Bytes != until.Streams[0].Bytes {
+		t.Errorf("completed stream moved %.9g via RunUntil, %.9g via Run",
+			until.Streams[0].Bytes, full.Streams[0].Bytes)
+	}
+}
+
+func TestRunUntilDeterministic(t *testing.T) {
+	run := func() string {
+		m := testMachine(t)
+		r, err := m.AllocPMEM("q", 0, 64<<30, DevDax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.RunUntil([]*Stream{
+			untilStream(r, "a", 0, 1e9),
+			untilStream(r, "b", 1, 5e9),
+			untilStream(r, "c", 2, 9e9),
+		}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", res)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("RunUntil not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestAdvanceIdleMovesClock(t *testing.T) {
+	m := testMachine(t)
+	m.AdvanceIdle(1.5)
+	if m.Clock() != 1.5 {
+		t.Errorf("clock %g after AdvanceIdle(1.5), want 1.5", m.Clock())
+	}
+	m.AdvanceIdle(-1) // ignored
+	m.AdvanceIdle(0)  // ignored
+	if m.Clock() != 1.5 {
+		t.Errorf("clock %g after no-op advances, want 1.5", m.Clock())
+	}
+}
+
+// TestAdvanceIdleTicksFaults verifies the lifetime fault axis keeps running
+// across idle gaps: a fault window that opens and closes entirely inside an
+// idle period must still be accounted, and a scheduled panic must fire.
+func TestAdvanceIdleTicksFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"dimm-throttle","start":1,"duration":2,"factor":0.5}]}`)
+	m := MustNew(cfg)
+	m.AdvanceIdle(5)
+	if v := metricVal(t, m, "fault.activations"); v != 1 {
+		t.Errorf("fault.activations = %g after idle advance across window, want 1", v)
+	}
+	if v := metricVal(t, m, "fault.recoveries"); v != 1 {
+		t.Errorf("fault.recoveries = %g after idle advance across window, want 1", v)
+	}
+
+	cfg = DefaultConfig()
+	cfg.Faults = faultPlan(t, `{"events":[{"type":"panic","start":0.5}]}`)
+	mp := MustNew(cfg)
+	defer func() {
+		if _, ok := recover().(*faults.InjectedPanic); !ok {
+			t.Fatal("AdvanceIdle across a scheduled panic did not fire it")
+		}
+	}()
+	mp.AdvanceIdle(1)
+	t.Fatal("unreachable: panic expected")
+}

@@ -82,7 +82,7 @@ type RunResult struct {
 // measured bandwidths. Machine state (warmth, fsdax faults, wear) persists
 // across runs, which is exactly what the paper's warm-up experiments need.
 func (m *Machine) Run(streams []*Stream) (RunResult, error) {
-	return m.run(context.Background(), streams, m.cfg.MaxVirtualSeconds)
+	return m.run(context.Background(), streams, m.cfg.MaxVirtualSeconds, false)
 }
 
 // RunContext is Run with cooperative cancellation, polled once per solver
@@ -90,7 +90,7 @@ func (m *Machine) Run(streams []*Stream) (RunResult, error) {
 // a healthy run's, so interactive callers (pmembench under SIGINT) thread
 // their signal context through here.
 func (m *Machine) RunContext(ctx context.Context, streams []*Stream) (RunResult, error) {
-	return m.run(ctx, streams, m.cfg.MaxVirtualSeconds)
+	return m.run(ctx, streams, m.cfg.MaxVirtualSeconds, false)
 }
 
 // RunFor executes the streams for a fixed virtual-time window and reports
@@ -102,10 +102,23 @@ func (m *Machine) RunFor(streams []*Stream, seconds float64) (RunResult, error) 
 	if seconds <= 0 {
 		return RunResult{}, fmt.Errorf("machine: window must be positive, got %g", seconds)
 	}
-	return m.run(context.Background(), streams, seconds)
+	return m.run(context.Background(), streams, seconds, false)
 }
 
-func (m *Machine) run(ctx context.Context, streams []*Stream, maxTime float64) (RunResult, error) {
+// RunUntil executes the streams until the first finite stream completes or
+// the window elapses, whichever comes first. It is the discrete-event
+// primitive under the serving co-simulation: a completion is an event at
+// which the caller may admit queued work, so the run must stop there
+// instead of carrying the surviving streams to their own ends. The solver
+// steps taken up to the stopping point are exactly the ones Run would take.
+func (m *Machine) RunUntil(streams []*Stream, seconds float64) (RunResult, error) {
+	if seconds <= 0 {
+		return RunResult{}, fmt.Errorf("machine: window must be positive, got %g", seconds)
+	}
+	return m.run(context.Background(), streams, seconds, true)
+}
+
+func (m *Machine) run(ctx context.Context, streams []*Stream, maxTime float64, stopFirst bool) (RunResult, error) {
 	if len(streams) == 0 {
 		return RunResult{}, fmt.Errorf("machine: no streams")
 	}
@@ -122,6 +135,7 @@ func (m *Machine) run(ctx context.Context, streams []*Stream, maxTime float64) (
 	}
 	rm := newRunModel(m, streams)
 	eng := fluid.NewEngine(rm)
+	eng.StopOnCompletion = stopFirst
 	eng.Add(rm.flows...)
 	if err := eng.RunContext(ctx, maxTime); err != nil {
 		return RunResult{}, fmt.Errorf("machine: run failed: %w", err)

@@ -1,0 +1,174 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+)
+
+// Arrival is one generated query arrival on the simulated-time axis.
+type Arrival struct {
+	// Seq is the global arrival index in canonical event order
+	// (time, then client name, then per-client sequence).
+	Seq int
+	// At is the arrival instant in simulated seconds.
+	At float64
+	// Client / Class / Priority / SLO copy the generating client's fields
+	// so the scheduler never needs to look the client up again.
+	Client   string
+	Class    string
+	Priority int
+	SLO      float64 // seconds; 0 = no target
+	// Kind is the query template drawn from the client's mix.
+	Kind string
+	// clientSeq is the per-client arrival index (RNG draw order).
+	clientSeq int
+}
+
+// rng is a splitmix64 stream: tiny, seedable, and plenty for arrival
+// draws — the same generator the fault planner uses for jitter.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	v := r.s
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// open returns a uniform draw in (0, 1], safe under math.Log.
+func (r *rng) open() float64 { return 1 - r.float() }
+
+// normal returns a standard normal draw via Box-Muller. One draw per call
+// (the second is discarded) keeps the stream's consumption rate fixed per
+// sample, which makes draw sequences easy to reason about in tests.
+func (r *rng) normal() float64 {
+	u1, u2 := r.open(), r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// expDraw returns an exponential draw with the given rate (mean 1/rate).
+func (r *rng) expDraw(rate float64) float64 { return -math.Log(r.open()) / rate }
+
+// gammaDraw returns a Gamma(shape k, scale θ) draw via Marsaglia-Tsang's
+// squeeze method; k < 1 boosts through Gamma(k+1) · U^(1/k).
+func (r *rng) gammaDraw(k, theta float64) float64 {
+	if k < 1 {
+		return r.gammaDraw(k+1, theta) * math.Pow(r.open(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.open()
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v * theta
+		}
+	}
+}
+
+// weibullDraw returns a Weibull(shape k, scale λ) draw by inversion.
+func (r *rng) weibullDraw(k, lambda float64) float64 {
+	return lambda * math.Pow(-math.Log(r.open()), 1/k)
+}
+
+// interArrival draws one inter-arrival gap for the client. All three
+// processes are parameterized so the mean gap is exactly 1/RateQPS:
+// Gamma uses θ = 1/(rate·k), Weibull uses λ = 1/(rate·Γ(1+1/k)).
+func interArrival(r *rng, c *Client) float64 {
+	switch c.Process {
+	case ProcGamma:
+		return r.gammaDraw(c.Shape, 1/(c.RateQPS*c.Shape))
+	case ProcWeibull:
+		return r.weibullDraw(c.Shape, 1/(c.RateQPS*math.Gamma(1+1/c.Shape)))
+	default: // poisson
+		return r.expDraw(c.RateQPS)
+	}
+}
+
+// fnv64a hashes a string (FNV-1a), keying per-client RNG streams by name.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// clientSeed derives the client's RNG seed from the spec seed and the
+// client's canonical name, so list order never changes anyone's draws.
+func clientSeed(specSeed int64, name string) uint64 {
+	return uint64(specSeed) ^ fnv64a(name)
+}
+
+// hardArrivalCap is a defensive per-client generation stop far above any
+// count the validator admits (MaxExpectedArrivals mean, heavy tail or not).
+const hardArrivalCap = 4 * MaxExpectedArrivals
+
+// pickKind draws a template kind from the client's (canonical-order) mix.
+func pickKind(r *rng, c *Client) string {
+	if len(c.Queries) == 1 {
+		return c.Queries[0].Kind
+	}
+	total := 0.0
+	for _, q := range c.Queries {
+		total += q.Weight
+	}
+	x := r.float() * total
+	for _, q := range c.Queries {
+		x -= q.Weight
+		if x < 0 {
+			return q.Kind
+		}
+	}
+	return c.Queries[len(c.Queries)-1].Kind
+}
+
+// Generate expands the spec into its full arrival trace, sorted into
+// canonical event order with global sequence numbers assigned. The spec
+// must be normalized (ParseSpec output, or Normalize called).
+func Generate(spec *Spec) []Arrival {
+	var all []Arrival
+	for i := range spec.Clients {
+		c := &spec.Clients[i]
+		r := &rng{s: clientSeed(spec.Seed, c.Name)}
+		t := 0.0
+		for seq := 0; seq < hardArrivalCap; seq++ {
+			t += interArrival(r, c)
+			if t > spec.Horizon {
+				break
+			}
+			all = append(all, Arrival{
+				At:        t,
+				Client:    c.Name,
+				Class:     c.Class,
+				Priority:  c.Priority,
+				SLO:       c.SLOSeconds,
+				Kind:      pickKind(r, c),
+				clientSeq: seq,
+			})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].At != all[b].At {
+			return all[a].At < all[b].At
+		}
+		if all[a].Client != all[b].Client {
+			return all[a].Client < all[b].Client
+		}
+		return all[a].clientSeq < all[b].clientSeq
+	})
+	for i := range all {
+		all[i].Seq = i
+	}
+	return all
+}

@@ -1,0 +1,202 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+func genSpec(process string, rate, shape float64, horizon float64) *Spec {
+	sp := &Spec{
+		Seed:    17,
+		Horizon: horizon,
+		Clients: []Client{{Name: "c", Process: process, RateQPS: rate, Shape: shape}},
+	}
+	if err := sp.Normalize(); err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	sp := genSpec(ProcPoisson, 20, 0, 50)
+	a := fmt.Sprintf("%v", Generate(sp))
+	b := fmt.Sprintf("%v", Generate(sp))
+	if a != b {
+		t.Error("same spec generated different arrivals")
+	}
+	sp2 := sp.Clone()
+	sp2.Seed = 18
+	if c := fmt.Sprintf("%v", Generate(sp2)); c == a {
+		t.Error("different seed generated identical arrivals")
+	}
+}
+
+// TestGenerateOrderInvariant: client list order must not change anyone's
+// draws — per-client RNG streams are keyed by name, not index.
+func TestGenerateOrderInvariant(t *testing.T) {
+	ab := &Spec{Seed: 5, Horizon: 20, Clients: []Client{
+		{Name: "a", RateQPS: 3}, {Name: "b", RateQPS: 7, Process: ProcWeibull, Shape: 2}}}
+	ba := &Spec{Seed: 5, Horizon: 20, Clients: []Client{
+		{Name: "b", RateQPS: 7, Process: ProcWeibull, Shape: 2}, {Name: "a", RateQPS: 3}}}
+	if err := ab.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if x, y := fmt.Sprintf("%v", Generate(ab)), fmt.Sprintf("%v", Generate(ba)); x != y {
+		t.Error("client order changed the arrival trace")
+	}
+}
+
+// gaps recovers the inter-arrival gaps of a one-client trace.
+func gaps(arr []Arrival) []float64 {
+	out := make([]float64, 0, len(arr))
+	prev := 0.0
+	for _, a := range arr {
+		out = append(out, a.At-prev)
+		prev = a.At
+	}
+	return out
+}
+
+// TestGenerateEmpiricalMean: for each process the empirical arrival rate
+// must sit within a few percent of the configured rate (the law of large
+// numbers at ~50k draws).
+func TestGenerateEmpiricalMean(t *testing.T) {
+	cases := []struct {
+		process string
+		shape   float64
+	}{
+		{ProcPoisson, 0},
+		{ProcGamma, 0.7},
+		{ProcGamma, 3},
+		{ProcWeibull, 0.8},
+		{ProcWeibull, 2},
+	}
+	for _, tc := range cases {
+		rate := 50.0
+		arr := Generate(genSpec(tc.process, rate, tc.shape, 1000))
+		got := float64(len(arr)) / 1000
+		if math.Abs(got-rate)/rate > 0.05 {
+			t.Errorf("%s(shape=%g): empirical rate %.2f QPS, configured %g", tc.process, tc.shape, got, rate)
+		}
+	}
+}
+
+// ksDistance is the Kolmogorov–Smirnov statistic between a sample and an
+// analytic CDF.
+func ksDistance(sample []float64, cdf func(float64) float64) float64 {
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		d = math.Max(d, math.Abs(f-float64(i)/n))
+		d = math.Max(d, math.Abs(f-float64(i+1)/n))
+	}
+	return d
+}
+
+// TestGenerateShapes: KS-style check of each process's inter-arrival gaps
+// against the analytic CDF it claims to draw from. The threshold is loose
+// (0.02 at ~50k samples vs the 1% critical value of ~0.006) — it catches a
+// wrong distribution or a broken parameterization, not subtle bias.
+func TestGenerateShapes(t *testing.T) {
+	const rate = 50.0
+	cases := []struct {
+		name    string
+		process string
+		shape   float64
+		cdf     func(float64) float64
+	}{
+		{"poisson", ProcPoisson, 0, func(x float64) float64 {
+			return 1 - math.Exp(-rate*x)
+		}},
+		{"gamma k=2", ProcGamma, 2, func(x float64) float64 {
+			// Erlang-2 with θ = 1/(2·rate): P(X<=x) = 1 - e^{-x/θ}(1 + x/θ).
+			u := x * 2 * rate
+			return 1 - math.Exp(-u)*(1+u)
+		}},
+		{"weibull k=2", ProcWeibull, 2, func(x float64) float64 {
+			lambda := 1 / (rate * math.Gamma(1.5))
+			return 1 - math.Exp(-math.Pow(x/lambda, 2))
+		}},
+	}
+	for _, tc := range cases {
+		arr := Generate(genSpec(tc.process, rate, tc.shape, 1000))
+		if len(arr) < 10000 {
+			t.Fatalf("%s: only %d samples", tc.name, len(arr))
+		}
+		if d := ksDistance(gaps(arr), tc.cdf); d > 0.02 {
+			t.Errorf("%s: KS distance %.4f from analytic CDF, want < 0.02", tc.name, d)
+		}
+	}
+}
+
+// TestGammaLessVariable: a high-shape Gamma process is burst-free compared
+// to Poisson — its gap coefficient of variation must be well below 1.
+func TestGammaLessVariable(t *testing.T) {
+	cv := func(xs []float64) float64 {
+		m := mean(xs)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return math.Sqrt(v/float64(len(xs))) / m
+	}
+	pois := cv(gaps(Generate(genSpec(ProcPoisson, 50, 0, 500))))
+	gam := cv(gaps(Generate(genSpec(ProcGamma, 50, 4, 500))))
+	if math.Abs(pois-1) > 0.1 {
+		t.Errorf("poisson gap CV = %.3f, want ~1", pois)
+	}
+	if want := 0.5; math.Abs(gam-want) > 0.1 {
+		t.Errorf("gamma(k=4) gap CV = %.3f, want ~%.1f", gam, want)
+	}
+}
+
+// TestGenerateMixWeights: a 3:1 query mix must draw roughly 3:1.
+func TestGenerateMixWeights(t *testing.T) {
+	sp := &Spec{Seed: 9, Horizon: 1000, Clients: []Client{{
+		Name: "m", RateQPS: 20,
+		Queries: []QueryMix{{Kind: KindProbe, Weight: 3}, {Kind: KindScanSmall, Weight: 1}},
+	}}}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	arr := Generate(sp)
+	probes := 0
+	for _, a := range arr {
+		if a.Kind == KindProbe {
+			probes++
+		}
+	}
+	if frac := float64(probes) / float64(len(arr)); math.Abs(frac-0.75) > 0.03 {
+		t.Errorf("probe fraction %.3f, want ~0.75", frac)
+	}
+}
+
+// TestGenerateSorted: the trace is in canonical event order with dense
+// global sequence numbers.
+func TestGenerateSorted(t *testing.T) {
+	sp := &Spec{Seed: 2, Horizon: 50, Clients: []Client{
+		{Name: "a", RateQPS: 10}, {Name: "b", RateQPS: 10}}}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	arr := Generate(sp)
+	for i := range arr {
+		if arr[i].Seq != i {
+			t.Fatalf("arrival %d has seq %d", i, arr[i].Seq)
+		}
+		if i > 0 && arr[i].At < arr[i-1].At {
+			t.Fatalf("arrivals out of time order at %d", i)
+		}
+		if arr[i].At > sp.Horizon {
+			t.Fatalf("arrival %d past the horizon", i)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package queueing
+
+import (
+	"testing"
+)
+
+// FuzzArrivalSpec feeds arbitrary bytes through the spec parser: whatever
+// the input, ParseSpec must never panic, and any spec it accepts must be
+// self-consistent — its canonical bytes reparse to the same canonical
+// bytes (parse → canonicalize → parse is a fixed point), and its arrival
+// trace generates without panicking. NaN/Inf/negative rates never survive:
+// they are either invalid JSON or rejected by validation.
+func FuzzArrivalSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"horizon":5,"clients":[{"name":"a","rate_qps":2}]}`,
+		`{"seed":42,"horizon":10,"slots":2,"scheduler":"slo",
+		  "admission":{"policy":"token-bucket","rate_qps":3,"burst":5},
+		  "clients":[{"name":"a","rate_qps":2,"process":"gamma","shape":2,
+		    "class":"fast","priority":5,"slo_seconds":0.5,
+		    "queries":[{"kind":"probe","weight":3},{"kind":"scan-s"}]}]}`,
+		`{"horizon":5,"clients":[{"name":"w","rate_qps":4,"process":"weibull","shape":0.8}]}`,
+		`{"horizon":-1,"clients":[{"name":"a","rate_qps":2}]}`,
+		`{"horizon":5,"clients":[{"name":"a","rate_qps":-3}]}`,
+		`{"horizon":1e308,"clients":[{"name":"a","rate_qps":1e308}]}`,
+		`{"horizon":5,"clients":[{"name":"a","rate_qps":2},{"name":"a","rate_qps":3}]}`,
+		`{"horizon":5,"scheduler":"lifo","clients":[{"name":"a","rate_qps":1}]}`,
+		`[1,2,3]`,
+		`{"horizon":5,"clients":[{"name":"a","rate_qps":1,"queries":[{"kind":"nope"}]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		first := sp.CanonicalJSON()
+		re, err := ParseSpec(first)
+		if err != nil {
+			t.Fatalf("canonical bytes rejected on reparse: %v\n%s", err, first)
+		}
+		if second := re.CanonicalJSON(); string(first) != string(second) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\n%s", first, second)
+		}
+		// Accepted specs must be bounded enough to expand safely.
+		arr := Generate(sp)
+		for i := 1; i < len(arr); i++ {
+			if arr[i].At < arr[i-1].At {
+				t.Fatal("generated arrivals out of order")
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package queueing
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fprint renders the result as aligned text. The output is a pure function
+// of the Result — no timestamps or host state — so the same spec and seed
+// always print the same bytes (the property the CLI serving smoke diffs).
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "served %d of %d arrivals (%d admitted, %d rejected) in %.3f s simulated\n",
+		r.Completed, r.Arrivals, r.Admitted, r.Rejected, r.Elapsed)
+	qps := 0.0
+	if r.Elapsed > 0 {
+		qps = float64(r.Completed) / r.Elapsed
+	}
+	fmt.Fprintf(w, "throughput: %.2f QPS  served %.3f GB  machine %.3f GB  Jain %.3f  peak queue %d\n",
+		qps, r.ServedBytes/1e9, r.MachineBytes/1e9, r.Jain, r.PeakQueue)
+
+	fmt.Fprintf(w, "\n%-14s %9s %9s %9s %9s %9s %10s %8s\n",
+		"class", "p50 s", "p95 s", "p99 s", "mean s", "wait s", "SLO met", "done")
+	for _, c := range r.Classes {
+		slo := "-"
+		if c.SLO > 0 {
+			slo = fmt.Sprintf("%.1f%%", c.SLOMet*100)
+		}
+		fmt.Fprintf(w, "%-14s %9.4f %9.4f %9.4f %9.4f %9.4f %10s %8d\n",
+			c.Class, c.P50, c.P95, c.P99, c.Mean, c.MeanWait, slo, c.Completed)
+	}
+
+	fmt.Fprintf(w, "\n%-14s %9s %9s %9s %9s %12s\n",
+		"client", "arrivals", "admitted", "rejected", "done", "served GB")
+	for _, c := range r.Clients {
+		fmt.Fprintf(w, "%-14s %9d %9d %9d %9d %12.3f\n",
+			c.Client, c.Arrivals, c.Admitted, c.Rejected, c.Completed, c.ServedBytes/1e9)
+	}
+}

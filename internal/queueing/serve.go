@@ -1,0 +1,649 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/cpu"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/simtrace"
+	"repro/internal/topology"
+)
+
+// Query template kinds accepted in a client's query mix. The catalogue is
+// fixed in code: templates are part of the simulation model, not the spec,
+// so two specs naming the same kind always mean the same work.
+const (
+	KindScanSmall = "scan-s" // short sequential scan, 2 threads
+	KindScanLarge = "scan-l" // long sequential scan, 4 threads
+	KindProbe     = "probe"  // dependent random probes, 2 threads
+	KindIngest    = "ingest" // sequential ingest writes, 2 threads
+)
+
+// template describes one query kind's machine-level work.
+type template struct {
+	dir        access.Direction
+	pattern    access.Pattern
+	accessSize int64
+	threads    int
+	bytes      float64 // total across threads
+	cpuPerByte float64
+	dependent  bool
+}
+
+var templates = map[string]template{
+	KindScanSmall: {access.Read, access.SeqIndividual, 4096, 2, 512e6, 0, false},
+	KindScanLarge: {access.Read, access.SeqIndividual, 4096, 4, 4e9, 0, false},
+	KindProbe:     {access.Read, access.Random, 256, 2, 64e6, 0, true},
+	KindIngest:    {access.Write, access.SeqIndividual, 256, 2, 256e6, 0, false},
+}
+
+// maxTemplateThreads is the widest template; slot core offsets are spaced
+// by it so concurrent slots never share cores.
+const maxTemplateThreads = 4
+
+// TemplateBytes returns a kind's total work in bytes (0 for unknown kinds);
+// the SJF scheduler and capacity planning both read it.
+func TemplateBytes(kind string) float64 { return templates[kind].bytes }
+
+// kindList renders the catalogue's kinds for error messages.
+func kindList() string {
+	kinds := make([]string, 0, len(templates))
+	for k := range templates {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	s := ""
+	for i, k := range kinds {
+		if i > 0 {
+			s += ", "
+		}
+		s += k
+	}
+	return s
+}
+
+// ClassStats aggregates completed queries of one SLO class.
+type ClassStats struct {
+	Class     string
+	Completed int
+	// Latency percentiles (arrival to completion), nearest-rank.
+	P50, P95, P99, Mean float64
+	// Queue wait (arrival to service start).
+	MeanWait, MaxWait float64
+	// SLO is the class's target (0 = none); SLOMet is the fraction of
+	// completed queries under it (1 when there is no target).
+	SLO    float64
+	SLOMet float64
+	// QPS is completed queries over the run's makespan.
+	QPS float64
+}
+
+// ClientStats counts one client's traffic.
+type ClientStats struct {
+	Client      string
+	Arrivals    int
+	Admitted    int
+	Rejected    int
+	Completed   int
+	ServedBytes float64
+}
+
+// Result is one serving run's outcome.
+type Result struct {
+	Arrivals  int
+	Admitted  int
+	Rejected  int
+	Completed int
+	// Elapsed is the makespan in simulated seconds: last completion (or
+	// last event) relative to the serve start.
+	Elapsed float64
+	// ServedBytes sums the template bytes of completed queries;
+	// MachineBytes integrates the fluid solver's bandwidth over the same
+	// interval. The two must agree — that equality is the conservation
+	// invariant tying the queueing layer to the machine model.
+	ServedBytes  float64
+	MachineBytes float64
+	PeakQueue    int
+	Jain         float64 // fairness over per-client served bytes
+	Classes      []ClassStats
+	Clients      []ClientStats
+}
+
+// epsTime absorbs the engine's minimum-step overshoot (< 1 ns).
+const epsTime = 1e-9
+
+// epsBytes is the residual below which a thread's stream counts as done.
+const epsBytes = 1e-3
+
+// maxChunk bounds one drain window so RunUntil always gets a finite span.
+const maxChunk = 1e4
+
+// query is one admitted arrival's lifecycle through the serving loop.
+type query struct {
+	arr       Arrival
+	startAt   float64
+	finishAt  float64
+	slot      int
+	streams   []*machine.Stream
+	remaining []float64 // per-thread bytes still to move
+	done      bool
+}
+
+// Serve runs the spec's traffic against the machine and returns the
+// aggregated serving statistics. The spec is normalized on entry (the
+// caller's copy is not modified). Serve allocates one PMEM region per
+// socket for query data and frees them before returning; warmth, wear, and
+// the lifetime fault clock persist on the machine, as they do across plain
+// runs.
+func Serve(m *machine.Machine, spec *Spec) (*Result, error) {
+	sp := spec.Clone()
+	if sp == nil {
+		return nil, fmt.Errorf("queueing: nil spec")
+	}
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	topo := m.Topology()
+	if perSocket := topo.PhysCoresPerSocket(); sp.Slots*maxTemplateThreads > perSocket*topo.Sockets() {
+		return nil, fmt.Errorf("queueing: %d slots need %d cores, machine has %d",
+			sp.Slots, sp.Slots*maxTemplateThreads, perSocket*topo.Sockets())
+	}
+
+	regions := make([]*machine.Region, topo.Sockets())
+	for s := range regions {
+		r, err := m.AllocPMEM(fmt.Sprintf("serve-pmem-%d", s), topology.SocketID(s), 8<<30, machine.DevDax)
+		if err != nil {
+			return nil, fmt.Errorf("queueing: alloc serving region: %w", err)
+		}
+		regions[s] = r
+	}
+	defer func() {
+		for _, r := range regions {
+			m.Free(r)
+		}
+	}()
+
+	st := newServeState(m, sp, regions)
+	if err := st.loop(); err != nil {
+		return nil, err
+	}
+	return st.result()
+}
+
+// serveState is the discrete-event loop's mutable state.
+type serveState struct {
+	m       *machine.Machine
+	spec    *Spec
+	regions []*machine.Region
+
+	arrivals []Arrival
+	nextArr  int // index of the first not-yet-delivered arrival
+	t        float64
+	queue    []*query
+	slots    []*query // index = slot id; nil = free
+	bucket   *tokenBucket
+
+	admitted     []*query // every admitted query, for stats
+	rejected     int
+	machineBytes float64
+	peakQueue    int
+
+	reg   *metrics.Registry
+	trace *simtrace.Process
+	ctids map[string]int // class -> trace tid
+}
+
+// tokenBucket is the token-bucket admission gate, refilled lazily on the
+// simulated clock.
+type tokenBucket struct {
+	rate, burst   float64
+	tokens, lastT float64
+}
+
+func (b *tokenBucket) allow(at float64) bool {
+	if b == nil {
+		return true
+	}
+	b.tokens = math.Min(b.burst, b.tokens+(at-b.lastT)*b.rate)
+	b.lastT = at
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Trace thread ids within the "serving" process.
+const (
+	tidArrivals = 0 // arrival / rejection instants
+	tidQueue    = 1 // queue-depth counter
+	tidClass0   = 2 // per-class wait spans (one row per class)
+	tidSlot0    = 10
+)
+
+func newServeState(m *machine.Machine, sp *Spec, regions []*machine.Region) *serveState {
+	st := &serveState{
+		m:        m,
+		spec:     sp,
+		regions:  regions,
+		arrivals: Generate(sp),
+		slots:    make([]*query, sp.Slots),
+		reg:      m.Metrics(),
+	}
+	if a := sp.Admission; a != nil && a.Policy == AdmitTokenBucket {
+		st.bucket = &tokenBucket{rate: a.RateQPS, burst: a.Burst, tokens: a.Burst}
+	}
+	if rec := m.Config().Trace; rec != nil {
+		st.trace = rec.Process("serving")
+		st.trace.Thread(tidArrivals, "arrivals")
+		st.trace.Thread(tidQueue, "queue")
+		st.ctids = map[string]int{}
+		classes := map[string]bool{}
+		for i := range sp.Clients {
+			classes[sp.Clients[i].Class] = true
+		}
+		names := make([]string, 0, len(classes))
+		for c := range classes {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for i, c := range names {
+			st.ctids[c] = tidClass0 + i
+			st.trace.Thread(tidClass0+i, "wait "+c)
+		}
+		for s := 0; s < sp.Slots; s++ {
+			st.trace.Thread(tidSlot0+s, fmt.Sprintf("slot %d", s))
+		}
+	}
+	return st
+}
+
+// counterQueueDepth emits the queue-depth counter sample at the current time.
+func (st *serveState) counterQueueDepth() {
+	st.trace.Counter(simtrace.CatServing, "queue depth", tidQueue, st.t,
+		simtrace.F("queued", float64(len(st.queue))))
+}
+
+// deliver admits every arrival due at or before the current time.
+func (st *serveState) deliver() {
+	for st.nextArr < len(st.arrivals) && st.arrivals[st.nextArr].At <= st.t+epsTime {
+		arr := st.arrivals[st.nextArr]
+		st.nextArr++
+		if !st.bucket.allow(arr.At) {
+			st.rejected++
+			st.trace.Instant(simtrace.CatServing, "rejected "+arr.Client, tidArrivals, arr.At,
+				simtrace.S("kind", arr.Kind))
+			continue
+		}
+		q := &query{arr: arr, slot: -1}
+		st.admitted = append(st.admitted, q)
+		st.queue = append(st.queue, q)
+		st.trace.Instant(simtrace.CatServing, "arrive "+arr.Client, tidArrivals, arr.At,
+			simtrace.S("kind", arr.Kind), simtrace.S("class", arr.Class))
+		if len(st.queue) > st.peakQueue {
+			st.peakQueue = len(st.queue)
+		}
+		st.counterQueueDepth()
+	}
+}
+
+// pick returns the queue index of the next query under the spec's
+// scheduler, or -1 if the queue is empty. Ties always break on the global
+// arrival sequence, so every policy is a total order and the loop is
+// deterministic.
+func (st *serveState) pick() int {
+	if len(st.queue) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(st.queue); i++ {
+		if st.less(st.queue[i], st.queue[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (st *serveState) less(a, b *query) bool {
+	switch st.spec.Scheduler {
+	case SchedSJF:
+		ab, bb := templates[a.arr.Kind].bytes, templates[b.arr.Kind].bytes
+		if ab != bb {
+			return ab < bb
+		}
+	case SchedPriority:
+		if a.arr.Priority != b.arr.Priority {
+			return a.arr.Priority > b.arr.Priority
+		}
+	case SchedSLO:
+		ad, bd := sloDeadline(a.arr), sloDeadline(b.arr)
+		if ad != bd {
+			return ad < bd
+		}
+	}
+	return a.arr.Seq < b.arr.Seq
+}
+
+func sloDeadline(a Arrival) float64 {
+	if a.SLO <= 0 {
+		return math.Inf(1)
+	}
+	return a.At + a.SLO
+}
+
+// start places the query into the slot and builds its machine streams.
+func (st *serveState) start(q *query, slot int) {
+	tp := templates[q.arr.Kind]
+	socket := slot % len(st.regions)
+	offset := (slot / len(st.regions)) * maxTemplateThreads
+	placements := cpu.AssignThreadsOffset(st.m.Topology(), cpu.PinCores,
+		topology.SocketID(socket), tp.threads, offset)
+	perThread := tp.bytes / float64(tp.threads)
+	q.slot = slot
+	q.startAt = st.t
+	q.streams = make([]*machine.Stream, tp.threads)
+	q.remaining = make([]float64, tp.threads)
+	for i := 0; i < tp.threads; i++ {
+		q.streams[i] = &machine.Stream{
+			Label:      fmt.Sprintf("q%04d/%s/t%d", q.arr.Seq, q.arr.Kind, i),
+			Placement:  placements[i],
+			Policy:     cpu.PinCores,
+			Region:     st.regions[socket],
+			Dir:        tp.dir,
+			Pattern:    tp.pattern,
+			AccessSize: tp.accessSize,
+			Bytes:      perThread,
+			CPUPerByte: tp.cpuPerByte,
+			Dependent:  tp.dependent,
+		}
+		q.remaining[i] = perThread
+	}
+	st.slots[slot] = q
+	if st.trace != nil {
+		if wait := st.t - q.arr.At; wait > epsTime {
+			st.trace.Span(simtrace.CatServing, "wait "+q.arr.Client, st.ctids[q.arr.Class],
+				q.arr.At, wait, simtrace.S("kind", q.arr.Kind))
+		}
+	}
+}
+
+// fill starts queued queries while slots are free.
+func (st *serveState) fill() {
+	for slot := 0; slot < len(st.slots); slot++ {
+		if st.slots[slot] != nil {
+			continue
+		}
+		i := st.pick()
+		if i < 0 {
+			return
+		}
+		q := st.queue[i]
+		st.queue = append(st.queue[:i], st.queue[i+1:]...)
+		st.start(q, slot)
+		st.counterQueueDepth()
+	}
+}
+
+// finish retires a completed query at the current time.
+func (st *serveState) finish(q *query) {
+	q.finishAt = st.t
+	q.done = true
+	st.slots[q.slot] = nil
+	st.trace.Span(simtrace.CatServing, fmt.Sprintf("%s %s", q.arr.Kind, q.arr.Client),
+		tidSlot0+q.slot, q.startAt, q.finishAt-q.startAt,
+		simtrace.S("class", q.arr.Class))
+}
+
+// loop is the discrete-event engine: alternate between delivering due
+// arrivals, filling slots, and running the machine either to the next
+// arrival or to the next query completion, whichever comes first.
+func (st *serveState) loop() error {
+	// Each iteration delivers an arrival, completes a stream, or exhausts
+	// a drain chunk; this bound is far above what any validated spec can
+	// produce and only guards against a model bug looping forever.
+	maxIter := (len(st.arrivals)+1)*(2*maxTemplateThreads+4) + int(MaxHorizon/maxChunk) + 1000
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return fmt.Errorf("queueing: event loop exceeded %d iterations (model bug)", maxIter)
+		}
+		st.deliver()
+		st.fill()
+
+		var active []*machine.Stream
+		var owners []*query // owners[i] owns active[i]
+		var threadIdx []int
+		for _, q := range st.slots {
+			if q == nil {
+				continue
+			}
+			for i, rem := range q.remaining {
+				if rem > epsBytes {
+					q.streams[i].Bytes = rem
+					active = append(active, q.streams[i])
+					owners = append(owners, q)
+					threadIdx = append(threadIdx, i)
+				}
+			}
+		}
+
+		if len(active) == 0 {
+			if st.nextArr >= len(st.arrivals) {
+				return nil // drained
+			}
+			gap := st.arrivals[st.nextArr].At - st.t
+			if gap > 0 {
+				st.m.AdvanceIdle(gap)
+				st.t += gap
+			}
+			continue
+		}
+
+		window := maxChunk
+		if st.nextArr < len(st.arrivals) {
+			if gap := st.arrivals[st.nextArr].At - st.t; gap < window {
+				window = gap
+			}
+		}
+		if window <= 0 {
+			// An arrival is due now (engine overshoot); deliver it first.
+			continue
+		}
+		res, err := st.m.RunUntil(active, window)
+		if err != nil {
+			return fmt.Errorf("queueing: serve run: %w", err)
+		}
+		st.t += res.Elapsed
+		st.machineBytes += res.TotalBytes
+		for i := range active {
+			q := owners[i]
+			q.remaining[threadIdx[i]] -= res.Streams[i].Bytes
+		}
+		for _, q := range st.slots {
+			if q == nil {
+				continue
+			}
+			done := true
+			for _, rem := range q.remaining {
+				if rem > epsBytes {
+					done = false
+					break
+				}
+			}
+			if done {
+				st.finish(q)
+			}
+		}
+	}
+}
+
+// result aggregates the finished run. It also checks the conservation
+// invariants — arrivals = admitted + rejected, admitted = completed after
+// the drain, and served bytes = the solver's integrated bytes — and fails
+// loudly if the event loop ever breaks them.
+func (st *serveState) result() (*Result, error) {
+	res := &Result{
+		Arrivals:     len(st.arrivals),
+		Admitted:     len(st.admitted),
+		Rejected:     st.rejected,
+		Elapsed:      st.t,
+		MachineBytes: st.machineBytes,
+		PeakQueue:    st.peakQueue,
+	}
+
+	classLat := map[string][]float64{}
+	classWait := map[string][]float64{}
+	classSLO := map[string]float64{}
+	classMet := map[string]int{}
+	clients := map[string]*ClientStats{}
+	for i := range st.spec.Clients {
+		c := &st.spec.Clients[i]
+		clients[c.Name] = &ClientStats{Client: c.Name}
+		if _, ok := classLat[c.Class]; !ok {
+			classLat[c.Class] = nil
+			classWait[c.Class] = nil
+		}
+		// The class target is the max of its clients' targets (classes
+		// normally map 1:1 to clients or share one SLO).
+		if c.SLOSeconds > classSLO[c.Class] {
+			classSLO[c.Class] = c.SLOSeconds
+		}
+	}
+	for _, a := range st.arrivals {
+		clients[a.Client].Arrivals++
+	}
+	for _, q := range st.admitted {
+		cs := clients[q.arr.Client]
+		cs.Admitted++
+		if !q.done {
+			continue // still queued or running: conservation check below fails
+		}
+		res.Completed++
+		cs.Completed++
+		bytes := templates[q.arr.Kind].bytes
+		cs.ServedBytes += bytes
+		res.ServedBytes += bytes
+		lat := math.Max(0, q.finishAt-q.arr.At)
+		wait := math.Max(0, q.startAt-q.arr.At)
+		classLat[q.arr.Class] = append(classLat[q.arr.Class], lat)
+		classWait[q.arr.Class] = append(classWait[q.arr.Class], wait)
+		if slo := classSLO[q.arr.Class]; slo <= 0 || lat <= slo {
+			classMet[q.arr.Class]++
+		}
+		st.observe(q, lat, wait)
+	}
+	for _, cs := range clients {
+		cs.Rejected = cs.Arrivals - cs.Admitted
+	}
+
+	if res.Arrivals != res.Admitted+res.Rejected {
+		return nil, fmt.Errorf("queueing: conservation violated: %d arrivals != %d admitted + %d rejected",
+			res.Arrivals, res.Admitted, res.Rejected)
+	}
+	if res.Completed != res.Admitted {
+		return nil, fmt.Errorf("queueing: conservation violated: %d admitted but %d completed after drain",
+			res.Admitted, res.Completed)
+	}
+
+	classes := make([]string, 0, len(classLat))
+	for c := range classLat {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		lat := classLat[c]
+		sort.Float64s(lat)
+		wait := classWait[c]
+		cs := ClassStats{Class: c, Completed: len(lat), SLO: classSLO[c], SLOMet: 1}
+		if n := len(lat); n > 0 {
+			cs.P50 = percentile(lat, 0.50)
+			cs.P95 = percentile(lat, 0.95)
+			cs.P99 = percentile(lat, 0.99)
+			cs.Mean = mean(lat)
+			cs.MeanWait = mean(wait)
+			for _, w := range wait {
+				cs.MaxWait = math.Max(cs.MaxWait, w)
+			}
+			cs.SLOMet = float64(classMet[c]) / float64(n)
+			if res.Elapsed > 0 {
+				cs.QPS = float64(n) / res.Elapsed
+			}
+		}
+		res.Classes = append(res.Classes, cs)
+	}
+
+	names := make([]string, 0, len(clients))
+	for n := range clients {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sum, sumSq float64
+	for _, n := range names {
+		res.Clients = append(res.Clients, *clients[n])
+		sum += clients[n].ServedBytes
+		sumSq += clients[n].ServedBytes * clients[n].ServedBytes
+	}
+	res.Jain = 1.0
+	if sumSq > 0 {
+		res.Jain = sum * sum / (float64(len(names)) * sumSq)
+	}
+
+	// The byte conservation tying this layer to the machine model: every
+	// admitted query ran its template's bytes through the solver, nothing
+	// more, nothing less (epsBytes residual per thread at most).
+	slack := float64(res.Completed)*maxTemplateThreads*epsBytes + 1
+	if math.Abs(res.ServedBytes-res.MachineBytes) > slack {
+		return nil, fmt.Errorf("queueing: conservation violated: served %.0f bytes but machine moved %.0f",
+			res.ServedBytes, res.MachineBytes)
+	}
+
+	st.finalMetrics(res)
+	return res, nil
+}
+
+// observe records one completed query into the metrics registry.
+func (st *serveState) observe(q *query, lat, wait float64) {
+	b := metrics.DefaultDurationBuckets()
+	st.reg.Histogram("queue.wait_seconds", b).Observe(wait)
+	st.reg.Histogram("queue.service_seconds", b).Observe(math.Max(0, q.finishAt-q.startAt))
+	st.reg.Histogram("slo.latency_seconds", b).Observe(lat)
+}
+
+// finalMetrics publishes the run's scalar counters.
+func (st *serveState) finalMetrics(res *Result) {
+	st.reg.Counter("queue.arrivals").Add(float64(res.Arrivals))
+	st.reg.Counter("queue.admitted").Add(float64(res.Admitted))
+	st.reg.Counter("queue.rejected").Add(float64(res.Rejected))
+	st.reg.Counter("queue.completed").Add(float64(res.Completed))
+	st.reg.Counter("queue.served_bytes").Add(res.ServedBytes)
+	st.reg.Gauge("queue.depth_peak").SetMax(float64(res.PeakQueue))
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,151 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func baseSpec() *Spec {
+	return &Spec{
+		Seed:    7,
+		Horizon: 2,
+		Slots:   4,
+		Clients: []Client{
+			{Name: "interactive", RateQPS: 6, Class: "fast", SLOSeconds: 0.5,
+				Queries: []QueryMix{{Kind: KindProbe, Weight: 3}, {Kind: KindScanSmall, Weight: 1}}},
+			{Name: "batch", RateQPS: 2, Class: "bulk",
+				Queries: []QueryMix{{Kind: KindScanSmall}}},
+		},
+	}
+}
+
+func serveOnFresh(t *testing.T, sp *Spec) *Result {
+	t.Helper()
+	m := machine.MustNew(machine.DefaultConfig())
+	res, err := Serve(m, sp)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	return res
+}
+
+func TestServeSmoke(t *testing.T) {
+	res := serveOnFresh(t, baseSpec())
+	if res.Arrivals == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if res.Completed != res.Admitted || res.Admitted != res.Arrivals {
+		t.Errorf("always-admit run: arrivals=%d admitted=%d completed=%d, want all equal",
+			res.Arrivals, res.Admitted, res.Completed)
+	}
+	if res.Elapsed <= 0 || res.ServedBytes <= 0 {
+		t.Errorf("degenerate result: elapsed=%g served=%g", res.Elapsed, res.ServedBytes)
+	}
+	if len(res.Classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(res.Classes))
+	}
+	for _, c := range res.Classes {
+		if c.Completed > 0 && (c.P50 <= 0 || c.P99 < c.P95 || c.P95 < c.P50) {
+			t.Errorf("class %s percentiles out of order: p50=%g p95=%g p99=%g", c.Class, c.P50, c.P95, c.P99)
+		}
+	}
+	if res.Jain <= 0 || res.Jain > 1 {
+		t.Errorf("Jain index %g outside (0, 1]", res.Jain)
+	}
+}
+
+// TestServeDeterministic is the headline property: the full result —
+// every latency percentile, byte count, and fairness figure — is
+// byte-identical across repeated runs on fresh machines.
+func TestServeDeterministic(t *testing.T) {
+	a := fmt.Sprintf("%+v", serveOnFresh(t, baseSpec()))
+	b := fmt.Sprintf("%+v", serveOnFresh(t, baseSpec()))
+	if a != b {
+		t.Errorf("serve not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// TestServeConservation sweeps seeds: arrivals = admitted + rejected and
+// served bytes = machine bytes must hold for every one (Serve itself
+// errors on violation; this just drives it across RNG space).
+func TestServeConservation(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		sp := baseSpec()
+		sp.Seed = seed
+		sp.Admission = &Admission{Policy: AdmitTokenBucket, RateQPS: 4, Burst: 2}
+		res := serveOnFresh(t, sp)
+		if res.Arrivals != res.Admitted+res.Rejected {
+			t.Errorf("seed %d: %d arrivals != %d + %d", seed, res.Arrivals, res.Admitted, res.Rejected)
+		}
+		slack := float64(res.Completed)*maxTemplateThreads*epsBytes + 1
+		if math.Abs(res.ServedBytes-res.MachineBytes) > slack {
+			t.Errorf("seed %d: served %.0f != machine %.0f", seed, res.ServedBytes, res.MachineBytes)
+		}
+	}
+}
+
+// TestServeLowUtilizationNoWait is the M/M/1-style sanity bound: at very
+// low offered load on a machine with plenty of slots, queueing delay is
+// negligible — mean latency approaches bare service time and mean wait
+// approaches zero.
+func TestServeLowUtilizationNoWait(t *testing.T) {
+	sp := &Spec{
+		Seed:    3,
+		Horizon: 10,
+		Slots:   4,
+		Clients: []Client{{Name: "sparse", RateQPS: 1,
+			Queries: []QueryMix{{Kind: KindProbe}}}},
+	}
+	res := serveOnFresh(t, sp)
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	c := res.Classes[0]
+	if c.MeanWait > 0.01*c.Mean+1e-6 {
+		t.Errorf("low-utilization mean wait %g not negligible vs mean latency %g", c.MeanWait, c.Mean)
+	}
+}
+
+// TestServeMonotoneP99 scales offered load and requires p99 latency to be
+// non-decreasing: more traffic through the same machine can only hurt.
+func TestServeMonotoneP99(t *testing.T) {
+	p99 := func(mult float64) float64 {
+		sp := &Spec{
+			Seed:    11,
+			Horizon: 3,
+			Slots:   2,
+			Clients: []Client{{Name: "load", RateQPS: 2 * mult,
+				Queries: []QueryMix{{Kind: KindScanSmall}}}},
+		}
+		res := serveOnFresh(t, sp)
+		if res.Completed == 0 {
+			t.Fatalf("mult %g: no completions", mult)
+		}
+		return res.Classes[0].P99
+	}
+	prev := 0.0
+	for _, mult := range []float64{1, 4, 16} {
+		v := p99(mult)
+		if v < prev-1e-9 {
+			t.Errorf("p99 at load x%g = %g, below lighter load's %g", mult, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestServeTokenBucketRejects drives far more traffic than the bucket
+// refills and checks rejections appear and conservation still holds.
+func TestServeTokenBucketRejects(t *testing.T) {
+	sp := baseSpec()
+	sp.Admission = &Admission{Policy: AdmitTokenBucket, RateQPS: 1, Burst: 1}
+	res := serveOnFresh(t, sp)
+	if res.Rejected == 0 {
+		t.Error("overloaded token bucket rejected nothing")
+	}
+	if res.Admitted+res.Rejected != res.Arrivals {
+		t.Errorf("conservation: %d + %d != %d", res.Admitted, res.Rejected, res.Arrivals)
+	}
+}

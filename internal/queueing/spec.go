@@ -1,0 +1,340 @@
+// Package queueing is the discrete-event serving layer on top of the
+// simulated machine: concurrent query streams arrive via seeded stochastic
+// processes (Poisson / Gamma / Weibull inter-arrivals), pass an admission
+// policy, wait in a scheduler's queue for one of a fixed number of
+// execution slots, and — once running — contend for the machine's bandwidth
+// through the fluid solver, so co-running queries slow each other down
+// exactly as the machine model dictates. It turns the repo's one-shot batch
+// experiments into an open-loop traffic axis: how many QPS at what p99.
+//
+// Everything is deterministic from the spec's seed. Arrival draws come from
+// per-client splitmix64 streams keyed by the canonical client name, events
+// are processed in a total order (time, client, sequence), and the machine
+// underneath is itself deterministic — so a serving run is byte-identical
+// across worker-pool widths and cold-vs-cached replays, the same property
+// the repository's golden tests enforce everywhere else.
+package queueing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scheduler policy names accepted in a spec's "scheduler" field.
+const (
+	SchedFCFS     = "fcfs"     // first come, first served (arrival order)
+	SchedSJF      = "sjf"      // shortest job first (template bytes)
+	SchedPriority = "priority" // highest client priority first
+	SchedSLO      = "slo"      // earliest deadline (arrival + SLO) first
+)
+
+// Admission policy names.
+const (
+	AdmitAlways      = "always"
+	AdmitTokenBucket = "token-bucket"
+)
+
+// Arrival process names.
+const (
+	ProcPoisson = "poisson"
+	ProcGamma   = "gamma"
+	ProcWeibull = "weibull"
+)
+
+// Spec bounds: anything larger is a config error, not a workload.
+const (
+	MaxClients          = 32
+	MaxQueriesPerClient = 8
+	MaxSlots            = 16
+	MaxHorizon          = 1e5 // simulated seconds of arrivals
+	MaxRateQPS          = 1e5
+	MaxShape            = 100
+	// MaxExpectedArrivals bounds rate*horizon per client so a spec cannot
+	// demand an unbounded event loop.
+	MaxExpectedArrivals = 1e5
+)
+
+// DefaultSlots is the execution-slot count when the spec leaves it zero.
+const DefaultSlots = 4
+
+// QueryMix is one entry of a client's query mix: a template kind from the
+// catalogue and its relative draw weight.
+type QueryMix struct {
+	Kind   string  `json:"kind"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Client is one traffic source: an arrival process with a rate, an SLO
+// class, and a query mix drawn per arrival.
+type Client struct {
+	// Name identifies the client; it keys the per-client RNG stream, so
+	// renaming a client changes its draws but reordering the list does not.
+	Name string `json:"name"`
+	// Process selects the inter-arrival distribution (default poisson).
+	Process string `json:"process,omitempty"`
+	// RateQPS is the mean arrival rate in queries per simulated second.
+	RateQPS float64 `json:"rate_qps"`
+	// Shape is the Gamma/Weibull shape parameter k (default 1, which makes
+	// both processes exponential). Ignored — and canonicalized to zero —
+	// for poisson.
+	Shape float64 `json:"shape,omitempty"`
+	// Class is the SLO class label latency percentiles are grouped by
+	// (default: the client name).
+	Class string `json:"class,omitempty"`
+	// Priority orders the priority scheduler (higher runs first).
+	Priority int `json:"priority,omitempty"`
+	// SLOSeconds is the latency target for the class; 0 means no target.
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
+	// Queries is the mix drawn per arrival (default: one scan-s).
+	Queries []QueryMix `json:"queries,omitempty"`
+}
+
+// Admission gates arrivals before they may queue.
+type Admission struct {
+	// Policy is always or token-bucket (default always).
+	Policy string `json:"policy,omitempty"`
+	// RateQPS is the bucket's refill rate (token-bucket only).
+	RateQPS float64 `json:"rate_qps,omitempty"`
+	// Burst is the bucket depth in tokens (default: RateQPS, min 1).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// Spec is a validated, canonicalized serving scenario plus the seed that
+// fixes every random draw.
+type Spec struct {
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon is how many simulated seconds of arrivals to generate; the
+	// run itself continues past it until the queue drains.
+	Horizon float64 `json:"horizon"`
+	// Slots is the execution concurrency limit (default DefaultSlots).
+	Slots int `json:"slots,omitempty"`
+	// Scheduler picks the next queued query when a slot frees.
+	Scheduler string     `json:"scheduler,omitempty"`
+	Admission *Admission `json:"admission,omitempty"`
+	Clients   []Client   `json:"clients"`
+}
+
+// ParseSpec decodes, validates, and canonicalizes a spec from JSON. Unknown
+// fields are rejected so typos fail loudly. ParseSpec never panics,
+// whatever the input (see FuzzArrivalSpec).
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("queueing: parse spec: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || len(trailing) > 0 {
+		return nil, fmt.Errorf("queueing: parse spec: trailing data after spec object")
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Normalize validates the spec and rewrites it into canonical form:
+// defaults resolved, clients sorted by name, query mixes sorted by kind.
+// Normalization is a fixed point — normalizing a normalized spec is a
+// no-op — so two spellings of the same scenario marshal to the same bytes
+// and hash to the same pmemd cache key.
+func (s *Spec) Normalize() error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if s.Slots == 0 {
+		s.Slots = DefaultSlots
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = SchedFCFS
+	}
+	if s.Admission != nil {
+		a := s.Admission
+		if a.Policy == "" {
+			a.Policy = AdmitAlways
+		}
+		if a.Policy == AdmitAlways {
+			// Rate and burst are meaningless without a bucket.
+			a.RateQPS, a.Burst = 0, 0
+			s.Admission = nil
+		} else if a.Burst == 0 {
+			a.Burst = math.Max(a.RateQPS, 1)
+		}
+	}
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		if c.Process == "" {
+			c.Process = ProcPoisson
+		}
+		if c.Process == ProcPoisson {
+			c.Shape = 0
+		} else if c.Shape == 0 {
+			c.Shape = 1
+		}
+		if c.Class == "" {
+			c.Class = c.Name
+		}
+		if len(c.Queries) == 0 {
+			c.Queries = []QueryMix{{Kind: KindScanSmall}}
+		}
+		for j := range c.Queries {
+			if c.Queries[j].Weight == 0 {
+				c.Queries[j].Weight = 1
+			}
+		}
+		sort.SliceStable(c.Queries, func(a, b int) bool {
+			return c.Queries[a].Kind < c.Queries[b].Kind
+		})
+	}
+	sort.SliceStable(s.Clients, func(a, b int) bool {
+		return s.Clients[a].Name < s.Clients[b].Name
+	})
+	return nil
+}
+
+// finitePositive rejects NaN, infinities, and non-positive values.
+func finitePositive(what string, v, max float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("queueing: %s must be finite, got %g", what, v)
+	}
+	if v <= 0 {
+		return fmt.Errorf("queueing: %s must be positive, got %g", what, v)
+	}
+	if v > max {
+		return fmt.Errorf("queueing: %s %g exceeds bound %g", what, v, max)
+	}
+	return nil
+}
+
+// finiteNonNegative rejects NaN, infinities, and negatives (zero allowed).
+func finiteNonNegative(what string, v, max float64) error {
+	if v == 0 {
+		return nil
+	}
+	return finitePositive(what, v, max)
+}
+
+func (s *Spec) validate() error {
+	if err := finitePositive("horizon", s.Horizon, MaxHorizon); err != nil {
+		return err
+	}
+	if s.Slots < 0 || s.Slots > MaxSlots {
+		return fmt.Errorf("queueing: slots must be in [1, %d], got %d", MaxSlots, s.Slots)
+	}
+	switch s.Scheduler {
+	case "", SchedFCFS, SchedSJF, SchedPriority, SchedSLO:
+	default:
+		return fmt.Errorf("queueing: unknown scheduler %q", s.Scheduler)
+	}
+	if a := s.Admission; a != nil {
+		switch a.Policy {
+		case "", AdmitAlways:
+			// Rate/burst ignored; still reject non-finite garbage.
+			if err := finiteNonNegative("admission rate_qps", a.RateQPS, MaxRateQPS); err != nil {
+				return err
+			}
+			if err := finiteNonNegative("admission burst", a.Burst, MaxExpectedArrivals); err != nil {
+				return err
+			}
+		case AdmitTokenBucket:
+			if err := finitePositive("admission rate_qps", a.RateQPS, MaxRateQPS); err != nil {
+				return err
+			}
+			if err := finiteNonNegative("admission burst", a.Burst, MaxExpectedArrivals); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("queueing: unknown admission policy %q", a.Policy)
+		}
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("queueing: spec has no clients")
+	}
+	if len(s.Clients) > MaxClients {
+		return fmt.Errorf("queueing: %d clients exceed the %d bound", len(s.Clients), MaxClients)
+	}
+	seen := map[string]bool{}
+	for i := range s.Clients {
+		c := &s.Clients[i]
+		if c.Name == "" {
+			return fmt.Errorf("queueing: client %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("queueing: duplicate client name %q", c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Process {
+		case "", ProcPoisson, ProcGamma, ProcWeibull:
+		default:
+			return fmt.Errorf("queueing: client %q: unknown process %q", c.Name, c.Process)
+		}
+		if err := finitePositive(fmt.Sprintf("client %q rate_qps", c.Name), c.RateQPS, MaxRateQPS); err != nil {
+			return err
+		}
+		if c.RateQPS*s.Horizon > MaxExpectedArrivals {
+			return fmt.Errorf("queueing: client %q expects %g arrivals over the horizon, bound is %g",
+				c.Name, c.RateQPS*s.Horizon, float64(MaxExpectedArrivals))
+		}
+		if err := finiteNonNegative(fmt.Sprintf("client %q shape", c.Name), c.Shape, MaxShape); err != nil {
+			return err
+		}
+		if err := finiteNonNegative(fmt.Sprintf("client %q slo_seconds", c.Name), c.SLOSeconds, MaxHorizon); err != nil {
+			return err
+		}
+		if c.Priority < -100 || c.Priority > 100 {
+			return fmt.Errorf("queueing: client %q priority %d outside [-100, 100]", c.Name, c.Priority)
+		}
+		if len(c.Queries) > MaxQueriesPerClient {
+			return fmt.Errorf("queueing: client %q has %d query kinds, bound is %d",
+				c.Name, len(c.Queries), MaxQueriesPerClient)
+		}
+		kinds := map[string]bool{}
+		for _, q := range c.Queries {
+			if _, ok := templates[q.Kind]; !ok {
+				return fmt.Errorf("queueing: client %q: unknown query kind %q (have %s)",
+					c.Name, q.Kind, kindList())
+			}
+			if kinds[q.Kind] {
+				return fmt.Errorf("queueing: client %q lists query kind %q twice", c.Name, q.Kind)
+			}
+			kinds[q.Kind] = true
+			if err := finiteNonNegative(fmt.Sprintf("client %q query %q weight", c.Name, q.Kind),
+				q.Weight, MaxExpectedArrivals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (nil in, nil out).
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	if s.Admission != nil {
+		a := *s.Admission
+		out.Admission = &a
+	}
+	out.Clients = make([]Client, len(s.Clients))
+	copy(out.Clients, s.Clients)
+	for i := range out.Clients {
+		out.Clients[i].Queries = append([]QueryMix(nil), s.Clients[i].Queries...)
+	}
+	return &out
+}
+
+// CanonicalJSON renders the normalized spec with encoding/json's fixed
+// field order — the bytes pmemd cache keys and golden tests rely on.
+func (s *Spec) CanonicalJSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // no field of Spec can fail to marshal
+		return nil
+	}
+	return b
+}

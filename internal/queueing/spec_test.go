@@ -1,0 +1,120 @@
+package queueing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	sp, err := ParseSpec([]byte(`{"horizon":5,"clients":[{"name":"a","rate_qps":2}]}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if sp.Slots != DefaultSlots {
+		t.Errorf("slots = %d, want default %d", sp.Slots, DefaultSlots)
+	}
+	if sp.Scheduler != SchedFCFS {
+		t.Errorf("scheduler = %q, want fcfs", sp.Scheduler)
+	}
+	c := sp.Clients[0]
+	if c.Process != ProcPoisson || c.Class != "a" || len(c.Queries) != 1 ||
+		c.Queries[0].Kind != KindScanSmall || c.Queries[0].Weight != 1 {
+		t.Errorf("client defaults not resolved: %+v", c)
+	}
+}
+
+// TestNormalizeFixedPoint: normalizing a normalized spec must not change
+// its canonical bytes — the property pmemd cache keys depend on.
+func TestNormalizeFixedPoint(t *testing.T) {
+	sp, err := ParseSpec([]byte(`{"horizon":5,"scheduler":"slo",
+		"admission":{"policy":"token-bucket","rate_qps":3},
+		"clients":[
+			{"name":"b","rate_qps":2,"process":"gamma","shape":2,"queries":[{"kind":"probe"},{"kind":"ingest","weight":2}]},
+			{"name":"a","rate_qps":1,"process":"poisson","shape":9}]}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	first := string(sp.CanonicalJSON())
+	re, err := ParseSpec([]byte(first))
+	if err != nil {
+		t.Fatalf("reparse canonical: %v", err)
+	}
+	if second := string(re.CanonicalJSON()); first != second {
+		t.Errorf("canonical JSON not a fixed point:\n%s\n%s", first, second)
+	}
+	// Poisson zeroes shape; token bucket defaults burst to max(rate, 1).
+	if sp.Clients[0].Name != "a" || sp.Clients[0].Shape != 0 {
+		t.Errorf("clients not sorted/canonicalized: %+v", sp.Clients)
+	}
+	if sp.Admission.Burst != 3 {
+		t.Errorf("burst = %g, want defaulted 3", sp.Admission.Burst)
+	}
+}
+
+// TestCanonicalOrderInvariance: listing clients or query mixes in a
+// different order must produce identical canonical bytes (and therefore
+// identical arrivals and cache keys).
+func TestCanonicalOrderInvariance(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"horizon":5,"clients":[
+		{"name":"x","rate_qps":1,"queries":[{"kind":"probe"},{"kind":"scan-s"}]},
+		{"name":"y","rate_qps":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"horizon":5,"clients":[
+		{"name":"y","rate_qps":2},
+		{"name":"x","rate_qps":1,"queries":[{"kind":"scan-s"},{"kind":"probe"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := string(a.CanonicalJSON()), string(b.CanonicalJSON()); ja != jb {
+		t.Errorf("order changed canonical bytes:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"negative rate", `{"horizon":5,"clients":[{"name":"a","rate_qps":-1}]}`, "positive"},
+		{"zero rate", `{"horizon":5,"clients":[{"name":"a","rate_qps":0}]}`, "positive"},
+		{"huge rate", `{"horizon":5,"clients":[{"name":"a","rate_qps":1e300}]}`, "bound"},
+		{"no horizon", `{"clients":[{"name":"a","rate_qps":1}]}`, "horizon"},
+		{"negative horizon", `{"horizon":-2,"clients":[{"name":"a","rate_qps":1}]}`, "positive"},
+		{"no clients", `{"horizon":5,"clients":[]}`, "no clients"},
+		{"dup client", `{"horizon":5,"clients":[{"name":"a","rate_qps":1},{"name":"a","rate_qps":2}]}`, "duplicate"},
+		{"unknown scheduler", `{"horizon":5,"scheduler":"lifo","clients":[{"name":"a","rate_qps":1}]}`, "scheduler"},
+		{"unknown process", `{"horizon":5,"clients":[{"name":"a","rate_qps":1,"process":"pareto"}]}`, "process"},
+		{"unknown kind", `{"horizon":5,"clients":[{"name":"a","rate_qps":1,"queries":[{"kind":"join"}]}]}`, "kind"},
+		{"dup kind", `{"horizon":5,"clients":[{"name":"a","rate_qps":1,"queries":[{"kind":"probe"},{"kind":"probe"}]}]}`, "twice"},
+		{"unknown field", `{"horizon":5,"burst":2,"clients":[{"name":"a","rate_qps":1}]}`, "unknown field"},
+		{"trailing data", `{"horizon":5,"clients":[{"name":"a","rate_qps":1}]} {}`, "trailing"},
+		{"too many arrivals", `{"horizon":1e5,"clients":[{"name":"a","rate_qps":1e5}]}`, "arrivals"},
+		{"bad admission", `{"horizon":5,"admission":{"policy":"coin-flip"},"clients":[{"name":"a","rate_qps":1}]}`, "admission"},
+		{"negative slo", `{"horizon":5,"clients":[{"name":"a","rate_qps":1,"slo_seconds":-1}]}`, "positive"},
+		{"not json", `]]]`, "parse"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec([]byte(tc.src)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	sp, err := ParseSpec([]byte(`{"horizon":5,"admission":{"policy":"token-bucket","rate_qps":2},
+		"clients":[{"name":"a","rate_qps":1,"queries":[{"kind":"probe"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := sp.Clone()
+	cl.Clients[0].RateQPS = 99
+	cl.Clients[0].Queries[0].Kind = KindIngest
+	cl.Admission.RateQPS = 99
+	if sp.Clients[0].RateQPS != 1 || sp.Clients[0].Queries[0].Kind != KindProbe || sp.Admission.RateQPS != 2 {
+		t.Error("Clone shares state with the original")
+	}
+	if (*Spec)(nil).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// arrivalsBody runs serve01 under a small explicit traffic spec.
+const arrivalsBody = `{"id":"serve01","quick":true,"sf":0.02,` +
+	`"arrivals":{"seed":5,"horizon":2,"clients":[` +
+	`{"name":"a","rate_qps":3,"queries":[{"kind":"probe"}]},` +
+	`{"name":"b","rate_qps":1,"slo_seconds":0.5}]}}`
+
+// arrivalsBodyRespelled is the same scenario spelled differently: key order
+// shuffled, defaults written out explicitly, clients and query mixes
+// reordered. Canonicalization must collapse it onto arrivalsBody's cache
+// entry.
+const arrivalsBodyRespelled = `{"arrivals":{"clients":[` +
+	`{"slo_seconds":0.5,"rate_qps":1,"name":"b","process":"poisson","queries":[{"kind":"scan-s","weight":1}]},` +
+	`{"queries":[{"weight":1,"kind":"probe"}],"rate_qps":3,"name":"a"}],` +
+	`"horizon":2,"slots":4,"scheduler":"fcfs","seed":5},` +
+	`"sf":0.02,"quick":true,"id":"serve01"}`
+
+// TestArrivalsServedAndCached is the cold-vs-cached serving criterion for
+// the arrival-spec axis: an explicit spec produces different output than
+// the built-in traffic, is cached under its own key, and the cached bytes
+// equal the cold bytes.
+func TestArrivalsServedAndCached(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	_, builtin := postRun(t, ts, `{"id":"serve01","quick":true,"sf":0.02}`)
+	respCold, cold := postRun(t, ts, arrivalsBody)
+	if respCold.StatusCode != http.StatusOK {
+		t.Fatalf("arrivals cold run: status %d, body %s", respCold.StatusCode, cold)
+	}
+	if got := respCold.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Errorf("arrivals cold run cache header = %q, want miss (must not alias the built-in entry)", got)
+	}
+	if string(builtin) == string(cold) {
+		t.Error("explicit arrival spec produced the built-in traffic's bytes")
+	}
+
+	respHit, hit := postRun(t, ts, arrivalsBody)
+	if got := respHit.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Errorf("arrivals re-run cache header = %q, want hit", got)
+	}
+	if string(cold) != string(hit) {
+		t.Error("cached arrivals bytes differ from cold bytes")
+	}
+}
+
+// TestArrivalsRespellingHitsCache is the canonicalization satellite: a
+// respelled but canonically identical spec must hit the first request's
+// cache entry, exactly as faults do.
+func TestArrivalsRespellingHitsCache(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	_, cold := postRun(t, ts, arrivalsBody)
+	resp, respelled := postRun(t, ts, arrivalsBodyRespelled)
+	if got := resp.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Errorf("respelled arrival spec cache header = %q, want hit", got)
+	}
+	if string(cold) != string(respelled) {
+		t.Error("respelled spec served different bytes")
+	}
+}
+
+// TestArrivalsDistinctKeys: a genuinely different scenario (another seed)
+// must not alias the first one's entry.
+func TestArrivalsDistinctKeys(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	postRun(t, ts, arrivalsBody)
+	other := strings.Replace(arrivalsBody, `"seed":5`, `"seed":6`, 1)
+	resp, body := postRun(t, ts, other)
+	if got := resp.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Errorf("different-seed spec cache header = %q, want miss; body %s", got, body)
+	}
+}
+
+// TestArrivalsDeterminismAcrossWidths: same spec, 1-wide vs 4-wide server
+// pools, byte-identical responses.
+func TestArrivalsDeterminismAcrossWidths(t *testing.T) {
+	_, ts1 := newTestServer(t, Options{Workers: 1})
+	_, ts4 := newTestServer(t, Options{Workers: 4})
+	_, b1 := postRun(t, ts1, arrivalsBody)
+	_, b4 := postRun(t, ts4, arrivalsBody)
+	if string(b1) != string(b4) {
+		t.Error("arrivals response bytes differ between 1-wide and 4-wide servers")
+	}
+}
+
+func TestBadArrivalSpecRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := postRun(t, ts,
+		`{"id":"serve01","quick":true,"arrivals":{"horizon":-1,"clients":[{"name":"a","rate_qps":2}]}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "bad arrival spec") {
+		t.Errorf("error %s does not identify the arrival spec", body)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/queueing"
 )
 
 // RunRequest is the body of POST /v1/run: one experiment, optionally on an
@@ -49,6 +50,13 @@ type RunRequest struct {
 	// alias healthy ones. Takes precedence over a plan spelled inside
 	// Machine.
 	Faults json.RawMessage `json:"faults,omitempty"`
+	// Arrivals attaches a serving traffic spec (see internal/queueing) to
+	// the run: the serve0x experiments draw their arrival processes,
+	// admission policy, and scheduler from it instead of the built-in
+	// scenario. Canonicalized exactly like Faults — the normalized spec is
+	// part of the cache key, so two spellings of the same scenario share a
+	// cache entry and different scenarios never alias.
+	Arrivals json.RawMessage `json:"arrivals,omitempty"`
 	// Async makes POST /v1/run return 202 + a job handle immediately
 	// instead of waiting for the result. Not part of the cache identity.
 	Async bool `json:"async,omitempty"`
@@ -65,6 +73,9 @@ type canonical struct {
 	Metrics bool           `json:"metrics"`
 	Trace   bool           `json:"trace"`
 	Machine machine.Config `json:"machine"`
+	// Arrivals is the normalized serving spec (nil when the request did not
+	// override the built-in traffic, so plain requests keep their keys).
+	Arrivals *queueing.Spec `json:"arrivals,omitempty"`
 }
 
 // canonicalize validates the request and resolves every default. maxSF <= 0
@@ -101,6 +112,13 @@ func (r RunRequest) canonicalize(maxSF float64) (canonical, error) {
 		}
 		c.Machine.Faults = plan
 	}
+	if len(r.Arrivals) > 0 {
+		spec, err := queueing.ParseSpec(r.Arrivals)
+		if err != nil {
+			return c, fmt.Errorf("bad arrival spec: %w", err)
+		}
+		c.Arrivals = spec
+	}
 	return c, nil
 }
 
@@ -123,7 +141,7 @@ func (c canonical) key() string {
 // the server's shared pool, not from fan-out inside one request.
 func (c canonical) experimentConfig() experiments.Config {
 	mc := c.Machine
-	return experiments.Config{SF: c.SF, Quick: c.Quick, Jobs: 1, Machine: &mc}
+	return experiments.Config{SF: c.SF, Quick: c.Quick, Jobs: 1, Machine: &mc, Arrivals: c.Arrivals}
 }
 
 // RunResult is the JSON payload served for a completed run. It carries no

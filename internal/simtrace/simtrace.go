@@ -37,6 +37,7 @@ const (
 	CatInterleave = "interleave"
 	CatTopology   = "topology"
 	CatFault      = "fault"
+	CatServing    = "serving"
 )
 
 // DefaultMaxEvents bounds a recorder's buffer when no explicit limit is
