@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pmemd [-addr :8080] [-workers 0] [-queue 64] [-cache-bytes 67108864]
+//	      [-cache-dir DIR] [-cache-memtable-bytes 4194304]
 //	      [-job-timeout 2m] [-drain-timeout 30s] [-max-sf 1]
 //	      [-debug-addr localhost:6060] [-log-json]
 //
@@ -29,8 +30,11 @@
 // -debug-addr exposes net/http/pprof on a separate listener, keeping the
 // profiling surface off the serving port. Identical requests are answered
 // from the content-addressed result cache; concurrent identical submissions
-// coalesce onto one simulation. SIGTERM or SIGINT drains in-flight jobs
-// (bounded by -drain-timeout) before exit.
+// coalesce onto one simulation. With -cache-dir a persistent SSTable tier
+// sits under the in-memory LRU: results are written through to disk and
+// survive restarts (X-Pmemd-Cache: disk — no recompute). SIGTERM or SIGINT
+// drains in-flight jobs (bounded by -drain-timeout), flushes the disk
+// tier's memtable, and exits.
 package main
 
 import (
@@ -60,6 +64,8 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial transient-error retry backoff (doubles per retry, with deterministic jitter)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent SSTable result tier; empty = memory-only cache")
+	cacheMemtable := flag.Int64("cache-memtable-bytes", 4<<20, "disk tier memtable flush threshold")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -68,16 +74,22 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	s := server.New(server.Options{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheBytes:    *cacheBytes,
-		JobTimeout:    *jobTimeout,
-		MaxSF:         *maxSF,
-		Logger:        logger,
-		RetryAttempts: *retryAttempts,
-		RetryBackoff:  *retryBackoff,
+	s, err := server.New(server.Options{
+		Workers:                *workers,
+		QueueDepth:             *queue,
+		CacheBytes:             *cacheBytes,
+		JobTimeout:             *jobTimeout,
+		MaxSF:                  *maxSF,
+		Logger:                 logger,
+		RetryAttempts:          *retryAttempts,
+		RetryBackoff:           *retryBackoff,
+		DiskCacheDir:           *cacheDir,
+		DiskCacheMemtableBytes: *cacheMemtable,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemd:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

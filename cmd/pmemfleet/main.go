@@ -1,0 +1,132 @@
+// Command pmemfleet is the fleet front-end: it shards POST /v1/run requests
+// (and /v1/batch sweep points) across N pmemd workers over the plain
+// HTTP/JSON API. The default key-affinity policy rendezvous-hashes each
+// request's canonical SHA-256 cache key, so identical requests — however
+// respelled, whichever entry point takes them — land on the worker whose
+// LRU + SSTable tiers already hold the answer.
+//
+// Usage:
+//
+//	pmemfleet -workers w1=http://h1:8080,w2=http://h2:8080 [-addr :8070]
+//	          [-policy affinity|round-robin|least-loaded] [-max-sf 1]
+//	          [-cooldown 2s] [-load-ttl 500ms] [-upstream-timeout 5m]
+//	          [-log-json]
+//
+// Bare URLs in -workers are auto-named w1, w2, ... by position; named
+// entries (name=url) are preferred in production because the name keys the
+// rendezvous hash — keep it stable across router restarts.
+//
+// API (same shapes as pmemd where they overlap):
+//
+//	POST /v1/run          route one run to a worker; response carries
+//	                      X-Pmemfleet-Worker plus the worker's
+//	                      X-Pmemd-Cache tier (hit | disk | coalesced | miss)
+//	POST /v1/batch        {"requests":[run, run, ...]} — scatter the points
+//	                      across the fleet, gather ordered results
+//	GET  /v1/workers      per-worker health and quarantine state
+//	GET  /v1/experiments  proxied from the first answering worker
+//	GET  /metrics         router metrics (fleet_* counters)
+//	GET  /healthz, /readyz  readiness = at least one healthy worker
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	workersFlag := flag.String("workers", "", "comma-separated pmemd backends, each name=url or a bare url (auto-named w1, w2, ...)")
+	policy := flag.String("policy", fleet.PolicyAffinity, "routing policy: affinity, round-robin, or least-loaded")
+	maxSF := flag.Float64("max-sf", 1, "largest scale factor a request may ask for at the router edge; negative = unbounded")
+	cooldown := flag.Duration("cooldown", 2*time.Second, "how long a failed worker is quarantined before re-trying it")
+	loadTTL := flag.Duration("load-ttl", 500*time.Millisecond, "how long scraped worker load gauges stay fresh (least-loaded policy)")
+	upstreamTimeout := flag.Duration("upstream-timeout", 5*time.Minute, "per-request timeout against a worker")
+	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemfleet:", err)
+		os.Exit(2)
+	}
+	rt, err := fleet.New(fleet.Options{
+		Workers:        workers,
+		Policy:         *policy,
+		Client:         &http.Client{Timeout: *upstreamTimeout},
+		HealthCooldown: *cooldown,
+		LoadTTL:        *loadTTL,
+		MaxSF:          *maxSF,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemfleet:", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	names := make([]string, len(workers))
+	for i, w := range workers {
+		names[i] = w.Name + "=" + w.URL
+	}
+	logger.Info("fleet serving", "addr", *addr, "policy", *policy, "workers", strings.Join(names, ","))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "pmemfleet:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Warn("shutdown error", "error", err.Error())
+	}
+	logger.Info("exited cleanly")
+}
+
+// parseWorkers decodes the -workers flag: comma-separated entries, each
+// "name=url" or a bare URL auto-named by position.
+func parseWorkers(s string) ([]fleet.Worker, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no workers: pass -workers name=url[,name=url...]")
+	}
+	var out []fleet.Worker
+	for i, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, found := strings.Cut(entry, "=")
+		if !found {
+			name, url = fmt.Sprintf("w%d", i+1), entry
+		}
+		out = append(out, fleet.Worker{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)})
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+// Command pmemload replays an internal/queueing arrival spec as real HTTP
+// traffic against a pmemd worker or a pmemfleet router. Each generated
+// arrival becomes one POST /v1/run whose experiment is chosen by the
+// arrival's query kind (scan-s→fig04, scan-l→fig05, probe→fig12,
+// ingest→fig09), so the same deterministic traffic shapes the serving
+// simulation studies can also be fired at live serving processes.
+//
+// Usage:
+//
+//	pmemload -target http://localhost:8070 [-spec spec.json] [-passes 2]
+//	         [-concurrency 8] [-pace 0] [-sf 0.02] [-quick] [-timeout 2m]
+//	         [-expect-hit-ratio -1]
+//
+// The report (JSON on stdout) carries, per pass: end-to-end throughput,
+// per-class latency percentiles (nearest-rank p50/p90/p99), and the
+// cache-tier breakdown (memory hit / disk hit / coalesced / miss) read
+// from the X-Pmemd-Cache header. Responses are content-hashed per request
+// body: any pass whose bytes differ from the first pass counts as a
+// divergence, and divergences (or request errors) make pmemload exit 1 —
+// the determinism contract, enforced from the outside. -expect-hit-ratio
+// additionally fails the run if the final pass's (memory+disk) hit share
+// is below the threshold (negative disables the check).
+//
+// -pace replays arrivals on their simulated timeline scaled by the given
+// factor (e.g. 2 = twice real-time speed); 0 fires as fast as
+// -concurrency allows.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/queueing"
+)
+
+// kindExperiment maps an arrival's query kind to the experiment a live
+// worker runs for it: scans exercise the bandwidth sweeps, probes the
+// latency study, ingest the write path.
+var kindExperiment = map[string]string{
+	queueing.KindScanSmall: "fig04",
+	queueing.KindScanLarge: "fig05",
+	queueing.KindProbe:     "fig12",
+	queueing.KindIngest:    "fig09",
+}
+
+// defaultSpec is the built-in traffic when -spec is not given: two clients
+// with distinct mixes, small enough to replay in seconds.
+const defaultSpec = `{
+	"seed": 7,
+	"horizon": 4,
+	"clients": [
+		{"name": "olap", "rate_qps": 3, "queries": [{"kind": "scan-s"}, {"kind": "probe"}]},
+		{"name": "etl", "rate_qps": 1.5, "queries": [{"kind": "ingest"}, {"kind": "scan-l"}]}
+	]
+}`
+
+// shot is one planned request: the arrival it came from plus the exact
+// body fired at the target (identical arrivals share identical bodies, so
+// repeats and duplicates exercise the cache tiers).
+type shot struct {
+	arrival queueing.Arrival
+	body    []byte
+}
+
+// shotResult is one completed request.
+type shotResult struct {
+	class    string
+	tier     string // hit | disk | coalesced | miss | "" on error
+	latency  float64
+	status   int
+	err      error
+	bodyHash [32]byte
+}
+
+// ClassLatency summarizes one SLO class's end-to-end latencies.
+type ClassLatency struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// PassReport is one replay pass over the arrival schedule.
+type PassReport struct {
+	Pass        int                     `json:"pass"`
+	Requests    int                     `json:"requests"`
+	Errors      int                     `json:"errors"`
+	WallSeconds float64                 `json:"wall_seconds"`
+	Throughput  float64                 `json:"throughput_rps"`
+	Tiers       map[string]int          `json:"tiers"`
+	HitRatio    float64                 `json:"hit_ratio"`
+	Classes     map[string]ClassLatency `json:"classes"`
+}
+
+// Report is pmemload's full JSON output.
+type Report struct {
+	Target      string       `json:"target"`
+	Arrivals    int          `json:"arrivals"`
+	Passes      []PassReport `json:"passes"`
+	Divergences int          `json:"divergences"`
+}
+
+func main() {
+	target := flag.String("target", "", "base URL of the pmemd worker or pmemfleet router (required)")
+	specPath := flag.String("spec", "", "arrival spec JSON file (internal/queueing format); empty = built-in two-client mix")
+	passes := flag.Int("passes", 2, "replay the schedule this many times (pass 2+ should hit the cache)")
+	concurrency := flag.Int("concurrency", 8, "in-flight request cap")
+	pace := flag.Float64("pace", 0, "replay speed relative to simulated time (2 = 2x real time); 0 = as fast as possible")
+	sf := flag.Float64("sf", 0.02, "scale factor spelled into every request")
+	quick := flag.Bool("quick", true, "request quick (trimmed-axis) experiment runs")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	expectHitRatio := flag.Float64("expect-hit-ratio", -1, "fail unless the final pass's (memory+disk) hit share is at least this; negative = no check")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "pmemload: -target is required")
+		os.Exit(2)
+	}
+	specJSON := []byte(defaultSpec)
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemload:", err)
+			os.Exit(2)
+		}
+		specJSON = b
+	}
+	spec, err := queueing.ParseSpec(specJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemload:", err)
+		os.Exit(2)
+	}
+	arrivals := queueing.Generate(spec)
+	if len(arrivals) == 0 {
+		fmt.Fprintln(os.Stderr, "pmemload: spec generates no arrivals")
+		os.Exit(2)
+	}
+	shots, err := planShots(arrivals, *sf, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemload:", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	report := Report{Target: *target, Arrivals: len(shots)}
+	// firstHash pins each distinct request body to the bytes pass 1 saw;
+	// later passes must reproduce them exactly.
+	firstHash := map[string][32]byte{}
+	exitCode := 0
+	for pass := 1; pass <= *passes; pass++ {
+		results, wall := firePass(client, *target, shots, *concurrency, *pace)
+		pr := summarize(pass, results, wall)
+		report.Passes = append(report.Passes, pr)
+		if pr.Errors > 0 {
+			exitCode = 1
+		}
+		for i, r := range results {
+			if r.err != nil || r.status != http.StatusOK {
+				continue
+			}
+			key := string(shots[i].body)
+			if prev, ok := firstHash[key]; !ok {
+				firstHash[key] = r.bodyHash
+			} else if prev != r.bodyHash {
+				report.Divergences++
+			}
+		}
+	}
+	if report.Divergences > 0 {
+		fmt.Fprintf(os.Stderr, "pmemload: %d divergent responses (identical requests, different bytes)\n", report.Divergences)
+		exitCode = 1
+	}
+	if *expectHitRatio >= 0 && len(report.Passes) > 0 {
+		last := report.Passes[len(report.Passes)-1]
+		if last.HitRatio < *expectHitRatio {
+			fmt.Fprintf(os.Stderr, "pmemload: final pass hit ratio %.3f below required %.3f\n",
+				last.HitRatio, *expectHitRatio)
+			exitCode = 1
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "pmemload:", err)
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}
+
+// planShots renders each arrival into its request body once, so every pass
+// fires byte-identical traffic.
+func planShots(arrivals []queueing.Arrival, sf float64, quick bool) ([]shot, error) {
+	shots := make([]shot, len(arrivals))
+	for i, a := range arrivals {
+		id, ok := kindExperiment[a.Kind]
+		if !ok {
+			return nil, fmt.Errorf("no experiment mapping for query kind %q", a.Kind)
+		}
+		body, err := json.Marshal(map[string]any{"id": id, "sf": sf, "quick": quick})
+		if err != nil {
+			return nil, err
+		}
+		shots[i] = shot{arrival: a, body: body}
+	}
+	return shots, nil
+}
+
+// firePass replays the full schedule once and returns one result per shot
+// (same order) plus the wall-clock duration.
+func firePass(client *http.Client, target string, shots []shot, concurrency int, pace float64) ([]shotResult, float64) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	results := make([]shotResult, len(shots))
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range shots {
+		if pace > 0 {
+			due := start.Add(time.Duration(shots[i].arrival.At / pace * float64(time.Second)))
+			time.Sleep(time.Until(due))
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = fire(client, target, shots[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, time.Since(start).Seconds()
+}
+
+func fire(client *http.Client, target string, s shot) shotResult {
+	res := shotResult{class: s.arrival.Class}
+	t0 := time.Now()
+	resp, err := client.Post(target+"/v1/run", "application/json", bytes.NewReader(s.body))
+	res.latency = time.Since(t0).Seconds()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	res.latency = time.Since(t0).Seconds()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.status = resp.StatusCode
+	res.tier = resp.Header.Get("X-Pmemd-Cache")
+	res.bodyHash = sha256.Sum256(body)
+	return res
+}
+
+// summarize folds one pass's results into its report entry.
+func summarize(pass int, results []shotResult, wall float64) PassReport {
+	pr := PassReport{
+		Pass:     pass,
+		Requests: len(results),
+		Tiers:    map[string]int{},
+		Classes:  map[string]ClassLatency{},
+	}
+	pr.WallSeconds = wall
+	byClass := map[string][]float64{}
+	hits := 0
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			pr.Errors++
+			continue
+		}
+		tier := r.tier
+		if tier == "" {
+			tier = "unknown"
+		}
+		pr.Tiers[tier]++
+		if tier == "hit" || tier == "disk" {
+			hits++
+		}
+		byClass[r.class] = append(byClass[r.class], r.latency)
+	}
+	if ok := pr.Requests - pr.Errors; ok > 0 {
+		pr.HitRatio = float64(hits) / float64(ok)
+	}
+	if wall > 0 {
+		pr.Throughput = float64(pr.Requests-pr.Errors) / wall
+	}
+	for class, lats := range byClass {
+		sort.Float64s(lats)
+		pr.Classes[class] = ClassLatency{
+			Count:  len(lats),
+			MeanMS: 1e3 * mean(lats),
+			P50MS:  1e3 * percentile(lats, 0.50),
+			P90MS:  1e3 * percentile(lats, 0.90),
+			P99MS:  1e3 * percentile(lats, 0.99),
+		}
+	}
+	return pr
+}
+
+// percentile is the nearest-rank percentile on a sorted slice — the same
+// convention internal/queueing reports simulated latencies with.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,105 @@
+// Package fleet is the pmemd fleet front-end: a router that shards
+// POST /v1/run requests (and batched sweep points) across N pmemd workers
+// over the existing HTTP/JSON API. The paper's central lesson — bandwidth
+// is maximized by placement-aware distribution of work — applies at the
+// serving layer too: the router's key-affinity policy hashes the canonical
+// SHA-256 cache key with rendezvous (highest-random-weight) hashing, so an
+// identical request always lands on the worker that already holds the
+// cached bytes, whichever fleet entry point received it. Round-robin and
+// least-loaded (driven by the workers' Prometheus in-flight/queue-depth
+// gauges) are available for cache-indifferent traffic.
+//
+// The router is deliberately thin: it never caches bodies itself (the
+// workers' LRU + SSTable tiers own that), it validates and canonicalizes
+// requests with the exact code the workers use (internal/server), and a
+// worker that refuses connections or answers 5xx is quarantined for a
+// cooldown while the request fails over to the next candidate — so losing
+// a worker degrades capacity, not availability.
+package fleet
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Routing policy names accepted by Options.Policy.
+const (
+	PolicyAffinity    = "affinity"     // rendezvous-hash the canonical cache key (default)
+	PolicyRoundRobin  = "round-robin"  // rotate across healthy workers
+	PolicyLeastLoaded = "least-loaded" // fewest in-flight + queued jobs wins
+)
+
+// Worker names one pmemd backend. Name keys the rendezvous hash (and the
+// per-worker metrics), so it must be stable across router restarts for
+// affinity routing to keep landing on the same worker.
+type Worker struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Options configures a Router.
+type Options struct {
+	// Workers is the backend list. At least one; names must be unique.
+	Workers []Worker
+	// Policy selects the routing policy (default PolicyAffinity).
+	Policy string
+	// Client performs upstream requests. nil means a client with a
+	// 5-minute timeout (simulations can be slow cold).
+	Client *http.Client
+	// HealthCooldown is how long a worker that failed a request is held
+	// out of rotation before it becomes eligible again. <= 0 means 2s.
+	HealthCooldown time.Duration
+	// LoadTTL caches a worker's scraped load gauges for least-loaded
+	// routing. <= 0 means 500ms.
+	LoadTTL time.Duration
+	// MaxSF bounds the scale factor at the router edge. 0 means 1.0
+	// (pmemd's default bound); negative means unbounded — workers still
+	// enforce their own bound either way.
+	MaxSF float64
+	// Logger receives the structured per-request log. nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if len(o.Workers) == 0 {
+		return o, fmt.Errorf("fleet: no workers configured")
+	}
+	seen := map[string]bool{}
+	for _, w := range o.Workers {
+		if w.Name == "" {
+			return o, fmt.Errorf("fleet: worker with URL %q has no name", w.URL)
+		}
+		if seen[w.Name] {
+			return o, fmt.Errorf("fleet: duplicate worker name %q", w.Name)
+		}
+		seen[w.Name] = true
+		u, err := url.Parse(w.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return o, fmt.Errorf("fleet: worker %q has invalid URL %q", w.Name, w.URL)
+		}
+	}
+	switch o.Policy {
+	case "":
+		o.Policy = PolicyAffinity
+	case PolicyAffinity, PolicyRoundRobin, PolicyLeastLoaded:
+	default:
+		return o, fmt.Errorf("fleet: unknown policy %q (have %s, %s, %s)",
+			o.Policy, PolicyAffinity, PolicyRoundRobin, PolicyLeastLoaded)
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if o.HealthCooldown <= 0 {
+		o.HealthCooldown = 2 * time.Second
+	}
+	if o.LoadTTL <= 0 {
+		o.LoadTTL = 500 * time.Millisecond
+	}
+	if o.MaxSF == 0 {
+		o.MaxSF = 1
+	}
+	return o, nil
+}

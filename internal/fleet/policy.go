@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bufio"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// candidates returns every worker in the order the active policy wants
+// them tried: healthy workers first (policy-ordered), quarantined ones
+// after (same order) as a last resort — a fleet whose every worker is in
+// cooldown should still attempt the request rather than refuse it.
+func (rt *Router) candidates(key string) []*workerState {
+	now := time.Now()
+	var healthy, cooling []*workerState
+	for _, ws := range rt.workers {
+		if ws.healthy(now) {
+			healthy = append(healthy, ws)
+		} else {
+			cooling = append(cooling, ws)
+		}
+	}
+	switch rt.opts.Policy {
+	case PolicyRoundRobin:
+		rotate(healthy, int(rt.rrNext.Add(1)))
+	case PolicyLeastLoaded:
+		rt.orderByLoad(healthy)
+	default: // affinity — also orders the catalog proxy's "" key stably
+		orderByRendezvous(healthy, key)
+	}
+	orderByRendezvous(cooling, key)
+	return append(healthy, cooling...)
+}
+
+// healthyWorkers returns the workers currently in rotation.
+func (rt *Router) healthyWorkers() []*workerState {
+	now := time.Now()
+	var out []*workerState
+	for _, ws := range rt.workers {
+		if ws.healthy(now) {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
+// rotate shifts ws left by n places (round-robin's moving start).
+func rotate(ws []*workerState, n int) {
+	if len(ws) < 2 {
+		return
+	}
+	n %= len(ws)
+	rotated := append(append([]*workerState(nil), ws[n:]...), ws[:n]...)
+	copy(ws, rotated)
+}
+
+// orderByRendezvous sorts ws by descending highest-random-weight score for
+// key. Every router instance computes the same order from (worker name,
+// canonical key) alone — no shared state, no dependence on list order —
+// which is what makes "identical request, any entry point, same worker"
+// hold across the fleet.
+func orderByRendezvous(ws []*workerState, key string) {
+	sort.SliceStable(ws, func(a, b int) bool {
+		sa, sb := rendezvousScore(ws[a].spec.Name, key), rendezvousScore(ws[b].spec.Name, key)
+		if sa != sb {
+			return sa > sb
+		}
+		return ws[a].spec.Name < ws[b].spec.Name
+	})
+}
+
+// rendezvousScore hashes (worker, key) with FNV-1a — the standard HRW
+// construction: the worker with the highest score owns the key, and
+// removing a worker only remaps that worker's keys. FNV alone has poor
+// avalanche for trailing bytes (the key arrives last, so the worker prefix
+// would dominate the ranking and one worker would own nearly every key); a
+// 64-bit finalizer mix spreads every input bit across the score.
+func rendezvousScore(worker, key string) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(worker)
+	mix("\x00")
+	mix(key)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// orderByLoad sorts ws ascending by scraped load (ties by name, so equal
+// fleets route deterministically). Loads older than LoadTTL are refreshed
+// by scraping the worker's Prometheus endpoint.
+func (rt *Router) orderByLoad(ws []*workerState) {
+	for _, w := range ws {
+		rt.refreshLoad(w)
+	}
+	sort.SliceStable(ws, func(a, b int) bool {
+		la, lb := ws[a].cachedLoad(), ws[b].cachedLoad()
+		if la != lb {
+			return la < lb
+		}
+		return ws[a].spec.Name < ws[b].spec.Name
+	})
+}
+
+func (w *workerState) cachedLoad() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.load
+}
+
+// refreshLoad scrapes the worker's /metrics for the in-flight and
+// queue-depth gauges (server_jobs_active, server_queue_depth) unless the
+// cached value is still fresh. A worker that cannot be scraped sorts last
+// (load saturated high) but stays in rotation — routing keeps working even
+// if the metrics endpoint hiccups.
+func (rt *Router) refreshLoad(ws *workerState) {
+	ws.mu.Lock()
+	fresh := time.Since(ws.loadAt) < rt.opts.LoadTTL
+	ws.mu.Unlock()
+	if fresh {
+		return
+	}
+	load, err := scrapeLoad(rt.opts.Client, ws.spec.URL)
+	if err != nil {
+		load = 1e18
+	}
+	ws.mu.Lock()
+	ws.load = load
+	ws.loadAt = time.Now()
+	ws.mu.Unlock()
+}
+
+// scrapeLoad fetches url/metrics and sums the server_jobs_active and
+// server_queue_depth gauges from the Prometheus text exposition.
+func scrapeLoad(client *http.Client, url string) (float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	load := 0.0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "server_jobs_active ") || strings.HasPrefix(line, "server_queue_depth ") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					load += v
+				}
+			}
+		}
+	}
+	return load, sc.Err()
+}

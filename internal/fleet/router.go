@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// maxRequestBytes bounds a routed request body — the same bound pmemd
+// applies, enforced early so oversized bodies never reach a worker.
+const maxRequestBytes = 1 << 20
+
+// maxBatchRequests bounds one POST /v1/batch submission.
+const maxBatchRequests = 1024
+
+// batchFanout is the router-side concurrency cap for one batch: how many
+// sweep points are in flight upstream at once.
+const batchFanout = 16
+
+// workerState is one backend's mutable routing state.
+type workerState struct {
+	spec Worker
+
+	mu             sync.Mutex
+	unhealthyUntil time.Time
+	load           float64   // jobs in flight + queued, from the last scrape
+	loadAt         time.Time // when load was scraped
+
+	cRequests *metrics.Counter
+	cErrors   *metrics.Counter
+}
+
+func (w *workerState) healthy(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !now.Before(w.unhealthyUntil)
+}
+
+func (w *workerState) quarantine(now time.Time, cooldown time.Duration) {
+	w.mu.Lock()
+	w.unhealthyUntil = now.Add(cooldown)
+	w.mu.Unlock()
+}
+
+// Router is the fleet front-end, independent of any listener: wire
+// Handler into net/http (or httptest) and drive requests through it.
+type Router struct {
+	opts    Options
+	reg     *metrics.Registry
+	workers []*workerState
+	log     *slog.Logger
+
+	rrNext  atomic.Uint64
+	nextReq atomic.Uint64
+
+	cRequests   *metrics.Counter
+	cBadReq     *metrics.Counter
+	cFailovers  *metrics.Counter
+	cExhausted  *metrics.Counter
+	cBatches    *metrics.Counter
+	cBatchRuns  *metrics.Counter
+	cTierMemory *metrics.Counter
+	cTierDisk   *metrics.Counter
+	cTierCoal   *metrics.Counter
+	cTierMiss   *metrics.Counter
+	gWorkers    *metrics.Gauge
+	gHealthy    *metrics.Gauge
+	hReqDur     *metrics.Histogram
+}
+
+// New builds a Router over the configured workers.
+func New(opts Options) (*Router, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.New()
+	rt := &Router{
+		opts:        opts,
+		reg:         reg,
+		log:         opts.Logger,
+		cRequests:   reg.Counter("fleet_requests"),
+		cBadReq:     reg.Counter("fleet_bad_requests"),
+		cFailovers:  reg.Counter("fleet_failovers"),
+		cExhausted:  reg.Counter("fleet_no_healthy_worker"),
+		cBatches:    reg.Counter("fleet_batches"),
+		cBatchRuns:  reg.Counter("fleet_batch_runs"),
+		cTierMemory: reg.Counter("fleet_tier_memory_hits"),
+		cTierDisk:   reg.Counter("fleet_tier_disk_hits"),
+		cTierCoal:   reg.Counter("fleet_tier_coalesced"),
+		cTierMiss:   reg.Counter("fleet_tier_misses"),
+		gWorkers:    reg.Gauge("fleet_workers"),
+		gHealthy:    reg.Gauge("fleet_workers_healthy"),
+		hReqDur:     reg.Histogram("fleet_request_duration_seconds", metrics.DefaultDurationBuckets()),
+	}
+	if rt.log == nil {
+		rt.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	for _, w := range opts.Workers {
+		rt.workers = append(rt.workers, &workerState{
+			spec:      w,
+			cRequests: reg.Counter("fleet.worker." + w.Name + ".requests"),
+			cErrors:   reg.Counter("fleet.worker." + w.Name + ".errors"),
+		})
+	}
+	rt.gWorkers.Set(float64(len(rt.workers)))
+	rt.gHealthy.Set(float64(len(rt.workers)))
+	return rt, nil
+}
+
+// Registry exposes the router's metrics registry (the /metrics content).
+func (rt *Router) Registry() *metrics.Registry { return rt.reg }
+
+// Handler returns the fleet HTTP API. Job-addressed endpoints
+// (GET /v1/jobs/{id}) are worker-local and not proxied: submit through the
+// router synchronously, or talk to a worker directly for async handles.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/workers", rt.handleWorkers)
+	mux.HandleFunc("GET /v1/experiments", rt.handleExperiments)
+	mux.HandleFunc("POST /v1/run", rt.handleRun)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	return rt.instrument(mux)
+}
+
+// instrument assigns/propagates X-Request-ID and logs one line per request
+// — the front-end half of the end-to-end trace: the same ID is forwarded
+// to the worker, which logs it again in its own request log.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("fleet-%06d", rt.nextReq.Add(1))
+			r.Header.Set("X-Request-ID", reqID)
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		rt.hReqDur.Observe(elapsed.Seconds())
+		rt.log.Info("request",
+			"request_id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.code,
+			"duration_ms", float64(elapsed.Microseconds())/1e3,
+		)
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok\n")
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if len(rt.healthyWorkers()) == 0 {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "no healthy workers", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WritePrometheus(w, "")
+}
+
+// WorkerStatus is one entry of the GET /v1/workers payload.
+type WorkerStatus struct {
+	Name    string  `json:"name"`
+	URL     string  `json:"url"`
+	Healthy bool    `json:"healthy"`
+	Load    float64 `json:"load"` // jobs in flight + queued at the last scrape
+}
+
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	out := make([]WorkerStatus, len(rt.workers))
+	for i, ws := range rt.workers {
+		ws.mu.Lock()
+		out[i] = WorkerStatus{
+			Name:    ws.spec.Name,
+			URL:     ws.spec.URL,
+			Healthy: !now.Before(ws.unhealthyUntil),
+			Load:    ws.load,
+		}
+		ws.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExperiments proxies the catalog from the first worker that
+// answers; the catalog is compiled into every worker, so any one will do.
+func (rt *Router) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	for _, ws := range rt.candidates("") {
+		resp, err := rt.opts.Client.Get(ws.spec.URL + "/v1/experiments")
+		if err != nil {
+			rt.noteFailure(ws, err.Error())
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.noteFailure(ws, fmt.Sprintf("experiments: status %d", resp.StatusCode))
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "no worker answered the catalog request")
+}
+
+// runOutcome is one forwarded run's result.
+type runOutcome struct {
+	status int
+	body   []byte
+	worker string
+	cache  string // X-Pmemd-Cache from the worker
+	job    string // X-Pmemd-Job from the worker
+}
+
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	rt.cRequests.Inc()
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request body: %v", err))
+		return
+	}
+	key, err := keyForBody(raw, rt.opts.MaxSF)
+	if err != nil {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out, err := rt.forwardRun(r.Header.Get("X-Request-ID"), raw, key)
+	if err != nil {
+		rt.cExhausted.Inc()
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	rt.countTier(out.cache)
+	if out.cache != "" {
+		w.Header().Set("X-Pmemd-Cache", out.cache)
+	}
+	if out.job != "" {
+		w.Header().Set("X-Pmemd-Job", out.job)
+	}
+	w.Header().Set("X-Pmemfleet-Worker", out.worker)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// keyForBody decodes one run request strictly (the worker's own rules) and
+// derives its canonical cache key.
+func keyForBody(raw []byte, maxSF float64) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var req server.RunRequest
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("bad request body: %v", err)
+	}
+	return server.KeyForRequest(req, maxSF)
+}
+
+// forwardRun tries the policy's candidate order until a worker answers.
+// Transport errors and gateway-class statuses (502/503/504) quarantine the
+// worker and fail over; anything else — including a worker's 500 for a
+// failed job or 429 for a full queue — is a real answer and is returned
+// as-is.
+func (rt *Router) forwardRun(reqID string, raw []byte, key string) (runOutcome, error) {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		return runOutcome{}, fmt.Errorf("no healthy workers (of %d configured)", len(rt.workers))
+	}
+	for i, ws := range cands {
+		if i > 0 {
+			rt.cFailovers.Inc()
+		}
+		ws.cRequests.Inc()
+		req, err := http.NewRequest(http.MethodPost, ws.spec.URL+"/v1/run", bytes.NewReader(raw))
+		if err != nil {
+			return runOutcome{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			rt.noteFailure(ws, err.Error())
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			rt.noteFailure(ws, fmt.Sprintf("read response: %v", err))
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			rt.noteFailure(ws, fmt.Sprintf("status %d", resp.StatusCode))
+			continue
+		}
+		rt.log.Info("routed",
+			"request_id", reqID,
+			"worker", ws.spec.Name,
+			"policy", rt.opts.Policy,
+			"status", resp.StatusCode,
+			"cache", resp.Header.Get("X-Pmemd-Cache"),
+			"key", key[:12],
+		)
+		return runOutcome{
+			status: resp.StatusCode,
+			body:   body,
+			worker: ws.spec.Name,
+			cache:  resp.Header.Get("X-Pmemd-Cache"),
+			job:    resp.Header.Get("X-Pmemd-Job"),
+		}, nil
+	}
+	return runOutcome{}, fmt.Errorf("all %d candidate workers failed", len(cands))
+}
+
+func (rt *Router) noteFailure(ws *workerState, why string) {
+	ws.cErrors.Inc()
+	ws.quarantine(time.Now(), rt.opts.HealthCooldown)
+	rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
+	rt.log.Warn("worker quarantined",
+		"worker", ws.spec.Name, "cooldown", rt.opts.HealthCooldown.String(), "error", why)
+}
+
+func (rt *Router) countTier(cache string) {
+	switch cache {
+	case "hit":
+		rt.cTierMemory.Inc()
+	case "disk":
+		rt.cTierDisk.Inc()
+	case "coalesced":
+		rt.cTierCoal.Inc()
+	case "miss":
+		rt.cTierMiss.Inc()
+	}
+}
+
+// BatchRequest is the POST /v1/batch body: an ordered list of run requests
+// — typically the points of one sweep — scattered across the fleet by the
+// active policy and gathered back in order.
+type BatchRequest struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+// BatchResult is one request's outcome within a batch response.
+type BatchResult struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Worker string          `json:"worker,omitempty"`
+	Cache  string          `json:"cache,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt.cBatches.Inc()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8*maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var batch BatchRequest
+	if err := dec.Decode(&batch); err != nil {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+		return
+	}
+	if len(batch.Requests) == 0 {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, "batch has no requests")
+		return
+	}
+	if len(batch.Requests) > maxBatchRequests {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d requests, bound is %d", len(batch.Requests), maxBatchRequests))
+		return
+	}
+
+	reqID := r.Header.Get("X-Request-ID")
+	results := make([]BatchResult, len(batch.Requests))
+	sem := make(chan struct{}, batchFanout)
+	var wg sync.WaitGroup
+	for i, raw := range batch.Requests {
+		wg.Add(1)
+		go func(i int, raw []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rt.cBatchRuns.Inc()
+			res := BatchResult{Index: i}
+			key, err := keyForBody(raw, rt.opts.MaxSF)
+			if err != nil {
+				res.Status = http.StatusBadRequest
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			// Sub-request IDs extend the batch's ID, so worker logs tie each
+			// point back to the one fleet submission.
+			subID := reqID
+			if subID != "" {
+				subID = fmt.Sprintf("%s.%d", reqID, i)
+			}
+			out, err := rt.forwardRun(subID, raw, key)
+			if err != nil {
+				res.Status = http.StatusBadGateway
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			rt.countTier(out.cache)
+			res.Status = out.status
+			res.Worker = out.worker
+			res.Cache = out.cache
+			res.Body = json.RawMessage(out.body)
+			results[i] = res
+		}(i, raw)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

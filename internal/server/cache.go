@@ -68,6 +68,22 @@ func (c *resultCache) get(key string) (body, trace []byte, ok bool) {
 	return e.body, e.trace, true
 }
 
+// getIfPresent is get without the miss counter: the serving path uses it
+// to re-check the LRU after probing the disk tier, so one cold request
+// counts a single memory miss. A hit still counts (and refreshes recency).
+func (c *resultCache) getIfPresent(key string) (body, trace []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		return nil, nil, false
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.trace, true
+}
+
 // put stores body (plus an optional trace) under key and evicts
 // least-recently-used entries until the budget holds again. An entry that
 // alone exceeds the whole budget is not cached (it would only flush

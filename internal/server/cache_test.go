@@ -146,6 +146,58 @@ func TestCacheOversizedBodyNotCached(t *testing.T) {
 	}
 }
 
+// TestCacheOversizedReplaceKeepsResident is the byte-budget edge-case
+// regression: re-putting an existing key with a body larger than the whole
+// budget must bypass the cache — keeping the old entry and every other
+// resident entry — instead of evicting the cache and still failing to fit.
+func TestCacheOversizedReplaceKeepsResident(t *testing.T) {
+	reg := metrics.New()
+	c := newResultCache(64, reg)
+	c.put("a", []byte("alpha"), nil)
+	c.put("b", []byte("beta"), nil)
+	used := c.usedBytes()
+
+	c.put("a", make([]byte, 128), nil) // larger than the whole budget
+	if body, _, ok := c.get("a"); !ok || string(body) != "alpha" {
+		t.Errorf("resident entry a = %q/%v, want the original alpha", body, ok)
+	}
+	if _, _, ok := c.get("b"); !ok {
+		t.Error("oversized re-put evicted unrelated entry b")
+	}
+	if c.usedBytes() != used {
+		t.Errorf("usedBytes = %d after bypassed put, want %d", c.usedBytes(), used)
+	}
+	if _, _, ev := cacheCounters(t, reg); ev != 0 {
+		t.Errorf("server_cache_evictions = %v, want 0", ev)
+	}
+}
+
+// TestCacheOversizedTraceNotCached charges the trace against the budget
+// too: a small body with a huge trace must bypass, not flush the cache.
+func TestCacheOversizedTraceNotCached(t *testing.T) {
+	reg := metrics.New()
+	c := newResultCache(64, reg)
+	c.put("resident", []byte("stay"), nil)
+	c.put("traced", []byte("tiny"), make([]byte, 256))
+	if _, _, ok := c.get("traced"); ok {
+		t.Error("entry whose body+trace exceed the budget was cached")
+	}
+	if _, _, ok := c.get("resident"); !ok {
+		t.Error("oversized traced put evicted the resident entry")
+	}
+}
+
+// TestCacheEntryExactlyAtBudgetFits pins the boundary: an entry whose
+// key+body size equals the budget is admitted, not rejected.
+func TestCacheEntryExactlyAtBudgetFits(t *testing.T) {
+	reg := metrics.New()
+	c := newResultCache(16, reg)
+	c.put("abcd", make([]byte, 12), nil) // 4 + 12 == budget
+	if _, _, ok := c.get("abcd"); !ok {
+		t.Error("entry exactly at the budget was rejected")
+	}
+}
+
 func TestCacheHitMissCounters(t *testing.T) {
 	reg := metrics.New()
 	c := newResultCache(1<<10, reg)

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getBody(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", path, resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestDiskTierServesAcrossRestart is the acceptance path for the
+// persistent tier: a result computed by one server lifetime is served by
+// the next one from the SSTable store — reported as a disk hit, promoted
+// into the LRU, byte-identical, no recompute.
+func TestDiskTierServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp1, body1 := postRun(t, ts1, quickBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d, body %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Fatalf("cold run cache header = %q, want miss", got)
+	}
+	ts1.Close()
+	s1.Close() // flushes the memtable
+
+	s2, ts2 := newTestServer(t, Options{DiskCacheDir: dir})
+	jobsBefore := counter(t, s2, "server_jobs_done")
+	resp2, body2 := postRun(t, ts2, quickBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restarted run: status %d, body %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "disk" {
+		t.Errorf("restarted run cache header = %q, want disk", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("disk-tier body differs from the cold run's bytes")
+	}
+	if got := counter(t, s2, "server_jobs_done"); got != jobsBefore {
+		t.Errorf("disk hit ran %v new jobs, want 0 (no recompute)", got-jobsBefore)
+	}
+	if got := counter(t, s2, "server_cache_disk_hits"); got != 1 {
+		t.Errorf("server_cache_disk_hits = %v, want 1", got)
+	}
+
+	// The disk hit promoted the entry into the LRU: the next ask is a
+	// memory hit.
+	resp3, body3 := postRun(t, ts2, quickBody)
+	if got := resp3.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Errorf("post-promotion cache header = %q, want hit", got)
+	}
+	if string(body1) != string(body3) {
+		t.Error("promoted body differs")
+	}
+
+	// A respelled but semantically identical request also hits — the
+	// canonical key is stable across spellings and restarts.
+	resp4, body4 := postRun(t, ts2, `{"sf":0.02,"quick":true,"id":"fig04","machine":{}}`)
+	if got := resp4.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Errorf("respelled request cache header = %q, want hit", got)
+	}
+	if string(body1) != string(body4) {
+		t.Error("respelled request body differs")
+	}
+}
+
+// TestDiskTierPreservesTrace checks a traced result survives the restart
+// with its timeline intact: the disk hit synthesizes a job handle whose
+// trace endpoint serves the cold run's exact document.
+func TestDiskTierPreservesTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracedBody := `{"id":"fig04","quick":true,"sf":0.02,"trace":true}`
+
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp1, _ := postRun(t, ts1, tracedBody)
+	job1 := resp1.Header.Get("X-Pmemd-Job")
+	if job1 == "" {
+		t.Fatal("cold traced run returned no job handle")
+	}
+	trace1 := getBody(t, ts1, "/v1/jobs/"+job1+"/trace")
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp2, _ := postRun(t, ts2, tracedBody)
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "disk" {
+		t.Fatalf("restarted traced run cache header = %q, want disk", got)
+	}
+	job2 := resp2.Header.Get("X-Pmemd-Job")
+	if job2 == "" {
+		t.Fatal("disk-tier traced hit returned no job handle")
+	}
+	trace2 := getBody(t, ts2, "/v1/jobs/"+job2+"/trace")
+	if string(trace1) != string(trace2) {
+		t.Error("trace bytes differ across the restart")
+	}
+}
+
+// TestDiskTierDistinctKeysStayDistinct guards against the disk tier
+// aliasing different requests after a restart.
+func TestDiskTierDistinctKeysStayDistinct(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	_, bodyA := postRun(t, ts1, `{"id":"fig04","quick":true,"sf":0.02}`)
+	_, bodyB := postRun(t, ts1, `{"id":"fig04","quick":true,"sf":0.02,"machine":{"PrefetcherEnabled":false}}`)
+	if string(bodyA) == string(bodyB) {
+		t.Fatal("distinct requests produced identical bodies; test is vacuous")
+	}
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := newTestServer(t, Options{DiskCacheDir: dir})
+	respA, gotA := postRun(t, ts2, `{"id":"fig04","quick":true,"sf":0.02}`)
+	respB, gotB := postRun(t, ts2, `{"id":"fig04","quick":true,"sf":0.02,"machine":{"PrefetcherEnabled":false}}`)
+	if respA.Header.Get("X-Pmemd-Cache") != "disk" || respB.Header.Get("X-Pmemd-Cache") != "disk" {
+		t.Errorf("expected disk hits, got %q and %q",
+			respA.Header.Get("X-Pmemd-Cache"), respB.Header.Get("X-Pmemd-Cache"))
+	}
+	if string(gotA) != string(bodyA) || string(gotB) != string(bodyB) {
+		t.Error("disk tier served wrong bytes for one of the keys")
+	}
+}

@@ -105,21 +105,35 @@ func (r RunRequest) canonicalize(maxSF float64) (canonical, error) {
 		}
 		c.Machine = mc
 	}
-	if len(r.Faults) > 0 {
+	if len(r.Faults) > 0 && !isJSONNull(r.Faults) {
 		plan, err := faults.Parse(r.Faults)
 		if err != nil {
 			return c, fmt.Errorf("bad fault plan: %w", err)
 		}
 		c.Machine.Faults = plan
 	}
-	if len(r.Arrivals) > 0 {
+	if len(r.Arrivals) > 0 && !isJSONNull(r.Arrivals) {
 		spec, err := queueing.ParseSpec(r.Arrivals)
 		if err != nil {
 			return c, fmt.Errorf("bad arrival spec: %w", err)
 		}
 		c.Arrivals = spec
 	}
+	// Nil-elide a fault plan with no events (spelled directly or inside the
+	// machine override): it schedules nothing, so it must key exactly like
+	// its absence — otherwise respelled requests would miss the cache and,
+	// worse, affinity-route to a different fleet worker.
+	if c.Machine.Faults != nil && len(c.Machine.Faults.Events) == 0 {
+		c.Machine.Faults = nil
+	}
 	return c, nil
+}
+
+// isJSONNull reports whether raw is the JSON null literal — a spelled-out
+// "faults": null or "arrivals": null means the same as omitting the field,
+// and must canonicalize (and cache-key) identically.
+func isJSONNull(raw json.RawMessage) bool {
+	return string(bytes.TrimSpace(raw)) == "null"
 }
 
 // key is the content address: SHA-256 over the canonical JSON. The canonical
@@ -134,6 +148,20 @@ func (c canonical) key() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// KeyForRequest canonicalizes req and returns its SHA-256 cache key — the
+// exact key a pmemd worker derives when serving the same request. The
+// fleet router uses it for key-affinity routing, so identical requests
+// (however respelled: field order, spelled defaults, nil-elided faults or
+// arrivals) land on the worker that already holds the cached bytes. maxSF
+// bounds validation only; it never influences the key (<= 0 = unbounded).
+func KeyForRequest(req RunRequest, maxSF float64) (string, error) {
+	c, err := req.canonicalize(maxSF)
+	if err != nil {
+		return "", err
+	}
+	return c.key(), nil
 }
 
 // experimentConfig translates the canonical request into the experiment

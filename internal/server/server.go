@@ -19,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/simtrace"
+	"repro/internal/sstcache"
 )
 
 // maxRetainedJobs bounds the finished-job history kept for GET /v1/jobs;
@@ -55,6 +56,14 @@ type Options struct {
 	// retry attempts. <= 0 means 50ms. Backoff is wall-clock only; it never
 	// influences the simulated result bytes.
 	RetryBackoff time.Duration
+	// DiskCacheDir enables the persistent SSTable result tier under the
+	// in-memory LRU: results are written through to an on-disk store in
+	// this directory and survive restarts (served with X-Pmemd-Cache:
+	// disk, no recompute). Empty disables the tier.
+	DiskCacheDir string
+	// DiskCacheMemtableBytes is the disk tier's memtable flush threshold.
+	// <= 0 means sstcache.DefaultMemtableBytes.
+	DiskCacheMemtableBytes int64
 	// Logger receives the structured request/lifecycle log. nil discards
 	// (tests); the daemon passes a real handler.
 	Logger *slog.Logger
@@ -109,6 +118,7 @@ type Server struct {
 	opts  Options
 	reg   *metrics.Registry
 	cache *resultCache
+	disk  *sstcache.Store // persistent second tier; nil when disabled
 	pool  *experiments.Pool
 
 	baseCtx context.Context
@@ -138,6 +148,7 @@ type Server struct {
 	nextReq atomic.Uint64 // generated X-Request-ID sequence
 
 	cRequests   *metrics.Counter
+	cDiskHits   *metrics.Counter
 	cRejected   *metrics.Counter
 	cCoalesced  *metrics.Counter
 	cJobsDone   *metrics.Counter
@@ -153,20 +164,36 @@ type Server struct {
 }
 
 // New builds a Server; it owns a fresh metrics registry exposed at /metrics.
-func New(opts Options) *Server {
+// When opts.DiskCacheDir is set it also opens (recovering any existing
+// segments) the persistent SSTable tier; a store that cannot be opened is a
+// configuration error, not a degraded mode.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	reg := metrics.New()
+	var disk *sstcache.Store
+	if opts.DiskCacheDir != "" {
+		var err error
+		disk, err = sstcache.Open(opts.DiskCacheDir, sstcache.Options{
+			MemtableBytes: opts.DiskCacheMemtableBytes,
+			Registry:      reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open disk cache: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:        opts,
 		reg:         reg,
 		cache:       newResultCache(opts.CacheBytes, reg),
+		disk:        disk,
 		pool:        experiments.NewPool(opts.Workers),
 		baseCtx:     ctx,
 		cancel:      cancel,
 		inflight:    make(map[string]*job),
 		jobs:        make(map[string]*job),
 		cRequests:   reg.Counter("server_requests"),
+		cDiskHits:   reg.Counter("server_cache_disk_hits"),
 		cRejected:   reg.Counter("server_rejected"),
 		cCoalesced:  reg.Counter("server_coalesced"),
 		cJobsDone:   reg.Counter("server_jobs_done"),
@@ -185,7 +212,7 @@ func New(opts Options) *Server {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.runFn = s.simulate
-	return s
+	return s, nil
 }
 
 // Registry exposes the server's metrics registry (the /metrics content).
@@ -309,6 +336,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Traced hits still get a job handle: the trace endpoint is
 		// job-addressed, so synthesize an already-done job around the cached
 		// bytes. The trace is the same document the cold run recorded.
+		var jobID string
+		if canon.Trace {
+			jobID = s.finishedJobLocked(canon, key, body, trace).id
+		}
+		s.mu.Unlock()
+		if jobID != "" {
+			w.Header().Set("X-Pmemd-Job", jobID)
+		}
+		serveResult(w, body, "hit")
+		return
+	}
+	s.mu.Unlock()
+
+	// Second tier: the persistent SSTable store. A hit here — typically the
+	// first ask after a restart — is promoted into the LRU so the next one
+	// is a memory hit, and served without recomputing anything.
+	if s.disk != nil {
+		if body, trace, ok := s.disk.Get(key); ok {
+			s.cDiskHits.Inc()
+			s.mu.Lock()
+			s.cache.put(key, body, trace)
+			var jobID string
+			if canon.Trace {
+				jobID = s.finishedJobLocked(canon, key, body, trace).id
+			}
+			s.mu.Unlock()
+			if jobID != "" {
+				w.Header().Set("X-Pmemd-Job", jobID)
+			}
+			serveResult(w, body, "disk")
+			return
+		}
+	}
+
+	s.mu.Lock()
+	// Re-check the LRU: a concurrent identical request may have finished
+	// while this one was probing the disk tier.
+	if body, trace, ok := s.cache.getIfPresent(key); ok {
 		var jobID string
 		if canon.Trace {
 			jobID = s.finishedJobLocked(canon, key, body, trace).id
@@ -591,6 +656,14 @@ func (s *Server) run(j *job) {
 	if err != nil {
 		s.log.Warn("job failed", "job_id", j.id, "experiment", j.canon.ID, "error", err.Error())
 	} else {
+		// Write through to the persistent tier (outside s.mu — flushes do
+		// file IO). A disk write failure only costs durability, never the
+		// response, so it is logged and absorbed.
+		if s.disk != nil {
+			if derr := s.disk.Put(j.key, body, trace); derr != nil {
+				s.log.Warn("disk cache write failed", "job_id", j.id, "error", derr.Error())
+			}
+		}
 		s.log.Info("job done", "job_id", j.id, "experiment", j.canon.ID,
 			"seconds", time.Since(j.created).Seconds(), "traced", trace != nil)
 	}
@@ -724,11 +797,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close cancels all in-flight work and waits for it to unwind.
+// Close cancels all in-flight work, waits for it to unwind, and flushes
+// the persistent tier's memtable so everything served this lifetime is
+// readable after a restart.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.cancel()
 	s.jobsWG.Wait()
+	if s.disk != nil {
+		if err := s.disk.Close(); err != nil {
+			s.log.Warn("disk cache close failed", "error", err.Error())
+		}
+	}
 }
 
 func serveResult(w http.ResponseWriter, body []byte, cacheState string) {

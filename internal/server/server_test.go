@@ -24,7 +24,10 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	if opts.MaxSF == 0 {
 		opts.MaxSF = -1 // tests pick tiny SFs; don't bound them
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,329 @@
+package sstcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment file layout (all integers big-endian):
+//
+//	header:  magic "PMSSTBL1" (8) · seq u64
+//	records: sorted ascending by key, each
+//	         keyLen u32 · bodyLen u32 · traceLen u32 · key · body · trace
+//	index:   every indexEvery-th record, each
+//	         keyLen u32 · offset u64 · key      (offset from file start)
+//	footer:  indexOffset u64 · recordCount u32 · indexCount u32 ·
+//	         dataCRC u32 · indexCRC u32 · magic "PMSSTEND" (8)
+//
+// The sparse index is loaded into memory at open; a lookup binary-searches
+// it and scans at most indexEvery records from the chosen offset. The two
+// CRCs cover the record and index regions, so a torn flush or truncated
+// file fails validation at open and is skipped by recovery.
+
+const (
+	segSuffix  = ".seg"
+	tmpSuffix  = ".tmp"
+	headerSize = 16
+	footerSize = 32
+	indexEvery = 16
+)
+
+var (
+	segMagic = [8]byte{'P', 'M', 'S', 'S', 'T', 'B', 'L', '1'}
+	endMagic = [8]byte{'P', 'M', 'S', 'S', 'T', 'E', 'N', 'D'}
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// maxRecordPart bounds each length field read back from disk, rejecting
+// absurd values from corruption before any allocation happens.
+const maxRecordPart = 1 << 30
+
+func segName(seq uint64) string { return fmt.Sprintf("%012d%s", seq, segSuffix) }
+
+// record is one key's stored value in segment order.
+type record struct {
+	key   string
+	body  []byte
+	trace []byte
+}
+
+type indexEntry struct {
+	key string
+	off int64
+}
+
+// segment is an open, validated, immutable segment file.
+type segment struct {
+	path     string
+	f        *os.File
+	seq      uint64
+	count    int
+	fileSize int64
+	dataEnd  int64 // index region start == end of records
+	index    []indexEntry
+}
+
+// writeSegment renders records (already sorted by key) into path via a
+// temp file + fsync + rename, so the segment becomes visible atomically.
+func writeSegment(path string, seq uint64, recs []record) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tmpSuffix+"*")
+	if err != nil {
+		return fmt.Errorf("sstcache: create temp segment: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w := bufio.NewWriter(tmp)
+	dataCRC := crc32.New(crcTable)
+	indexCRC := crc32.New(crcTable)
+	data := io.MultiWriter(w, dataCRC)
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], segMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:], seq)
+	if _, err := data.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	off := int64(headerSize)
+	var index []indexEntry
+	var lenBuf [12]byte
+	for i, r := range recs {
+		if i%indexEvery == 0 {
+			index = append(index, indexEntry{key: r.key, off: off})
+		}
+		binary.BigEndian.PutUint32(lenBuf[0:], uint32(len(r.key)))
+		binary.BigEndian.PutUint32(lenBuf[4:], uint32(len(r.body)))
+		binary.BigEndian.PutUint32(lenBuf[8:], uint32(len(r.trace)))
+		if _, err := data.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		for _, part := range [][]byte{[]byte(r.key), r.body, r.trace} {
+			if _, err := data.Write(part); err != nil {
+				return err
+			}
+		}
+		off += 12 + int64(len(r.key)) + int64(len(r.body)) + int64(len(r.trace))
+	}
+
+	indexOffset := off
+	idx := io.MultiWriter(w, indexCRC)
+	var ixBuf [12]byte
+	for _, e := range index {
+		binary.BigEndian.PutUint32(ixBuf[0:], uint32(len(e.key)))
+		binary.BigEndian.PutUint64(ixBuf[4:], uint64(e.off))
+		if _, err := idx.Write(ixBuf[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(idx, e.key); err != nil {
+			return err
+		}
+	}
+
+	var foot [footerSize]byte
+	binary.BigEndian.PutUint64(foot[0:], uint64(indexOffset))
+	binary.BigEndian.PutUint32(foot[8:], uint32(len(recs)))
+	binary.BigEndian.PutUint32(foot[12:], uint32(len(index)))
+	binary.BigEndian.PutUint32(foot[16:], dataCRC.Sum32())
+	binary.BigEndian.PutUint32(foot[20:], indexCRC.Sum32())
+	copy(foot[24:], endMagic[:])
+	if _, err := w.Write(foot[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("sstcache: publish segment: %w", err)
+	}
+	return nil
+}
+
+// openSegment validates path's header, footer, and both region checksums,
+// then loads the sparse index. Any mismatch returns an error; recovery
+// treats that as "this segment does not exist".
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("sstcache: segment %s too short (%d bytes)", path, size)
+	}
+
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != segMagic {
+		return nil, fmt.Errorf("sstcache: segment %s has bad magic", path)
+	}
+	seq := binary.BigEndian.Uint64(hdr[8:])
+
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	if [8]byte(foot[24:]) != endMagic {
+		return nil, fmt.Errorf("sstcache: segment %s has bad footer magic", path)
+	}
+	indexOffset := int64(binary.BigEndian.Uint64(foot[0:]))
+	count := int(binary.BigEndian.Uint32(foot[8:]))
+	indexCount := int(binary.BigEndian.Uint32(foot[12:]))
+	wantDataCRC := binary.BigEndian.Uint32(foot[16:])
+	wantIndexCRC := binary.BigEndian.Uint32(foot[20:])
+	if indexOffset < headerSize || indexOffset > size-footerSize {
+		return nil, fmt.Errorf("sstcache: segment %s index offset %d out of range", path, indexOffset)
+	}
+
+	dataCRC := crc32.New(crcTable)
+	if _, err := io.Copy(dataCRC, io.NewSectionReader(f, 0, indexOffset)); err != nil {
+		return nil, err
+	}
+	if dataCRC.Sum32() != wantDataCRC {
+		return nil, fmt.Errorf("sstcache: segment %s data checksum mismatch", path)
+	}
+	indexLen := size - footerSize - indexOffset
+	indexRegion := make([]byte, indexLen)
+	if _, err := f.ReadAt(indexRegion, indexOffset); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(indexRegion, crcTable) != wantIndexCRC {
+		return nil, fmt.Errorf("sstcache: segment %s index checksum mismatch", path)
+	}
+
+	index := make([]indexEntry, 0, indexCount)
+	for pos := 0; pos < len(indexRegion); {
+		if pos+12 > len(indexRegion) {
+			return nil, fmt.Errorf("sstcache: segment %s index truncated", path)
+		}
+		klen := int(binary.BigEndian.Uint32(indexRegion[pos:]))
+		off := int64(binary.BigEndian.Uint64(indexRegion[pos+4:]))
+		pos += 12
+		if klen > maxRecordPart || pos+klen > len(indexRegion) {
+			return nil, fmt.Errorf("sstcache: segment %s index entry overruns region", path)
+		}
+		if off < headerSize || off >= indexOffset {
+			return nil, fmt.Errorf("sstcache: segment %s index offset %d out of data region", path, off)
+		}
+		index = append(index, indexEntry{key: string(indexRegion[pos : pos+klen]), off: off})
+		pos += klen
+	}
+	if len(index) != indexCount {
+		return nil, fmt.Errorf("sstcache: segment %s has %d index entries, footer says %d",
+			path, len(index), indexCount)
+	}
+
+	ok = true
+	return &segment{
+		path:     path,
+		f:        f,
+		seq:      seq,
+		count:    count,
+		fileSize: size,
+		dataEnd:  indexOffset,
+		index:    index,
+	}, nil
+}
+
+// readRecordAt decodes one record starting at off; returns the record and
+// the offset just past it.
+func (s *segment) readRecordAt(off int64) (record, int64, error) {
+	var lenBuf [12]byte
+	if _, err := s.f.ReadAt(lenBuf[:], off); err != nil {
+		return record{}, 0, err
+	}
+	klen := int(binary.BigEndian.Uint32(lenBuf[0:]))
+	blen := int(binary.BigEndian.Uint32(lenBuf[4:]))
+	tlen := int(binary.BigEndian.Uint32(lenBuf[8:]))
+	if klen > maxRecordPart || blen > maxRecordPart || tlen > maxRecordPart {
+		return record{}, 0, fmt.Errorf("sstcache: segment %s record at %d has absurd lengths", s.path, off)
+	}
+	total := int64(klen + blen + tlen)
+	if off+12+total > s.dataEnd {
+		return record{}, 0, fmt.Errorf("sstcache: segment %s record at %d overruns data region", s.path, off)
+	}
+	buf := make([]byte, total)
+	if _, err := s.f.ReadAt(buf, off+12); err != nil {
+		return record{}, 0, err
+	}
+	r := record{key: string(buf[:klen]), body: buf[klen : klen+blen]}
+	if tlen > 0 {
+		r.trace = buf[klen+blen:]
+	}
+	return r, off + 12 + total, nil
+}
+
+// get looks key up via the sparse index: binary search for the last index
+// key <= key, then scan forward until the key is found or passed.
+func (s *segment) get(key string) (body, trace []byte, found bool, err error) {
+	if len(s.index) == 0 || key < s.index[0].key {
+		return nil, nil, false, nil
+	}
+	// First index entry with key > target; scan starts one before it.
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].key > key })
+	off := s.index[i-1].off
+	for off < s.dataEnd {
+		r, next, err := s.readRecordAt(off)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if r.key == key {
+			return r.body, r.trace, true, nil
+		}
+		if r.key > key { // records are sorted: the key is not here
+			return nil, nil, false, nil
+		}
+		off = next
+	}
+	return nil, nil, false, nil
+}
+
+// scan streams every record in key order through fn.
+func (s *segment) scan(fn func(record)) error {
+	off := int64(headerSize)
+	for off < s.dataEnd {
+		r, next, err := s.readRecordAt(off)
+		if err != nil {
+			return err
+		}
+		fn(r)
+		off = next
+	}
+	return nil
+}
+
+func (s *segment) close() {
+	s.f.Close()
+}
