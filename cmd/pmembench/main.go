@@ -38,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/doctor"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/machine"
@@ -85,6 +87,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the tier-0 experiment catalogue as a benchmark and write BENCH_sim.json to this file ('-' = stdout)")
 	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-json run against this committed BENCH_sim.json and exit non-zero on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 0.20, "allowed wall-clock regression vs the calibration-scaled baseline (0.20 = +20%)")
+	benchDiagnose := flag.Bool("diagnose", false, "with -bench-json and -bench-baseline: print the doctor's regression triage (ranked mechanisms with counter evidence) to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -108,7 +111,7 @@ func main() {
 	defer writeMemProfile(*memprofile)
 
 	if *benchJSON != "" {
-		runBenchMode(ctx, *benchJSON, *benchBaseline, *benchTolerance)
+		runBenchMode(ctx, *benchJSON, *benchBaseline, *benchTolerance, *benchDiagnose)
 		return
 	}
 
@@ -329,8 +332,10 @@ func requireIsolatedSweep(showMetrics bool, metricsJSON, traceDir, faultsFlag st
 
 // runBenchMode runs the tier-0 catalogue (quick axes, sf 0.05 — the same
 // configuration the committed BENCH_sim.json baseline was recorded with),
-// writes the report, and optionally gates against a baseline.
-func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance float64) {
+// writes the report, and optionally gates against a baseline. With -diagnose
+// the doctor triages the comparison — attributing any regression to the
+// counter family that shifted — on stderr, whichever way the gate goes.
+func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance float64, diagnose bool) {
 	rep, err := experiments.RunBench(ctx, experiments.Config{SF: 0.05, Quick: true})
 	if err != nil {
 		fatal(err)
@@ -354,6 +359,9 @@ func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance f
 	if err != nil {
 		fatal(err)
 	}
+	if diagnose {
+		diagnoseBenchDiff(base, rep, tolerance)
+	}
 	if findings := experiments.CompareBench(base, rep, tolerance); len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(os.Stderr, "pmembench: bench regression:", f)
@@ -361,6 +369,26 @@ func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance f
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "pmembench: bench within tolerance of baseline")
+}
+
+// diagnoseBenchDiff runs the doctor's bench-diff triage and prints it to
+// stderr. The experiments reports round-trip through JSON into the doctor's
+// own report shape (kept separate to avoid an import cycle), so the triage
+// sees exactly the bytes a standalone pmemdoctor invocation would.
+func diagnoseBenchDiff(base, cur experiments.BenchReport, tolerance float64) {
+	conv := func(r experiments.BenchReport) *doctor.BenchReport {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := doctor.ParseBenchReport(raw)
+		if err != nil {
+			fatal(err)
+		}
+		return d
+	}
+	d := doctor.DiagnoseBenchDiff(conv(base), conv(cur), tolerance)
+	d.Fprint(os.Stderr)
 }
 
 // writeMemProfile dumps the heap profile after a GC, mirroring

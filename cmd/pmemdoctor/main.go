@@ -1,0 +1,134 @@
+// Command pmemdoctor explains a run: it ingests the artifacts a run leaves
+// behind — the metrics snapshot (-metrics-json output of cmd/experiments or
+// pmembench), optionally the Perfetto trace — walks the doctor's staged
+// heuristic pipeline over the known limiting mechanisms, and prints a ranked
+// verdict with named evidence. In bench-diff mode it instead compares two
+// BENCH_sim.json reports and attributes any wall-clock regression to the
+// counter family that shifted.
+//
+// Examples:
+//
+//	pmemdoctor -metrics run.json                          # diagnose a run
+//	pmemdoctor -metrics run.json -trace run.trace.json    # + timeline evidence
+//	pmemdoctor -metrics run.json -json                    # machine-readable
+//	pmemdoctor -bench-baseline BENCH_sim.json -bench-report fresh.json
+//	pmemdoctor -metrics run.json -assert-top channel-striping -assert-confidence 0.8
+//
+// The diagnosis is deterministic: the same artifacts produce byte-identical
+// output (text or JSON) on any host. Exit status is 0 for a clean verdict, 1
+// when a bench diff finds a regression or an -assert-* check fails, and 2
+// for usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/doctor"
+	"repro/internal/metrics"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "run mode: metrics snapshot JSON (the -metrics-json output of cmd/experiments or pmembench)")
+	tracePath := flag.String("trace", "", "run mode: the run's Chrome trace-event JSON, adds timeline evidence (optional)")
+	benchBaseline := flag.String("bench-baseline", "", "bench-diff mode: the committed baseline BENCH_sim.json")
+	benchReport := flag.String("bench-report", "", "bench-diff mode: the fresh BENCH_sim.json to triage against the baseline")
+	tolerance := flag.Float64("tolerance", 0.20, "bench-diff: allowed wall-clock regression vs the calibration-scaled baseline (0.20 = +20%)")
+	asJSON := flag.Bool("json", false, "emit the diagnosis document as JSON instead of the text report")
+	outPath := flag.String("o", "-", "write the diagnosis to this file ('-' = stdout)")
+	assertTop := flag.String("assert-top", "", "exit 1 unless the top verdict names this mechanism (CI guard)")
+	assertConf := flag.Float64("assert-confidence", 0, "exit 1 unless the top verdict's confidence is at least this (CI guard)")
+	flag.Parse()
+
+	runMode := *metricsPath != ""
+	benchMode := *benchBaseline != "" || *benchReport != ""
+	if runMode == benchMode {
+		fatal(fmt.Errorf("pick one mode: -metrics FILE (run) or -bench-baseline FILE -bench-report FILE (bench diff)"))
+	}
+
+	var d *doctor.Diagnosis
+	if runMode {
+		d = diagnoseRun(*metricsPath, *tracePath)
+	} else {
+		if *benchBaseline == "" || *benchReport == "" {
+			fatal(fmt.Errorf("bench-diff mode needs both -bench-baseline and -bench-report"))
+		}
+		d = diagnoseBenchDiff(*benchBaseline, *benchReport, *tolerance)
+	}
+
+	w := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asJSON {
+		w.Write(d.JSON())
+	} else {
+		d.Fprint(w)
+	}
+
+	code := 0
+	if d.Mode == doctor.ModeBenchDiff && d.Top().Mechanism != doctor.MechNoRegression {
+		fmt.Fprintf(os.Stderr, "pmemdoctor: bench regression: %s\n", d.Top().Explanation)
+		code = 1
+	}
+	if *assertTop != "" && d.Top().Mechanism != *assertTop {
+		fmt.Fprintf(os.Stderr, "pmemdoctor: assertion failed: top verdict is %s, want %s\n",
+			d.Top().Mechanism, *assertTop)
+		code = 1
+	}
+	if *assertConf > 0 && d.Top().Confidence < *assertConf {
+		fmt.Fprintf(os.Stderr, "pmemdoctor: assertion failed: top confidence %.4f < %.4f\n",
+			d.Top().Confidence, *assertConf)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// diagnoseRun loads the snapshot (and optional trace) and runs the pipeline.
+func diagnoseRun(metricsPath, tracePath string) *doctor.Diagnosis {
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("metrics snapshot %s: %w", metricsPath, err))
+	}
+	var ts *doctor.TraceSummary
+	if tracePath != "" {
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		ts, err = doctor.SummarizeTrace(raw)
+		if err != nil {
+			fatal(fmt.Errorf("trace %s: %w", tracePath, err))
+		}
+	}
+	return doctor.Diagnose(snap, ts)
+}
+
+// diagnoseBenchDiff loads the two reports and triages the regression.
+func diagnoseBenchDiff(basePath, curPath string, tolerance float64) *doctor.Diagnosis {
+	base, err := doctor.ReadBenchReport(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := doctor.ReadBenchReport(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	return doctor.DiagnoseBenchDiff(base, cur, tolerance)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmemdoctor:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,284 @@
+package doctor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// BenchEntry mirrors one entry of a BENCH_sim.json report. The doctor keeps
+// its own copy of the shape (rather than importing the experiments package,
+// which imports the doctor) so two reports can be triaged anywhere — CI, a
+// laptop — without the simulation behind them.
+type BenchEntry struct {
+	ID      string  `json:"id"`
+	WallMS  float64 `json:"wall_ms"`
+	Allocs  uint64  `json:"allocs"`
+	PeakGBs float64 `json:"peak_gbs"`
+	// Metrics is the entry's key-counter snapshot (schema >= 2 reports).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport mirrors the BENCH_sim.json document.
+type BenchReport struct {
+	Schema      int          `json:"schema"`
+	SF          float64      `json:"sf"`
+	Quick       bool         `json:"quick"`
+	Calibration float64      `json:"calibration"`
+	Entries     []BenchEntry `json:"entries"`
+}
+
+// ParseBenchReport loads a BENCH_sim.json document. Any schema >= 1 is
+// accepted: schema-1 reports simply lack per-entry metrics, which degrades
+// attribution (regressions report as wall-regression), not parsing.
+func ParseBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("doctor: parse bench report: %w", err)
+	}
+	if r.Schema < 1 {
+		return nil, fmt.Errorf("doctor: bench report schema %d not recognized", r.Schema)
+	}
+	return &r, nil
+}
+
+// ReadBenchReport loads and parses a BENCH_sim.json file.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ParseBenchReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// benchGateFloorMS mirrors experiments.BenchGateFloorMS: entries whose
+// baseline wall-clock is below it jitter past any useful tolerance and are
+// exempt from the regression gate.
+const benchGateFloorMS = 75
+
+// DiagnoseBenchDiff compares a candidate report against a baseline — the
+// same calibration-scaled wall-clock gate CompareBench applies — and
+// explains every regressed entry by the counter family that shifted most
+// between the two reports. A clean comparison yields the single
+// no-regression verdict, so CI can grep one token either way.
+func DiagnoseBenchDiff(base, cur *BenchReport, tolerance float64) *Diagnosis {
+	ratio := 1.0
+	if base.Calibration > 0 && cur.Calibration > 0 {
+		ratio = base.Calibration / cur.Calibration
+	}
+	curByID := make(map[string]BenchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curByID[e.ID] = e
+	}
+	var verdicts []Verdict
+	compared := 0
+	for _, b := range base.Entries {
+		c, ok := curByID[b.ID]
+		if !ok {
+			verdicts = append(verdicts, Verdict{
+				Mechanism:  MechMissingEntry,
+				Confidence: 1,
+				Explanation: fmt.Sprintf(
+					"%s: present in the baseline but not in this run — a deleted or renamed experiment forces a baseline refresh", b.ID),
+				Evidence: []Evidence{{Kind: "bench", Name: b.ID + ".wall_ms", Value: round4val(b.WallMS),
+					Detail: "baseline entry with no counterpart"}},
+			})
+			continue
+		}
+		if b.WallMS < benchGateFloorMS {
+			continue
+		}
+		compared++
+		allowed := b.WallMS * ratio * (1 + tolerance)
+		if c.WallMS <= allowed {
+			continue
+		}
+		verdicts = append(verdicts, benchRegressionVerdict(b, c, allowed, ratio, tolerance))
+	}
+	sort.SliceStable(verdicts, func(i, j int) bool {
+		if verdicts[i].Confidence != verdicts[j].Confidence {
+			return verdicts[i].Confidence > verdicts[j].Confidence
+		}
+		return verdicts[i].Explanation < verdicts[j].Explanation
+	})
+	d := &Diagnosis{Schema: Schema, Mode: ModeBenchDiff}
+	if len(verdicts) == 0 {
+		d.Verdicts = []Verdict{{
+			Mechanism:  MechNoRegression,
+			Confidence: 1,
+			Explanation: fmt.Sprintf(
+				"no regression: all %d gated entries within +%.0f%% of the calibration-scaled baseline (ratio %.2f)",
+				compared, 100*tolerance, ratio),
+		}}
+		d.Summary = "no-regression: the candidate report is within tolerance of the baseline"
+		return d
+	}
+	d.Verdicts = verdicts
+	d.Summary = fmt.Sprintf("%d finding(s) across %d gated entries; top: %s",
+		len(verdicts), compared, verdicts[0].Mechanism)
+	return d
+}
+
+// benchRegressionVerdict explains one regressed entry: the mechanism is
+// attributed to the counter family with the largest relative shift between
+// the two reports' snapshots of that entry.
+func benchRegressionVerdict(b, c BenchEntry, allowed, ratio, tolerance float64) Verdict {
+	overshoot := c.WallMS/allowed - 1
+	conf := round4(clamp(0.60+0.30*clamp(overshoot, 0, 1), 0, 0.95))
+	ev := []Evidence{{
+		Kind: "bench", Name: c.ID + ".wall_ms", Value: round4val(c.WallMS),
+		Op: ">", Threshold: round4val(allowed),
+		Detail: fmt.Sprintf("baseline %.1f ms x %.2f calibration x %.0f%% tolerance",
+			b.WallMS, ratio, 100*(1+tolerance)),
+	}}
+	mech, shifts := attributeShift(b, c)
+	for _, s := range shifts {
+		ev = append(ev, s)
+	}
+	expl := fmt.Sprintf("%s: wall %.1f ms exceeds the allowed %.1f ms", c.ID, c.WallMS, allowed)
+	if mech == MechWallTime {
+		expl += "; no counter family shifted with it — the simulation is doing the same work slower (host code path, not modeled hardware)"
+	} else {
+		expl += fmt.Sprintf("; the largest counter shift points at %s", mech)
+	}
+	return Verdict{Mechanism: mech, Confidence: conf, Explanation: expl, Evidence: ev}
+}
+
+// minRelShift is the relative counter movement below which a shift is
+// considered noise for attribution purposes.
+const minRelShift = 0.10
+
+// attributeShift finds the counter families that moved most between the
+// two entries and maps the winner onto the mechanism catalogue. Pseudo
+// counters cover the report's own fields (allocs, peak_gbs).
+func attributeShift(b, c BenchEntry) (string, []Evidence) {
+	type shift struct {
+		name string
+		rel  float64
+		base float64
+		cur  float64
+	}
+	var shifts []shift
+	add := func(name string, base, cur float64) {
+		denom := math.Max(math.Abs(base), 1e-9)
+		rel := (cur - base) / denom
+		if math.Abs(rel) >= minRelShift {
+			shifts = append(shifts, shift{name, rel, base, cur})
+		}
+	}
+	names := make([]string, 0, len(b.Metrics)+len(c.Metrics))
+	seen := map[string]bool{}
+	for _, m := range []map[string]float64{b.Metrics, c.Metrics} {
+		for name := range m {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		add(name, b.Metrics[name], c.Metrics[name])
+	}
+	add("allocs", float64(b.Allocs), float64(c.Allocs))
+	add("peak_gbs", b.PeakGBs, c.PeakGBs)
+	sort.SliceStable(shifts, func(i, j int) bool {
+		if math.Abs(shifts[i].rel) != math.Abs(shifts[j].rel) {
+			return math.Abs(shifts[i].rel) > math.Abs(shifts[j].rel)
+		}
+		return shifts[i].name < shifts[j].name
+	})
+	if len(shifts) == 0 {
+		return MechWallTime, nil
+	}
+	var ev []Evidence
+	for i, s := range shifts {
+		if i == 3 {
+			break
+		}
+		ev = append(ev, Evidence{Kind: "bench", Name: c.ID + "." + s.name, Value: round4val(s.cur),
+			Detail: fmt.Sprintf("%+.0f%% vs baseline %.6g", 100*s.rel, s.base)})
+	}
+	return mechanismForCounter(shifts[0].name), ev
+}
+
+// mechanismForCounter maps a shifted counter onto the mechanism catalogue.
+func mechanismForCounter(name string) string {
+	switch {
+	case name == "allocs":
+		return MechAllocs
+	case name == "peak_gbs":
+		return MechOutputDrift
+	case strings.HasPrefix(name, "fault.throttle") || name == "fault.media_scale.min":
+		return MechMediaThrottle
+	case strings.HasPrefix(name, "fault.channel_offline"):
+		return MechChannelStriping
+	case strings.HasPrefix(name, "fault.xpbuffer") || strings.HasPrefix(name, "xpdimm."):
+		return MechXPBuffer
+	case strings.HasPrefix(name, "fault.upi_degraded"):
+		return MechUPI
+	case name == "upi.cold_bytes" || name == "upi.warmups" || strings.HasPrefix(name, "fault.rewarm"):
+		return MechDirectoryWarmup
+	case strings.HasPrefix(name, "upi."):
+		return MechUPI
+	case strings.HasPrefix(name, "cpu.prefetch"):
+		return MechPrefetcher
+	case strings.HasPrefix(name, "queue."):
+		return MechQueueWait
+	default:
+		// pmem./dram./machine. traffic growth: the run simply moved more
+		// bytes or simulated longer — a workload change, which at the media
+		// level reads as the bandwidth mechanism.
+		return MechMediaBandwidth
+	}
+}
+
+// KeyCounters filters a snapshot down to the counters and gauges the
+// doctor reasons over — the per-experiment slice a bench report embeds so
+// two reports can be diffed mechanism-by-mechanism without re-running.
+// Per-channel and serving-daemon series are excluded to keep the committed
+// baseline small; per-socket pmem/dram/xpdimm/upi series stay.
+func KeyCounters(snap metrics.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	keep := func(name string) bool {
+		switch name {
+		case "machine.run.count", "machine.run.virtual_seconds",
+			"upi.crossings", "upi.cold_bytes", "upi.warmups", "upi.mark_warm", "upi.invalidations",
+			"cpu.prefetch.bytes", "cpu.prefetch.useful_bytes", "cpu.prefetch.wasted_media_bytes",
+			"cpu.prefetch.efficiency.mean",
+			"queue.arrivals", "queue.admitted", "queue.rejected", "queue.completed",
+			"queue.served_bytes", "queue.depth_peak",
+			"fault.activations", "fault.recoveries",
+			"fault.throttle.socket_seconds", "fault.channel_offline.socket_seconds",
+			"fault.xpbuffer.socket_seconds", "fault.upi_degraded.link_seconds",
+			"fault.rewarm.invalidations", "fault.media_scale.min":
+			return true
+		}
+		for _, prefix := range []string{"pmem.s", "dram.s", "xpdimm.s", "upi.s"} {
+			if strings.HasPrefix(name, prefix) && !strings.Contains(name, ".ch") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, lst := range [][]metrics.Sample{snap.Counters, snap.Gauges} {
+		for _, s := range lst {
+			if keep(s.Name) && s.Value != 0 {
+				out[s.Name] = s.Value
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

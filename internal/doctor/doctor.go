@@ -1,0 +1,279 @@
+// Package doctor turns a run's recorded evidence into an explanation. The
+// repository already writes down everything the paper says matters — the
+// metrics registry counts XPBuffer traffic, UPI crossings, per-channel
+// media bytes, prefetcher efficiency, fault windows, and queue waits; the
+// Perfetto trace lays the same story out on a timeline; the bench reports
+// fingerprint every experiment's cost — but reading that evidence was a
+// human job. The doctor walks a staged, deterministic heuristic pipeline
+// over the known limiting mechanisms and emits a ranked verdict: which
+// mechanism most plausibly bounded the run, with what confidence, backed by
+// which named counters and trace spans.
+//
+// Determinism is a hard contract, the same one the rest of the repository
+// keeps: the diagnosis is a pure function of the snapshot (and optional
+// trace summary), confidences are rounded to fixed precision, verdicts are
+// ordered by (confidence desc, mechanism asc), and the JSON rendering is
+// byte-identical however many times — or on however many workers — the same
+// artifacts are diagnosed.
+package doctor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Schema versions the diagnosis document layout.
+const Schema = 1
+
+// Diagnosis modes.
+const (
+	ModeRun       = "run"        // one run's metrics snapshot (+ optional trace)
+	ModeBenchDiff = "bench-diff" // two BENCH_sim.json reports compared
+)
+
+// Mechanism names — the catalogue of known limits the pipeline recognizes.
+// Run-mode verdicts use the first block; bench-diff adds the second.
+const (
+	MechMediaBandwidth  = "media-bandwidth"         // healthy saturation: PMEM media at capacity
+	MechMediaThrottle   = "media-throttle"          // DIMM thermal throttle derating the media
+	MechChannelStriping = "channel-striping"        // offline/imbalanced channels shrinking the stripe
+	MechXPBuffer        = "xpbuffer-pressure"       // XPBuffer misses + write amplification
+	MechUPI             = "upi-crossing"            // cross-socket traffic bounded by the UPI link
+	MechDirectoryWarmup = "directory-warmup"        // cold-directory penalty on far accesses
+	MechPrefetcher      = "prefetcher-inefficiency" // wasted speculative media traffic
+	MechQueueWait       = "queue-wait"              // serving time dominated by queueing, not the machine
+	MechInconclusive    = "inconclusive"            // nothing implicated; run looks unconstrained
+
+	MechNoRegression = "no-regression"   // bench-diff: every entry within tolerance
+	MechWallTime     = "wall-regression" // bench-diff: slower with no counter shift to blame
+	MechAllocs       = "alloc-pressure"  // bench-diff: allocation count ballooned
+	MechOutputDrift  = "output-drift"    // bench-diff: the result fingerprint moved
+	MechMissingEntry = "missing-entry"   // bench-diff: baseline entry absent from the run
+)
+
+// Detection thresholds. Exported so the docs, tests, and CI assert against
+// the same numbers the pipeline applies (see EXPERIMENTS.md "Diagnosis").
+const (
+	// ThreshXPBufferHitRate: an XPBuffer hit rate below this (with writes in
+	// the mix) means the 256 B buffer is thrashing.
+	ThreshXPBufferHitRate = 0.60
+	// ThreshWriteAmp: media-vs-app write amplification above this implicates
+	// small-write XPBuffer pressure.
+	ThreshWriteAmp = 1.75
+	// ThreshWriteFraction: minimum write share of app traffic before the
+	// XPBuffer rules apply at all.
+	ThreshWriteFraction = 0.15
+	// ThreshUPIDataFraction: share of app bytes that crossed sockets before
+	// the UPI link is suspected.
+	ThreshUPIDataFraction = 0.25
+	// ThreshUPIUtilPeak: a UPI link peaking above this is a bottleneck
+	// suspect regardless of the crossing fraction.
+	ThreshUPIUtilPeak = 0.70
+	// ThreshColdFraction: share of UPI data moved cold (directory not yet
+	// warm) before warm-up cost is implicated.
+	ThreshColdFraction = 0.10
+	// ThreshPrefetchEff: mean prefetch efficiency below this wastes media
+	// bandwidth on speculative lines.
+	ThreshPrefetchEff = 0.70
+	// ThreshChannelImbalance: relative spread (max-min)/max of per-channel
+	// mean utilization on one socket before striping loss is suspected.
+	ThreshChannelImbalance = 0.50
+	// ThreshWaitServiceRatio: queue wait vs service time ratio above which
+	// serving latency is queueing, not machine speed.
+	ThreshWaitServiceRatio = 0.25
+	// ThreshRejectedFraction: admission rejection rate above which the
+	// admission gate shaped the run.
+	ThreshRejectedFraction = 0.02
+	// ThreshMediaUtilPeak: PMEM media utilization at or above this is the
+	// healthy, expected limit (the paper's saturation point).
+	ThreshMediaUtilPeak = 0.85
+)
+
+// Evidence is one named observation backing a verdict.
+type Evidence struct {
+	// Kind is "metric" (a counter/gauge from the snapshot), "trace" (a span
+	// family from the Perfetto document), or "bench" (a report field).
+	Kind string `json:"kind"`
+	// Name is the metric name, trace span key, or bench field.
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Op and Threshold spell the test the value met, e.g. ">= 0.85". Both
+	// are omitted for purely informative evidence.
+	Op        string  `json:"op,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Verdict is one implicated mechanism with its confidence and evidence.
+type Verdict struct {
+	Mechanism string `json:"mechanism"`
+	// Confidence is in [0, 1], rounded to 4 decimals. Fault-plan-backed
+	// verdicts score >= 0.90, heuristic mechanisms cap at 0.88, and the
+	// healthy-saturation baseline at 0.80 — so an injected fault always
+	// outranks circumstantial signals.
+	Confidence  float64    `json:"confidence"`
+	Explanation string     `json:"explanation"`
+	Evidence    []Evidence `json:"evidence,omitempty"`
+}
+
+// Diagnosis is the doctor's structured output document.
+type Diagnosis struct {
+	Schema int    `json:"schema"`
+	Mode   string `json:"mode"`
+	// Verdicts are ordered most-likely first: confidence descending,
+	// mechanism name ascending on ties.
+	Verdicts []Verdict `json:"verdicts"`
+	Summary  string    `json:"summary"`
+}
+
+// Top returns the highest-ranked verdict (zero Verdict when empty).
+func (d *Diagnosis) Top() Verdict {
+	if d == nil || len(d.Verdicts) == 0 {
+		return Verdict{}
+	}
+	return d.Verdicts[0]
+}
+
+// JSON renders the diagnosis as indented JSON with a trailing newline. The
+// struct field order is fixed and every float is rounded before it lands in
+// the document, so the bytes are stable for a given diagnosis.
+func (d *Diagnosis) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil { // no field of Diagnosis can fail to marshal
+		return nil
+	}
+	return append(b, '\n')
+}
+
+// Diagnose runs the staged heuristic pipeline over one run's metrics
+// snapshot, with ts (optional, may be nil) supplying trace-span evidence
+// for mechanisms the timeline also recorded. The result is deterministic:
+// a pure function of its inputs.
+func Diagnose(snap metrics.Snapshot, ts *TraceSummary) *Diagnosis {
+	v := view{snap: snap, trace: ts}
+	var verdicts []Verdict
+	for _, rule := range rules {
+		if vd, ok := rule(v); ok {
+			verdicts = append(verdicts, vd)
+		}
+	}
+	if len(verdicts) == 0 {
+		verdicts = append(verdicts, inconclusiveVerdict(v))
+	}
+	sort.SliceStable(verdicts, func(i, j int) bool {
+		if verdicts[i].Confidence != verdicts[j].Confidence {
+			return verdicts[i].Confidence > verdicts[j].Confidence
+		}
+		return verdicts[i].Mechanism < verdicts[j].Mechanism
+	})
+	d := &Diagnosis{Schema: Schema, Mode: ModeRun, Verdicts: verdicts}
+	top := verdicts[0]
+	d.Summary = fmt.Sprintf("%s (confidence %.2f) is the most likely limit; %d of %d known mechanisms implicated",
+		top.Mechanism, top.Confidence, len(verdicts), len(rules))
+	return d
+}
+
+// view wraps the snapshot (and optional trace summary) with the lookup
+// helpers the rules share.
+type view struct {
+	snap  metrics.Snapshot
+	trace *TraceSummary
+}
+
+func (v view) get(name string) float64 {
+	x, _ := v.snap.Get(name)
+	return x
+}
+
+// sum totals every counter and gauge whose name starts with prefix and ends
+// with suffix ("" matches everything).
+func (v view) sum(prefix, suffix string) float64 {
+	total := 0.0
+	for _, lst := range [][]metrics.Sample{v.snap.Counters, v.snap.Gauges} {
+		for _, s := range lst {
+			if strings.HasPrefix(s.Name, prefix) && strings.HasSuffix(s.Name, suffix) {
+				total += s.Value
+			}
+		}
+	}
+	return total
+}
+
+// max returns the largest matching counter/gauge and its name.
+func (v view) max(prefix, suffix string) (string, float64) {
+	best, bestName := 0.0, ""
+	for _, lst := range [][]metrics.Sample{v.snap.Counters, v.snap.Gauges} {
+		for _, s := range lst {
+			if strings.HasPrefix(s.Name, prefix) && strings.HasSuffix(s.Name, suffix) && s.Value > best {
+				best, bestName = s.Value, s.Name
+			}
+		}
+	}
+	return bestName, best
+}
+
+// histogram returns a histogram sample's sum and total count by name.
+func (v view) histogram(name string) (sum float64, count uint64) {
+	h, ok := v.snap.GetHistogram(name)
+	if !ok {
+		return 0, 0
+	}
+	return h.Sum, h.Count()
+}
+
+// appBytes totals the application-visible PMEM traffic — the denominator
+// the fraction-based rules share.
+func (v view) appBytes() float64 {
+	return v.sum("pmem.s", ".read.app_bytes") + v.sum("pmem.s", ".write.app_bytes")
+}
+
+// virtualSeconds is the summed simulated runtime across the run's machines;
+// fault windows are scored relative to it.
+func (v view) virtualSeconds() float64 {
+	return v.get("machine.run.virtual_seconds")
+}
+
+// round4 fixes confidences at 4 decimals so the JSON rendering never
+// depends on float noise accumulated differently across code paths.
+func round4(x float64) float64 {
+	return math.Round(x*1e4) / 1e4
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, x))
+}
+
+// faultConfidence maps a fault window (seconds active) against the run's
+// virtual length into the >= 0.90 band reserved for injected mechanisms.
+func faultConfidence(activeSec, runSec float64) float64 {
+	frac := 1.0
+	if runSec > 0 {
+		frac = clamp(activeSec/runSec, 0, 1)
+	}
+	return round4(0.90 + 0.09*frac)
+}
+
+// metricEv builds a "metric" evidence entry.
+func metricEv(name string, value float64) Evidence {
+	return Evidence{Kind: "metric", Name: name, Value: round4val(value)}
+}
+
+// metricThreshEv builds a "metric" evidence entry carrying the test it met.
+func metricThreshEv(name string, value, threshold float64, op string) Evidence {
+	return Evidence{Kind: "metric", Name: name, Value: round4val(value), Op: op, Threshold: threshold}
+}
+
+// round4val rounds evidence values: enough precision to be meaningful,
+// fixed enough to be byte-stable. Large magnitudes (byte counters) are
+// integral already and pass through unchanged.
+func round4val(x float64) float64 {
+	if math.Abs(x) >= 1e6 {
+		return math.Round(x)
+	}
+	return math.Round(x*1e4) / 1e4
+}

@@ -1,0 +1,310 @@
+package doctor
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/simtrace"
+)
+
+// snap builds a synthetic snapshot: counters and gauges from the maps, plus
+// optional queue histograms via waitSum/svcSum (count 10 each).
+func snap(counters, gauges map[string]float64) metrics.Snapshot {
+	reg := metrics.New()
+	for n, v := range counters {
+		reg.Counter(n).Add(v)
+	}
+	for n, v := range gauges {
+		reg.Gauge(n).Set(v)
+	}
+	return reg.Snapshot()
+}
+
+func TestDiagnoseInconclusive(t *testing.T) {
+	d := Diagnose(snap(nil, map[string]float64{"pmem.s0.util.peak": 0.30}), nil)
+	if got := d.Top().Mechanism; got != MechInconclusive {
+		t.Fatalf("top = %s, want %s", got, MechInconclusive)
+	}
+	if d.Top().Confidence != 0.25 {
+		t.Errorf("inconclusive confidence = %v, want 0.25", d.Top().Confidence)
+	}
+}
+
+func TestRuleMediaBandwidthBaseline(t *testing.T) {
+	d := Diagnose(snap(nil, map[string]float64{"pmem.s0.util.peak": 1.0}), nil)
+	top := d.Top()
+	if top.Mechanism != MechMediaBandwidth {
+		t.Fatalf("top = %s, want %s", top.Mechanism, MechMediaBandwidth)
+	}
+	if top.Confidence > 0.80 {
+		t.Errorf("baseline confidence %v exceeds its 0.80 cap", top.Confidence)
+	}
+	if len(top.Evidence) == 0 || top.Evidence[0].Name != "pmem.s0.util.peak" {
+		t.Errorf("baseline verdict lacks the util.peak evidence: %+v", top.Evidence)
+	}
+}
+
+func TestFaultVerdictsOutrankHeuristics(t *testing.T) {
+	// A throttle fault and saturated media at once: the fault tier (>= 0.90)
+	// must outrank the heuristic baseline (<= 0.80).
+	s := snap(
+		map[string]float64{
+			"fault.throttle.socket_seconds": 2.0,
+			"machine.run.virtual_seconds":   4.0,
+			"fault.activations":             1,
+		},
+		map[string]float64{"pmem.s0.util.peak": 1.0, "fault.media_scale.min": 0.3},
+	)
+	d := Diagnose(s, nil)
+	if d.Top().Mechanism != MechMediaThrottle {
+		t.Fatalf("top = %s, want %s", d.Top().Mechanism, MechMediaThrottle)
+	}
+	if d.Top().Confidence < 0.90 {
+		t.Errorf("fault-backed confidence %v below the 0.90 floor", d.Top().Confidence)
+	}
+	if len(d.Verdicts) != 2 {
+		t.Fatalf("verdicts = %d, want 2 (throttle + media baseline)", len(d.Verdicts))
+	}
+}
+
+func TestRuleChannelStripingImbalanceHeuristic(t *testing.T) {
+	// No fault counters: a 60% spread on socket 0 implicates striping on the
+	// heuristic tier.
+	s := snap(nil, map[string]float64{
+		"pmem.s0.ch0.util.mean": 1.0,
+		"pmem.s0.ch1.util.mean": 0.4,
+		"pmem.s1.ch0.util.mean": 0.5,
+		"pmem.s1.ch1.util.mean": 0.5,
+	})
+	d := Diagnose(s, nil)
+	if d.Top().Mechanism != MechChannelStriping {
+		t.Fatalf("top = %s, want %s", d.Top().Mechanism, MechChannelStriping)
+	}
+	if c := d.Top().Confidence; c < 0.40 || c > 0.88 {
+		t.Errorf("heuristic confidence %v outside (0.40, 0.88]", c)
+	}
+}
+
+func TestRuleXPBufferIgnoresIdleSocketHitRate(t *testing.T) {
+	// Socket 1 never flushed a line, so its zero-valued hit-rate gauge must
+	// not implicate the XPBuffer; socket 0's healthy 0.95 is the real rate.
+	s := snap(
+		map[string]float64{
+			"pmem.s0.write.app_bytes":         1e9,
+			"pmem.s0.read.app_bytes":          1e9,
+			"xpdimm.s0.xpbuffer.line_flushes": 100,
+			"machine.run.virtual_seconds":     1,
+		},
+		map[string]float64{
+			"xpdimm.s0.xpbuffer.hit_rate": 0.95,
+			"xpdimm.s1.xpbuffer.hit_rate": 0, // idle socket
+		},
+	)
+	for _, v := range Diagnose(s, nil).Verdicts {
+		if v.Mechanism == MechXPBuffer {
+			t.Fatalf("idle socket's zero hit rate implicated the XPBuffer: %+v", v)
+		}
+	}
+
+	// Drop the active socket's hit rate below threshold: now it fires.
+	s2 := snap(
+		map[string]float64{
+			"pmem.s0.write.app_bytes":         1e9,
+			"pmem.s0.read.app_bytes":          1e9,
+			"xpdimm.s0.xpbuffer.line_flushes": 100,
+		},
+		map[string]float64{"xpdimm.s0.xpbuffer.hit_rate": 0.20},
+	)
+	found := false
+	for _, v := range Diagnose(s2, nil).Verdicts {
+		found = found || v.Mechanism == MechXPBuffer
+	}
+	if !found {
+		t.Fatal("low active-socket hit rate did not implicate the XPBuffer")
+	}
+}
+
+func TestRuleQueueWait(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("queue.arrivals").Add(100)
+	reg.Counter("queue.rejected").Add(0)
+	wait := reg.Histogram("queue.wait_seconds", metrics.DefaultDurationBuckets())
+	svc := reg.Histogram("queue.service_seconds", metrics.DefaultDurationBuckets())
+	for i := 0; i < 10; i++ {
+		wait.Observe(0.5) // 5 s total wait
+		svc.Observe(1.0)  // 10 s total service -> ratio 0.5 >= 0.25
+	}
+	d := Diagnose(reg.Snapshot(), nil)
+	if d.Top().Mechanism != MechQueueWait {
+		t.Fatalf("top = %s, want %s", d.Top().Mechanism, MechQueueWait)
+	}
+}
+
+func TestDiagnoseJSONDeterministic(t *testing.T) {
+	s := snap(
+		map[string]float64{"fault.throttle.socket_seconds": 1.5, "machine.run.virtual_seconds": 3},
+		map[string]float64{"pmem.s0.util.peak": 0.99},
+	)
+	a := Diagnose(s, nil).JSON()
+	b := Diagnose(s, nil).JSON()
+	if !bytes.Equal(a, b) {
+		t.Error("identical snapshots produced different diagnosis bytes")
+	}
+	// The document must round-trip as JSON and keep its schema/mode header.
+	var d Diagnosis
+	if err := json.Unmarshal(a, &d); err != nil {
+		t.Fatalf("diagnosis JSON invalid: %v", err)
+	}
+	if d.Schema != Schema || d.Mode != ModeRun {
+		t.Errorf("header = %d/%s, want %d/%s", d.Schema, d.Mode, Schema, ModeRun)
+	}
+}
+
+func TestSummarizeTrace(t *testing.T) {
+	rec := simtrace.New()
+	p := rec.Process("machine")
+	p.Thread(50, "faults")
+	p.Span(simtrace.CatFault, "dimm-throttle", 50, 0.5, 2.0)
+	p.Span(simtrace.CatUPI, "directory warm-up r0 s1", 1, 0, 0.1)
+	p.Span(simtrace.CatUPI, "s0->s1", 1, 0, 1.0)
+	ts, err := SummarizeTrace(rec.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ts.Spans["fault/dimm-throttle"]; st.Count != 1 || st.Seconds < 1.99 || st.Seconds > 2.01 {
+		t.Errorf("fault span stat = %+v", st)
+	}
+	if st := ts.Spans["upi/directory-warmup"]; st.Count != 1 {
+		t.Errorf("warm-up span stat = %+v", st)
+	}
+	if st := ts.Spans["upi/link"]; st.Count != 1 {
+		t.Errorf("upi link span stat = %+v", st)
+	}
+
+	// A traced fault adds trace evidence to the verdict.
+	s := snap(
+		map[string]float64{"fault.throttle.socket_seconds": 2, "machine.run.virtual_seconds": 4},
+		nil,
+	)
+	d := Diagnose(s, ts)
+	foundTrace := false
+	for _, e := range d.Top().Evidence {
+		foundTrace = foundTrace || (e.Kind == "trace" && e.Name == "fault/dimm-throttle")
+	}
+	if !foundTrace {
+		t.Errorf("traced throttle verdict lacks trace evidence: %+v", d.Top().Evidence)
+	}
+}
+
+func TestEmitTraceAppendsDiagnosisTrack(t *testing.T) {
+	rec := simtrace.New()
+	d := Diagnose(snap(nil, map[string]float64{"pmem.s0.util.peak": 1}), nil)
+	EmitTrace(rec, d)
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var mechs []string
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "doctor" && e.Ph == "X" {
+			mechs = append(mechs, e.Name)
+		}
+	}
+	if len(mechs) != len(d.Verdicts) || mechs[0] != d.Top().Mechanism {
+		t.Errorf("doctor track spans = %v, want one per verdict led by %s", mechs, d.Top().Mechanism)
+	}
+}
+
+func TestDiagnoseBenchDiff(t *testing.T) {
+	base := &BenchReport{Schema: 2, Calibration: 1, Entries: []BenchEntry{
+		{ID: "big", WallMS: 200, Allocs: 1000, Metrics: map[string]float64{"queue.arrivals": 100}},
+		{ID: "tiny", WallMS: 5},
+	}}
+
+	// Identical reports: the single no-regression verdict.
+	clean := DiagnoseBenchDiff(base, base, 0.20)
+	if clean.Top().Mechanism != MechNoRegression || len(clean.Verdicts) != 1 {
+		t.Fatalf("self-diff = %+v, want single no-regression", clean.Verdicts)
+	}
+	if clean.Mode != ModeBenchDiff {
+		t.Errorf("mode = %s, want %s", clean.Mode, ModeBenchDiff)
+	}
+
+	// A regressed entry whose queue counter doubled attributes to queueing.
+	cur := &BenchReport{Schema: 2, Calibration: 1, Entries: []BenchEntry{
+		{ID: "big", WallMS: 400, Allocs: 1000, Metrics: map[string]float64{"queue.arrivals": 300}},
+		{ID: "tiny", WallMS: 5},
+	}}
+	reg := DiagnoseBenchDiff(base, cur, 0.20)
+	if reg.Top().Mechanism != MechQueueWait {
+		t.Fatalf("regression top = %s, want %s:\n%+v", reg.Top().Mechanism, MechQueueWait, reg.Verdicts)
+	}
+
+	// A missing entry is its own certain finding.
+	missing := DiagnoseBenchDiff(base, &BenchReport{Schema: 2, Calibration: 1,
+		Entries: []BenchEntry{{ID: "tiny", WallMS: 5}}}, 0.20)
+	found := false
+	for _, v := range missing.Verdicts {
+		found = found || (v.Mechanism == MechMissingEntry && v.Confidence == 1)
+	}
+	if !found {
+		t.Errorf("missing baseline entry not reported: %+v", missing.Verdicts)
+	}
+
+	// Determinism: same inputs, same bytes.
+	if !bytes.Equal(reg.JSON(), DiagnoseBenchDiff(base, cur, 0.20).JSON()) {
+		t.Error("bench diff bytes not deterministic")
+	}
+}
+
+func TestKeyCounters(t *testing.T) {
+	s := snap(
+		map[string]float64{
+			"machine.run.count":       3,
+			"upi.crossings":           7,
+			"pmem.s0.read.app_bytes":  1e9,
+			"pmem.s0.ch0.media_bytes": 5e8, // per-channel detail: excluded
+			"queue.arrivals":          10,
+			"server_requests":         99, // serving-layer counter: excluded
+			"fault.activations":       0,  // zero: elided
+		},
+		nil,
+	)
+	kc := KeyCounters(s)
+	for _, want := range []string{"machine.run.count", "upi.crossings", "pmem.s0.read.app_bytes", "queue.arrivals"} {
+		if _, ok := kc[want]; !ok {
+			t.Errorf("KeyCounters missing %s", want)
+		}
+	}
+	for _, reject := range []string{"pmem.s0.ch0.media_bytes", "server_requests", "fault.activations"} {
+		if _, ok := kc[reject]; ok {
+			t.Errorf("KeyCounters should exclude %s", reject)
+		}
+	}
+	if KeyCounters(metrics.Snapshot{}) != nil {
+		t.Error("empty snapshot should yield nil")
+	}
+}
+
+func TestFprintStable(t *testing.T) {
+	d := Diagnose(snap(nil, map[string]float64{"pmem.s0.util.peak": 1}), nil)
+	var a, b strings.Builder
+	d.Fprint(&a)
+	d.Fprint(&b)
+	if a.String() != b.String() {
+		t.Error("text rendering not stable")
+	}
+	if !strings.Contains(a.String(), "pmemdoctor verdict (run)") ||
+		!strings.Contains(a.String(), "summary:") {
+		t.Errorf("text rendering missing frame:\n%s", a.String())
+	}
+}

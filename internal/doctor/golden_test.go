@@ -1,0 +1,98 @@
+// Golden verdicts: each fault-injection experiment must diagnose to the
+// mechanism its plan actually injects, on the fault tier (confidence >=
+// 0.90), with the fault counter named in the evidence — and the diagnosis
+// bytes must not depend on how wide the harness ran. External test package:
+// it drives the real experiments, which import the doctor.
+package doctor_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/doctor"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// diagnoseExperiment runs one catalogue experiment quick at a small SF on a
+// fresh registry and diagnoses its snapshot.
+func diagnoseExperiment(t *testing.T, id string) *doctor.Diagnosis {
+	t.Helper()
+	reg := metrics.New()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(experiments.Config{SF: 0.05, Quick: true, Jobs: 1, Metrics: reg}); err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	return doctor.Diagnose(reg.Snapshot(), nil)
+}
+
+func TestGoldenFaultVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four fault experiments")
+	}
+	golden := []struct {
+		id, mechanism, counter string
+	}{
+		{"fault01", doctor.MechMediaThrottle, "fault.throttle.socket_seconds"},
+		{"fault02", doctor.MechChannelStriping, "fault.channel_offline.socket_seconds"},
+		{"fault03", doctor.MechUPI, "fault.upi_degraded.link_seconds"},
+		{"fault04", doctor.MechChannelStriping, "fault.channel_offline.socket_seconds"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.id, func(t *testing.T) {
+			t.Parallel()
+			d := diagnoseExperiment(t, g.id)
+			top := d.Top()
+			if top.Mechanism != g.mechanism {
+				t.Fatalf("%s top verdict = %s (%.2f), want %s\nsummary: %s",
+					g.id, top.Mechanism, top.Confidence, g.mechanism, d.Summary)
+			}
+			if top.Confidence < 0.90 {
+				t.Errorf("%s confidence %.4f below the fault tier's 0.90 floor", g.id, top.Confidence)
+			}
+			found := false
+			for _, e := range top.Evidence {
+				found = found || (e.Kind == "metric" && e.Name == g.counter)
+			}
+			if !found {
+				t.Errorf("%s verdict does not cite %s:\n%+v", g.id, g.counter, top.Evidence)
+			}
+		})
+	}
+}
+
+// TestDiagnosisDeterministicAcrossJobs aggregates a multi-experiment run at
+// two worker widths: the merged snapshot — and therefore the diagnosis
+// bytes — must be identical.
+func TestDiagnosisDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fault catalogue twice")
+	}
+	runAt := func(jobs int) []byte {
+		var list []experiments.Experiment
+		for _, id := range []string{"fault01", "fault02", "fault03"} {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			list = append(list, e)
+		}
+		snap, err := experiments.RunList(context.Background(),
+			experiments.Config{SF: 0.05, Quick: true, Jobs: jobs}, list, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doctor.Diagnose(snap, nil).JSON()
+	}
+	j1 := runAt(1)
+	j4 := runAt(4)
+	if !bytes.Equal(j1, j4) {
+		t.Errorf("diagnosis differs between -j1 and -j4:\n--- j1:\n%s\n--- j4:\n%s", j1, j4)
+	}
+}

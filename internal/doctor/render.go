@@ -1,0 +1,35 @@
+package doctor
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fprint renders the diagnosis as a stable, aligned text report — the
+// pmemdoctor CLI's default output and what CI greps.
+func (d *Diagnosis) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "pmemdoctor verdict (%s)\n", d.Mode)
+	for i, v := range d.Verdicts {
+		fmt.Fprintf(w, "%3d. %-24s confidence %.2f\n", i+1, v.Mechanism, v.Confidence)
+		fmt.Fprintf(w, "     %s\n", v.Explanation)
+		for _, e := range v.Evidence {
+			fmt.Fprintf(w, "       - [%s] %s = %s", e.Kind, e.Name, formatEvValue(e.Value))
+			if e.Op != "" {
+				fmt.Fprintf(w, " (%s %s)", e.Op, formatEvValue(e.Threshold))
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(w, " — %s", e.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "summary: %s\n", d.Summary)
+}
+
+// formatEvValue prints counts as integers and rates compactly.
+func formatEvValue(v float64) string {
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

@@ -1,0 +1,430 @@
+package doctor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// rule inspects one run's evidence and either implicates its mechanism
+// (returning a fully-built verdict) or declines. Rules are independent: the
+// pipeline evaluates all of them and ranks whatever fired, so a run limited
+// by several mechanisms at once (the noisy-neighbor scenario) reports all
+// of them.
+type rule func(view) (Verdict, bool)
+
+// rules is the staged pipeline, in catalogue order. Evaluation order does
+// not affect the ranking (verdicts sort by confidence), only the stable
+// order of equal-confidence verdicts before the sort — which the mechanism
+// tiebreak then fixes anyway.
+var rules = []rule{
+	ruleMediaThrottle,
+	ruleChannelStriping,
+	ruleXPBuffer,
+	ruleUPI,
+	ruleDirectoryWarmup,
+	rulePrefetcher,
+	ruleQueueWait,
+	ruleMediaBandwidth,
+}
+
+// ruleMediaThrottle fires when a dimm-throttle fault window was active:
+// the media itself was derated, so no amount of concurrency or placement
+// could have reached the healthy limit.
+func ruleMediaThrottle(v view) (Verdict, bool) {
+	sec := v.get("fault.throttle.socket_seconds")
+	if sec <= 0 {
+		return Verdict{}, false
+	}
+	run := v.virtualSeconds()
+	ev := []Evidence{metricThreshEv("fault.throttle.socket_seconds", sec, 0, ">")}
+	if scale := v.get("fault.media_scale.min"); scale > 0 && scale < 1 {
+		ev = append(ev, metricThreshEv("fault.media_scale.min", scale, 1, "<"))
+	}
+	if n := v.get("fault.activations"); n > 0 {
+		ev = append(ev, metricEv("fault.activations", n))
+	}
+	ev = appendTraceEv(ev, v, "fault/dimm-throttle")
+	return Verdict{
+		Mechanism:  MechMediaThrottle,
+		Confidence: faultConfidence(sec, run),
+		Explanation: fmt.Sprintf(
+			"a DIMM thermal throttle derated the media for %.4g socket-seconds of a %.4g s run; bandwidth is bounded by the throttle factor, not the healthy media limit",
+			round4val(sec), round4val(run)),
+		Evidence: ev,
+	}, true
+}
+
+// ruleChannelStriping fires on offline channels (fault-backed) or a large
+// per-channel utilization imbalance on one socket: the interleave stripe is
+// narrower than the hardware, so capacity scales with surviving channels.
+func ruleChannelStriping(v view) (Verdict, bool) {
+	sec := v.get("fault.channel_offline.socket_seconds")
+	sock, spread, hasSpread := v.channelImbalance()
+	if sec <= 0 && (!hasSpread || spread < ThreshChannelImbalance) {
+		return Verdict{}, false
+	}
+	var ev []Evidence
+	var conf float64
+	var expl string
+	if sec > 0 {
+		conf = faultConfidence(sec, v.virtualSeconds())
+		ev = append(ev, metricThreshEv("fault.channel_offline.socket_seconds", sec, 0, ">"))
+		expl = fmt.Sprintf(
+			"PMEM channels were offline for %.4g socket-seconds; the interleave re-striped over the survivors, so peak bandwidth scales with the remaining channel count",
+			round4val(sec))
+	} else {
+		conf = round4(clamp(0.40+0.40*spread, 0, 0.88))
+		expl = fmt.Sprintf(
+			"per-channel utilization on %s is imbalanced (relative spread %.2f): the stripe is not using every channel evenly, so the busiest channel caps the socket",
+			sock, round4val(spread))
+	}
+	if hasSpread && spread > 0 {
+		e := Evidence{Kind: "metric", Name: sock + ".ch*.util.mean",
+			Value:  round4val(spread),
+			Detail: "relative spread (max-min)/max of per-channel mean utilization"}
+		if spread >= ThreshChannelImbalance {
+			e.Op, e.Threshold = ">=", ThreshChannelImbalance
+		}
+		ev = append(ev, e)
+	}
+	ev = appendTraceEv(ev, v, "fault/channel-offline")
+	return Verdict{Mechanism: MechChannelStriping, Confidence: conf, Explanation: expl, Evidence: ev}, true
+}
+
+// ruleXPBuffer fires when the 256 B XPBuffer is thrashing: a degraded-
+// buffer fault, or a write-heavy mix with a low hit rate / high write
+// amplification — the paper's small-write penalty.
+func ruleXPBuffer(v view) (Verdict, bool) {
+	sec := v.get("fault.xpbuffer.socket_seconds")
+	app := v.appBytes()
+	writeApp := v.sum("pmem.s", ".write.app_bytes")
+	writeFrac := 0.0
+	if app > 0 {
+		writeFrac = writeApp / app
+	}
+	// The hit-rate gauge defaults to zero on sockets that never flushed a
+	// line, so only sockets with actual XPBuffer flush traffic count toward
+	// the worst-socket hit rate.
+	hitName, hit, hasHit := v.activeXPBufferHitRate()
+	ampName, amp := v.max("xpdimm.s", ".write_amplification.mean")
+	heuristic := writeFrac >= ThreshWriteFraction &&
+		((hasHit && hit < ThreshXPBufferHitRate) || amp >= ThreshWriteAmp)
+	if sec <= 0 && !heuristic {
+		return Verdict{}, false
+	}
+	var ev []Evidence
+	var conf float64
+	var expl string
+	if sec > 0 {
+		conf = faultConfidence(sec, v.virtualSeconds())
+		ev = append(ev, metricThreshEv("fault.xpbuffer.socket_seconds", sec, 0, ">"))
+		expl = fmt.Sprintf(
+			"an xpbuffer-degrade fault shrank the XPBuffer for %.4g socket-seconds, multiplying media writes for every store in the window",
+			round4val(sec))
+	} else {
+		conf = round4(clamp(0.35+0.35*(1-hit)+0.15*clamp((amp-1)/2, 0, 1), 0, 0.88))
+		expl = fmt.Sprintf(
+			"XPBuffer pressure: hit rate %.2f with write amplification %.2f on a %.0f%%-write mix — sub-256 B write traffic is multiplying media writes",
+			round4val(hit), round4val(amp), 100*round4val(writeFrac))
+	}
+	if hasHit {
+		if hit < ThreshXPBufferHitRate {
+			ev = append(ev, metricThreshEv(hitName, hit, ThreshXPBufferHitRate, "<"))
+		} else {
+			ev = append(ev, metricEv(hitName, hit))
+		}
+	}
+	if amp > 1 {
+		if amp >= ThreshWriteAmp {
+			ev = append(ev, metricThreshEv(ampName, amp, ThreshWriteAmp, ">="))
+		} else {
+			ev = append(ev, metricEv(ampName, amp))
+		}
+	}
+	ev = append(ev, Evidence{Kind: "metric", Name: "pmem.s*.write.app_bytes",
+		Value: round4val(writeApp), Detail: fmt.Sprintf("write fraction %.2f of app traffic", round4val(writeFrac))})
+	ev = appendTraceEv(ev, v, "fault/xpbuffer-degrade")
+	return Verdict{Mechanism: MechXPBuffer, Confidence: conf, Explanation: expl, Evidence: ev}, true
+}
+
+// activeXPBufferHitRate returns the worst per-socket XPBuffer hit rate,
+// considering only sockets whose line_flushes counter saw traffic.
+func (v view) activeXPBufferHitRate() (name string, hit float64, ok bool) {
+	for _, s := range v.snap.Counters {
+		if !strings.HasPrefix(s.Name, "xpdimm.s") || !strings.HasSuffix(s.Name, ".xpbuffer.line_flushes") || s.Value <= 0 {
+			continue
+		}
+		gauge := strings.TrimSuffix(s.Name, "line_flushes") + "hit_rate"
+		rate, found := v.snap.Get(gauge)
+		if !found {
+			continue
+		}
+		if !ok || rate < hit {
+			name, hit, ok = gauge, rate, true
+		}
+	}
+	return name, hit, ok
+}
+
+// ruleUPI fires when cross-socket traffic is a large share of the run (or a
+// link was degraded by a fault): the UPI link, not the media, bounds far
+// accesses.
+func ruleUPI(v view) (Verdict, bool) {
+	sec := v.get("fault.upi_degraded.link_seconds")
+	data := v.sum("upi.s", ".data_bytes")
+	app := v.appBytes()
+	frac := 0.0
+	if app > 0 {
+		frac = data / app
+	}
+	peakName, peak := v.max("upi.s", ".util.peak")
+	heuristic := data > 0 && (frac >= ThreshUPIDataFraction || peak >= ThreshUPIUtilPeak)
+	if sec <= 0 && !heuristic {
+		return Verdict{}, false
+	}
+	var ev []Evidence
+	var conf float64
+	var expl string
+	if sec > 0 {
+		conf = faultConfidence(sec, v.virtualSeconds())
+		ev = append(ev, metricThreshEv("fault.upi_degraded.link_seconds", sec, 0, ">"))
+		expl = fmt.Sprintf(
+			"a UPI link was degraded for %.4g link-seconds; far reads stall on the link (and a full outage pauses the flow entirely) regardless of media headroom",
+			round4val(sec))
+	} else {
+		conf = round4(clamp(0.30+0.30*clamp(frac, 0, 1)+0.25*peak, 0, 0.88))
+		expl = fmt.Sprintf(
+			"cross-socket traffic: %.0f%% of app bytes crossed the UPI link (peak link utilization %.2f), so the interconnect bounds the run before the media does",
+			100*round4val(frac), round4val(peak))
+	}
+	if n := v.get("upi.crossings"); n > 0 {
+		ev = append(ev, metricEv("upi.crossings", n))
+	}
+	if data > 0 {
+		e := Evidence{Kind: "metric", Name: "upi.s*to*.data_bytes", Value: round4val(data),
+			Detail: fmt.Sprintf("%.2f of app traffic crossed sockets (threshold %.2f)",
+				round4val(frac), ThreshUPIDataFraction)}
+		ev = append(ev, e)
+	}
+	if peak > 0 {
+		if peak >= ThreshUPIUtilPeak {
+			ev = append(ev, metricThreshEv(peakName, peak, ThreshUPIUtilPeak, ">="))
+		} else {
+			ev = append(ev, metricEv(peakName, peak))
+		}
+	}
+	ev = appendTraceEv(ev, v, "upi/link")
+	ev = appendTraceEv(ev, v, "fault/upi-degrade")
+	return Verdict{Mechanism: MechUPI, Confidence: conf, Explanation: expl, Evidence: ev}, true
+}
+
+// ruleDirectoryWarmup fires when a meaningful share of the cross-socket
+// traffic moved before the coherence directory was warm — the first-touch
+// penalty the paper measures on far accesses (re-triggered by fault
+// invalidations).
+func ruleDirectoryWarmup(v view) (Verdict, bool) {
+	warmups := v.get("upi.warmups")
+	cold := v.get("upi.cold_bytes")
+	data := v.sum("upi.s", ".data_bytes")
+	coldFrac := 0.0
+	if data > 0 {
+		coldFrac = cold / data
+	}
+	if warmups <= 0 || coldFrac < ThreshColdFraction {
+		return Verdict{}, false
+	}
+	rewarm := v.get("fault.rewarm.invalidations")
+	conf := round4(clamp(0.30+0.40*clamp(coldFrac*2, 0, 1)+0.08*clamp(rewarm, 0, 1), 0, 0.85))
+	ev := []Evidence{
+		metricEv("upi.warmups", warmups),
+		{Kind: "metric", Name: "upi.cold_bytes", Value: round4val(cold),
+			Detail: fmt.Sprintf("%.2f of UPI data moved at the cold (directory warm-up) rate (threshold %.2f)",
+				round4val(coldFrac), ThreshColdFraction)},
+	}
+	if rewarm > 0 {
+		ev = append(ev, metricEv("fault.rewarm.invalidations", rewarm))
+	}
+	ev = appendTraceEv(ev, v, "upi/directory-warmup")
+	return Verdict{
+		Mechanism:  MechDirectoryWarmup,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"directory warm-up: %d warm-up windows moved %.0f%% of the cross-socket bytes at the cold rate before the coherence directory was established",
+			int(warmups), 100*round4val(coldFrac)),
+		Evidence: ev,
+	}, true
+}
+
+// rulePrefetcher fires when the hardware prefetcher's mean efficiency is
+// low: speculative lines consumed media bandwidth without serving demand.
+func rulePrefetcher(v view) (Verdict, bool) {
+	pf := v.get("cpu.prefetch.bytes")
+	eff := v.get("cpu.prefetch.efficiency.mean")
+	if pf <= 0 || eff <= 0 || eff >= ThreshPrefetchEff {
+		return Verdict{}, false
+	}
+	wasted := v.get("cpu.prefetch.wasted_media_bytes")
+	conf := round4(clamp(0.30+0.55*(ThreshPrefetchEff-eff)/ThreshPrefetchEff, 0, 0.85))
+	ev := []Evidence{
+		metricThreshEv("cpu.prefetch.efficiency.mean", eff, ThreshPrefetchEff, "<"),
+		metricEv("cpu.prefetch.bytes", pf),
+	}
+	if wasted > 0 {
+		ev = append(ev, metricEv("cpu.prefetch.wasted_media_bytes", wasted))
+	}
+	return Verdict{
+		Mechanism:  MechPrefetcher,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"prefetcher inefficiency: mean efficiency %.2f — speculative lines are burning media bandwidth the demand stream never uses (the paper disables the prefetcher for random access)",
+			round4val(eff)),
+		Evidence: ev,
+	}, true
+}
+
+// ruleQueueWait fires when a serving run's latency was dominated by queue
+// wait or admission rejections rather than machine service time.
+func ruleQueueWait(v view) (Verdict, bool) {
+	arrivals := v.get("queue.arrivals")
+	if arrivals <= 0 {
+		return Verdict{}, false
+	}
+	waitSum, _ := v.histogram("queue.wait_seconds")
+	svcSum, _ := v.histogram("queue.service_seconds")
+	ratio := 0.0
+	if svcSum > 0 {
+		ratio = waitSum / svcSum
+	}
+	rejected := v.get("queue.rejected")
+	rejFrac := rejected / arrivals
+	if ratio < ThreshWaitServiceRatio && rejFrac < ThreshRejectedFraction {
+		return Verdict{}, false
+	}
+	conf := round4(clamp(0.40+0.30*clamp(ratio/2, 0, 1)+0.18*clamp(rejFrac*10, 0, 1), 0, 0.88))
+	ev := []Evidence{
+		{Kind: "metric", Name: "queue.wait_seconds", Value: round4val(waitSum),
+			Detail: fmt.Sprintf("total wait is %.2fx total service time (threshold %.2f)",
+				round4val(ratio), ThreshWaitServiceRatio)},
+		metricEv("queue.service_seconds", svcSum),
+	}
+	if rejected > 0 {
+		ev = append(ev, Evidence{Kind: "metric", Name: "queue.rejected", Value: round4val(rejected),
+			Detail: fmt.Sprintf("%.1f%% of arrivals (threshold %.0f%%)",
+				100*round4val(rejFrac), 100*ThreshRejectedFraction)})
+	}
+	if depth := v.get("queue.depth_peak"); depth > 0 {
+		ev = append(ev, metricEv("queue.depth_peak", depth))
+	}
+	return Verdict{
+		Mechanism:  MechQueueWait,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"queueing, not the machine: queued time is %.2fx service time and %.1f%% of arrivals were rejected — latency is shaped by slots/admission, adding bandwidth will not fix it",
+			round4val(ratio), 100*round4val(rejFrac)),
+		Evidence: ev,
+	}, true
+}
+
+// ruleMediaBandwidth is the healthy baseline: the PMEM media itself ran at
+// (or near) its modeled capacity. Low confidence by design — it explains a
+// saturated run only when nothing above outranks it.
+func ruleMediaBandwidth(v view) (Verdict, bool) {
+	name, peak := v.max("pmem.s", ".util.peak")
+	if peak < ThreshMediaUtilPeak {
+		return Verdict{}, false
+	}
+	conf := round4(clamp(0.20+0.60*peak, 0, 0.80))
+	return Verdict{
+		Mechanism:  MechMediaBandwidth,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"healthy saturation: PMEM media peaked at %.0f%% utilization (%s) — the run reached the modeled media limit, the expected bound for a tuned workload",
+			100*round4val(peak), name),
+		Evidence: []Evidence{metricThreshEv(name, peak, ThreshMediaUtilPeak, ">=")},
+	}, true
+}
+
+// inconclusiveVerdict is emitted when no rule fired: the run finished
+// without pushing any recorded mechanism near its limit.
+func inconclusiveVerdict(v view) Verdict {
+	_, peak := v.max("pmem.s", ".util.peak")
+	return Verdict{
+		Mechanism:  MechInconclusive,
+		Confidence: 0.25,
+		Explanation: fmt.Sprintf(
+			"no known mechanism implicated: peak PMEM utilization %.0f%% and no fault, queueing, or cross-socket signal crossed its threshold — the run looks unconstrained by the machine",
+			100*round4val(peak)),
+		Evidence: []Evidence{
+			metricEv("pmem.s*.util.peak", peak),
+			metricEv("pmem.s*.app_bytes", v.appBytes()),
+		},
+	}
+}
+
+// channelImbalance scans the per-channel mean-utilization gauges
+// (pmem.s<K>.ch<N>.util.mean) and returns the socket with the largest
+// relative spread (max-min)/max. Sockets need at least two reporting
+// channels and a non-trivial busiest channel to count.
+func (v view) channelImbalance() (socket string, spread float64, ok bool) {
+	type agg struct {
+		min, max float64
+		n        int
+	}
+	groups := map[string]*agg{}
+	for _, s := range v.snap.Gauges {
+		if !strings.HasPrefix(s.Name, "pmem.s") || !strings.HasSuffix(s.Name, ".util.mean") {
+			continue
+		}
+		i := strings.Index(s.Name, ".ch")
+		if i < 0 {
+			continue
+		}
+		sock := s.Name[:i]
+		g := groups[sock]
+		if g == nil {
+			g = &agg{min: s.Value, max: s.Value}
+			groups[sock] = g
+		}
+		if s.Value < g.min {
+			g.min = s.Value
+		}
+		if s.Value > g.max {
+			g.max = s.Value
+		}
+		g.n++
+	}
+	socks := make([]string, 0, len(groups))
+	for s := range groups {
+		socks = append(socks, s)
+	}
+	sort.Strings(socks)
+	for _, s := range socks {
+		g := groups[s]
+		if g.n < 2 || g.max < 0.05 {
+			continue
+		}
+		if sp := (g.max - g.min) / g.max; !ok || sp > spread {
+			socket, spread, ok = s, sp, true
+		}
+	}
+	return socket, round4(spread), ok
+}
+
+// appendTraceEv adds a trace-span evidence entry when the summary recorded
+// spans under key; silently a no-op without a trace.
+func appendTraceEv(ev []Evidence, v view, key string) []Evidence {
+	if v.trace == nil {
+		return ev
+	}
+	st, ok := v.trace.Spans[key]
+	if !ok || st.Count == 0 {
+		return ev
+	}
+	detail := fmt.Sprintf("%d spans covering %.4g s of timeline", st.Count, round4val(st.Seconds))
+	if st.Seconds == 0 {
+		detail = fmt.Sprintf("%d marker(s) on the timeline (permanent fault: no recovery span)", st.Count)
+	}
+	return append(ev, Evidence{Kind: "trace", Name: key, Value: round4val(st.Seconds),
+		Detail: detail})
+}

@@ -1,0 +1,120 @@
+package doctor
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/simtrace"
+)
+
+// TraceSummary condenses a Chrome trace-event document into the span
+// families the rules can cite as evidence: fault windows by event type,
+// UPI link and directory warm-up spans, media spans, serving slots. It is
+// deterministic for a given document (map iteration never reaches the
+// output — evidence lookups are by key).
+type TraceSummary struct {
+	// Events is the number of non-metadata events in the document.
+	Events int
+	// Spans aggregates complete ('X') events by family key — e.g.
+	// "fault/dimm-throttle", "upi/link", "upi/directory-warmup". Fault
+	// transition markers (instant events "fault start: <type>") count into
+	// the same family as the window spans, because a permanent fault — one
+	// that never recovers — leaves only its start marker on the timeline.
+	Spans map[string]SpanStat
+}
+
+// SpanStat is one span family's footprint on the timeline.
+type SpanStat struct {
+	Count   int
+	Seconds float64
+}
+
+// SummarizeTrace parses a Chrome trace-event JSON document (the simtrace
+// rendering) and aggregates its spans into families.
+func SummarizeTrace(data []byte) (*TraceSummary, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("doctor: parse trace: %w", err)
+	}
+	ts := &TraceSummary{Spans: map[string]SpanStat{}}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		ts.Events++
+		switch e.Ph {
+		case "X":
+			key := spanKey(e.Cat, e.Name)
+			st := ts.Spans[key]
+			st.Count++
+			st.Seconds += e.Dur / 1e6 // trace durations are microseconds
+			ts.Spans[key] = st
+		case "i", "I":
+			// A "fault start: <type>" marker with no matching window span is
+			// a permanent fault; count it into the type's family (seconds
+			// stay zero — the marker has no extent).
+			if e.Cat != simtrace.CatFault {
+				continue
+			}
+			typ, ok := strings.CutPrefix(e.Name, "fault start: ")
+			if !ok {
+				continue
+			}
+			key := spanKey(e.Cat, typ)
+			st := ts.Spans[key]
+			st.Count++
+			ts.Spans[key] = st
+		}
+	}
+	return ts, nil
+}
+
+// spanKey buckets a span into its family. Fault spans are named by their
+// event type, so they key directly; the high-cardinality machine span
+// names (per-run, per-socket) collapse into per-category families.
+func spanKey(cat, name string) string {
+	switch cat {
+	case simtrace.CatFault:
+		return "fault/" + name
+	case simtrace.CatUPI:
+		if strings.HasPrefix(name, "directory warm-up") {
+			return "upi/directory-warmup"
+		}
+		return "upi/link"
+	case simtrace.CatXPDIMM:
+		return "xpdimm/media"
+	case simtrace.CatServing:
+		return "serving/slot"
+	case "":
+		return "uncategorized"
+	}
+	return cat
+}
+
+// EmitTrace appends the diagnosis to a recorder as its own "doctor"
+// process: one span per verdict (duration = confidence in milliseconds, so
+// the ranking reads as bar lengths in Perfetto) plus a summary instant.
+// Emission order is fixed by the verdict ranking, so traced documents stay
+// byte-identical across re-simulations.
+func EmitTrace(rec *simtrace.Recorder, d *Diagnosis) {
+	if rec == nil || d == nil {
+		return
+	}
+	p := rec.Process("doctor")
+	p.Thread(0, "diagnosis")
+	for i, v := range d.Verdicts {
+		p.Span("doctor", v.Mechanism, 0, 0, v.Confidence*1e-3,
+			simtrace.F("rank", float64(i+1)),
+			simtrace.F("confidence", v.Confidence),
+			simtrace.S("explanation", v.Explanation))
+	}
+	p.Instant("doctor", "summary", 0, 0, simtrace.S("summary", d.Summary))
+}

@@ -9,10 +9,14 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"repro/internal/doctor"
+	"repro/internal/metrics"
 )
 
-// BenchSchema versions the BENCH_sim.json layout.
-const BenchSchema = 1
+// BenchSchema versions the BENCH_sim.json layout. Schema 2 added the
+// per-entry key-counter snapshots pmemdoctor diffs regressions against.
+const BenchSchema = 2
 
 // FullCatalogID is the pseudo-entry aggregating the whole catalogue run —
 // the wall-clock number the ≥2x speedup target and the CI gate track.
@@ -30,6 +34,11 @@ type BenchEntry struct {
 	// (0 for experiments reporting seconds) — a coarse output fingerprint
 	// that catches "fast because it computed nothing" regressions.
 	PeakGBs float64 `json:"peak_gbs"`
+	// Metrics is the experiment's key simulation counters (the doctor's
+	// diagnostic surface; see doctor.KeyCounters). Map keys render sorted,
+	// so the committed report stays byte-stable. Zero-valued counters are
+	// elided.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchReport is the BENCH_sim.json document: the tier-0 (quick catalogue)
@@ -88,19 +97,25 @@ func RunBench(ctx context.Context, cfg Config) (BenchReport, error) {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
+		// Each experiment records into its own registry so the entry's
+		// key-counter snapshot is per-experiment, not cumulative — the
+		// granularity pmemdoctor needs to attribute a regression.
+		c := cfg
+		c.Metrics = metrics.New()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		tables, err := e.Run(cfg)
+		tables, err := e.Run(c)
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
 			return rep, fmt.Errorf("bench %s: %w", e.ID, err)
 		}
 		ent := BenchEntry{
-			ID:     e.ID,
-			WallMS: float64(wall.Nanoseconds()) / 1e6,
-			Allocs: after.Mallocs - before.Mallocs,
+			ID:      e.ID,
+			WallMS:  float64(wall.Nanoseconds()) / 1e6,
+			Allocs:  after.Mallocs - before.Mallocs,
+			Metrics: doctor.KeyCounters(c.Metrics.Snapshot()),
 		}
 		for _, t := range tables {
 			if t.Unit != "GB/s" {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -68,7 +69,7 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Calibration != rep.Calibration || len(got.Entries) != 1 || got.Entries[0] != rep.Entries[0] {
+	if got.Calibration != rep.Calibration || len(got.Entries) != 1 || !reflect.DeepEqual(got.Entries[0], rep.Entries[0]) {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
 

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fault01", "fault02", "fault03", "fault04",
 		"fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
 		"fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b",
-		"serve01", "serve02", "serve03",
+		"mix01", "serve01", "serve02", "serve03",
 		"ssd01", "tab01", "val01",
 	}
 	got := All()

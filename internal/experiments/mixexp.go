@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/queueing"
+)
+
+func init() {
+	register("mix01", "Noisy neighbor: latency and batch tenants contending while one DIMM throttles", mixNoisyNeighbor)
+}
+
+// mixArrivalSpec is the two-tenant contention scenario: a latency-critical
+// probe stream with a tight SLO sharing two execution slots with a bulk
+// scan tenant. Deliberately slot-starved (2 slots) so a queue actually
+// forms — the doctor should see queue wait and the throttle fault at once.
+func mixArrivalSpec(quick bool) *queueing.Spec {
+	horizon := 4.0
+	if quick {
+		horizon = 2
+	}
+	return &queueing.Spec{
+		Seed: 1337, Horizon: horizon, Slots: 2, Scheduler: queueing.SchedSLO,
+		Clients: []queueing.Client{
+			{Name: "batch", Process: queueing.ProcGamma, RateQPS: 4, Shape: 2,
+				Class: "batch", Priority: 1,
+				Queries: []queueing.QueryMix{
+					{Kind: queueing.KindScanLarge, Weight: 1},
+					{Kind: queueing.KindScanSmall, Weight: 2}}},
+			{Name: "latency", Process: queueing.ProcPoisson, RateQPS: 12,
+				Class: "latency", Priority: 10, SLOSeconds: 0.3,
+				Queries: []queueing.QueryMix{
+					{Kind: queueing.KindProbe, Weight: 3},
+					{Kind: queueing.KindScanSmall, Weight: 1}}},
+		},
+	}
+}
+
+// mixThrottlePlan derates socket 0's media mid-run: the noisy-neighbor
+// scenario's second mechanism, stacked on top of slot contention. The
+// factor is harsh (0.08) because the serving mix runs well below the
+// healthy media limit — a mild throttle would never bind.
+const mixThrottlePlan = `{"events":[{"type":"dimm-throttle","start":0.25,"duration":2.5,"ramp":0.25,"factor":0.08}]}`
+
+// mixNoisyNeighbor is mix01: the identical arrival trace (same spec seed)
+// served healthy and with the DIMM throttle active, so the per-class
+// latency damage of the noisy neighbor + degraded media is a direct diff.
+func mixNoisyNeighbor(cfg Config) ([]Table, error) {
+	spec := mixArrivalSpec(cfg.Quick)
+	if cfg.Arrivals != nil {
+		spec = cfg.Arrivals.Clone()
+	}
+	run := func(planJSON string) (*queueing.Result, error) {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
+		mc := cfg.MachineConfig()
+		if planJSON != "" {
+			var err error
+			mc, err = faultMachineConfig(cfg, planJSON)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m, err := machine.New(mc)
+		if err != nil {
+			return nil, err
+		}
+		return queueing.Serve(m, spec.Clone())
+	}
+	healthy, err := run("")
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := run(mixThrottlePlan)
+	if err != nil {
+		return nil, err
+	}
+
+	lat := Table{ID: "mix01", Title: "Per-class latency, healthy vs throttled DIMM (same arrival trace)", Unit: "s",
+		Header: "class / plan \\ metric", Cols: []string{"p50", "p99", "mean wait", "SLO met"},
+		Paper: "no paper reference; noisy-neighbor extension (multi-mechanism doctor scenario)"}
+	for _, row := range []struct {
+		label string
+		res   *queueing.Result
+	}{{"healthy", healthy}, {"dimm-throttle", noisy}} {
+		for _, c := range row.res.Classes {
+			lat.Series = append(lat.Series, Series{
+				Label:  fmt.Sprintf("%s %s", c.Class, row.label),
+				Values: []float64{c.P50, c.P99, c.MeanWait, c.SLOMet},
+			})
+		}
+	}
+
+	sum := Table{ID: "mix01", Title: "Throughput and queueing summary", Unit: "mixed",
+		Header: "plan \\ metric",
+		Cols:   []string{"QPS", "served GB", "Jain", "peak queue", "makespan s"}}
+	for _, row := range []struct {
+		label string
+		res   *queueing.Result
+	}{{"healthy", healthy}, {"dimm-throttle", noisy}} {
+		qps := 0.0
+		if row.res.Elapsed > 0 {
+			qps = float64(row.res.Completed) / row.res.Elapsed
+		}
+		sum.Series = append(sum.Series, Series{Label: row.label, Values: []float64{
+			qps, row.res.ServedBytes / 1e9, row.res.Jain,
+			float64(row.res.PeakQueue), row.res.Elapsed}})
+	}
+	return []Table{lat, sum}, nil
+}

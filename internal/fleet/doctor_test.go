@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/doctor"
+	"repro/internal/server"
+)
+
+const tracedFaultBody = `{"id":"fault02","quick":true,"sf":0.02,"trace":true}`
+
+// getVia GETs a path through the router and returns status, body, and the
+// X-Pmemfleet-Worker header.
+func getVia(t *testing.T, url, path, reqID string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestFleetJobProxy: job-addressed GETs route through the router to the
+// worker that minted the handle, and the diagnosis served via the fleet is
+// byte-identical to the worker's own bytes.
+func TestFleetJobProxy(t *testing.T) {
+	_, w1 := newWorkerServer(t, server.Options{})
+	_, w2 := newWorkerServer(t, server.Options{})
+	_, rts := newRouter(t, Options{Workers: []Worker{
+		{Name: "w1", URL: w1.URL},
+		{Name: "w2", URL: w2.URL},
+	}})
+
+	resp, body := postRun(t, rts.URL, tracedFaultBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed run: status %d, body %s", resp.StatusCode, body)
+	}
+	jobID := resp.Header.Get("X-Pmemd-Job")
+	owner := resp.Header.Get("X-Pmemfleet-Worker")
+	if jobID == "" || owner == "" {
+		t.Fatalf("routed run missing job handle (%q) or worker (%q)", jobID, owner)
+	}
+
+	// Status, trace, and diagnosis all resolve through the router to the
+	// minting worker.
+	for _, sub := range []string{"", "/trace", "/diagnosis"} {
+		code, b, hdr := getVia(t, rts.URL, "/v1/jobs/"+jobID+sub, "")
+		if code != http.StatusOK {
+			t.Fatalf("GET jobs/%s%s via fleet: status %d, body %s", jobID, sub, code, b)
+		}
+		if got := hdr.Get("X-Pmemfleet-Worker"); got != owner {
+			t.Errorf("jobs/%s%s served by %q, want the minting worker %q", jobID, sub, got, owner)
+		}
+		if hdr.Get("X-Request-ID") == "" {
+			t.Errorf("jobs/%s%s response carries no X-Request-ID", jobID, sub)
+		}
+	}
+
+	// The fleet-served diagnosis is the worker's exact bytes.
+	ownerURL := w1.URL
+	if owner == "w2" {
+		ownerURL = w2.URL
+	}
+	_, viaFleet, _ := getVia(t, rts.URL, "/v1/jobs/"+jobID+"/diagnosis", "")
+	_, direct, _ := getVia(t, ownerURL, "/v1/jobs/"+jobID+"/diagnosis", "")
+	if string(viaFleet) != string(direct) {
+		t.Errorf("fleet diagnosis differs from the worker's bytes:\n%s\n---\n%s", viaFleet, direct)
+	}
+	var d doctor.Diagnosis
+	if err := json.Unmarshal(viaFleet, &d); err != nil {
+		t.Fatalf("fleet diagnosis not JSON: %v", err)
+	}
+	if d.Top().Mechanism != doctor.MechChannelStriping {
+		t.Errorf("fleet fault02 top verdict = %s, want %s", d.Top().Mechanism, doctor.MechChannelStriping)
+	}
+
+	// A supplied request ID is propagated and echoed end to end.
+	_, _, hdr := getVia(t, rts.URL, "/v1/jobs/"+jobID+"/diagnosis", "fleet-trace-42")
+	if got := hdr.Get("X-Request-ID"); got != "fleet-trace-42" {
+		t.Errorf("echoed X-Request-ID = %q, want fleet-trace-42", got)
+	}
+
+	// A fresh router (no job memory — e.g. restarted) still resolves the
+	// handle by scanning healthy workers.
+	_, rts2 := newRouter(t, Options{Workers: []Worker{
+		{Name: "w1", URL: w1.URL},
+		{Name: "w2", URL: w2.URL},
+	}})
+	code, scanned, hdr2 := getVia(t, rts2.URL, "/v1/jobs/"+jobID+"/diagnosis", "")
+	if code != http.StatusOK {
+		t.Fatalf("fresh-router scan: status %d, body %s", code, scanned)
+	}
+	if string(scanned) != string(direct) {
+		t.Error("fresh-router diagnosis differs from the worker's bytes")
+	}
+	if got := hdr2.Get("X-Pmemfleet-Worker"); got != owner {
+		t.Errorf("fresh-router scan found %q, want %q", got, owner)
+	}
+
+	// Unknown handles 404 after the scan exhausts the fleet.
+	if code, _, _ := getVia(t, rts.URL, "/v1/jobs/job-999999", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job via fleet: status %d, want 404", code)
+	}
+}

@@ -26,6 +26,11 @@ const maxBatchRequests = 1024
 // sweep points are in flight upstream at once.
 const batchFanout = 16
 
+// maxRememberedJobs bounds the router's job-id -> worker map. Job ids the
+// router has forgotten (or never saw — e.g. a job minted directly on a
+// worker) still resolve via the healthy-worker scan in handleJob.
+const maxRememberedJobs = 4096
+
 // workerState is one backend's mutable routing state.
 type workerState struct {
 	spec Worker
@@ -62,6 +67,13 @@ type Router struct {
 	rrNext  atomic.Uint64
 	nextReq atomic.Uint64
 
+	// jobMu guards the job-id -> owning-worker memory that lets job-addressed
+	// GETs (status, trace, diagnosis) route straight to the worker that minted
+	// the handle instead of scanning the fleet.
+	jobMu    sync.Mutex
+	jobOwner map[string]*workerState
+	jobOrder []string // remembered job ids, oldest first
+
 	cRequests   *metrics.Counter
 	cBadReq     *metrics.Counter
 	cFailovers  *metrics.Counter
@@ -88,6 +100,7 @@ func New(opts Options) (*Router, error) {
 		opts:        opts,
 		reg:         reg,
 		log:         opts.Logger,
+		jobOwner:    make(map[string]*workerState),
 		cRequests:   reg.Counter("fleet_requests"),
 		cBadReq:     reg.Counter("fleet_bad_requests"),
 		cFailovers:  reg.Counter("fleet_failovers"),
@@ -120,9 +133,10 @@ func New(opts Options) (*Router, error) {
 // Registry exposes the router's metrics registry (the /metrics content).
 func (rt *Router) Registry() *metrics.Registry { return rt.reg }
 
-// Handler returns the fleet HTTP API. Job-addressed endpoints
-// (GET /v1/jobs/{id}) are worker-local and not proxied: submit through the
-// router synchronously, or talk to a worker directly for async handles.
+// Handler returns the fleet HTTP API. Job-addressed GETs (status, trace,
+// diagnosis) are proxied: the router remembers which worker minted each job
+// handle it forwarded and routes follow-up reads there, falling back to a
+// healthy-worker scan for handles it has forgotten.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -132,6 +146,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", rt.handleExperiments)
 	mux.HandleFunc("POST /v1/run", rt.handleRun)
 	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/diagnosis", rt.handleJob)
 	return rt.instrument(mux)
 }
 
@@ -243,6 +260,7 @@ type runOutcome struct {
 	worker string
 	cache  string // X-Pmemd-Cache from the worker
 	job    string // X-Pmemd-Job from the worker
+	ws     *workerState
 }
 
 func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -337,15 +355,105 @@ func (rt *Router) forwardRun(reqID string, raw []byte, key string) (runOutcome, 
 			"cache", resp.Header.Get("X-Pmemd-Cache"),
 			"key", key[:12],
 		)
-		return runOutcome{
+		out := runOutcome{
 			status: resp.StatusCode,
 			body:   body,
 			worker: ws.spec.Name,
 			cache:  resp.Header.Get("X-Pmemd-Cache"),
 			job:    resp.Header.Get("X-Pmemd-Job"),
-		}, nil
+			ws:     ws,
+		}
+		rt.rememberJob(out.job, ws)
+		return out, nil
 	}
 	return runOutcome{}, fmt.Errorf("all %d candidate workers failed", len(cands))
+}
+
+// rememberJob records which worker minted a job handle (bounded FIFO). A
+// no-op for empty ids — not every worker response carries one.
+func (rt *Router) rememberJob(id string, ws *workerState) {
+	if id == "" {
+		return
+	}
+	rt.jobMu.Lock()
+	if _, seen := rt.jobOwner[id]; !seen {
+		rt.jobOrder = append(rt.jobOrder, id)
+		for len(rt.jobOrder) > maxRememberedJobs {
+			delete(rt.jobOwner, rt.jobOrder[0])
+			rt.jobOrder = rt.jobOrder[1:]
+		}
+	}
+	rt.jobOwner[id] = ws
+	rt.jobMu.Unlock()
+}
+
+// handleJob proxies the job-addressed GETs — /v1/jobs/{id} and its /trace
+// and /diagnosis sub-resources — to the worker that owns the handle. The
+// remembered owner is tried first; on a miss (forgotten handle, restarted
+// router) every healthy worker is scanned in deterministic candidate order.
+// A worker's 404 means "not mine, try the next"; any other answer — 200,
+// 409 for a job still running, the trace endpoint's 404-with-body cousin
+// aside — is authoritative and returned as-is with the owning worker named
+// in X-Pmemfleet-Worker.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	rt.cRequests.Inc()
+	id := r.PathValue("id")
+
+	rt.jobMu.Lock()
+	owner := rt.jobOwner[id]
+	rt.jobMu.Unlock()
+
+	var cands []*workerState
+	if owner != nil {
+		cands = append(cands, owner)
+	}
+	for _, ws := range rt.candidates("") {
+		if ws != owner {
+			cands = append(cands, ws)
+		}
+	}
+	reqID := r.Header.Get("X-Request-ID")
+	for _, ws := range cands {
+		req, err := http.NewRequest(http.MethodGet, ws.spec.URL+r.URL.Path, nil)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			rt.noteFailure(ws, err.Error())
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			rt.noteFailure(ws, fmt.Sprintf("read response: %v", err))
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			// "unknown job" from a worker that never saw it — keep scanning.
+			// (A 404 for "not traced"/"no diagnosis" also lands here; the scan
+			// ends at the same 404 for single-owner handles, so the client
+			// still sees the right answer, just after a wider search.)
+			continue
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			rt.noteFailure(ws, fmt.Sprintf("status %d", resp.StatusCode))
+			continue
+		}
+		rt.rememberJob(id, ws)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set("X-Pmemfleet-Worker", ws.spec.Name)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job "+id+" (no worker claims it)")
 }
 
 func (rt *Router) noteFailure(ws *workerState, why string) {

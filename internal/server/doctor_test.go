@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/doctor"
+)
+
+// tracedBody asks for a trace so the cache-hit path mints a job handle and
+// the diagnosis sees timeline evidence.
+const tracedBody = `{"id":"fault02","quick":true,"sf":0.02,"trace":true}`
+
+func getWithStatus(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp, b
+}
+
+// TestDiagnosisEndToEnd: every run is diagnosed, the verdict rides in the
+// result body, and GET /v1/jobs/{id}/diagnosis serves it alone —
+// byte-identical between the cold run and a cache hit.
+func TestDiagnosisEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	resp1, body1 := postRun(t, ts, tracedBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d, body %s", resp1.StatusCode, body1)
+	}
+	var res RunResult
+	if err := json.Unmarshal(body1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnosis == nil {
+		t.Fatal("result carries no diagnosis")
+	}
+	if got := res.Diagnosis.Top().Mechanism; got != doctor.MechChannelStriping {
+		t.Errorf("fault02 top verdict = %s, want %s", got, doctor.MechChannelStriping)
+	}
+	if res.Diagnosis.Top().Confidence < 0.90 {
+		t.Errorf("fault02 confidence %.4f below the fault tier", res.Diagnosis.Top().Confidence)
+	}
+	// The traced run contributes trace evidence to the verdict.
+	foundTrace := false
+	for _, e := range res.Diagnosis.Top().Evidence {
+		foundTrace = foundTrace || e.Kind == "trace"
+	}
+	if !foundTrace {
+		t.Errorf("traced run's verdict has no trace evidence: %+v", res.Diagnosis.Top().Evidence)
+	}
+
+	// The diagnosis endpoint serves the verdict alone.
+	job1 := resp1.Header.Get("X-Pmemd-Job")
+	dresp, diag1 := getWithStatus(t, ts.URL+"/v1/jobs/"+job1+"/diagnosis")
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnosis: status %d, body %s", dresp.StatusCode, diag1)
+	}
+	var d doctor.Diagnosis
+	if err := json.Unmarshal(diag1, &d); err != nil {
+		t.Fatalf("diagnosis endpoint not JSON: %v", err)
+	}
+	if d.Top().Mechanism != doctor.MechChannelStriping {
+		t.Errorf("endpoint top verdict = %s, want %s", d.Top().Mechanism, doctor.MechChannelStriping)
+	}
+
+	// A cache hit mints a fresh job whose diagnosis is the same bytes.
+	resp2, body2 := postRun(t, ts, tracedBody)
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "hit" {
+		t.Fatalf("second run cache header = %q, want hit", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("cached body differs from cold body")
+	}
+	job2 := resp2.Header.Get("X-Pmemd-Job")
+	if job2 == job1 {
+		t.Fatalf("cache hit reused job id %s", job2)
+	}
+	_, diag2 := getWithStatus(t, ts.URL+"/v1/jobs/"+job2+"/diagnosis")
+	if string(diag1) != string(diag2) {
+		t.Errorf("cached diagnosis differs from cold diagnosis:\n%s\n---\n%s", diag1, diag2)
+	}
+
+	// The doctor's serving counters moved (one diagnosis: the cold run).
+	if got := counter(t, s, "doctor_diagnoses_total"); got != 1 {
+		t.Errorf("doctor_diagnoses_total = %v, want 1", got)
+	}
+	if got := counter(t, s, "doctor_verdicts_total"); got < 1 {
+		t.Errorf("doctor_verdicts_total = %v, want >= 1", got)
+	}
+
+	// The trace document carries the doctor's diagnosis track.
+	trace := getBody(t, ts, "/v1/jobs/"+job1+"/trace")
+	var doc struct {
+		TraceEvents []struct {
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatal(err)
+	}
+	foundTrack := false
+	for _, e := range doc.TraceEvents {
+		foundTrack = foundTrack || (e.Cat == "doctor" && e.Name == doctor.MechChannelStriping)
+	}
+	if !foundTrack {
+		t.Error("trace document has no doctor diagnosis track")
+	}
+
+	// Unknown jobs 404.
+	if resp, _ := getWithStatus(t, ts.URL+"/v1/jobs/job-999999/diagnosis"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job diagnosis status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDiagnosisSurvivesRestart: the verdict rides the disk tier like the
+// body it is embedded in — a restarted server serves identical diagnosis
+// bytes without recomputing.
+func TestDiagnosisSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp1, _ := postRun(t, ts1, tracedBody)
+	diag1 := getBody(t, ts1, "/v1/jobs/"+resp1.Header.Get("X-Pmemd-Job")+"/diagnosis")
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp2, _ := postRun(t, ts2, tracedBody)
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "disk" {
+		t.Fatalf("restarted run cache header = %q, want disk", got)
+	}
+	diag2 := getBody(t, ts2, "/v1/jobs/"+resp2.Header.Get("X-Pmemd-Job")+"/diagnosis")
+	if string(diag1) != string(diag2) {
+		t.Error("disk-tier diagnosis differs from the cold run's bytes")
+	}
+}
+
+// TestJobGetRequestID: every job-addressed GET echoes the caller's
+// X-Request-ID (or mints one) — including cache-hit-minted jobs served
+// straight from the disk tier, which short-circuit the run path.
+func TestJobGetRequestID(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	postRun(t, ts1, tracedBody)
+	ts1.Close()
+	s1.Close()
+
+	_, ts := newTestServer(t, Options{DiskCacheDir: dir})
+	resp, _ := postRun(t, ts, tracedBody) // disk-tier hit mints the job
+	jobID := resp.Header.Get("X-Pmemd-Job")
+	if jobID == "" {
+		t.Fatal("no job handle on the disk-tier hit")
+	}
+
+	for _, path := range []string{
+		"/v1/jobs/" + jobID,
+		"/v1/jobs/" + jobID + "/trace",
+		"/v1/jobs/" + jobID + "/diagnosis",
+	} {
+		// Echo: a supplied ID comes back verbatim.
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Request-ID", "test-trace-123")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); got != "test-trace-123" {
+			t.Errorf("GET %s echoed X-Request-ID = %q, want test-trace-123", path, got)
+		}
+
+		// Mint: a bare request still gets an ID.
+		bare, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, bare.Body)
+		bare.Body.Close()
+		if bare.Header.Get("X-Request-ID") == "" {
+			t.Errorf("GET %s minted no X-Request-ID", path)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/doctor"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/machine"
@@ -184,4 +185,10 @@ type RunResult struct {
 	// experiments CLI prints for this experiment.
 	Text    string            `json:"text"`
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Diagnosis is the doctor's verdict over the run's own evidence. It is
+	// derived from the simulation snapshot (never from the request), rides
+	// inside the cached body, and is served alone at
+	// GET /v1/jobs/{id}/diagnosis — byte-identical cold, cached, or via the
+	// fleet, because the body bytes are.
+	Diagnosis *doctor.Diagnosis `json:"diagnosis,omitempty"`
 }

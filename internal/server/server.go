@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/doctor"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -157,6 +158,9 @@ type Server struct {
 	cJobRetries *metrics.Counter
 	cJobSecs    *metrics.Counter
 	cReqSecs    *metrics.Counter
+	cDiagnoses  *metrics.Counter
+	cVerdicts   *metrics.Counter
+	cDoctorSecs *metrics.Counter
 	gActive     *metrics.Gauge
 	gQueueDepth *metrics.Gauge
 	hReqDur     *metrics.Histogram
@@ -202,6 +206,9 @@ func New(opts Options) (*Server, error) {
 		cJobRetries: reg.Counter("server_job_retries_total"),
 		cJobSecs:    reg.Counter("server_job_seconds"),
 		cReqSecs:    reg.Counter("server_request_seconds"),
+		cDiagnoses:  reg.Counter("doctor_diagnoses_total"),
+		cVerdicts:   reg.Counter("doctor_verdicts_total"),
+		cDoctorSecs: reg.Counter("doctor_seconds"),
 		gActive:     reg.Gauge("server_jobs_active"),
 		gQueueDepth: reg.Gauge("server_queue_depth"),
 		hReqDur:     reg.Histogram("server_request_duration_seconds", metrics.DefaultDurationBuckets()),
@@ -236,6 +243,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/diagnosis", s.handleJobDiagnosis)
 	return s.instrument(mux)
 }
 
@@ -459,6 +467,36 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(trace)
+}
+
+// handleJobDiagnosis serves a done job's doctor verdict alone. The document
+// is sliced verbatim out of the stored result body (never re-marshaled), so
+// the served bytes are identical cold, cached, or replayed from the disk
+// tier — the same byte-stability contract the body itself keeps.
+func (s *Server) handleJobDiagnosis(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	state, body := j.state, j.body
+	s.mu.Unlock()
+	if state != "done" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s, not done", id, state))
+		return
+	}
+	var probe struct {
+		Diagnosis json.RawMessage `json:"diagnosis"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil || len(probe.Diagnosis) == 0 {
+		writeError(w, http.StatusNotFound, "job result carries no diagnosis")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(probe.Diagnosis)
 }
 
 // BuildInfo is the GET /version payload, assembled from the build metadata
@@ -762,8 +800,26 @@ func (s *Server) simulate(ctx context.Context, c canonical, attempt int) (RunRes
 		ms := snap
 		out.Metrics = &ms
 	}
+	// Diagnose every run over its own snapshot (and trace timeline when the
+	// run was traced). The diagnosis lives inside the result body, so cache
+	// hits — memory, disk, or via the fleet — replay the cold run's exact
+	// verdict bytes. Wall time goes to doctor_seconds only; it never touches
+	// the body.
+	dstart := time.Now()
+	var tsum *doctor.TraceSummary
+	if rec != nil {
+		// Summarize before EmitTrace: the diagnosis must not see (and thereby
+		// depend on) its own output track.
+		tsum, _ = doctor.SummarizeTrace(rec.Bytes())
+	}
+	diag := doctor.Diagnose(snap, tsum)
+	out.Diagnosis = diag
+	s.cDiagnoses.Inc()
+	s.cVerdicts.Add(float64(len(diag.Verdicts)))
+	s.cDoctorSecs.Add(time.Since(dstart).Seconds())
 	var traceBytes []byte
 	if rec != nil {
+		doctor.EmitTrace(rec, diag)
 		traceBytes = rec.Bytes()
 	}
 	return out, snap, traceBytes, nil
