@@ -1,0 +1,492 @@
+// Command pmemchaos runs a seeded chaos plan against a live pmemd fleet and
+// asserts, from the outside, that the resilience layer actually holds: while
+// faults fly, the fleet may slow down and may shed bounded load, but it must
+// never return wrong bytes — and once the plan is disarmed it must recover
+// on its own, without a restart.
+//
+// Usage:
+//
+//	pmemchaos -target http://localhost:8070 -plan plan.json
+//	          [-workers http://h1:8080,http://h2:8080] [-spec spec.json]
+//	          [-sf 0.02] [-quick] [-concurrency 8] [-deadline 10s]
+//	          [-error-bound 0.5] [-recovery-timeout 30s]
+//
+// The harness replays the same deterministic traffic pmemload generates
+// (internal/queueing arrival spec; identical arrivals fire byte-identical
+// bodies) in four phases:
+//
+//  1. baseline — no chaos; every request must succeed, and its bytes become
+//     the pinned reference for that request body.
+//  2. chaos — POST the plan to the target's /v1/chaos (and to each -workers
+//     URL, so sst-corrupt events reach the disk tier), then replay passes
+//     until the plan's horizon elapses. Errors are tolerated up to
+//     -error-bound; a 200 whose bytes differ from the baseline reference is
+//     a divergence and always a violation.
+//  3. disarm — DELETE /v1/chaos everywhere, capturing each controller's
+//     injection counts for the report.
+//  4. recovery — replay passes until one is completely clean (zero errors,
+//     zero divergences) and, when the target exposes /v1/workers, every
+//     breaker has closed again. Exceeding -recovery-timeout is a violation.
+//
+// The report (JSON on stdout) carries per-phase counts and every violated
+// invariant; any violation makes pmemchaos exit 1. Setup failures (bad
+// plan, unreachable target, failed baseline) exit 2.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/queueing"
+	"repro/internal/server"
+)
+
+// kindExperiment mirrors pmemload's arrival-kind → experiment mapping so
+// both tools shape identical traffic from the same spec.
+var kindExperiment = map[string]string{
+	queueing.KindScanSmall: "fig04",
+	queueing.KindScanLarge: "fig05",
+	queueing.KindProbe:     "fig12",
+	queueing.KindIngest:    "fig09",
+}
+
+// defaultSpec is a small two-client mix — enough duplicate arrivals to
+// exercise every cache tier in a few seconds per pass.
+const defaultSpec = `{
+	"seed": 7,
+	"horizon": 4,
+	"clients": [
+		{"name": "olap", "rate_qps": 3, "queries": [{"kind": "scan-s"}, {"kind": "probe"}]},
+		{"name": "etl", "rate_qps": 1.5, "queries": [{"kind": "ingest"}, {"kind": "scan-l"}]}
+	]
+}`
+
+// PhaseReport summarizes one replay phase (baseline, chaos, recovery).
+type PhaseReport struct {
+	Name        string  `json:"name"`
+	Passes      int     `json:"passes"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Divergences int     `json:"divergences"`
+	ErrorRate   float64 `json:"error_rate"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report is pmemchaos's JSON output.
+type Report struct {
+	Target          string                  `json:"target"`
+	Plan            *chaos.Plan             `json:"plan"`
+	HorizonSeconds  float64                 `json:"horizon_seconds"`
+	Phases          []PhaseReport           `json:"phases"`
+	Injections      map[string]chaos.Status `json:"injections,omitempty"` // per armed endpoint, at disarm
+	RecoverySeconds float64                 `json:"recovery_seconds,omitempty"`
+	Violations      []string                `json:"violations"`
+}
+
+type harness struct {
+	client    *http.Client
+	target    string
+	deadline  time.Duration
+	shots     [][]byte // request bodies, arrival order
+	mu        sync.Mutex
+	reference map[string]string // body → baseline sha256 of the response bytes
+}
+
+func main() {
+	target := flag.String("target", "", "base URL of the pmemfleet router (or a single pmemd) under test (required)")
+	planPath := flag.String("plan", "", "chaos plan JSON file (required)")
+	workersFlag := flag.String("workers", "", "comma-separated worker base URLs whose /v1/chaos should also arm the plan (reaches sst-corrupt events)")
+	specPath := flag.String("spec", "", "arrival spec JSON file (internal/queueing format); empty = built-in mix")
+	sf := flag.Float64("sf", 0.02, "scale factor spelled into every request")
+	quick := flag.Bool("quick", true, "request quick (trimmed-axis) experiment runs")
+	concurrency := flag.Int("concurrency", 8, "in-flight request cap")
+	deadline := flag.Duration("deadline", 10*time.Second, "per-request X-Pmemd-Deadline during chaos and recovery passes; 0 = none")
+	errorBound := flag.Float64("error-bound", 0.5, "maximum tolerated error rate across the chaos phase")
+	passInterval := flag.Duration("pass-interval", 100*time.Millisecond, "pause between chaos replay passes, so the error rate samples the horizon roughly uniformly instead of over-weighting fast-failing outage windows")
+	recoveryTimeout := flag.Duration("recovery-timeout", 30*time.Second, "how long after disarm the fleet has to serve one fully clean pass")
+	flag.Parse()
+
+	if *target == "" || *planPath == "" {
+		fmt.Fprintln(os.Stderr, "pmemchaos: -target and -plan are required")
+		os.Exit(2)
+	}
+	planRaw, err := os.ReadFile(*planPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+		os.Exit(2)
+	}
+	plan, err := chaos.Parse(planRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+		os.Exit(2)
+	}
+	canon, err := plan.Canonical()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+		os.Exit(2)
+	}
+
+	specJSON := []byte(defaultSpec)
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+			os.Exit(2)
+		}
+		specJSON = b
+	}
+	spec, err := queueing.ParseSpec(specJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+		os.Exit(2)
+	}
+	shots, err := planShots(queueing.Generate(spec), *sf, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+		os.Exit(2)
+	}
+
+	armEndpoints := []string{*target}
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			armEndpoints = append(armEndpoints, w)
+		}
+	}
+
+	h := &harness{
+		client:    &http.Client{Timeout: 2 * time.Minute},
+		target:    *target,
+		deadline:  *deadline,
+		shots:     shots,
+		reference: map[string]string{},
+	}
+	report := Report{
+		Target:         *target,
+		Plan:           plan,
+		HorizonSeconds: plan.Horizon(),
+		Injections:     map[string]chaos.Status{},
+		Violations:     []string{},
+	}
+	violate := func(format string, args ...any) {
+		report.Violations = append(report.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// Phase 1: baseline. The fleet must be clean before we break it — every
+	// response here becomes the byte-level reference the chaos and recovery
+	// phases are judged against.
+	base := h.runPhase("baseline", 1, 0, *concurrency, 0)
+	report.Phases = append(report.Phases, base)
+	if base.Errors > 0 || base.Divergences > 0 {
+		fmt.Fprintf(os.Stderr, "pmemchaos: baseline not clean (%d errors, %d divergences); fix the fleet before injecting faults\n",
+			base.Errors, base.Divergences)
+		emit(report)
+		os.Exit(2)
+	}
+
+	// Phase 2: arm everywhere, then replay under fire until the horizon.
+	for _, ep := range armEndpoints {
+		if err := h.armPlan(ep, canon); err != nil {
+			fmt.Fprintf(os.Stderr, "pmemchaos: arm %s: %v\n", ep, err)
+			emit(report)
+			os.Exit(2)
+		}
+	}
+	armedAt := time.Now()
+	fmt.Fprintf(os.Stderr, "pmemchaos: plan armed at %d endpoint(s), horizon %.1fs\n",
+		len(armEndpoints), plan.Horizon())
+	ch := h.runPhase("chaos", 0, plan.Horizon()-time.Since(armedAt).Seconds(), *concurrency, *passInterval)
+	report.Phases = append(report.Phases, ch)
+	if ch.Divergences > 0 {
+		violate("chaos phase returned wrong bytes: %d divergent 200s (corruption must surface as an error, never as a result)", ch.Divergences)
+	}
+	if ch.ErrorRate > *errorBound {
+		violate("chaos phase error rate %.3f exceeds bound %.3f", ch.ErrorRate, *errorBound)
+	}
+
+	// Phase 3: capture injection counts, then disarm everywhere.
+	for _, ep := range armEndpoints {
+		if st, err := h.chaosStatus(ep); err == nil {
+			report.Injections[ep] = st
+		}
+		if err := h.disarm(ep); err != nil {
+			violate("disarm %s failed: %v", ep, err)
+		}
+	}
+
+	// Phase 4: recovery. The fleet must heal itself — breakers re-close via
+	// half-open probes, corrupted cache records fall through to recompute —
+	// within the budget, with no operator action.
+	rec, recovered := h.runRecovery(*concurrency, *recoveryTimeout)
+	report.Phases = append(report.Phases, rec)
+	report.RecoverySeconds = rec.WallSeconds
+	if !recovered {
+		violate("fleet did not serve a fully clean pass within %s of disarm (%d errors, %d divergences in last attempt window)",
+			*recoveryTimeout, rec.Errors, rec.Divergences)
+	}
+	if recovered {
+		if err := h.awaitWorkersHealthy(*recoveryTimeout); err != nil {
+			violate("worker breakers did not all close after disarm: %v", err)
+		}
+	}
+
+	emit(report)
+	if len(report.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "pmemchaos: %d invariant violation(s)\n", len(report.Violations))
+		for _, v := range report.Violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pmemchaos: all invariants held")
+}
+
+// runPhase replays the shot schedule: `passes` fixed passes when passes > 0,
+// otherwise repeatedly until `horizon` seconds have elapsed (at least one
+// pass either way).
+func (h *harness) runPhase(name string, passes int, horizon float64, concurrency int, interval time.Duration) PhaseReport {
+	pr := PhaseReport{Name: name}
+	start := time.Now()
+	for pass := 1; ; pass++ {
+		req, errs, div := h.firePass(concurrency, name != "baseline")
+		pr.Passes++
+		pr.Requests += req
+		pr.Errors += errs
+		pr.Divergences += div
+		if passes > 0 && pass >= passes {
+			break
+		}
+		if passes <= 0 && time.Since(start).Seconds() >= horizon {
+			break
+		}
+		time.Sleep(interval)
+	}
+	pr.WallSeconds = time.Since(start).Seconds()
+	if pr.Requests > 0 {
+		pr.ErrorRate = float64(pr.Errors) / float64(pr.Requests)
+	}
+	return pr
+}
+
+// runRecovery replays passes until one is fully clean or the budget runs
+// out. Its report aggregates every attempt; recovered reports success.
+func (h *harness) runRecovery(concurrency int, budget time.Duration) (PhaseReport, bool) {
+	pr := PhaseReport{Name: "recovery"}
+	start := time.Now()
+	recovered := false
+	for {
+		req, errs, div := h.firePass(concurrency, true)
+		pr.Passes++
+		pr.Requests += req
+		pr.Errors += errs
+		pr.Divergences += div
+		if errs == 0 && div == 0 {
+			recovered = true
+			break
+		}
+		if time.Since(start) >= budget {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	pr.WallSeconds = time.Since(start).Seconds()
+	if pr.Requests > 0 {
+		pr.ErrorRate = float64(pr.Errors) / float64(pr.Requests)
+	}
+	return pr, recovered
+}
+
+// firePass fires every shot once and returns (requests, errors,
+// divergences). A divergence is a 200 whose bytes disagree with the
+// baseline reference for that body — or with the response's own
+// X-Pmemd-Content-SHA256. withDeadline propagates h.deadline.
+func (h *harness) firePass(concurrency int, withDeadline bool) (int, int, int) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var errs, div atomic.Int64
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for _, body := range h.shots {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			switch h.fire(body, withDeadline) {
+			case outcomeError:
+				errs.Add(1)
+			case outcomeDivergence:
+				div.Add(1)
+			}
+		}(body)
+	}
+	wg.Wait()
+	return len(h.shots), int(errs.Load()), int(div.Load())
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeError
+	outcomeDivergence
+)
+
+func (h *harness) fire(body []byte, withDeadline bool) outcome {
+	req, err := http.NewRequest(http.MethodPost, h.target+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return outcomeError
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if withDeadline && h.deadline > 0 {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(h.deadline.Milliseconds(), 10))
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return outcomeError
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return outcomeError
+	}
+	sum := sha256.Sum256(raw)
+	got := hex.EncodeToString(sum[:])
+	if want := resp.Header.Get(server.ContentSHAHeader); want != "" && want != got {
+		return outcomeDivergence
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ref, ok := h.reference[string(body)]; !ok {
+		h.reference[string(body)] = got
+	} else if ref != got {
+		return outcomeDivergence
+	}
+	return outcomeOK
+}
+
+func (h *harness) armPlan(endpoint string, canon []byte) error {
+	resp, err := h.client.Post(endpoint+"/v1/chaos", "application/json", bytes.NewReader(canon))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s (is the process running with -chaos?)", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return nil
+}
+
+func (h *harness) chaosStatus(endpoint string) (chaos.Status, error) {
+	var st chaos.Status
+	resp, err := h.client.Get(endpoint + "/v1/chaos")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func (h *harness) disarm(endpoint string) error {
+	req, err := http.NewRequest(http.MethodDelete, endpoint+"/v1/chaos", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// awaitWorkersHealthy polls the target's /v1/workers until every breaker is
+// closed. A target that does not expose the endpoint (a bare pmemd) passes
+// trivially.
+func (h *harness) awaitWorkersHealthy(budget time.Duration) error {
+	type workerStatus struct {
+		Name    string `json:"name"`
+		Healthy bool   `json:"healthy"`
+		Breaker string `json:"breaker"`
+	}
+	deadline := time.Now().Add(budget)
+	var lastOpen []string
+	for {
+		resp, err := h.client.Get(h.target + "/v1/workers")
+		if err == nil && resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			return nil
+		}
+		if err == nil {
+			var ws []workerStatus
+			derr := json.NewDecoder(resp.Body).Decode(&ws)
+			resp.Body.Close()
+			if derr == nil {
+				lastOpen = lastOpen[:0]
+				for _, w := range ws {
+					if !w.Healthy {
+						lastOpen = append(lastOpen, w.Name+"="+w.Breaker)
+					}
+				}
+				if len(lastOpen) == 0 {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("still not closed: %s", strings.Join(lastOpen, ", "))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// planShots renders each arrival into its request body once; identical
+// arrivals share identical bodies, so the byte-reference map covers every
+// request the replay will ever make.
+func planShots(arrivals []queueing.Arrival, sf float64, quick bool) ([][]byte, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("spec generates no arrivals")
+	}
+	shots := make([][]byte, len(arrivals))
+	for i, a := range arrivals {
+		id, ok := kindExperiment[a.Kind]
+		if !ok {
+			return nil, fmt.Errorf("no experiment mapping for query kind %q", a.Kind)
+		}
+		body, err := json.Marshal(map[string]any{"id": id, "sf": sf, "quick": quick})
+		if err != nil {
+			return nil, err
+		}
+		shots[i] = body
+	}
+	return shots, nil
+}
+
+func emit(r Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fmt.Fprintln(os.Stderr, "pmemchaos:", err)
+	}
+}

@@ -7,7 +7,8 @@
 //	pmemd [-addr :8080] [-workers 0] [-queue 64] [-cache-bytes 67108864]
 //	      [-cache-dir DIR] [-cache-memtable-bytes 4194304]
 //	      [-job-timeout 2m] [-drain-timeout 30s] [-max-sf 1]
-//	      [-debug-addr localhost:6060] [-log-json]
+//	      [-debug-addr localhost:6060] [-chaos] [-chaos-plan plan.json]
+//	      [-log-json]
 //
 // API:
 //
@@ -35,6 +36,14 @@
 // survive restarts (X-Pmemd-Cache: disk — no recompute). SIGTERM or SIGINT
 // drains in-flight jobs (bounded by -drain-timeout), flushes the disk
 // tier's memtable, and exits.
+//
+// Requests may carry X-Pmemd-Deadline (remaining milliseconds): the handler
+// stops waiting — and caps the job's own context — at that deadline, and
+// every result body is answered with its X-Pmemd-Content-SHA256 so callers
+// can verify integrity end to end. -chaos mounts the /v1/chaos control
+// endpoints and wires the armed plan's sst-corrupt events into the disk
+// tier's read path, where the per-record CRC must catch them; -chaos-plan
+// additionally arms a plan at startup.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/server"
 )
 
@@ -66,6 +76,8 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent SSTable result tier; empty = memory-only cache")
 	cacheMemtable := flag.Int64("cache-memtable-bytes", 4<<20, "disk tier memtable flush threshold")
+	chaosEnabled := flag.Bool("chaos", false, "mount /v1/chaos and wire armed sst-corrupt events into the disk tier's read path")
+	chaosPlan := flag.String("chaos-plan", "", "chaos plan JSON file to arm at startup (implies -chaos)")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -73,6 +85,33 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	// The worker's chaos seam is the disk read path: an armed sst-corrupt
+	// event flips bits in SSTable record payloads before the per-record CRC
+	// check, which must catch them and fall through to recompute.
+	var ctl *chaos.Controller
+	var tamper func([]byte) []byte
+	if *chaosEnabled || *chaosPlan != "" {
+		ctl = chaos.NewController(nil)
+		tamper = ctl.TamperRecord
+		if *chaosPlan != "" {
+			raw, err := os.ReadFile(*chaosPlan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemd:", err)
+				os.Exit(2)
+			}
+			p, err := chaos.Parse(raw)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemd: chaos plan:", err)
+				os.Exit(2)
+			}
+			if err := ctl.Arm(p); err != nil {
+				fmt.Fprintln(os.Stderr, "pmemd: chaos plan:", err)
+				os.Exit(2)
+			}
+			logger.Info("chaos plan armed at startup", "plan", *chaosPlan)
+		}
+	}
 
 	s, err := server.New(server.Options{
 		Workers:                *workers,
@@ -85,14 +124,22 @@ func main() {
 		RetryBackoff:           *retryBackoff,
 		DiskCacheDir:           *cacheDir,
 		DiskCacheMemtableBytes: *cacheMemtable,
+		DiskReadTamper:         tamper,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemd:", err)
 		os.Exit(1)
 	}
+	h := s.Handler()
+	if ctl != nil {
+		outer := http.NewServeMux()
+		ctl.Register(outer)
+		outer.Handle("/", h)
+		h = outer
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

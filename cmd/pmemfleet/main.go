@@ -9,12 +9,24 @@
 //
 //	pmemfleet -workers w1=http://h1:8080,w2=http://h2:8080 [-addr :8070]
 //	          [-policy affinity|round-robin|least-loaded] [-max-sf 1]
-//	          [-cooldown 2s] [-load-ttl 500ms] [-upstream-timeout 5m]
+//	          [-cooldown 2s] [-load-ttl 500ms] [-worker-timeout 5m]
+//	          [-retry-budget 2] [-hedge-after 0] [-breaker-window 20]
+//	          [-breaker-threshold 0.5] [-chaos] [-chaos-plan plan.json]
 //	          [-log-json]
 //
 // Bare URLs in -workers are auto-named w1, w2, ... by position; named
 // entries (name=url) are preferred in production because the name keys the
 // rendezvous hash — keep it stable across router restarts.
+//
+// -worker-timeout bounds one upstream attempt (not the whole request:
+// failover and hedging may spend several attempts); requests carrying an
+// X-Pmemd-Deadline header get min(worker-timeout, remaining deadline) per
+// attempt. -hedge-after 0 hedges synchronous runs adaptively at the
+// observed p95 attempt latency, a positive duration hedges after that fixed
+// delay, and a negative one disables hedging. -chaos mounts the /v1/chaos
+// control endpoints and routes every upstream request through the chaos
+// transport so a harness (cmd/pmemchaos) can inject faults between router
+// and workers; -chaos-plan additionally arms a plan at startup.
 //
 // API (same shapes as pmemd where they overlap):
 //
@@ -23,10 +35,12 @@
 //	                      X-Pmemd-Cache tier (hit | disk | coalesced | miss)
 //	POST /v1/batch        {"requests":[run, run, ...]} — scatter the points
 //	                      across the fleet, gather ordered results
-//	GET  /v1/workers      per-worker health and quarantine state
+//	GET  /v1/workers      per-worker health and circuit-breaker state
 //	GET  /v1/experiments  proxied from the first answering worker
 //	GET  /metrics         router metrics (fleet_* counters)
-//	GET  /healthz, /readyz  readiness = at least one healthy worker
+//	GET  /metrics.json    the same registry as a JSON snapshot (pmemdoctor)
+//	POST /v1/chaos        arm a chaos plan (-chaos only); GET status, DELETE disarm
+//	GET  /healthz, /readyz  readiness = at least one admittable worker
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 )
 
@@ -49,9 +64,15 @@ func main() {
 	workersFlag := flag.String("workers", "", "comma-separated pmemd backends, each name=url or a bare url (auto-named w1, w2, ...)")
 	policy := flag.String("policy", fleet.PolicyAffinity, "routing policy: affinity, round-robin, or least-loaded")
 	maxSF := flag.Float64("max-sf", 1, "largest scale factor a request may ask for at the router edge; negative = unbounded")
-	cooldown := flag.Duration("cooldown", 2*time.Second, "how long a failed worker is quarantined before re-trying it")
+	cooldown := flag.Duration("cooldown", 2*time.Second, "how long a tripped breaker stays open before its half-open probe")
 	loadTTL := flag.Duration("load-ttl", 500*time.Millisecond, "how long scraped worker load gauges stay fresh (least-loaded policy)")
-	upstreamTimeout := flag.Duration("upstream-timeout", 5*time.Minute, "per-request timeout against a worker")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-attempt timeout against a worker (deadline-capped when the request carries X-Pmemd-Deadline)")
+	retryBudget := flag.Int("retry-budget", 2, "extra attempts (failovers + hedges) one request may spend beyond its first; negative = none")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a synchronous run after this delay; 0 = adaptive (observed p95), negative = disabled")
+	breakerWindow := flag.Int("breaker-window", 20, "per-worker outcome window the breaker failure rate is computed over")
+	breakerThreshold := flag.Float64("breaker-threshold", 0.5, "failure rate in (0,1] that trips a worker's breaker open")
+	chaosEnabled := flag.Bool("chaos", false, "mount /v1/chaos and route upstream requests through the chaos injection transport")
+	chaosPlan := flag.String("chaos-plan", "", "chaos plan JSON file to arm at startup (implies -chaos)")
 	logJSON := flag.Bool("log-json", false, "emit the structured log as JSON instead of logfmt-style text")
 	flag.Parse()
 
@@ -66,23 +87,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmemfleet:", err)
 		os.Exit(2)
 	}
+
+	// The chaos seam sits between router and workers: the controller owns
+	// the armed plan, the transport consults it per upstream request. With
+	// -chaos but no plan armed it is a transparent pass-through.
+	var ctl *chaos.Controller
+	client := &http.Client{}
+	if *chaosEnabled || *chaosPlan != "" {
+		ctl = chaos.NewController(nil)
+		client.Transport = chaos.NewTransport(nil, ctl)
+		if *chaosPlan != "" {
+			raw, err := os.ReadFile(*chaosPlan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemfleet:", err)
+				os.Exit(2)
+			}
+			p, err := chaos.Parse(raw)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemfleet: chaos plan:", err)
+				os.Exit(2)
+			}
+			if err := ctl.Arm(p); err != nil {
+				fmt.Fprintln(os.Stderr, "pmemfleet: chaos plan:", err)
+				os.Exit(2)
+			}
+			logger.Info("chaos plan armed at startup", "plan", *chaosPlan)
+		}
+	}
+
 	rt, err := fleet.New(fleet.Options{
-		Workers:        workers,
-		Policy:         *policy,
-		Client:         &http.Client{Timeout: *upstreamTimeout},
-		HealthCooldown: *cooldown,
-		LoadTTL:        *loadTTL,
-		MaxSF:          *maxSF,
-		Logger:         logger,
+		Workers:          workers,
+		Policy:           *policy,
+		Client:           client,
+		WorkerTimeout:    *workerTimeout,
+		HealthCooldown:   *cooldown,
+		BreakerWindow:    *breakerWindow,
+		BreakerThreshold: *breakerThreshold,
+		RetryBudget:      *retryBudget,
+		HedgeAfter:       *hedgeAfter,
+		LoadTTL:          *loadTTL,
+		MaxSF:            *maxSF,
+		Logger:           logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemfleet:", err)
 		os.Exit(2)
 	}
 
+	h := rt.Handler()
+	if ctl != nil {
+		outer := http.NewServeMux()
+		ctl.Register(outer)
+		outer.Handle("/", h)
+		h = outer
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rt.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,7 +155,8 @@ func main() {
 	for i, w := range workers {
 		names[i] = w.Name + "=" + w.URL
 	}
-	logger.Info("fleet serving", "addr", *addr, "policy", *policy, "workers", strings.Join(names, ","))
+	logger.Info("fleet serving", "addr", *addr, "policy", *policy,
+		"workers", strings.Join(names, ","), "chaos", ctl != nil)
 
 	select {
 	case err := <-errc:

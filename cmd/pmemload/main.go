@@ -9,7 +9,7 @@
 //
 //	pmemload -target http://localhost:8070 [-spec spec.json] [-passes 2]
 //	         [-concurrency 8] [-pace 0] [-sf 0.02] [-quick] [-timeout 2m]
-//	         [-expect-hit-ratio -1]
+//	         [-deadline 0] [-max-errors 0] [-expect-hit-ratio -1]
 //
 // The report (JSON on stdout) carries, per pass: end-to-end throughput,
 // per-class latency percentiles (nearest-rank p50/p90/p99), and the
@@ -24,11 +24,20 @@
 // -pace replays arrivals on their simulated timeline scaled by the given
 // factor (e.g. 2 = twice real-time speed); 0 fires as fast as
 // -concurrency allows.
+//
+// Fail-fast: -timeout bounds each request client-side, -deadline also
+// propagates the budget to the server as X-Pmemd-Deadline (remaining
+// milliseconds — the fleet caps every attempt and the worker its job
+// context at it), and -max-errors aborts the run the moment that many
+// requests have failed instead of grinding through a dead fleet (0 = run
+// everything). Responses carrying X-Pmemd-Content-SHA256 are verified
+// against the received bytes; a mismatch counts as an error.
 package main
 
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,10 +45,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/queueing"
+	"repro/internal/server"
 )
 
 // kindExperiment maps an arrival's query kind to the experiment a live
@@ -108,6 +120,22 @@ type Report struct {
 	Arrivals    int          `json:"arrivals"`
 	Passes      []PassReport `json:"passes"`
 	Divergences int          `json:"divergences"`
+	Aborted     bool         `json:"aborted,omitempty"` // -max-errors tripped mid-replay
+}
+
+// loader carries the per-request knobs plus the shared error tally the
+// -max-errors abort watches.
+type loader struct {
+	client   *http.Client
+	target   string
+	deadline time.Duration
+	maxErrs  int64
+	errs     atomic.Int64
+}
+
+// exhausted reports whether the error budget is spent.
+func (ld *loader) exhausted() bool {
+	return ld.maxErrs > 0 && ld.errs.Load() >= ld.maxErrs
 }
 
 func main() {
@@ -119,6 +147,8 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "scale factor spelled into every request")
 	quick := flag.Bool("quick", true, "request quick (trimmed-axis) experiment runs")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	deadline := flag.Duration("deadline", 0, "per-request X-Pmemd-Deadline propagated to the server; 0 = none")
+	maxErrors := flag.Int("max-errors", 0, "abort the replay once this many requests have failed; 0 = no limit")
 	expectHitRatio := flag.Float64("expect-hit-ratio", -1, "fail unless the final pass's (memory+disk) hit share is at least this; negative = no check")
 	flag.Parse()
 
@@ -151,14 +181,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	client := &http.Client{Timeout: *timeout}
+	ld := &loader{
+		client:   &http.Client{Timeout: *timeout},
+		target:   *target,
+		deadline: *deadline,
+		maxErrs:  int64(*maxErrors),
+	}
 	report := Report{Target: *target, Arrivals: len(shots)}
 	// firstHash pins each distinct request body to the bytes pass 1 saw;
 	// later passes must reproduce them exactly.
 	firstHash := map[string][32]byte{}
 	exitCode := 0
 	for pass := 1; pass <= *passes; pass++ {
-		results, wall := firePass(client, *target, shots, *concurrency, *pace)
+		results, wall := ld.firePass(shots, *concurrency, *pace)
 		pr := summarize(pass, results, wall)
 		report.Passes = append(report.Passes, pr)
 		if pr.Errors > 0 {
@@ -174,6 +209,13 @@ func main() {
 			} else if prev != r.bodyHash {
 				report.Divergences++
 			}
+		}
+		if ld.exhausted() {
+			report.Aborted = true
+			fmt.Fprintf(os.Stderr, "pmemload: aborted after %d errors (-max-errors %d)\n",
+				ld.errs.Load(), *maxErrors)
+			exitCode = 1
+			break
 		}
 	}
 	if report.Divergences > 0 {
@@ -216,9 +258,11 @@ func planShots(arrivals []queueing.Arrival, sf float64, quick bool) ([]shot, err
 	return shots, nil
 }
 
-// firePass replays the full schedule once and returns one result per shot
-// (same order) plus the wall-clock duration.
-func firePass(client *http.Client, target string, shots []shot, concurrency int, pace float64) ([]shotResult, float64) {
+// firePass replays the schedule once and returns one result per fired shot
+// (same order as shots) plus the wall-clock duration. When -max-errors
+// trips mid-pass no further shots are launched, so the result slice may be
+// a prefix of the schedule.
+func (ld *loader) firePass(shots []shot, concurrency int, pace float64) ([]shotResult, float64) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -226,27 +270,44 @@ func firePass(client *http.Client, target string, shots []shot, concurrency int,
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
+	fired := 0
 	for i := range shots {
+		if ld.exhausted() {
+			break
+		}
 		if pace > 0 {
 			due := start.Add(time.Duration(shots[i].arrival.At / pace * float64(time.Second)))
 			time.Sleep(time.Until(due))
 		}
 		sem <- struct{}{}
 		wg.Add(1)
+		fired++
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = fire(client, target, shots[i])
+			results[i] = ld.fire(shots[i])
+			if results[i].err != nil || results[i].status != http.StatusOK {
+				ld.errs.Add(1)
+			}
 		}(i)
 	}
 	wg.Wait()
-	return results, time.Since(start).Seconds()
+	return results[:fired], time.Since(start).Seconds()
 }
 
-func fire(client *http.Client, target string, s shot) shotResult {
+func (ld *loader) fire(s shot) shotResult {
 	res := shotResult{class: s.arrival.Class}
+	req, err := http.NewRequest(http.MethodPost, ld.target+"/v1/run", bytes.NewReader(s.body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ld.deadline > 0 {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(ld.deadline.Milliseconds(), 10))
+	}
 	t0 := time.Now()
-	resp, err := client.Post(target+"/v1/run", "application/json", bytes.NewReader(s.body))
+	resp, err := ld.client.Do(req)
 	res.latency = time.Since(t0).Seconds()
 	if err != nil {
 		res.err = err
@@ -262,6 +323,14 @@ func fire(client *http.Client, target string, s shot) shotResult {
 	res.status = resp.StatusCode
 	res.tier = resp.Header.Get("X-Pmemd-Cache")
 	res.bodyHash = sha256.Sum256(body)
+	// End-to-end integrity: the server hashed what it sent; we hash what we
+	// received. Any disagreement is corruption in between.
+	if want := resp.Header.Get(server.ContentSHAHeader); want != "" {
+		if got := hex.EncodeToString(res.bodyHash[:]); got != want {
+			res.err = fmt.Errorf("integrity: body sha256 %s != header %s", got[:12], want[:min(12, len(want))])
+			res.status = 0
+		}
+	}
 	return res
 }
 

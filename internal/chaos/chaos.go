@@ -1,0 +1,286 @@
+// Package chaos is a seeded, deterministic chaos-injection layer for the
+// serving path. A Plan is a JSON document scheduling adversarial events —
+// added latency, connection resets, 5xx storms, truncated or bit-flipped
+// response bodies, worker hangs, and corrupted sstcache record reads — on a
+// wall-clock axis anchored at the instant the plan is armed. The only
+// randomness (whether a given consult of an active event fires, and the
+// sub-draw that picks a bit position or truncation point) comes from a
+// splitmix64 stream over (plan seed, canonical event index, per-event
+// consult sequence number), so the injection schedule is a pure function of
+// the plan: same plan + seed + consult order → same injections. That is
+// what lets cmd/pmemchaos assert byte-level invariants while faults fly.
+//
+// Plans follow the same discipline as internal/faults: Parse rejects
+// unknown fields and trailing data, Validate rejects non-finite times,
+// out-of-range probabilities, and overlapping windows on the same
+// (type, worker) target, and Normalize resolves defaults and sorts events
+// into a total order. Parse never panics (see FuzzChaosPlan).
+//
+// Injection happens at two seams: Transport wraps the fleet router's
+// http.RoundTripper (transport-visible events), and Controller.TamperRecord
+// hooks pmemd's sstcache record reads ("sst-corrupt" events) so per-record
+// CRC verification is exercised against genuinely torn bytes.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event type names accepted in a plan's "type" field.
+const (
+	EvLatency    = "latency"     // add delay_ms before the request proceeds
+	EvReset      = "reset"       // fail the request with a connection error
+	EvError5xx   = "error-5xx"   // answer a synthetic 5xx without reaching the worker
+	EvTruncate   = "truncate"    // cut the response body short
+	EvBitflip    = "bitflip"     // flip one deterministic bit in the response body
+	EvHang       = "hang"        // hold the request until its context expires
+	EvSSTCorrupt = "sst-corrupt" // flip one bit in an sstcache record read
+)
+
+// MaxEvents bounds a plan's event list.
+const MaxEvents = 64
+
+// MaxDelayMS bounds one latency event's injected delay (a minute: anything
+// longer is a hang, and "hang" exists).
+const MaxDelayMS = 60_000
+
+// Event is one scheduled injection. Times are wall-clock seconds relative
+// to the instant the plan is armed.
+type Event struct {
+	// Type selects the injection (see the Ev* constants).
+	Type string `json:"type"`
+	// Start is the window's opening time in seconds after arm.
+	Start float64 `json:"start"`
+	// Duration is the window length in seconds; 0 means "until disarm".
+	Duration float64 `json:"duration,omitempty"`
+	// Worker restricts the event to one target (a fleet worker name for
+	// transport events); "" matches every target.
+	Worker string `json:"worker,omitempty"`
+	// Probability is the per-consult chance the active event fires, in
+	// (0, 1]; omitted means 1 (every consult fires).
+	Probability float64 `json:"probability,omitempty"`
+	// DelayMS is the added latency for "latency" events, in (0, MaxDelayMS].
+	DelayMS float64 `json:"delay_ms,omitempty"`
+	// Status is the synthetic status for "error-5xx" events, in [500, 599];
+	// omitted means 503.
+	Status int `json:"status,omitempty"`
+	// Count caps how many times the event fires; 0 means unlimited.
+	Count int `json:"count,omitempty"`
+}
+
+// Plan is a validated, canonicalized chaos schedule plus the seed that
+// fixes its decision draws.
+type Plan struct {
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Parse decodes, validates, and canonicalizes a plan from JSON. Unknown
+// fields are rejected so typos fail loudly instead of silently injecting
+// nothing. Parse never panics, whatever the input.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: parse plan: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("chaos: parse plan: trailing data after plan object")
+	}
+	return p.Normalize()
+}
+
+// Normalize validates the plan and returns a canonicalized deep copy:
+// defaults resolved, events sorted into a total order. The receiver is not
+// modified. Two plans that normalize to equal values schedule the same
+// injections.
+func (p *Plan) Normalize() (*Plan, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Plan{Seed: p.Seed, Events: make([]Event, len(p.Events))}
+	copy(out.Events, p.Events)
+	for i := range out.Events {
+		e := &out.Events[i]
+		if e.Probability == 0 {
+			e.Probability = 1
+		}
+		if e.Type == EvError5xx && e.Status == 0 {
+			e.Status = 503
+		}
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		return out.Events[i].less(&out.Events[j])
+	})
+	return out, nil
+}
+
+func (e *Event) less(o *Event) bool {
+	if e.Start != o.Start {
+		return e.Start < o.Start
+	}
+	if e.Type != o.Type {
+		return e.Type < o.Type
+	}
+	if e.Worker != o.Worker {
+		return e.Worker < o.Worker
+	}
+	if e.Duration != o.Duration {
+		return e.Duration < o.Duration
+	}
+	return e.Probability < o.Probability
+}
+
+// Canonical returns the canonical JSON bytes of the normalized plan —
+// stable across field order and spelling variants of the same schedule.
+func (p *Plan) Canonical() ([]byte, error) {
+	n, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// finite rejects NaN and ±Inf, which JSON cannot encode but a hand-built
+// Plan could still carry.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks every event for well-formedness and the plan for
+// overlapping windows on the same (type, worker) target. It never panics.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Events) > MaxEvents {
+		return fmt.Errorf("chaos: %d events exceeds the %d-event limit", len(p.Events), MaxEvents)
+	}
+	for i := range p.Events {
+		if err := p.Events[i].validate(); err != nil {
+			return fmt.Errorf("chaos: event %d (%s): %w", i, p.Events[i].Type, err)
+		}
+	}
+	for i := range p.Events {
+		for j := i + 1; j < len(p.Events); j++ {
+			a, b := &p.Events[i], &p.Events[j]
+			if a.Type == b.Type && a.Worker == b.Worker && a.overlaps(b) {
+				return fmt.Errorf("chaos: events %d and %d: overlapping %s windows on the same target", i, j, a.Type)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Event) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"start", e.Start}, {"duration", e.Duration},
+		{"probability", e.Probability}, {"delay_ms", e.DelayMS},
+	} {
+		if !finite(f.v) {
+			return fmt.Errorf("%s must be finite", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("%s must be >= 0, got %g", f.name, f.v)
+		}
+	}
+	if e.Probability > 1 {
+		return fmt.Errorf("probability must be in (0, 1], got %g", e.Probability)
+	}
+	if e.Count < 0 {
+		return fmt.Errorf("count must be >= 0, got %d", e.Count)
+	}
+	switch e.Type {
+	case EvLatency:
+		if e.DelayMS <= 0 || e.DelayMS > MaxDelayMS {
+			return fmt.Errorf("delay_ms must be in (0, %d], got %g", MaxDelayMS, e.DelayMS)
+		}
+	case EvReset, EvTruncate, EvBitflip, EvHang, EvSSTCorrupt:
+		if e.DelayMS != 0 {
+			return errors.New("delay_ms only applies to latency events")
+		}
+		if e.Status != 0 {
+			return errors.New("status only applies to error-5xx events")
+		}
+	case EvError5xx:
+		if e.DelayMS != 0 {
+			return errors.New("delay_ms only applies to latency events")
+		}
+		if e.Status != 0 && (e.Status < 500 || e.Status > 599) {
+			return fmt.Errorf("status must be in [500, 599], got %d", e.Status)
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+	if e.Type == EvLatency && e.Status != 0 {
+		return errors.New("status only applies to error-5xx events")
+	}
+	return nil
+}
+
+// overlaps reports whether the windows [Start, Start+Duration) intersect;
+// Duration 0 extends to infinity (until disarm).
+func (e *Event) overlaps(o *Event) bool {
+	aEnd, bEnd := math.Inf(1), math.Inf(1)
+	if e.Duration > 0 {
+		aEnd = e.Start + e.Duration
+	}
+	if o.Duration > 0 {
+		bEnd = o.Start + o.Duration
+	}
+	return e.Start < bEnd && o.Start < aEnd
+}
+
+// active reports whether the event's window covers the instant `elapsed`
+// seconds after arm.
+func (e *Event) active(elapsed float64) bool {
+	if elapsed < e.Start {
+		return false
+	}
+	return e.Duration == 0 || elapsed < e.Start+e.Duration
+}
+
+// matches reports whether the event applies to the named target.
+func (e *Event) matches(target string) bool {
+	return e.Worker == "" || e.Worker == target
+}
+
+// Horizon returns when the last bounded window closes, in seconds after
+// arm. Events with Duration 0 run until disarm and contribute only their
+// Start — a harness that wants full recovery must disarm such plans itself.
+func (p *Plan) Horizon() float64 {
+	if p == nil {
+		return 0
+	}
+	h := 0.0
+	for i := range p.Events {
+		end := p.Events[i].Start
+		if p.Events[i].Duration > 0 {
+			end += p.Events[i].Duration
+		}
+		if end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// splitmix64 is the usual 64-bit finalizer-based PRNG step: tiny, seedable,
+// and stable across platforms — the same construction internal/faults uses
+// for jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,360 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func mustPlan(t *testing.T, src string) *Plan {
+	t.Helper()
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return p
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown field", `{"events":[{"type":"latency","delay_ms":5,"nope":1}]}`},
+		{"trailing data", `{"events":[]} {}`},
+		{"unknown type", `{"events":[{"type":"explode"}]}`},
+		{"latency without delay", `{"events":[{"type":"latency"}]}`},
+		{"delay on reset", `{"events":[{"type":"reset","delay_ms":5}]}`},
+		{"status on bitflip", `{"events":[{"type":"bitflip","status":503}]}`},
+		{"status out of range", `{"events":[{"type":"error-5xx","status":404}]}`},
+		{"probability above one", `{"events":[{"type":"reset","probability":1.5}]}`},
+		{"negative start", `{"events":[{"type":"reset","start":-1}]}`},
+		{"negative count", `{"events":[{"type":"reset","count":-1}]}`},
+		{"overlap same target", `{"events":[
+			{"type":"reset","start":0,"duration":10,"worker":"w1"},
+			{"type":"reset","start":5,"duration":10,"worker":"w1"}]}`},
+		{"overlap unbounded", `{"events":[
+			{"type":"hang","start":0,"worker":"w1"},
+			{"type":"hang","start":100,"duration":1,"worker":"w1"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.src)); err == nil {
+			t.Errorf("%s: Parse accepted %s", c.name, c.src)
+		}
+	}
+	// Same windows on different targets or types are fine.
+	mustPlan(t, `{"events":[
+		{"type":"reset","start":0,"duration":10,"worker":"w1"},
+		{"type":"reset","start":0,"duration":10,"worker":"w2"},
+		{"type":"latency","start":0,"duration":10,"worker":"w1","delay_ms":5}]}`)
+}
+
+func TestNormalizeDefaultsAndOrder(t *testing.T) {
+	p := mustPlan(t, `{"seed":7,"events":[
+		{"type":"reset","start":5,"worker":"b","duration":1},
+		{"type":"error-5xx","start":1,"duration":2},
+		{"type":"latency","start":1,"duration":2,"delay_ms":10}]}`)
+	if p.Events[0].Type != EvError5xx || p.Events[0].Status != 503 {
+		t.Errorf("first event = %+v, want error-5xx with default status 503", p.Events[0])
+	}
+	if p.Events[0].Probability != 1 || p.Events[2].Probability != 1 {
+		t.Error("omitted probability did not default to 1")
+	}
+	// Canonical bytes are stable across spelling order.
+	a, err := p.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustPlan(t, `{"seed":7,"events":[
+		{"type":"latency","delay_ms":10,"duration":2,"start":1},
+		{"type":"error-5xx","duration":2,"start":1,"probability":1},
+		{"type":"reset","duration":1,"worker":"b","start":5}]}`)
+	b, err := q.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical bytes differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	p := mustPlan(t, `{"events":[
+		{"type":"reset","start":2,"duration":3},
+		{"type":"hang","start":10,"worker":"w2"}]}`)
+	if got := p.Horizon(); got != 10 {
+		t.Errorf("Horizon = %g, want 10 (unbounded event contributes its start)", got)
+	}
+}
+
+// TestInjectorDeterminism: same plan + seed + consult order → identical
+// decision sequences; a different seed diverges.
+func TestInjectorDeterminism(t *testing.T) {
+	const src = `{"seed":42,"events":[
+		{"type":"bitflip","start":0,"duration":100,"probability":0.5},
+		{"type":"latency","start":0,"duration":100,"delay_ms":7,"probability":0.3}]}`
+	anchor := time.Unix(1000, 0)
+	run := func(seedDelta int64) [][]Decision {
+		p := mustPlan(t, src)
+		p.Seed += seedDelta
+		in := NewInjector(p, anchor)
+		var got [][]Decision
+		for i := 0; i < 64; i++ {
+			got = append(got, in.decide("w1", anchor.Add(time.Second), nil))
+		}
+		return got
+	}
+	a, b := run(0), run(0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical plans produced different injection schedules")
+	}
+	if reflect.DeepEqual(a, run(1)) {
+		t.Error("changing the seed left the injection schedule unchanged")
+	}
+	fired := 0
+	for _, ds := range a {
+		fired += len(ds)
+	}
+	if fired == 0 || fired == 2*64 {
+		t.Errorf("probability gating fired %d of %d consults — expected a strict subset", fired, 2*64)
+	}
+}
+
+func TestInjectorWindowsAndCount(t *testing.T) {
+	p := mustPlan(t, `{"events":[
+		{"type":"reset","start":5,"duration":10,"worker":"w1","count":2}]}`)
+	anchor := time.Unix(0, 0)
+	in := NewInjector(p, anchor)
+	at := func(sec float64, target string) int {
+		return len(in.decide(target, anchor.Add(time.Duration(sec*float64(time.Second))), nil))
+	}
+	if at(1, "w1") != 0 {
+		t.Error("event fired before its window opened")
+	}
+	if at(6, "w2") != 0 {
+		t.Error("event fired for a different worker")
+	}
+	if at(6, "w1") != 1 || at(7, "w1") != 1 {
+		t.Error("active event did not fire")
+	}
+	if at(8, "w1") != 0 {
+		t.Error("count cap did not hold")
+	}
+	if at(16, "w1") != 0 {
+		t.Error("event fired after its window closed")
+	}
+	if got := in.Injections(); got[0] != 2 {
+		t.Errorf("Injections = %v, want [2]", got)
+	}
+}
+
+func newArmed(t *testing.T, src string) *Controller {
+	t.Helper()
+	c := NewController(metrics.New())
+	p := mustPlan(t, src)
+	if err := c.ArmAt(p, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// upstream returns a test server echoing a fixed body and a client whose
+// transport injects from ctl.
+func upstream(t *testing.T, ctl *Controller, body string) (*httptest.Server, *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &http.Client{Transport: NewTransport(nil, ctl)}
+}
+
+func TestTransportPassThroughWhenDisarmed(t *testing.T) {
+	ctl := NewController(metrics.New())
+	srv, client := upstream(t, ctl, "hello")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "hello" {
+		t.Errorf("disarmed transport altered the body: %q", b)
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	ctl := newArmed(t, `{"events":[{"type":"reset","start":0}]}`)
+	srv, client := upstream(t, ctl, "hello")
+	if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "injected connection reset") {
+		t.Errorf("want injected reset error, got %v", err)
+	}
+}
+
+func TestTransport5xx(t *testing.T) {
+	ctl := newArmed(t, `{"events":[{"type":"error-5xx","start":0,"status":503}]}`)
+	srv, client := upstream(t, ctl, "hello")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("X-Pmemd-Chaos") != "injected-5xx" {
+		t.Errorf("want synthetic 503, got %d %v", resp.StatusCode, resp.Header)
+	}
+}
+
+func TestTransportBitflipAndTruncate(t *testing.T) {
+	const body = "deterministic response body bytes"
+	for _, typ := range []string{EvBitflip, EvTruncate} {
+		ctl := newArmed(t, `{"events":[{"type":"`+typ+`","start":0}]}`)
+		srv, client := upstream(t, ctl, body)
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) == body {
+			t.Errorf("%s: body unchanged", typ)
+		}
+		if typ == EvTruncate && len(b) >= len(body) {
+			t.Errorf("truncate: body not shorter (%d vs %d)", len(b), len(body))
+		}
+		if typ == EvBitflip && len(b) != len(body) {
+			t.Errorf("bitflip: length changed (%d vs %d)", len(b), len(body))
+		}
+	}
+}
+
+func TestTransportLatencyAndHang(t *testing.T) {
+	ctl := newArmed(t, `{"events":[{"type":"latency","start":0,"delay_ms":80}]}`)
+	srv, client := upstream(t, ctl, "hello")
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Errorf("latency injection too short: %v", d)
+	}
+
+	ctl2 := newArmed(t, `{"events":[{"type":"hang","start":0}]}`)
+	srv2, client2 := upstream(t, ctl2, "hello")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv2.URL, nil)
+	start = time.Now()
+	if _, err := client2.Do(req); err == nil {
+		t.Error("hang: request succeeded")
+	} else if time.Since(start) < 50*time.Millisecond {
+		t.Errorf("hang returned before the context expired: %v", err)
+	}
+}
+
+func TestTamperRecord(t *testing.T) {
+	ctl := newArmed(t, `{"events":[{"type":"sst-corrupt","start":0}]}`)
+	orig := []byte("record payload")
+	got := ctl.TamperRecord(append([]byte(nil), orig...))
+	if bytes.Equal(got, orig) {
+		t.Error("sst-corrupt did not flip a bit")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("tamper touched %d bytes, want exactly 1", diff)
+	}
+	// Transport decisions must not consume sst-corrupt events and vice versa.
+	if ds := ctl.DecideTransport("w1"); len(ds) != 0 {
+		t.Errorf("DecideTransport returned sst-corrupt decisions: %v", ds)
+	}
+}
+
+func TestControllerHTTP(t *testing.T) {
+	reg := metrics.New()
+	ctl := NewController(reg)
+	mux := http.NewServeMux()
+	ctl.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Bad plan → 400, still disarmed.
+	resp, err := http.Post(srv.URL+"/v1/chaos", "application/json", strings.NewReader(`{"events":[{"type":"nope"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || ctl.Armed() {
+		t.Fatalf("bad plan: status %d, armed %v", resp.StatusCode, ctl.Armed())
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/chaos", "application/json",
+		strings.NewReader(`{"seed":1,"events":[{"type":"reset","start":0,"duration":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Armed || st.HorizonSeconds != 5 || !ctl.Armed() {
+		t.Fatalf("arm status = %+v", st)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/chaos", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ctl.Armed() {
+		t.Error("DELETE left the plan armed")
+	}
+	if got, _ := reg.Snapshot().Get("chaos_plans_armed"); got != 1 {
+		t.Errorf("chaos_plans_armed = %g, want 1", got)
+	}
+}
+
+// FuzzChaosPlan: Parse never panics, and a plan that parses re-parses to
+// the same canonical bytes (canonicalization is a fixed point).
+func FuzzChaosPlan(f *testing.F) {
+	f.Add([]byte(`{"seed":3,"events":[{"type":"latency","start":1,"duration":2,"delay_ms":10}]}`))
+	f.Add([]byte(`{"events":[{"type":"sst-corrupt","probability":0.5,"count":3}]}`))
+	f.Add([]byte(`{"events":[{"type":"error-5xx","status":599}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		c1, err := p.Canonical()
+		if err != nil {
+			t.Fatalf("canonical after successful parse: %v", err)
+		}
+		p2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("reparse canonical: %v", err)
+		}
+		c2, err := p2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not a fixed point:\n%s\n%s", c1, c2)
+		}
+	})
+}

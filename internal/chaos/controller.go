@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// maxPlanBytes bounds a POST /v1/chaos body.
+const maxPlanBytes = 1 << 20
+
+// Controller holds the process's armed chaos plan (at most one) and counts
+// scheduled injections into a metrics registry. It is the seam both
+// binaries share: pmemfleet consults it from the chaos Transport, pmemd
+// from the sstcache record-read tamper hook, and both expose its HTTP
+// endpoints so a harness can arm and disarm plans remotely.
+type Controller struct {
+	mu  sync.Mutex
+	inj *Injector
+
+	gArmed   *metrics.Gauge
+	cTotal   *metrics.Counter
+	byType   map[string]*metrics.Counter
+	cArms    *metrics.Counter
+	cDisarms *metrics.Counter
+}
+
+// NewController builds a Controller counting into reg (nil means a private
+// registry).
+func NewController(reg *metrics.Registry) *Controller {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	c := &Controller{
+		gArmed:   reg.Gauge("chaos_armed"),
+		cTotal:   reg.Counter("chaos_injections"),
+		cArms:    reg.Counter("chaos_plans_armed"),
+		cDisarms: reg.Counter("chaos_plans_disarmed"),
+		byType:   map[string]*metrics.Counter{},
+	}
+	for typ, name := range map[string]string{
+		EvLatency:    "chaos_injected_latency",
+		EvReset:      "chaos_injected_resets",
+		EvError5xx:   "chaos_injected_5xx",
+		EvTruncate:   "chaos_injected_truncations",
+		EvBitflip:    "chaos_injected_bitflips",
+		EvHang:       "chaos_injected_hangs",
+		EvSSTCorrupt: "chaos_injected_sst_corruptions",
+	} {
+		c.byType[typ] = reg.Counter(name)
+	}
+	return c
+}
+
+// Arm normalizes p and arms it now, replacing any previous plan.
+func (c *Controller) Arm(p *Plan) error {
+	return c.ArmAt(p, time.Now())
+}
+
+// ArmAt arms p with its clock anchored at now (tests use a fixed anchor).
+func (c *Controller) ArmAt(p *Plan, now time.Time) error {
+	n, err := p.Normalize()
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		return fmt.Errorf("chaos: nil plan")
+	}
+	c.mu.Lock()
+	c.inj = NewInjector(n, now)
+	c.mu.Unlock()
+	c.cArms.Inc()
+	c.gArmed.Set(1)
+	return nil
+}
+
+// Disarm drops the armed plan; every injection stops immediately.
+func (c *Controller) Disarm() {
+	c.mu.Lock()
+	armed := c.inj != nil
+	c.inj = nil
+	c.mu.Unlock()
+	if armed {
+		c.cDisarms.Inc()
+	}
+	c.gArmed.Set(0)
+}
+
+func (c *Controller) injector() *Injector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj
+}
+
+// Armed reports whether a plan is live.
+func (c *Controller) Armed() bool { return c.injector() != nil }
+
+func (c *Controller) decide(target string, keep func(string) bool) []Decision {
+	in := c.injector()
+	if in == nil {
+		return nil
+	}
+	ds := in.decide(target, time.Now(), keep)
+	for _, d := range ds {
+		c.cTotal.Inc()
+		if ctr := c.byType[d.Type]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+	return ds
+}
+
+// DecideTransport returns the injections scheduled for one upstream HTTP
+// request to target (everything except sst-corrupt, which lives on the
+// disk-read path).
+func (c *Controller) DecideTransport(target string) []Decision {
+	return c.decide(target, func(typ string) bool { return typ != EvSSTCorrupt })
+}
+
+// TamperRecord is pmemd's sstcache read hook: when an sst-corrupt event
+// fires it flips one deterministic bit of the record payload in place and
+// returns it. With no armed plan (or no active event) the payload passes
+// through untouched. The sstcache hands each read a freshly allocated
+// buffer, so in-place mutation is safe.
+func (c *Controller) TamperRecord(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	ds := c.decide("disk", func(typ string) bool { return typ == EvSSTCorrupt })
+	for _, d := range ds {
+		pos := d.Draw % uint64(len(payload)*8)
+		payload[pos/8] ^= 1 << (pos % 8)
+	}
+	return payload
+}
+
+// Status is the GET /v1/chaos payload.
+type Status struct {
+	Armed          bool     `json:"armed"`
+	ElapsedSeconds float64  `json:"elapsed_seconds,omitempty"`
+	HorizonSeconds float64  `json:"horizon_seconds,omitempty"`
+	Injections     []uint64 `json:"injections,omitempty"` // per event, canonical order
+	Plan           *Plan    `json:"plan,omitempty"`
+}
+
+// CurrentStatus snapshots the armed plan and its per-event fire counts.
+func (c *Controller) CurrentStatus() Status {
+	in := c.injector()
+	if in == nil {
+		return Status{}
+	}
+	return Status{
+		Armed:          true,
+		ElapsedSeconds: time.Since(in.ArmedAt()).Seconds(),
+		HorizonSeconds: in.Plan().Horizon(),
+		Injections:     in.Injections(),
+		Plan:           in.Plan(),
+	}
+}
+
+// Register mounts the chaos control endpoints on mux: POST /v1/chaos arms
+// a plan from the request body, GET /v1/chaos reports status, and
+// DELETE /v1/chaos disarms.
+func (c *Controller) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/chaos", c.handleArm)
+	mux.HandleFunc("GET /v1/chaos", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/chaos", c.handleDisarm)
+}
+
+func (c *Controller) handleArm(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanBytes))
+	if err != nil {
+		chaosError(w, http.StatusBadRequest, fmt.Sprintf("read plan: %v", err))
+		return
+	}
+	p, err := Parse(raw)
+	if err != nil {
+		chaosError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := c.Arm(p); err != nil {
+		chaosError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	chaosJSON(w, http.StatusOK, c.CurrentStatus())
+}
+
+func (c *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
+	chaosJSON(w, http.StatusOK, c.CurrentStatus())
+}
+
+func (c *Controller) handleDisarm(w http.ResponseWriter, r *http.Request) {
+	c.Disarm()
+	chaosJSON(w, http.StatusOK, Status{})
+}
+
+func chaosJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func chaosError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

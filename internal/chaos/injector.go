@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Decision is one injection the plan scheduled for a consult. Draw is the
+// decision's deterministic sub-randomness — bit position for bitflip and
+// sst-corrupt, truncation point for truncate — already mixed, so callers
+// just take it modulo whatever range they need.
+type Decision struct {
+	Type   string
+	Delay  time.Duration // latency events
+	Status int           // error-5xx events
+	Draw   uint64
+}
+
+// Injector evaluates an armed plan. Each event carries an atomic consult
+// sequence number; the Nth consult of event i under seed s always gets the
+// same uniform draw, so the injection schedule is replayable given the same
+// consult order. Injector is safe for concurrent use.
+type Injector struct {
+	plan    *Plan // normalized
+	armedAt time.Time
+	seq     []atomic.Uint64 // per-event consult counter
+	hits    []atomic.Uint64 // per-event fire counter (enforces Count)
+}
+
+// NewInjector arms a normalized plan at the given instant.
+func NewInjector(p *Plan, armedAt time.Time) *Injector {
+	return &Injector{
+		plan:    p,
+		armedAt: armedAt,
+		seq:     make([]atomic.Uint64, len(p.Events)),
+		hits:    make([]atomic.Uint64, len(p.Events)),
+	}
+}
+
+// Plan returns the armed (normalized) plan.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// ArmedAt returns the instant the plan's clock started.
+func (in *Injector) ArmedAt() time.Time { return in.armedAt }
+
+// decide consults every event that is active at now, matches target, and
+// passes keep (nil keeps all), returning the injections that fired in
+// canonical event order.
+func (in *Injector) decide(target string, now time.Time, keep func(typ string) bool) []Decision {
+	elapsed := now.Sub(in.armedAt).Seconds()
+	if elapsed < 0 {
+		return nil
+	}
+	var out []Decision
+	for i := range in.plan.Events {
+		e := &in.plan.Events[i]
+		if keep != nil && !keep(e.Type) {
+			continue
+		}
+		if !e.active(elapsed) || !e.matches(target) {
+			continue
+		}
+		n := in.seq[i].Add(1)
+		draw := splitmix64(uint64(in.plan.Seed) ^ splitmix64(uint64(i)+1) ^ splitmix64(n))
+		frac := float64(draw>>11) / float64(1<<53)
+		if frac >= e.Probability {
+			continue
+		}
+		if n := in.hits[i].Add(1); e.Count > 0 && n > uint64(e.Count) {
+			continue
+		}
+		out = append(out, Decision{
+			Type:   e.Type,
+			Delay:  time.Duration(e.DelayMS * float64(time.Millisecond)),
+			Status: e.Status,
+			Draw:   splitmix64(draw),
+		})
+	}
+	return out
+}
+
+// Injections returns how many times each event has fired, in canonical
+// event order.
+func (in *Injector) Injections() []uint64 {
+	out := make([]uint64, len(in.hits))
+	for i := range in.hits {
+		n := in.hits[i].Load()
+		if c := in.plan.Events[i].Count; c > 0 && n > uint64(c) {
+			n = uint64(c)
+		}
+		out[i] = n
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+type targetKeyType struct{}
+
+var targetKey targetKeyType
+
+// WithTarget names the logical target (e.g. the fleet worker name) of the
+// request built on ctx, so plans can aim events at one worker regardless
+// of its host:port.
+func WithTarget(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, targetKey, name)
+}
+
+// TargetFrom returns the name set by WithTarget, or "".
+func TargetFrom(ctx context.Context) string {
+	name, _ := ctx.Value(targetKey).(string)
+	return name
+}
+
+// Transport wraps an http.RoundTripper with plan-scheduled injections:
+// latency is added before the request proceeds, reset fails it with a
+// connection-style error, hang holds it until the request context expires,
+// error-5xx answers synthetically without reaching the upstream, and
+// truncate/bitflip corrupt the body of an otherwise successful response —
+// exactly the corruptions the router's end-to-end SHA-256 check must catch.
+// With no armed plan it is a transparent pass-through.
+type Transport struct {
+	base http.RoundTripper
+	ctl  *Controller
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with ctl's
+// armed plan.
+func NewTransport(base http.RoundTripper, ctl *Controller) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, ctl: ctl}
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := TargetFrom(req.Context())
+	if target == "" {
+		target = req.URL.Host
+	}
+	ds := t.ctl.DecideTransport(target)
+	var delay time.Duration
+	var term *Decision // first non-latency injection wins
+	for i := range ds {
+		if ds[i].Type == EvLatency {
+			delay += ds[i].Delay
+		} else if term == nil {
+			term = &ds[i]
+		}
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("chaos: request canceled during injected latency (target %s): %w", target, req.Context().Err())
+		}
+	}
+	if term != nil {
+		switch term.Type {
+		case EvReset:
+			return nil, fmt.Errorf("chaos: injected connection reset (target %s)", target)
+		case EvHang:
+			<-req.Context().Done()
+			return nil, fmt.Errorf("chaos: injected hang (target %s): %w", target, req.Context().Err())
+		case EvError5xx:
+			body := []byte(`{"error":"chaos: injected upstream failure"}` + "\n")
+			return &http.Response{
+				Status:        fmt.Sprintf("%d %s", term.Status, http.StatusText(term.Status)),
+				StatusCode:    term.Status,
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        http.Header{"Content-Type": {"application/json"}, "X-Pmemd-Chaos": {"injected-5xx"}},
+				Body:          io.NopCloser(bytes.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || term == nil || resp.StatusCode != http.StatusOK || resp.Body == nil {
+		return resp, err
+	}
+	switch term.Type {
+	case EvTruncate, EvBitflip:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			if term.Type == EvTruncate {
+				body = body[:int(term.Draw%uint64(len(body)))]
+			} else {
+				pos := term.Draw % uint64(len(body)*8)
+				body[pos/8] ^= 1 << (pos % 8)
+			}
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+		resp.Header.Set("X-Pmemd-Chaos", "injected-"+term.Type)
+	}
+	return resp, nil
+}

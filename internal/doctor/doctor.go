@@ -47,6 +47,8 @@ const (
 	MechDirectoryWarmup = "directory-warmup"        // cold-directory penalty on far accesses
 	MechPrefetcher      = "prefetcher-inefficiency" // wasted speculative media traffic
 	MechQueueWait       = "queue-wait"              // serving time dominated by queueing, not the machine
+	MechBreakerOpen     = "breaker-open"            // fleet circuit breakers tripped: worker failures, not the machine
+	MechHedgeWins       = "hedge-wins"              // hedged requests winning: a worker's tail latency is the bound
 	MechInconclusive    = "inconclusive"            // nothing implicated; run looks unconstrained
 
 	MechNoRegression = "no-regression"   // bench-diff: every entry within tolerance

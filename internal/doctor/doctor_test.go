@@ -143,6 +143,54 @@ func TestRuleQueueWait(t *testing.T) {
 	}
 }
 
+func TestRuleBreakerOpen(t *testing.T) {
+	s := snap(map[string]float64{
+		"fleet_requests":               200,
+		"fleet_breaker_opens":          4,
+		"fleet_failovers":              26,
+		"fleet_integrity_failures":     34,
+		"fleet_breaker_probes":         6,
+		"fleet_retry_budget_exhausted": 3,
+	}, nil)
+	d := Diagnose(s, nil)
+	if d.Top().Mechanism != MechBreakerOpen {
+		t.Fatalf("top = %s, want %s", d.Top().Mechanism, MechBreakerOpen)
+	}
+	top := d.Top()
+	if top.Confidence > 0.88 {
+		t.Errorf("heuristic confidence %v exceeds the 0.88 cap", top.Confidence)
+	}
+	names := map[string]bool{}
+	for _, e := range top.Evidence {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"fleet_breaker_opens", "fleet_failovers", "fleet_integrity_failures"} {
+		if !names[want] {
+			t.Errorf("breaker-open verdict lacks %s evidence: %+v", want, top.Evidence)
+		}
+	}
+}
+
+func TestRuleHedgeWins(t *testing.T) {
+	s := snap(map[string]float64{
+		"fleet_requests":        100,
+		"fleet_hedged_requests": 10,
+		"fleet_hedge_wins":      5,
+	}, nil)
+	d := Diagnose(s, nil)
+	if d.Top().Mechanism != MechHedgeWins {
+		t.Fatalf("top = %s, want %s", d.Top().Mechanism, MechHedgeWins)
+	}
+	if d.Top().Confidence > 0.80 {
+		t.Errorf("hedge-wins confidence %v exceeds its 0.80 cap", d.Top().Confidence)
+	}
+	// Hedging alone (no wins) is healthy and must not implicate anything.
+	quiet := Diagnose(snap(map[string]float64{"fleet_hedged_requests": 10}, nil), nil)
+	if quiet.Top().Mechanism != MechInconclusive {
+		t.Errorf("hedges without wins diagnosed %s, want %s", quiet.Top().Mechanism, MechInconclusive)
+	}
+}
+
 func TestDiagnoseJSONDeterministic(t *testing.T) {
 	s := snap(
 		map[string]float64{"fault.throttle.socket_seconds": 1.5, "machine.run.virtual_seconds": 3},

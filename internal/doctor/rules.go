@@ -25,6 +25,8 @@ var rules = []rule{
 	ruleDirectoryWarmup,
 	rulePrefetcher,
 	ruleQueueWait,
+	ruleBreakerOpen,
+	ruleHedgeWins,
 	ruleMediaBandwidth,
 }
 
@@ -322,6 +324,79 @@ func ruleQueueWait(v view) (Verdict, bool) {
 		Explanation: fmt.Sprintf(
 			"queueing, not the machine: queued time is %.2fx service time and %.1f%% of arrivals were rejected — latency is shaped by slots/admission, adding bandwidth will not fix it",
 			round4val(ratio), 100*round4val(rejFrac)),
+		Evidence: ev,
+	}, true
+}
+
+// ruleBreakerOpen fires on a fleet snapshot whose per-worker circuit
+// breakers tripped: requests were shed or failed over because workers were
+// failing (connection errors, 5xx, end-to-end integrity mismatches), so
+// serving capacity — not the simulated machine — shaped the run. Heuristic
+// confidence scales with how much of the traffic the trips disturbed.
+func ruleBreakerOpen(v view) (Verdict, bool) {
+	opens := v.get("fleet_breaker_opens")
+	if opens <= 0 {
+		return Verdict{}, false
+	}
+	reqs := v.get("fleet_requests")
+	failovers := v.get("fleet_failovers")
+	integrity := v.get("fleet_integrity_failures")
+	starved := v.get("fleet_retry_budget_exhausted")
+	disturbed := 0.0
+	if reqs > 0 {
+		disturbed = clamp((failovers+opens)/reqs, 0, 1)
+	}
+	conf := round4(clamp(0.45+0.25*clamp(opens/5, 0, 1)+0.18*disturbed, 0, 0.88))
+	ev := []Evidence{metricThreshEv("fleet_breaker_opens", opens, 0, ">")}
+	if failovers > 0 {
+		ev = append(ev, metricEv("fleet_failovers", failovers))
+	}
+	if integrity > 0 {
+		ev = append(ev, Evidence{Kind: "metric", Name: "fleet_integrity_failures", Value: round4val(integrity),
+			Detail: "responses whose bytes did not match their X-Pmemd-Content-SHA256"})
+	}
+	if starved > 0 {
+		ev = append(ev, metricEv("fleet_retry_budget_exhausted", starved))
+	}
+	if probes := v.get("fleet_breaker_probes"); probes > 0 {
+		ev = append(ev, metricEv("fleet_breaker_probes", probes))
+	}
+	return Verdict{
+		Mechanism:  MechBreakerOpen,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"worker circuit breakers tripped %d time(s) (%d failover attempts): workers were failing or corrupting responses, so the fleet shed capacity — look at worker health, not the machine model",
+			int(opens), int(failovers)),
+		Evidence: ev,
+	}, true
+}
+
+// ruleHedgeWins fires when hedged requests were won by the hedge: the
+// primary worker's tail latency outlived the hedge delay often enough that
+// a second copy of the request beat it, implicating one slow worker rather
+// than fleet-wide capacity.
+func ruleHedgeWins(v view) (Verdict, bool) {
+	wins := v.get("fleet_hedge_wins")
+	if wins <= 0 {
+		return Verdict{}, false
+	}
+	hedged := v.get("fleet_hedged_requests")
+	winFrac := 0.0
+	if hedged > 0 {
+		winFrac = clamp(wins/hedged, 0, 1)
+	}
+	conf := round4(clamp(0.35+0.30*winFrac+0.15*clamp(wins/10, 0, 1), 0, 0.80))
+	ev := []Evidence{
+		metricThreshEv("fleet_hedge_wins", wins, 0, ">"),
+		{Kind: "metric", Name: "fleet_hedged_requests", Value: round4val(hedged),
+			Detail: fmt.Sprintf("hedge won %.0f%% of the hedged requests", 100*round4val(winFrac))},
+	}
+	return Verdict{
+		Mechanism:  MechHedgeWins,
+		Confidence: conf,
+		Explanation: fmt.Sprintf(
+			"hedged requests won %d of %d times: a worker's tail latency kept outliving the hedge delay, so one slow worker — not fleet capacity — bounds the latency profile",
+			int(wins), int(hedged)),
 		Evidence: ev,
 	}, true
 }

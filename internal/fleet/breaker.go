@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker state names as reported by GET /v1/workers.
+const (
+	BreakerClosed   = "closed"    // in rotation
+	BreakerOpen     = "open"      // tripped, cooling down
+	BreakerHalfOpen = "half-open" // cooldown elapsed, one probe in flight
+)
+
+// breaker is one worker's circuit breaker: a sliding window of request
+// outcomes that trips open when the failure rate crosses a threshold, cools
+// down, then readmits the worker through a single half-open probe instead of
+// the old fixed-cooldown quarantine (which blindly re-trusted a worker the
+// moment its timer expired and fed it a real request to find out). A fresh
+// window trips on its very first failure (rate 1.0), so a dead worker is out
+// of rotation immediately; a warm worker riding at a low error rate keeps
+// serving, because occasional failures no longer evict it.
+type breaker struct {
+	mu        sync.Mutex
+	outcomes  []bool // ring: true = failure
+	next      int
+	filled    int
+	open      bool
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	cooldown  time.Duration
+	threshold float64
+}
+
+// probeReadmitSuccesses seeds the window of a breaker re-closed by a
+// successful half-open probe. A truly fresh window would re-trip on the very
+// first failure (1/1 = 100%), so a worker riding a moderate sustained error
+// rate would flap open the instant it was readmitted and the fleet would
+// shed nearly all load; crediting the readmission with a few successes means
+// it takes a run of failures — not one — to re-trip. Startup breakers stay
+// unseeded: a worker that has never answered still trips on first contact.
+const probeReadmitSuccesses = 3
+
+func newBreaker(window int, threshold float64, cooldown time.Duration) *breaker {
+	return &breaker{
+		outcomes:  make([]bool, window),
+		threshold: threshold,
+		cooldown:  cooldown,
+	}
+}
+
+// closedNow reports whether the breaker is closed (the worker is in normal
+// rotation).
+func (b *breaker) closedNow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open
+}
+
+// available reports whether an attempt could acquire the breaker right now:
+// closed, or open with the cooldown elapsed and no probe already in flight.
+func (b *breaker) available(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	return !b.probing && !now.Before(b.openedAt.Add(b.cooldown))
+}
+
+// acquire consumes permission for one attempt. For an open breaker past its
+// cooldown the attempt is the half-open probe (probe=true): exactly one is
+// outstanding at a time, and its verdict — via record or release — decides
+// whether the breaker closes or re-opens.
+func (b *breaker) acquire(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true, false
+	}
+	if !b.probing && !now.Before(b.openedAt.Add(b.cooldown)) {
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// record reports one attempt's verdict. It returns true when this verdict
+// tripped the breaker open (for the caller's metrics/log — transitions are
+// counted once, here, not inferred by observers).
+func (b *breaker) record(now time.Time, failure, probe bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failure {
+			b.openedAt = now // still bad: restart the cooldown
+			return false
+		}
+		b.open = false // probe succeeded: back in rotation
+		b.resetLocked()
+		seed := min(probeReadmitSuccesses, len(b.outcomes))
+		for i := 0; i < seed; i++ {
+			b.outcomes[i] = false
+		}
+		b.next = seed % len(b.outcomes)
+		b.filled = seed
+		return false
+	}
+	if b.open {
+		// A straggler attempt acquired before the trip: its verdict is stale.
+		return false
+	}
+	b.outcomes[b.next] = failure
+	b.next = (b.next + 1) % len(b.outcomes)
+	if b.filled < len(b.outcomes) {
+		b.filled++
+	}
+	if !failure {
+		return false
+	}
+	fails := 0
+	for i := 0; i < b.filled; i++ {
+		if b.outcomes[i] {
+			fails++
+		}
+	}
+	if float64(fails)/float64(b.filled) >= b.threshold {
+		b.open = true
+		b.openedAt = now
+		b.probing = false
+		b.resetLocked()
+		return true
+	}
+	return false
+}
+
+// release returns an acquired slot without a verdict — a hedging loser whose
+// context was canceled once another worker answered proved nothing about
+// this worker's health.
+func (b *breaker) release(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// retryAfter reports how long until this breaker could admit an attempt:
+// zero when it already can.
+func (b *breaker) retryAfter(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return 0
+	}
+	if d := b.openedAt.Add(b.cooldown).Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// state names the breaker's current phase for /v1/workers.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.probing:
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}
+
+func (b *breaker) resetLocked() {
+	b.next = 0
+	b.filled = 0
+}

@@ -12,9 +12,14 @@
 // The router is deliberately thin: it never caches bodies itself (the
 // workers' LRU + SSTable tiers own that), it validates and canonicalizes
 // requests with the exact code the workers use (internal/server), and a
-// worker that refuses connections or answers 5xx is quarantined for a
-// cooldown while the request fails over to the next candidate — so losing
-// a worker degrades capacity, not availability.
+// worker that refuses connections or answers 5xx trips a per-worker
+// circuit breaker (failure-rate window, half-open probes) while the
+// request fails over to the next candidate — so losing a worker degrades
+// capacity, not availability. Synchronous runs are hedged after a latency
+// quantile, every attempt carries the caller's propagated deadline
+// (X-Pmemd-Deadline) and is verified end to end against the worker's
+// X-Pmemd-Content-SHA256, and a global retry budget keeps failover +
+// hedging from amplifying a brown-out.
 package fleet
 
 import (
@@ -46,12 +51,38 @@ type Options struct {
 	Workers []Worker
 	// Policy selects the routing policy (default PolicyAffinity).
 	Policy string
-	// Client performs upstream requests. nil means a client with a
-	// 5-minute timeout (simulations can be slow cold).
+	// Client performs upstream requests. nil means a plain client: per-
+	// attempt timeouts come from WorkerTimeout (and the propagated
+	// deadline), not from a client-wide cap.
 	Client *http.Client
-	// HealthCooldown is how long a worker that failed a request is held
-	// out of rotation before it becomes eligible again. <= 0 means 2s.
+	// WorkerTimeout bounds one upstream attempt. When the request carries a
+	// propagated deadline the attempt gets min(WorkerTimeout, remaining).
+	// <= 0 means 5 minutes (simulations can be slow cold).
+	WorkerTimeout time.Duration
+	// HealthCooldown is how long a tripped breaker stays open before its
+	// half-open probe may run. <= 0 means 2s.
 	HealthCooldown time.Duration
+	// BreakerWindow is the per-worker outcome window the failure rate is
+	// computed over. <= 0 means 20.
+	BreakerWindow int
+	// BreakerThreshold is the failure rate in (0, 1] that trips a worker's
+	// breaker open. <= 0 means 0.5. (A fresh window still trips on its first
+	// failure: 1/1 = 1.0 crosses any threshold.)
+	BreakerThreshold float64
+	// RetryBudget caps how many extra attempts (failovers + hedges) one
+	// request may spend beyond its first. 0 means 2; negative means no
+	// extra attempts at all.
+	RetryBudget int
+	// RetryRatio is the global retry token refill per incoming request: the
+	// fleet-wide fraction of traffic allowed to be retries, so a brown-out
+	// cannot amplify itself through failover storms. <= 0 means 0.1
+	// (bucket capacity 32 tokens).
+	RetryRatio float64
+	// HedgeAfter controls hedged requests on the synchronous run path:
+	// 0 (default) hedges adaptively once an attempt outlives the observed
+	// p95 latency (needs 16 samples; 100ms floor), a positive value hedges
+	// after that fixed delay, and a negative value disables hedging.
+	HedgeAfter time.Duration
 	// LoadTTL caches a worker's scraped load gauges for least-loaded
 	// routing. <= 0 means 500ms.
 	LoadTTL time.Duration
@@ -90,10 +121,27 @@ func (o Options) withDefaults() (Options, error) {
 			o.Policy, PolicyAffinity, PolicyRoundRobin, PolicyLeastLoaded)
 	}
 	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 5 * time.Minute}
+		o.Client = &http.Client{}
+	}
+	if o.WorkerTimeout <= 0 {
+		o.WorkerTimeout = 5 * time.Minute
 	}
 	if o.HealthCooldown <= 0 {
 		o.HealthCooldown = 2 * time.Second
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 20
+	}
+	if o.BreakerThreshold <= 0 || o.BreakerThreshold > 1 {
+		o.BreakerThreshold = 0.5
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 2
+	} else if o.RetryBudget < 0 {
+		o.RetryBudget = 0
+	}
+	if o.RetryRatio <= 0 {
+		o.RetryRatio = 0.1
 	}
 	if o.LoadTTL <= 0 {
 		o.LoadTTL = 500 * time.Millisecond

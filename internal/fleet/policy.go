@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bufio"
+	"context"
 	"net/http"
 	"sort"
 	"strconv"
@@ -9,30 +10,54 @@ import (
 	"time"
 )
 
-// candidates returns every worker in the order the active policy wants
-// them tried: healthy workers first (policy-ordered), quarantined ones
-// after (same order) as a last resort — a fleet whose every worker is in
-// cooldown should still attempt the request rather than refuse it.
-func (rt *Router) candidates(key string) []*workerState {
-	now := time.Now()
-	var healthy, cooling []*workerState
+// availableWorkers returns the workers a run may attempt right now, in try
+// order: breaker-closed workers first (policy-ordered), then workers whose
+// breaker has cooled down and is ready for its half-open probe (rendezvous-
+// ordered, so probe traffic is spread deterministically). Workers still in
+// cooldown are excluded — attempting them is what the breaker exists to
+// prevent; when the list is empty the caller answers 503 + Retry-After
+// instead of hammering a fleet that cannot answer.
+func (rt *Router) availableWorkers(key string, now time.Time) []*workerState {
+	var closed, probeable []*workerState
 	for _, ws := range rt.workers {
-		if ws.healthy(now) {
-			healthy = append(healthy, ws)
-		} else {
-			cooling = append(cooling, ws)
+		switch {
+		case ws.br.closedNow():
+			closed = append(closed, ws)
+		case ws.br.available(now):
+			probeable = append(probeable, ws)
 		}
 	}
 	switch rt.opts.Policy {
 	case PolicyRoundRobin:
-		rotate(healthy, int(rt.rrNext.Add(1)))
+		rotate(closed, int(rt.rrNext.Add(1)))
 	case PolicyLeastLoaded:
-		rt.orderByLoad(healthy)
+		rt.orderByLoad(closed)
 	default: // affinity — also orders the catalog proxy's "" key stably
-		orderByRendezvous(healthy, key)
+		orderByRendezvous(closed, key)
+	}
+	orderByRendezvous(probeable, key)
+	return append(closed, probeable...)
+}
+
+// candidates is availableWorkers plus the still-cooling workers last — for
+// read-only proxies (catalog, job status) where a stale GET against a
+// cooling worker is harmless and a fleet whose every breaker is open should
+// still try to answer rather than refuse.
+func (rt *Router) candidates(key string) []*workerState {
+	now := time.Now()
+	avail := rt.availableWorkers(key, now)
+	in := make(map[*workerState]bool, len(avail))
+	for _, ws := range avail {
+		in[ws] = true
+	}
+	var cooling []*workerState
+	for _, ws := range rt.workers {
+		if !in[ws] {
+			cooling = append(cooling, ws)
+		}
 	}
 	orderByRendezvous(cooling, key)
-	return append(healthy, cooling...)
+	return append(avail, cooling...)
 }
 
 // healthyWorkers returns the workers currently in rotation.
@@ -131,7 +156,11 @@ func (rt *Router) refreshLoad(ws *workerState) {
 	if fresh {
 		return
 	}
-	load, err := scrapeLoad(rt.opts.Client, ws.spec.URL)
+	// The scrape gets its own short deadline: a worker wedged by (injected
+	// or real) hangs must not stall routing decisions for everyone else.
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	load, err := scrapeLoad(ctx, rt.opts.Client, ws.spec.URL)
+	cancel()
 	if err != nil {
 		load = 1e18
 	}
@@ -143,8 +172,12 @@ func (rt *Router) refreshLoad(ws *workerState) {
 
 // scrapeLoad fetches url/metrics and sums the server_jobs_active and
 // server_queue_depth gauges from the Prometheus text exposition.
-func scrapeLoad(client *http.Client, url string) (float64, error) {
-	resp, err := client.Get(url + "/metrics")
+func scrapeLoad(ctx context.Context, client *http.Client, url string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}

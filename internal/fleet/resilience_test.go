@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// resilientWorker is a pmemd stand-in with controllable failure, latency,
+// and body corruption, plus the /healthz endpoint the router's half-open
+// probes hit. It serves a correct SHA header unless told to corrupt.
+type resilientWorker struct {
+	name string
+	ts   *httptest.Server
+
+	mu        sync.Mutex
+	fail      bool          // 503 every run and healthz
+	delay     time.Duration // hold each run this long (context-aware)
+	corrupt   bool          // declare one hash, serve different bytes
+	runs      int
+	deadlines []string // X-Pmemd-Deadline values seen on runs
+}
+
+func newResilientWorker(t *testing.T, name string) *resilientWorker {
+	t.Helper()
+	rw := &resilientWorker{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		rw.mu.Lock()
+		fail := rw.fail
+		rw.mu.Unlock()
+		if fail {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read detects an
+		// abandoned (hedged-loser / timed-out) connection and cancels
+		// r.Context() — otherwise delayed handlers sleep out their full
+		// delay and test cleanup waits for them.
+		io.Copy(io.Discard, r.Body)
+		rw.mu.Lock()
+		rw.runs++
+		rw.deadlines = append(rw.deadlines, r.Header.Get(server.DeadlineHeader))
+		fail, delay, corrupt := rw.fail, rw.delay, rw.corrupt
+		rw.mu.Unlock()
+		if fail {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		body := fmt.Sprintf(`{"worker":%q}`, rw.name)
+		sum := sha256.Sum256([]byte(body))
+		if corrupt {
+			sum = sha256.Sum256([]byte(body + "tampered"))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Pmemd-Cache", "miss")
+		w.Header().Set(server.ContentSHAHeader, hex.EncodeToString(sum[:]))
+		io.WriteString(w, body)
+	})
+	rw.ts = httptest.NewServer(mux)
+	t.Cleanup(rw.ts.Close)
+	return rw
+}
+
+func (rw *resilientWorker) set(f func(*resilientWorker)) {
+	rw.mu.Lock()
+	f(rw)
+	rw.mu.Unlock()
+}
+
+func (rw *resilientWorker) seenDeadlines() []string {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return append([]string(nil), rw.deadlines...)
+}
+
+// TestAllQuarantinedThenHalfOpenRecovery is the breaker's acceptance test:
+// with every worker down, the fleet answers 503 + Retry-After (single run
+// AND batch) instead of hammering dead backends — and once the workers come
+// back, half-open probes readmit them with no router restart and no real
+// request sacrificed.
+func TestAllQuarantinedThenHalfOpenRecovery(t *testing.T) {
+	a, b := newResilientWorker(t, "a"), newResilientWorker(t, "b")
+	a.set(func(w *resilientWorker) { w.fail = true })
+	b.set(func(w *resilientWorker) { w.fail = true })
+	rt, ts := newRouter(t, Options{
+		Policy:         PolicyRoundRobin,
+		HealthCooldown: 200 * time.Millisecond,
+		Workers:        []Worker{{Name: "a", URL: a.ts.URL}, {Name: "b", URL: b.ts.URL}},
+	})
+
+	// First request: both workers attempted, both breakers trip, 502.
+	resp, _ := postRun(t, ts.URL, quickBody)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("first request status = %d, want 502", resp.StatusCode)
+	}
+	if v := routerCounter(t, rt, "fleet_breaker_opens"); v != 2 {
+		t.Errorf("fleet_breaker_opens = %v, want 2", v)
+	}
+
+	// While both breakers cool: refused up front with 503 + Retry-After, on
+	// the single-run path and the batch path alike.
+	resp2, _ := postRun(t, ts.URL, quickBody)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("all-quarantined run status = %d, want 503", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra == "" {
+		t.Error("all-quarantined 503 without Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	bresp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"requests":[`+quickBody+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("all-quarantined batch status = %d, want 503", bresp.StatusCode)
+	}
+	if bresp.Header.Get("Retry-After") == "" {
+		t.Error("all-quarantined batch 503 without Retry-After")
+	}
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d with all breakers open, want 503", rresp.StatusCode)
+	}
+
+	// Workers recover; after the cooldown, traffic (even a status poll)
+	// triggers half-open probes and the fleet heals itself.
+	a.set(func(w *resilientWorker) { w.fail = false })
+	b.set(func(w *resilientWorker) { w.fail = false })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := postRun(t, ts.URL, quickBody)
+		if resp.StatusCode == http.StatusOK {
+			if !strings.Contains(string(body), "worker") {
+				t.Fatalf("recovered response body = %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not recover; last status %d", resp.StatusCode)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if v := routerCounter(t, rt, "fleet_breaker_probes"); v < 1 {
+		t.Errorf("fleet_breaker_probes = %v, want >= 1", v)
+	}
+
+	// Both workers return to full rotation (probes heal the one traffic
+	// didn't).
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		wresp, err := http.Get(ts.URL + "/v1/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status []WorkerStatus
+		if err := json.NewDecoder(wresp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		wresp.Body.Close()
+		healthy := 0
+		for _, s := range status {
+			if s.Healthy && s.Breaker == BreakerClosed {
+				healthy++
+			}
+		}
+		if healthy == len(status) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never all recovered: %+v", status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestIntegrityMismatchFailsOver: a worker whose response bytes do not hash
+// to its own X-Pmemd-Content-SHA256 declaration is treated as failed — the
+// router counts the corruption, records a breaker failure, and serves the
+// request from a worker whose bytes verify.
+func TestIntegrityMismatchFailsOver(t *testing.T) {
+	good, bad := newResilientWorker(t, "good"), newResilientWorker(t, "bad")
+	bad.set(func(w *resilientWorker) { w.corrupt = true })
+	rt, ts := newRouter(t, Options{
+		Policy:         PolicyRoundRobin,
+		HealthCooldown: time.Minute,
+		Workers:        []Worker{{Name: "good", URL: good.ts.URL}, {Name: "bad", URL: bad.ts.URL}},
+	})
+
+	// Round-robin rotates the first candidate, so within two requests one
+	// starts on the corrupting worker and must fail over.
+	for i := 0; i < 2; i++ {
+		resp, body := postRun(t, ts.URL, quickBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Pmemfleet-Worker"); got != "good" {
+			t.Errorf("request %d served by %q, want good", i, got)
+		}
+		sum := sha256.Sum256(body)
+		if got := resp.Header.Get(server.ContentSHAHeader); got != hex.EncodeToString(sum[:]) {
+			t.Errorf("request %d: served hash %q does not match served bytes", i, got)
+		}
+	}
+	if v := routerCounter(t, rt, "fleet_integrity_failures"); v < 1 {
+		t.Errorf("fleet_integrity_failures = %v, want >= 1", v)
+	}
+}
+
+// TestHedgedRequestWins: with one worker holding requests far past the
+// hedge delay, the router launches a hedge against the next candidate and
+// the fast answer wins — the slow worker's reply is abandoned, not waited
+// for.
+func TestHedgedRequestWins(t *testing.T) {
+	slow, fast := newResilientWorker(t, "slow"), newResilientWorker(t, "fast")
+	slow.set(func(w *resilientWorker) { w.delay = 3 * time.Second })
+	rt, ts := newRouter(t, Options{
+		Policy:     PolicyRoundRobin,
+		HedgeAfter: 50 * time.Millisecond,
+		Workers:    []Worker{{Name: "slow", URL: slow.ts.URL}, {Name: "fast", URL: fast.ts.URL}},
+	})
+
+	begin := time.Now()
+	for i := 0; i < 2; i++ {
+		resp, body := postRun(t, ts.URL, quickBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Pmemfleet-Worker"); got != "fast" {
+			t.Errorf("request %d served by %q, want fast", i, got)
+		}
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Errorf("hedged requests took %v; the slow worker was waited for", elapsed)
+	}
+	if v := routerCounter(t, rt, "fleet_hedged_requests"); v < 1 {
+		t.Errorf("fleet_hedged_requests = %v, want >= 1", v)
+	}
+	if v := routerCounter(t, rt, "fleet_hedge_wins"); v < 1 {
+		t.Errorf("fleet_hedge_wins = %v, want >= 1", v)
+	}
+}
+
+// TestDeadlinePropagation: the router forwards the remaining X-Pmemd-Deadline
+// budget to workers, rejects malformed values, and answers 504 (counting
+// fleet_deadline_timeouts) when the budget expires before any worker does.
+func TestDeadlinePropagation(t *testing.T) {
+	w1 := newResilientWorker(t, "w1")
+	rt, ts := newRouter(t, Options{Workers: []Worker{{Name: "w1", URL: w1.ts.URL}}})
+
+	post := func(deadline string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", strings.NewReader(quickBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(server.DeadlineHeader, deadline)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	resp, body := post("30000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadlined run: status %d, body %s", resp.StatusCode, body)
+	}
+	seen := w1.seenDeadlines()
+	if len(seen) != 1 || seen[0] == "" {
+		t.Fatalf("worker saw deadlines %v, want one non-empty value", seen)
+	}
+	if ms, err := strconv.ParseFloat(seen[0], 64); err != nil || ms <= 0 || ms > 30000 {
+		t.Errorf("propagated deadline %q, want remaining budget in (0, 30000]ms", seen[0])
+	}
+
+	if resp, _ := post("bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed deadline status = %d, want 400", resp.StatusCode)
+	}
+
+	w1.set(func(w *resilientWorker) { w.delay = 2 * time.Second })
+	resp, _ = post("100")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("expired deadline status = %d, want 504", resp.StatusCode)
+	}
+	if v := routerCounter(t, rt, "fleet_deadline_timeouts"); v < 1 {
+		t.Errorf("fleet_deadline_timeouts = %v, want >= 1", v)
+	}
+}
+
+// TestWorkerTimeoutBoundsAttempt: an attempt against a hung worker is cut at
+// WorkerTimeout and fails over, instead of riding the old client-wide
+// 5-minute cap.
+func TestWorkerTimeoutBoundsAttempt(t *testing.T) {
+	hung, ok := newResilientWorker(t, "hung"), newResilientWorker(t, "ok")
+	hung.set(func(w *resilientWorker) { w.delay = 10 * time.Second })
+	_, ts := newRouter(t, Options{
+		Policy:        PolicyRoundRobin,
+		WorkerTimeout: 100 * time.Millisecond,
+		HedgeAfter:    -1, // isolate the timeout path from hedging
+		Workers:       []Worker{{Name: "hung", URL: hung.ts.URL}, {Name: "ok", URL: ok.ts.URL}},
+	})
+	begin := time.Now()
+	for i := 0; i < 2; i++ {
+		resp, body := postRun(t, ts.URL, quickBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Pmemfleet-Worker"); got != "ok" {
+			t.Errorf("request %d served by %q, want ok", i, got)
+		}
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Errorf("requests took %v; WorkerTimeout did not bound the hung attempt", elapsed)
+	}
+}
+
+// TestConcurrentFailoverRaceClean hammers a two-worker fleet whose workers
+// flap, from many goroutines, to let the race detector inspect the breaker,
+// retry-bucket, hedging, and probe paths under contention. Every response
+// must be a well-formed verdict (200/502/503/504) — never a hang or panic.
+func TestConcurrentFailoverRaceClean(t *testing.T) {
+	a, b := newResilientWorker(t, "a"), newResilientWorker(t, "b")
+	_, ts := newRouter(t, Options{
+		Policy:         PolicyRoundRobin,
+		HealthCooldown: 5 * time.Millisecond,
+		HedgeAfter:     time.Millisecond,
+		Workers:        []Worker{{Name: "a", URL: a.ts.URL}, {Name: "b", URL: b.ts.URL}},
+	})
+
+	stop := make(chan struct{})
+	var flip sync.WaitGroup
+	flip.Add(1)
+	go func() {
+		defer flip.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+			}
+			a.set(func(w *resilientWorker) { w.fail = i%3 == 0 })
+			b.set(func(w *resilientWorker) { w.fail = i%5 == 0 })
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, _ := postRun(t, ts.URL, quickBody)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusBadGateway,
+					http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flip.Wait()
+}
+
+// TestMetricsJSONEndpoint: the router serves its registry snapshot in the
+// JSON form pmemdoctor consumes.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	w1 := newResilientWorker(t, "w1")
+	_, ts := newRouter(t, Options{Workers: []Worker{{Name: "w1", URL: w1.ts.URL}}})
+	postRun(t, ts.URL, quickBody)
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics.json not decodable: %v", err)
+	}
+	if snap.Counters["fleet_requests"] < 1 {
+		t.Errorf("fleet_requests = %v in metrics.json, want >= 1", snap.Counters["fleet_requests"])
+	}
+	if snap.Gauges["fleet_workers"] != 1 {
+		t.Errorf("fleet_workers gauge = %v, want 1", snap.Gauges["fleet_workers"])
+	}
+}

@@ -2,15 +2,22 @@ package fleet
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/server"
 )
@@ -31,29 +38,35 @@ const batchFanout = 16
 // worker) still resolve via the healthy-worker scan in handleJob.
 const maxRememberedJobs = 4096
 
+// probeTimeout bounds one active half-open health probe (GET /healthz).
+const probeTimeout = 2 * time.Second
+
+// latencyWindow is how many successful attempt durations feed the adaptive
+// hedge delay, and latencyMinSamples how many must exist before hedging.
+const (
+	latencyWindow     = 64
+	latencyMinSamples = 16
+	hedgeFloor        = 100 * time.Millisecond
+)
+
+// retryBurst caps the global retry token bucket.
+const retryBurst = 32
+
 // workerState is one backend's mutable routing state.
 type workerState struct {
 	spec Worker
+	br   *breaker
 
-	mu             sync.Mutex
-	unhealthyUntil time.Time
-	load           float64   // jobs in flight + queued, from the last scrape
-	loadAt         time.Time // when load was scraped
+	mu     sync.Mutex
+	load   float64   // jobs in flight + queued, from the last scrape
+	loadAt time.Time // when load was scraped
 
 	cRequests *metrics.Counter
 	cErrors   *metrics.Counter
 }
 
 func (w *workerState) healthy(now time.Time) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return !now.Before(w.unhealthyUntil)
-}
-
-func (w *workerState) quarantine(now time.Time, cooldown time.Duration) {
-	w.mu.Lock()
-	w.unhealthyUntil = now.Add(cooldown)
-	w.mu.Unlock()
+	return w.br.closedNow()
 }
 
 // Router is the fleet front-end, independent of any listener: wire
@@ -74,19 +87,37 @@ type Router struct {
 	jobOwner map[string]*workerState
 	jobOrder []string // remembered job ids, oldest first
 
-	cRequests   *metrics.Counter
-	cBadReq     *metrics.Counter
-	cFailovers  *metrics.Counter
-	cExhausted  *metrics.Counter
-	cBatches    *metrics.Counter
-	cBatchRuns  *metrics.Counter
-	cTierMemory *metrics.Counter
-	cTierDisk   *metrics.Counter
-	cTierCoal   *metrics.Counter
-	cTierMiss   *metrics.Counter
-	gWorkers    *metrics.Gauge
-	gHealthy    *metrics.Gauge
-	hReqDur     *metrics.Histogram
+	// retryMu guards the global retry token bucket: refilled a fraction per
+	// incoming run, spent one per extra attempt (failover or hedge).
+	retryMu     sync.Mutex
+	retryTokens float64
+
+	// latMu guards the successful-attempt latency ring behind the adaptive
+	// hedge delay.
+	latMu      sync.Mutex
+	latSamples []float64
+	latNext    int
+
+	cRequests      *metrics.Counter
+	cBadReq        *metrics.Counter
+	cFailovers     *metrics.Counter
+	cExhausted     *metrics.Counter
+	cBatches       *metrics.Counter
+	cBatchRuns     *metrics.Counter
+	cTierMemory    *metrics.Counter
+	cTierDisk      *metrics.Counter
+	cTierCoal      *metrics.Counter
+	cTierMiss      *metrics.Counter
+	cHedged        *metrics.Counter
+	cHedgeWins     *metrics.Counter
+	cIntegrityFail *metrics.Counter
+	cBreakerOpens  *metrics.Counter
+	cBreakerProbes *metrics.Counter
+	cRetryStarved  *metrics.Counter
+	cDeadlineOut   *metrics.Counter
+	gWorkers       *metrics.Gauge
+	gHealthy       *metrics.Gauge
+	hReqDur        *metrics.Histogram
 }
 
 // New builds a Router over the configured workers.
@@ -97,23 +128,32 @@ func New(opts Options) (*Router, error) {
 	}
 	reg := metrics.New()
 	rt := &Router{
-		opts:        opts,
-		reg:         reg,
-		log:         opts.Logger,
-		jobOwner:    make(map[string]*workerState),
-		cRequests:   reg.Counter("fleet_requests"),
-		cBadReq:     reg.Counter("fleet_bad_requests"),
-		cFailovers:  reg.Counter("fleet_failovers"),
-		cExhausted:  reg.Counter("fleet_no_healthy_worker"),
-		cBatches:    reg.Counter("fleet_batches"),
-		cBatchRuns:  reg.Counter("fleet_batch_runs"),
-		cTierMemory: reg.Counter("fleet_tier_memory_hits"),
-		cTierDisk:   reg.Counter("fleet_tier_disk_hits"),
-		cTierCoal:   reg.Counter("fleet_tier_coalesced"),
-		cTierMiss:   reg.Counter("fleet_tier_misses"),
-		gWorkers:    reg.Gauge("fleet_workers"),
-		gHealthy:    reg.Gauge("fleet_workers_healthy"),
-		hReqDur:     reg.Histogram("fleet_request_duration_seconds", metrics.DefaultDurationBuckets()),
+		opts:           opts,
+		reg:            reg,
+		log:            opts.Logger,
+		jobOwner:       make(map[string]*workerState),
+		retryTokens:    retryBurst, // start full: a cold fleet may fail over freely
+		latSamples:     make([]float64, 0, latencyWindow),
+		cRequests:      reg.Counter("fleet_requests"),
+		cBadReq:        reg.Counter("fleet_bad_requests"),
+		cFailovers:     reg.Counter("fleet_failovers"),
+		cExhausted:     reg.Counter("fleet_no_healthy_worker"),
+		cBatches:       reg.Counter("fleet_batches"),
+		cBatchRuns:     reg.Counter("fleet_batch_runs"),
+		cTierMemory:    reg.Counter("fleet_tier_memory_hits"),
+		cTierDisk:      reg.Counter("fleet_tier_disk_hits"),
+		cTierCoal:      reg.Counter("fleet_tier_coalesced"),
+		cTierMiss:      reg.Counter("fleet_tier_misses"),
+		cHedged:        reg.Counter("fleet_hedged_requests"),
+		cHedgeWins:     reg.Counter("fleet_hedge_wins"),
+		cIntegrityFail: reg.Counter("fleet_integrity_failures"),
+		cBreakerOpens:  reg.Counter("fleet_breaker_opens"),
+		cBreakerProbes: reg.Counter("fleet_breaker_probes"),
+		cRetryStarved:  reg.Counter("fleet_retry_budget_exhausted"),
+		cDeadlineOut:   reg.Counter("fleet_deadline_timeouts"),
+		gWorkers:       reg.Gauge("fleet_workers"),
+		gHealthy:       reg.Gauge("fleet_workers_healthy"),
+		hReqDur:        reg.Histogram("fleet_request_duration_seconds", metrics.DefaultDurationBuckets()),
 	}
 	if rt.log == nil {
 		rt.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -121,6 +161,7 @@ func New(opts Options) (*Router, error) {
 	for _, w := range opts.Workers {
 		rt.workers = append(rt.workers, &workerState{
 			spec:      w,
+			br:        newBreaker(opts.BreakerWindow, opts.BreakerThreshold, opts.HealthCooldown),
 			cRequests: reg.Counter("fleet.worker." + w.Name + ".requests"),
 			cErrors:   reg.Counter("fleet.worker." + w.Name + ".errors"),
 		})
@@ -142,6 +183,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", rt.handleMetricsJSON)
 	mux.HandleFunc("GET /v1/workers", rt.handleWorkers)
 	mux.HandleFunc("GET /v1/experiments", rt.handleExperiments)
 	mux.HandleFunc("POST /v1/run", rt.handleRun)
@@ -158,6 +200,7 @@ func (rt *Router) Handler() http.Handler {
 func (rt *Router) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rt.maybeProbe()
 		reqID := r.Header.Get("X-Request-ID")
 		if reqID == "" {
 			reqID = fmt.Sprintf("fleet-%06d", rt.nextReq.Add(1))
@@ -193,8 +236,8 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if len(rt.healthyWorkers()) == 0 {
-		w.Header().Set("Retry-After", "2")
+	if len(rt.availableWorkers("", time.Now())) == 0 {
+		w.Header().Set("Retry-After", rt.retryAfterSeconds(time.Now()))
 		http.Error(w, "no healthy workers", http.StatusServiceUnavailable)
 		return
 	}
@@ -207,28 +250,96 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rt.reg.WritePrometheus(w, "")
 }
 
+// handleMetricsJSON serves the registry snapshot in the JSON form pmemdoctor
+// consumes (-metrics), so a live fleet can be diagnosed without scraping and
+// re-parsing the Prometheus exposition.
+func (rt *Router) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
+	writeJSON(w, http.StatusOK, rt.reg.Snapshot())
+}
+
 // WorkerStatus is one entry of the GET /v1/workers payload.
 type WorkerStatus struct {
 	Name    string  `json:"name"`
 	URL     string  `json:"url"`
-	Healthy bool    `json:"healthy"`
-	Load    float64 `json:"load"` // jobs in flight + queued at the last scrape
+	Healthy bool    `json:"healthy"` // breaker closed: in normal rotation
+	Breaker string  `json:"breaker"` // closed | open | half-open
+	Load    float64 `json:"load"`    // jobs in flight + queued at the last scrape
 }
 
 func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	now := time.Now()
 	out := make([]WorkerStatus, len(rt.workers))
 	for i, ws := range rt.workers {
+		state := ws.br.state()
 		ws.mu.Lock()
 		out[i] = WorkerStatus{
 			Name:    ws.spec.Name,
 			URL:     ws.spec.URL,
-			Healthy: !now.Before(ws.unhealthyUntil),
+			Healthy: state == BreakerClosed,
+			Breaker: state,
 			Load:    ws.load,
 		}
 		ws.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// maybeProbe launches an active half-open probe (GET /healthz, bounded) for
+// every worker whose breaker has cooled down. Called on each incoming
+// request, it means a fleet whose every worker tripped heals itself as soon
+// as the workers do — a client polling /v1/workers is enough to drive
+// recovery; nobody's real request has to be the guinea pig and no restart is
+// needed.
+func (rt *Router) maybeProbe() {
+	now := time.Now()
+	for _, ws := range rt.workers {
+		if ws.br.closedNow() || !ws.br.available(now) {
+			continue
+		}
+		ok, probe := ws.br.acquire(now)
+		if !ok || !probe {
+			continue
+		}
+		rt.cBreakerProbes.Inc()
+		go func(ws *workerState) {
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			defer cancel()
+			ctx = chaos.WithTarget(ctx, ws.spec.Name)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ws.spec.URL+"/healthz", nil)
+			if err != nil {
+				ws.br.release(true)
+				return
+			}
+			resp, err := rt.opts.Client.Do(req)
+			failed := err != nil
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				failed = resp.StatusCode != http.StatusOK
+			}
+			ws.br.record(time.Now(), failed, true)
+			if !failed {
+				rt.log.Info("worker recovered", "worker", ws.spec.Name)
+				rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
+			}
+		}(ws)
+	}
+}
+
+// retryAfterSeconds renders the shortest time until any breaker admits an
+// attempt as a Retry-After value (whole seconds, at least 1).
+func (rt *Router) retryAfterSeconds(now time.Time) string {
+	min := time.Duration(math.MaxInt64)
+	for _, ws := range rt.workers {
+		if d := ws.br.retryAfter(now); d < min {
+			min = d
+		}
+	}
+	secs := int(math.Ceil(min.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 // handleExperiments proxies the catalog from the first worker that
@@ -260,27 +371,47 @@ type runOutcome struct {
 	worker string
 	cache  string // X-Pmemd-Cache from the worker
 	job    string // X-Pmemd-Job from the worker
+	sha    string // X-Pmemd-Content-SHA256 from the worker (verified)
 	ws     *workerState
 }
 
+// errNoWorkers marks "every breaker is open and cooling": the request was
+// refused before any attempt, and the client should retry after the shortest
+// cooldown rather than hammer a fleet that cannot answer.
+var errNoWorkers = errors.New("no available workers")
+
 func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	rt.cRequests.Inc()
+	rt.refillRetryTokens()
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		rt.cBadReq.Inc()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read request body: %v", err))
 		return
 	}
-	key, err := keyForBody(raw, rt.opts.MaxSF)
+	key, async, err := keyForBody(raw, rt.opts.MaxSF)
 	if err != nil {
 		rt.cBadReq.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, err := rt.forwardRun(r.Header.Get("X-Request-ID"), raw, key)
+	ctx := r.Context()
+	deadline, hasDeadline, err := server.ParseDeadline(r)
 	if err != nil {
-		rt.cExhausted.Inc()
-		writeError(w, http.StatusBadGateway, err.Error())
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	// Hedging is for synchronous runs only: an async submission returns a
+	// job handle, and racing two workers for it would mint two handles.
+	out, err := rt.forwardRun(ctx, r.Header.Get("X-Request-ID"), raw, key, !async)
+	if err != nil {
+		rt.writeRunError(w, r, err)
 		return
 	}
 	rt.countTier(out.cache)
@@ -290,83 +421,304 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 	if out.job != "" {
 		w.Header().Set("X-Pmemd-Job", out.job)
 	}
+	if out.sha != "" {
+		w.Header().Set(server.ContentSHAHeader, out.sha)
+	}
 	w.Header().Set("X-Pmemfleet-Worker", out.worker)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(out.status)
 	w.Write(out.body)
 }
 
+// writeRunError maps a forwardRun failure to the client-facing status:
+// 503 + Retry-After when no worker could even be attempted, 504 when the
+// propagated deadline ran out first, 502 when attempts were made and all
+// failed.
+func (rt *Router) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	rt.cExhausted.Inc()
+	switch {
+	case errors.Is(err, errNoWorkers):
+		w.Header().Set("Retry-After", rt.retryAfterSeconds(time.Now()))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no available workers (of %d configured); retry after cooldown", len(rt.workers)))
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		rt.cDeadlineOut.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before any worker answered")
+	default:
+		writeError(w, http.StatusBadGateway, err.Error())
+	}
+}
+
 // keyForBody decodes one run request strictly (the worker's own rules) and
-// derives its canonical cache key.
-func keyForBody(raw []byte, maxSF float64) (string, error) {
+// derives its canonical cache key plus the async delivery flag.
+func keyForBody(raw []byte, maxSF float64) (key string, async bool, err error) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var req server.RunRequest
 	if err := dec.Decode(&req); err != nil {
-		return "", fmt.Errorf("bad request body: %v", err)
+		return "", false, fmt.Errorf("bad request body: %v", err)
 	}
-	return server.KeyForRequest(req, maxSF)
+	key, err = server.KeyForRequest(req, maxSF)
+	return key, req.Async, err
 }
 
-// forwardRun tries the policy's candidate order until a worker answers.
-// Transport errors and gateway-class statuses (502/503/504) quarantine the
-// worker and fail over; anything else — including a worker's 500 for a
-// failed job or 429 for a full queue — is a real answer and is returned
-// as-is.
-func (rt *Router) forwardRun(reqID string, raw []byte, key string) (runOutcome, error) {
-	cands := rt.candidates(key)
+// attemptResult is one upstream attempt's verdict, delivered to the
+// forwardRun coordinator. Breaker accounting already happened in the attempt
+// goroutine; the coordinator only sequences failover and picks the winner.
+type attemptResult struct {
+	out    runOutcome
+	err    error // non-nil: failover-worthy (transport, 502/503/504, integrity)
+	hedged bool
+}
+
+// forwardRun drives one run to an answer: the policy's first available
+// worker, hedged after the latency quantile, failing over on transport
+// errors / gateway statuses / integrity mismatches, spending the global
+// retry budget for every attempt past the first. Anything else a worker
+// says — including its 500 for a failed job or 429 for a full queue — is a
+// real answer and is returned as-is.
+func (rt *Router) forwardRun(ctx context.Context, reqID string, raw []byte, key string, hedgeOK bool) (runOutcome, error) {
+	cands := rt.availableWorkers(key, time.Now())
 	if len(cands) == 0 {
-		return runOutcome{}, fmt.Errorf("no healthy workers (of %d configured)", len(rt.workers))
+		return runOutcome{}, errNoWorkers
 	}
-	for i, ws := range cands {
-		if i > 0 {
-			rt.cFailovers.Inc()
-		}
-		ws.cRequests.Inc()
-		req, err := http.NewRequest(http.MethodPost, ws.spec.URL+"/v1/run", bytes.NewReader(raw))
-		if err != nil {
-			return runOutcome{}, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		if reqID != "" {
-			req.Header.Set("X-Request-ID", reqID)
-		}
-		resp, err := rt.opts.Client.Do(req)
-		if err != nil {
-			rt.noteFailure(ws, err.Error())
-			continue
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			rt.noteFailure(ws, fmt.Sprintf("read response: %v", err))
-			continue
-		}
-		switch resp.StatusCode {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-			rt.noteFailure(ws, fmt.Sprintf("status %d", resp.StatusCode))
-			continue
-		}
-		rt.log.Info("routed",
-			"request_id", reqID,
-			"worker", ws.spec.Name,
-			"policy", rt.opts.Policy,
-			"status", resp.StatusCode,
-			"cache", resp.Header.Get("X-Pmemd-Cache"),
-			"key", key[:12],
-		)
-		out := runOutcome{
-			status: resp.StatusCode,
-			body:   body,
-			worker: ws.spec.Name,
-			cache:  resp.Header.Get("X-Pmemd-Cache"),
-			job:    resp.Header.Get("X-Pmemd-Job"),
-			ws:     ws,
-		}
-		rt.rememberJob(out.job, ws)
-		return out, nil
+	maxAttempts := 1 + rt.opts.RetryBudget
+	if maxAttempts > len(cands) {
+		maxAttempts = len(cands)
 	}
-	return runOutcome{}, fmt.Errorf("all %d candidate workers failed", len(cands))
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel() // losers see the cancel and record a neutral outcome
+
+	results := make(chan attemptResult, len(cands)) // attempts never block on send
+	next, inflight, attempts := 0, 0, 0
+	launch := func(hedged bool) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		for next < len(cands) {
+			ws := cands[next]
+			next++
+			ok, probe := ws.br.acquire(time.Now())
+			if !ok {
+				continue // someone else took this worker's half-open probe
+			}
+			if attempts > 0 && !rt.takeRetryToken() {
+				ws.br.release(probe)
+				rt.cRetryStarved.Inc()
+				return false
+			}
+			if hedged {
+				rt.cHedged.Inc()
+			} else if attempts > 0 {
+				rt.cFailovers.Inc()
+			}
+			attempts++
+			inflight++
+			go rt.attempt(gctx, ws, reqID, raw, key, probe, hedged, results)
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		return runOutcome{}, errNoWorkers
+	}
+
+	var hedgeCh <-chan time.Time
+	if hedgeOK {
+		if delay := rt.hedgeDelay(); delay > 0 {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			hedgeCh = timer.C
+		}
+	}
+
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				if res.hedged {
+					rt.cHedgeWins.Inc()
+				}
+				return res.out, nil
+			}
+			lastErr = res.err
+			if ctx.Err() != nil {
+				return runOutcome{}, ctx.Err()
+			}
+			launch(false)
+		case <-hedgeCh:
+			hedgeCh = nil // one hedge per request
+			launch(true)
+		case <-ctx.Done():
+			return runOutcome{}, ctx.Err()
+		}
+	}
+	return runOutcome{}, fmt.Errorf("all %d attempted workers failed: %v", attempts, lastErr)
+}
+
+// attempt performs one upstream POST /v1/run against ws: per-attempt timeout
+// (min of WorkerTimeout and the propagated deadline's remainder), deadline
+// header propagation, end-to-end body-hash verification, and breaker
+// accounting. The verdict lands on results; breaker/metric effects happen
+// here so they are correct even after the coordinator has returned.
+func (rt *Router) attempt(ctx context.Context, ws *workerState, reqID string, raw []byte, key string, probe, hedged bool, results chan<- attemptResult) {
+	start := time.Now()
+	ws.cRequests.Inc()
+
+	timeout := rt.opts.WorkerTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	actx, cancel := context.WithTimeout(chaos.WithTarget(ctx, ws.spec.Name), timeout)
+	defer cancel()
+
+	fail := func(why string) {
+		// A loser canceled because another attempt already won proved nothing
+		// about this worker — release the breaker without a verdict.
+		if ctx.Err() == context.Canceled {
+			ws.br.release(probe)
+			results <- attemptResult{err: context.Canceled, hedged: hedged}
+			return
+		}
+		ws.cErrors.Inc()
+		if tripped := ws.br.record(time.Now(), true, probe); tripped {
+			rt.cBreakerOpens.Inc()
+			rt.log.Warn("breaker opened",
+				"worker", ws.spec.Name, "cooldown", rt.opts.HealthCooldown.String(), "error", why)
+		} else {
+			rt.log.Warn("worker attempt failed", "worker", ws.spec.Name, "error", why)
+		}
+		rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
+		results <- attemptResult{err: fmt.Errorf("worker %s: %s", ws.spec.Name, why), hedged: hedged}
+	}
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, ws.spec.URL+"/v1/run", bytes.NewReader(raw))
+	if err != nil {
+		results <- attemptResult{err: err, hedged: hedged}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			req.Header.Set(server.DeadlineHeader, fmt.Sprintf("%d", rem.Milliseconds()))
+		}
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fail(fmt.Sprintf("read response: %v", err))
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		fail(fmt.Sprintf("status %d", resp.StatusCode))
+		return
+	}
+	sha := resp.Header.Get(server.ContentSHAHeader)
+	if sha != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != sha {
+			rt.cIntegrityFail.Inc()
+			fail(fmt.Sprintf("content hash mismatch: worker declared %s, body hashes to %s", sha, got))
+			return
+		}
+	}
+	ws.br.record(time.Now(), false, probe)
+	rt.observeLatency(time.Since(start).Seconds())
+	rt.log.Info("routed",
+		"request_id", reqID,
+		"worker", ws.spec.Name,
+		"policy", rt.opts.Policy,
+		"status", resp.StatusCode,
+		"cache", resp.Header.Get("X-Pmemd-Cache"),
+		"hedged", hedged,
+		"key", key[:min(12, len(key))],
+	)
+	out := runOutcome{
+		status: resp.StatusCode,
+		body:   body,
+		worker: ws.spec.Name,
+		cache:  resp.Header.Get("X-Pmemd-Cache"),
+		job:    resp.Header.Get("X-Pmemd-Job"),
+		sha:    sha,
+		ws:     ws,
+	}
+	rt.rememberJob(out.job, ws)
+	results <- attemptResult{out: out, hedged: hedged}
+}
+
+// takeRetryToken spends one global retry token; the bucket refills a
+// fraction per incoming run (see refillRetryTokens), so fleet-wide retry
+// volume is bounded relative to real traffic.
+func (rt *Router) takeRetryToken() bool {
+	rt.retryMu.Lock()
+	defer rt.retryMu.Unlock()
+	if rt.retryTokens < 1 {
+		return false
+	}
+	rt.retryTokens--
+	return true
+}
+
+func (rt *Router) refillRetryTokens() {
+	rt.retryMu.Lock()
+	rt.retryTokens += rt.opts.RetryRatio
+	if rt.retryTokens > retryBurst {
+		rt.retryTokens = retryBurst
+	}
+	rt.retryMu.Unlock()
+}
+
+// observeLatency records one successful attempt's duration for the adaptive
+// hedge delay.
+func (rt *Router) observeLatency(secs float64) {
+	rt.latMu.Lock()
+	if len(rt.latSamples) < latencyWindow {
+		rt.latSamples = append(rt.latSamples, secs)
+	} else {
+		rt.latSamples[rt.latNext] = secs
+		rt.latNext = (rt.latNext + 1) % latencyWindow
+	}
+	rt.latMu.Unlock()
+}
+
+// hedgeDelay resolves when (if ever) a synchronous run should hedge:
+// HedgeAfter > 0 is a fixed delay, < 0 disables, 0 adapts to the observed
+// p95 attempt latency once enough samples exist (never below hedgeFloor —
+// sub-100ms hedging would double traffic for no one's benefit).
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.opts.HedgeAfter > 0 {
+		return rt.opts.HedgeAfter
+	}
+	if rt.opts.HedgeAfter < 0 {
+		return 0
+	}
+	rt.latMu.Lock()
+	n := len(rt.latSamples)
+	samples := append([]float64(nil), rt.latSamples...)
+	rt.latMu.Unlock()
+	if n < latencyMinSamples {
+		return 0
+	}
+	sort.Float64s(samples)
+	p95 := samples[(n*95)/100]
+	d := time.Duration(p95 * float64(time.Second))
+	if d < hedgeFloor {
+		d = hedgeFloor
+	}
+	return d
 }
 
 // rememberJob records which worker minted a job handle (bounded FIFO). A
@@ -456,12 +808,18 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "unknown job "+id+" (no worker claims it)")
 }
 
+// noteFailure records a non-run failure (catalog proxy, job proxy) against
+// the worker's breaker.
 func (rt *Router) noteFailure(ws *workerState, why string) {
 	ws.cErrors.Inc()
-	ws.quarantine(time.Now(), rt.opts.HealthCooldown)
+	if tripped := ws.br.record(time.Now(), true, false); tripped {
+		rt.cBreakerOpens.Inc()
+		rt.log.Warn("breaker opened",
+			"worker", ws.spec.Name, "cooldown", rt.opts.HealthCooldown.String(), "error", why)
+	} else {
+		rt.log.Warn("worker attempt failed", "worker", ws.spec.Name, "error", why)
+	}
 	rt.gHealthy.Set(float64(len(rt.healthyWorkers())))
-	rt.log.Warn("worker quarantined",
-		"worker", ws.spec.Name, "cooldown", rt.opts.HealthCooldown.String(), "error", why)
 }
 
 func (rt *Router) countTier(cache string) {
@@ -515,6 +873,30 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch has %d requests, bound is %d", len(batch.Requests), maxBatchRequests))
 		return
 	}
+	// The same refusal the single-run path gives: when every breaker is open
+	// and cooling, tell the client when to come back instead of scattering N
+	// requests that can only fail.
+	if len(rt.availableWorkers("", time.Now())) == 0 {
+		rt.cExhausted.Inc()
+		w.Header().Set("Retry-After", rt.retryAfterSeconds(time.Now()))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no available workers (of %d configured); retry after cooldown", len(rt.workers)))
+		return
+	}
+	ctx := r.Context()
+	deadline, hasDeadline, err := server.ParseDeadline(r)
+	if err != nil {
+		rt.cBadReq.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if hasDeadline {
+		// One budget for the whole batch: every point races the same clock,
+		// exactly as the caller experiences it.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 
 	reqID := r.Header.Get("X-Request-ID")
 	results := make([]BatchResult, len(batch.Requests))
@@ -527,8 +909,9 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			rt.cBatchRuns.Inc()
+			rt.refillRetryTokens()
 			res := BatchResult{Index: i}
-			key, err := keyForBody(raw, rt.opts.MaxSF)
+			key, async, err := keyForBody(raw, rt.opts.MaxSF)
 			if err != nil {
 				res.Status = http.StatusBadRequest
 				res.Error = err.Error()
@@ -541,9 +924,17 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if subID != "" {
 				subID = fmt.Sprintf("%s.%d", reqID, i)
 			}
-			out, err := rt.forwardRun(subID, raw, key)
+			out, err := rt.forwardRun(ctx, subID, raw, key, !async)
 			if err != nil {
-				res.Status = http.StatusBadGateway
+				switch {
+				case errors.Is(err, errNoWorkers):
+					res.Status = http.StatusServiceUnavailable
+				case errors.Is(err, context.DeadlineExceeded):
+					rt.cDeadlineOut.Inc()
+					res.Status = http.StatusGatewayTimeout
+				default:
+					res.Status = http.StatusBadGateway
+				}
 				res.Error = err.Error()
 				results[i] = res
 				return

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func postRunWithDeadline(t *testing.T, ts *httptest.Server, body, deadline string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadline != "" {
+		req.Header.Set(DeadlineHeader, deadline)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+// TestContentSHAHeader checks every served result — cold and cached — carries
+// the SHA-256 of its exact body bytes, the hash the fleet router verifies for
+// end-to-end integrity.
+func TestContentSHAHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, pass := range []string{"cold", "cached"} {
+		resp, body := postRun(t, ts, quickBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s run: status %d, body %s", pass, resp.StatusCode, body)
+		}
+		sum := sha256.Sum256(body)
+		if got, want := resp.Header.Get(ContentSHAHeader), hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("%s run %s = %q, want %q", pass, ContentSHAHeader, got, want)
+		}
+	}
+}
+
+// TestDeadlineMalformedRejected: a present-but-garbage deadline header is a
+// client error, never silently treated as "no deadline".
+func TestDeadlineMalformedRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, bad := range []string{"banana", "-5", "0", "NaN", "Inf"} {
+		resp, body := postRunWithDeadline(t, ts, quickBody, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline %q: status %d, want 400 (body %s)", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestDeadlineExceededWaiting pins the propagated-deadline contract: a
+// synchronous request whose X-Pmemd-Deadline budget runs out gets 504 with a
+// poll hint (distinct from the client-cancel message), the job's own context
+// is capped by the same budget, and server_deadline_timeouts counts it.
+func TestDeadlineExceededWaiting(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	release := make(chan struct{})
+	s.runFn = func(ctx context.Context, c canonical, attempt int) (RunResult, metrics.Snapshot, []byte, error) {
+		select {
+		case <-release:
+			return RunResult{ID: c.ID, Text: "slow"}, metrics.Snapshot{}, nil, nil
+		case <-ctx.Done():
+			return RunResult{}, metrics.Snapshot{}, nil, ctx.Err()
+		}
+	}
+
+	// An async submission with no deadline starts the (held) job under the
+	// full JobTimeout...
+	respA, bodyA := postRun(t, ts, `{"id":"fig04","quick":true,"sf":0.02,"async":true}`)
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, body %s", respA.StatusCode, bodyA)
+	}
+
+	// ...and a synchronous asker with a 150ms budget coalesces onto it: the
+	// wait — not the job — is what the propagated deadline bounds.
+	begin := time.Now()
+	resp, body := postRunWithDeadline(t, ts, quickBody, "150")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline exceeded waiting for job") {
+		t.Errorf("body %s does not name the deadline", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("504 without Retry-After")
+	}
+	if got := counter(t, s, "server_deadline_timeouts"); got != 1 {
+		t.Errorf("server_deadline_timeouts = %v, want 1", got)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Errorf("deadline-bounded wait took %v", elapsed)
+	}
+
+	// The job outlived its deadlined waiter: released, it finishes and its
+	// result lands in the cache for the next asker.
+	close(release)
+	respDone := awaitCounter(t, s, "server_jobs_done", 1)
+	if !respDone {
+		t.Fatal("held job never finished after release")
+	}
+}
+
+// TestDeadlineCapsJobContext: a job started BY a deadlined request gets its
+// context capped at that budget, so a wedged simulation cannot hold a pool
+// slot past everyone who wanted its result.
+func TestDeadlineCapsJobContext(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	s.runFn = func(ctx context.Context, c canonical, attempt int) (RunResult, metrics.Snapshot, []byte, error) {
+		<-ctx.Done() // wedge until the job ctx fires
+		return RunResult{}, metrics.Snapshot{}, nil, ctx.Err()
+	}
+	// Async, so the response returns immediately; only the job ctx (capped at
+	// min(JobTimeout=2m, deadline=150ms)) can unwind the wedged run.
+	resp, body := postRunWithDeadline(t, ts, `{"id":"fig04","quick":true,"sf":0.02,"async":true}`, "150")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d, body %s", resp.StatusCode, body)
+	}
+	if !awaitCounter(t, s, "server_jobs_failed", 1) {
+		t.Fatal("wedged job did not unwind after its deadline-capped context fired")
+	}
+}
+
+// awaitCounter polls until the named counter reaches want (true) or ~10s
+// elapse (false).
+func awaitCounter(t *testing.T, s *Server, name string, want float64) bool {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		if counter(t, s, name) >= want {
+			return true
+		}
+		select {
+		case <-deadline:
+			return false
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestDiskReadTamperFallback: with the chaos read-tamper hook flipping bits
+// on the disk tier's read path, a restarted server detects the per-record CRC
+// mismatch, counts it, and falls through to recompute — the response is still
+// correct, just not a disk hit.
+func TestDiskReadTamperFallback(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Options{DiskCacheDir: dir})
+	resp1, body1 := postRun(t, ts1, quickBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: status %d, body %s", resp1.StatusCode, body1)
+	}
+	ts1.Close()
+	s1.Close() // flushes the memtable
+
+	tamper := func(p []byte) []byte {
+		if len(p) > 0 {
+			p[len(p)/2] ^= 0x10
+		}
+		return p
+	}
+	s2, ts2 := newTestServer(t, Options{DiskCacheDir: dir, DiskReadTamper: tamper})
+	resp2, body2 := postRun(t, ts2, quickBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("tampered-tier run: status %d, body %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Pmemd-Cache"); got != "miss" {
+		t.Errorf("tampered-tier cache header = %q, want miss (recompute)", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("recomputed body differs from the cold run's bytes")
+	}
+	if got := counter(t, s2, "sstcache_read_corruptions"); got < 1 {
+		t.Errorf("sstcache_read_corruptions = %v, want >= 1", got)
+	}
+	if got := counter(t, s2, "server_cache_disk_hits"); got != 0 {
+		t.Errorf("server_cache_disk_hits = %v, want 0 (corrupt record must not serve)", got)
+	}
+}

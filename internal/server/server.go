@@ -3,14 +3,19 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +35,19 @@ const maxRetainedJobs = 1024
 // maxRequestBytes bounds a POST /v1/run body (an experiment id plus a
 // machine-config override fits in a fraction of this).
 const maxRequestBytes = 1 << 20
+
+// Headers shared by pmemd workers, the fleet router, and load/chaos clients.
+const (
+	// DeadlineHeader carries the request's remaining time budget in
+	// milliseconds. Relative rather than absolute so clock skew between
+	// router and worker cannot corrupt it. A worker caps both its
+	// result-wait and — for jobs it starts — the job context at this budget.
+	DeadlineHeader = "X-Pmemd-Deadline"
+	// ContentSHAHeader is the lowercase hex SHA-256 of the response body,
+	// set on every served result so the router (and any client) can verify
+	// end-to-end integrity and fail over on corruption.
+	ContentSHAHeader = "X-Pmemd-Content-SHA256"
+)
 
 // Options configures a Server.
 type Options struct {
@@ -65,6 +83,11 @@ type Options struct {
 	// DiskCacheMemtableBytes is the disk tier's memtable flush threshold.
 	// <= 0 means sstcache.DefaultMemtableBytes.
 	DiskCacheMemtableBytes int64
+	// DiskReadTamper, when set, is handed to the disk tier as its read-path
+	// fault hook (sstcache.Options.ReadTamper) — chaos plans use it to
+	// exercise per-record CRC verification against genuinely torn bytes.
+	// Production servers leave it nil.
+	DiskReadTamper func(payload []byte) []byte
 	// Logger receives the structured request/lifecycle log. nil discards
 	// (tests); the daemon passes a real handler.
 	Logger *slog.Logger
@@ -104,6 +127,8 @@ type job struct {
 	canon   canonical
 	created time.Time
 	done    chan struct{}
+
+	timeout time.Duration // per-job budget: min(JobTimeout, admitting request's deadline)
 
 	state    string // "queued" -> "running" -> "done" | "failed"
 	started  time.Time
@@ -150,6 +175,7 @@ type Server struct {
 
 	cRequests   *metrics.Counter
 	cDiskHits   *metrics.Counter
+	cDeadlines  *metrics.Counter
 	cRejected   *metrics.Counter
 	cCoalesced  *metrics.Counter
 	cJobsDone   *metrics.Counter
@@ -180,6 +206,7 @@ func New(opts Options) (*Server, error) {
 		disk, err = sstcache.Open(opts.DiskCacheDir, sstcache.Options{
 			MemtableBytes: opts.DiskCacheMemtableBytes,
 			Registry:      reg,
+			ReadTamper:    opts.DiskReadTamper,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: open disk cache: %w", err)
@@ -198,6 +225,7 @@ func New(opts Options) (*Server, error) {
 		jobs:        make(map[string]*job),
 		cRequests:   reg.Counter("server_requests"),
 		cDiskHits:   reg.Counter("server_cache_disk_hits"),
+		cDeadlines:  reg.Counter("server_deadline_timeouts"),
 		cRejected:   reg.Counter("server_rejected"),
 		cCoalesced:  reg.Counter("server_coalesced"),
 		cJobsDone:   reg.Counter("server_jobs_done"),
@@ -337,6 +365,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	deadline, hasDeadline, err := ParseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	key := canon.key()
 
 	s.mu.Lock()
@@ -409,7 +442,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
 			return
 		}
-		j = s.startJobLocked(canon, key)
+		jobTimeout := s.opts.JobTimeout
+		if hasDeadline && deadline < jobTimeout {
+			// A caller with less time than the job cap gets a job bounded by
+			// its own budget: work the caller can never collect synchronously
+			// is still admitted (async pollers may come back for it), but a
+			// fleet-propagated deadline keeps a wedged run from holding a pool
+			// slot long past everyone who wanted it.
+			jobTimeout = deadline
+		}
+		j = s.startJobLocked(canon, key, jobTimeout)
 	}
 	s.mu.Unlock()
 
@@ -421,11 +463,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	waitCtx := r.Context()
+	if hasDeadline {
+		var cancelWait context.CancelFunc
+		waitCtx, cancelWait = context.WithTimeout(waitCtx, deadline)
+		defer cancelWait()
+	}
 	select {
 	case <-j.done:
-	case <-r.Context().Done():
-		// The client gave up (disconnect or its own deadline). The job keeps
-		// running: its result still lands in the cache for the next asker.
+	case <-waitCtx.Done():
+		// The client gave up (disconnect or its own deadline) or the
+		// propagated budget ran out. Either way the job keeps running: its
+		// result still lands in the cache for the next asker.
+		if errors.Is(waitCtx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
+			s.cDeadlines.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusGatewayTimeout,
+				"deadline exceeded waiting for job; poll /v1/jobs/"+j.id)
+			return
+		}
 		writeError(w, http.StatusGatewayTimeout,
 			"request canceled while waiting; poll /v1/jobs/"+j.id)
 		return
@@ -586,13 +642,14 @@ type JobStatus struct {
 	TraceHref  string          `json:"trace_href,omitempty"`
 }
 
-func (s *Server) startJobLocked(c canonical, key string) *job {
+func (s *Server) startJobLocked(c canonical, key string, timeout time.Duration) *job {
 	s.nextID++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", s.nextID),
 		key:     key,
 		canon:   c,
 		created: time.Now(),
+		timeout: timeout,
 		state:   "queued",
 		done:    make(chan struct{}),
 	}
@@ -642,7 +699,7 @@ func (s *Server) pruneHistoryLocked() {
 // the result, publish. It is the only writer of the job's terminal state.
 func (s *Server) run(j *job) {
 	defer s.jobsWG.Done()
-	ctx, cancel := context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
 	defer cancel()
 
 	var res RunResult
@@ -867,9 +924,28 @@ func (s *Server) Close() {
 	}
 }
 
+// ParseDeadline parses the request's DeadlineHeader as a positive finite
+// millisecond budget. An absent header is not an error (no deadline); a
+// present-but-garbage one is — a client that meant to bound a request must
+// not silently get an unbounded one. Exported so the fleet router applies
+// the exact same rules at its edge.
+func ParseDeadline(r *http.Request) (time.Duration, bool, error) {
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return 0, false, nil
+	}
+	ms, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms <= 0 {
+		return 0, false, fmt.Errorf("malformed %s header %q: want positive milliseconds", DeadlineHeader, raw)
+	}
+	return time.Duration(ms * float64(time.Millisecond)), true, nil
+}
+
 func serveResult(w http.ResponseWriter, body []byte, cacheState string) {
+	sum := sha256.Sum256(body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Pmemd-Cache", cacheState)
+	w.Header().Set(ContentSHAHeader, hex.EncodeToString(sum[:]))
 	w.Write(body)
 }
 

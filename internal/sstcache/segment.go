@@ -13,9 +13,10 @@ import (
 
 // Segment file layout (all integers big-endian):
 //
-//	header:  magic "PMSSTBL1" (8) · seq u64
+//	header:  magic "PMSSTBL2" (8) · seq u64
 //	records: sorted ascending by key, each
-//	         keyLen u32 · bodyLen u32 · traceLen u32 · key · body · trace
+//	         keyLen u32 · bodyLen u32 · traceLen u32 · recordCRC u32 ·
+//	         key · body · trace
 //	index:   every indexEvery-th record, each
 //	         keyLen u32 · offset u64 · key      (offset from file start)
 //	footer:  indexOffset u64 · recordCount u32 · indexCount u32 ·
@@ -23,19 +24,26 @@ import (
 //
 // The sparse index is loaded into memory at open; a lookup binary-searches
 // it and scans at most indexEvery records from the chosen offset. The two
-// CRCs cover the record and index regions, so a torn flush or truncated
-// file fails validation at open and is skipped by recovery.
+// region CRCs cover the record and index regions, so a torn flush or
+// truncated file fails validation at open and is skipped by recovery.
+// recordCRC (CRC32-Castagnoli over key·body·trace) is verified on *every*
+// read, so bytes rotted or torn after open — media faults, or an injected
+// chaos tamper — surface as a per-record corruption instead of being
+// served. (The previous "PMSSTBL1" format had no per-record CRC; such
+// segments fail the magic check at open and are recomputed, which is
+// always safe for this derived-state tier.)
 
 const (
 	segSuffix  = ".seg"
 	tmpSuffix  = ".tmp"
 	headerSize = 16
 	footerSize = 32
+	recHdrSize = 16
 	indexEvery = 16
 )
 
 var (
-	segMagic = [8]byte{'P', 'M', 'S', 'S', 'T', 'B', 'L', '1'}
+	segMagic = [8]byte{'P', 'M', 'S', 'S', 'T', 'B', 'L', '2'}
 	endMagic = [8]byte{'P', 'M', 'S', 'S', 'T', 'E', 'N', 'D'}
 	crcTable = crc32.MakeTable(crc32.Castagnoli)
 )
@@ -67,6 +75,7 @@ type segment struct {
 	fileSize int64
 	dataEnd  int64 // index region start == end of records
 	index    []indexEntry
+	tamper   func([]byte) []byte // optional read-path fault hook (chaos/tests)
 }
 
 // writeSegment renders records (already sorted by key) into path via a
@@ -98,14 +107,18 @@ func writeSegment(path string, seq uint64, recs []record) error {
 
 	off := int64(headerSize)
 	var index []indexEntry
-	var lenBuf [12]byte
+	var lenBuf [recHdrSize]byte
 	for i, r := range recs {
 		if i%indexEvery == 0 {
 			index = append(index, indexEntry{key: r.key, off: off})
 		}
+		recCRC := crc32.Checksum([]byte(r.key), crcTable)
+		recCRC = crc32.Update(recCRC, crcTable, r.body)
+		recCRC = crc32.Update(recCRC, crcTable, r.trace)
 		binary.BigEndian.PutUint32(lenBuf[0:], uint32(len(r.key)))
 		binary.BigEndian.PutUint32(lenBuf[4:], uint32(len(r.body)))
 		binary.BigEndian.PutUint32(lenBuf[8:], uint32(len(r.trace)))
+		binary.BigEndian.PutUint32(lenBuf[12:], recCRC)
 		if _, err := data.Write(lenBuf[:]); err != nil {
 			return err
 		}
@@ -114,7 +127,7 @@ func writeSegment(path string, seq uint64, recs []record) error {
 				return err
 			}
 		}
-		off += 12 + int64(len(r.key)) + int64(len(r.body)) + int64(len(r.trace))
+		off += recHdrSize + int64(len(r.key)) + int64(len(r.body)) + int64(len(r.trace))
 	}
 
 	indexOffset := off
@@ -258,31 +271,41 @@ func openSegment(path string) (*segment, error) {
 }
 
 // readRecordAt decodes one record starting at off; returns the record and
-// the offset just past it.
+// the offset just past it. The record CRC is verified against the payload
+// as read (after the optional tamper hook), so any byte that changed since
+// the segment was written — on the media or in flight — fails the read
+// with ErrCorruptRecord instead of being served.
 func (s *segment) readRecordAt(off int64) (record, int64, error) {
-	var lenBuf [12]byte
+	var lenBuf [recHdrSize]byte
 	if _, err := s.f.ReadAt(lenBuf[:], off); err != nil {
 		return record{}, 0, err
 	}
 	klen := int(binary.BigEndian.Uint32(lenBuf[0:]))
 	blen := int(binary.BigEndian.Uint32(lenBuf[4:]))
 	tlen := int(binary.BigEndian.Uint32(lenBuf[8:]))
+	wantCRC := binary.BigEndian.Uint32(lenBuf[12:])
 	if klen > maxRecordPart || blen > maxRecordPart || tlen > maxRecordPart {
 		return record{}, 0, fmt.Errorf("sstcache: segment %s record at %d has absurd lengths", s.path, off)
 	}
 	total := int64(klen + blen + tlen)
-	if off+12+total > s.dataEnd {
+	if off+recHdrSize+total > s.dataEnd {
 		return record{}, 0, fmt.Errorf("sstcache: segment %s record at %d overruns data region", s.path, off)
 	}
 	buf := make([]byte, total)
-	if _, err := s.f.ReadAt(buf, off+12); err != nil {
+	if _, err := s.f.ReadAt(buf, off+recHdrSize); err != nil {
 		return record{}, 0, err
+	}
+	if s.tamper != nil {
+		buf = s.tamper(buf)
+	}
+	if int64(len(buf)) != total || crc32.Checksum(buf, crcTable) != wantCRC {
+		return record{}, 0, fmt.Errorf("sstcache: segment %s record at %d: %w", s.path, off, ErrCorruptRecord)
 	}
 	r := record{key: string(buf[:klen]), body: buf[klen : klen+blen]}
 	if tlen > 0 {
 		r.trace = buf[klen+blen:]
 	}
-	return r, off + 12 + total, nil
+	return r, off + recHdrSize + total, nil
 }
 
 // get looks key up via the sparse index: binary search for the last index

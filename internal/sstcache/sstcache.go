@@ -14,6 +14,7 @@
 package sstcache
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +23,12 @@ import (
 
 	"repro/internal/metrics"
 )
+
+// ErrCorruptRecord marks a record whose per-record CRC failed at read time:
+// the bytes on (or from) the media are not the bytes that were written.
+// The store treats it as a miss — the cache is derived state, recompute is
+// always correct — and counts it in sstcache_read_corruptions.
+var ErrCorruptRecord = errors.New("corrupt record")
 
 // DefaultMemtableBytes is the flush threshold when Options leaves it zero.
 const DefaultMemtableBytes = 4 << 20
@@ -42,6 +49,12 @@ type Options struct {
 	// Registry receives the store's sstcache_* metrics. nil means a
 	// private throwaway registry.
 	Registry *metrics.Registry
+	// ReadTamper, when set, is applied to every record payload
+	// (key·body·trace) as it is read back from a segment, before CRC
+	// verification — the chaos-injection seam that makes torn-read handling
+	// testable end to end. It may mutate the buffer in place (each read
+	// gets a fresh one). Production stores leave it nil.
+	ReadTamper func(payload []byte) []byte
 }
 
 // entry is one cached result: the served body plus its optional trace.
@@ -66,11 +79,12 @@ type Store struct {
 	segs     []*segment // oldest first; lookups scan newest first
 	nextSeq  uint64
 
-	cHits     *metrics.Counter
-	cMisses   *metrics.Counter
-	cFlushes  *metrics.Counter
-	cCompacts *metrics.Counter
-	cCorrupt  *metrics.Counter
+	cHits        *metrics.Counter
+	cMisses      *metrics.Counter
+	cFlushes     *metrics.Counter
+	cCompacts    *metrics.Counter
+	cCorrupt     *metrics.Counter
+	cReadCorrupt *metrics.Counter
 	gSegments *metrics.Gauge
 	gSegBytes *metrics.Gauge
 	gMemBytes *metrics.Gauge
@@ -98,11 +112,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:       dir,
 		opts:      opts,
 		mem:       make(map[string]entry),
-		cHits:     reg.Counter("sstcache_hits"),
-		cMisses:   reg.Counter("sstcache_misses"),
-		cFlushes:  reg.Counter("sstcache_flushes"),
-		cCompacts: reg.Counter("sstcache_compactions"),
-		cCorrupt:  reg.Counter("sstcache_corrupt_segments"),
+		cHits:        reg.Counter("sstcache_hits"),
+		cMisses:      reg.Counter("sstcache_misses"),
+		cFlushes:     reg.Counter("sstcache_flushes"),
+		cCompacts:    reg.Counter("sstcache_compactions"),
+		cCorrupt:     reg.Counter("sstcache_corrupt_segments"),
+		cReadCorrupt: reg.Counter("sstcache_read_corruptions"),
 		gSegments: reg.Gauge("sstcache_segments"),
 		gSegBytes: reg.Gauge("sstcache_segment_bytes"),
 		gMemBytes: reg.Gauge("sstcache_memtable_bytes"),
@@ -131,6 +146,7 @@ func (s *Store) recover() error {
 			s.cCorrupt.Inc()
 			continue
 		}
+		seg.tamper = s.opts.ReadTamper
 		s.segs = append(s.segs, seg)
 		if seg.seq >= s.nextSeq {
 			s.nextSeq = seg.seq + 1
@@ -159,10 +175,16 @@ func (s *Store) Get(key string) (body, trace []byte, ok bool) {
 	for i := len(s.segs) - 1; i >= 0; i-- {
 		b, tr, found, err := s.segs[i].get(key)
 		if err != nil {
-			// A read error on a previously valid segment (disk fault,
-			// concurrent deletion): treat as a miss rather than fail the
-			// serving path — the cache is always recomputable.
-			s.cCorrupt.Inc()
+			// A read error on a previously valid segment — a per-record CRC
+			// mismatch (bytes rotted or torn after open) or an I/O fault:
+			// treat as a miss rather than fail the serving path — the cache
+			// is always recomputable, so falling through to compute is the
+			// correct answer.
+			if errors.Is(err, ErrCorruptRecord) {
+				s.cReadCorrupt.Inc()
+			} else {
+				s.cCorrupt.Inc()
+			}
 			continue
 		}
 		if found {
@@ -233,6 +255,7 @@ func (s *Store) flushLocked() error {
 	if err != nil {
 		return fmt.Errorf("sstcache: reopen fresh segment: %w", err)
 	}
+	seg.tamper = s.opts.ReadTamper
 	s.nextSeq = seq + 1
 	s.segs = append(s.segs, seg)
 	s.mem = make(map[string]entry)
@@ -257,7 +280,11 @@ func (s *Store) compactLocked() error {
 			merged[r.key] = r
 		})
 		if err != nil {
-			s.cCorrupt.Inc()
+			if errors.Is(err, ErrCorruptRecord) {
+				s.cReadCorrupt.Inc()
+			} else {
+				s.cCorrupt.Inc()
+			}
 			continue
 		}
 	}
@@ -279,6 +306,7 @@ func (s *Store) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("sstcache: reopen compacted segment: %w", err)
 	}
+	seg.tamper = s.opts.ReadTamper
 	s.nextSeq = seq + 1
 	old := s.segs
 	s.segs = []*segment{seg}

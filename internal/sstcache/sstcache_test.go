@@ -313,3 +313,84 @@ func TestMetricsRecorded(t *testing.T) {
 		}
 	}
 }
+
+// TestBitFlippedRecordFallsBack: flipping one bit of a record body *after*
+// the segment was opened (so open-time region CRCs never saw it) makes the
+// read fail its per-record CRC: Get treats the key as a miss and counts a
+// read corruption instead of serving the rotted bytes. Records that sort
+// before the corrupted one (the scan never crosses it) stay readable.
+func TestBitFlippedRecordFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	s := openTest(t, dir, Options{Registry: reg})
+	bodyB := []byte("beta-body-bytes")
+	if err := s.Put("ka", []byte("alpha-body-bytes"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("kb", bodyB, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit of kb's body on disk. The store's open file handle reads
+	// through to the changed byte.
+	segs, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(raw, bodyB)
+	if i < 0 {
+		t.Fatal("body bytes not found in segment file")
+	}
+	raw[i] ^= 0x01
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := s.Get("kb"); ok {
+		t.Error("Get(kb) served a bit-flipped record")
+	}
+	if got, _ := reg.Snapshot().Get("sstcache_read_corruptions"); got != 1 {
+		t.Errorf("sstcache_read_corruptions = %g, want 1", got)
+	}
+	if body, _, ok := s.Get("ka"); !ok || string(body) != "alpha-body-bytes" {
+		t.Errorf("Get(ka) = %q/%v, want intact preceding record", body, ok)
+	}
+}
+
+// TestReadTamperHook: the chaos seam — a tamper hook that corrupts every
+// record payload read back makes every segment read a counted miss; a
+// pass-through hook leaves reads intact.
+func TestReadTamperHook(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	s := openTest(t, dir, Options{
+		Registry:   reg,
+		ReadTamper: func(p []byte) []byte { p[0] ^= 0x80; return p },
+	})
+	if err := s.Put("key", []byte("value"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("key"); ok {
+		t.Error("tampered read served corrupt bytes")
+	}
+	if got, _ := reg.Snapshot().Get("sstcache_read_corruptions"); got == 0 {
+		t.Error("tampered read not counted in sstcache_read_corruptions")
+	}
+
+	// Same directory reopened without the hook: the data on disk was never
+	// corrupted, only the read path was.
+	s2 := openTest(t, dir, Options{})
+	if body, _, ok := s2.Get("key"); !ok || string(body) != "value" {
+		t.Errorf("clean reopen Get = %q/%v, want value", body, ok)
+	}
+}
