@@ -336,9 +336,25 @@ func requireIsolatedSweep(showMetrics bool, metricsJSON, traceDir, faultsFlag st
 // the doctor triages the comparison — attributing any regression to the
 // counter family that shifted — on stderr, whichever way the gate goes.
 func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance float64, diagnose bool) {
+	// Read the baseline before writing the report: ratcheting writes the new
+	// report over the committed baseline file in place (-bench-json
+	// BENCH_sim.json -bench-baseline BENCH_sim.json), so the old bytes must
+	// be in hand first. Having the baseline also lets the report record each
+	// entry's counter deltas against it.
+	var base experiments.BenchReport
+	if baselinePath != "" {
+		var err error
+		base, err = experiments.ReadBenchReport(baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	rep, err := experiments.RunBench(ctx, experiments.Config{SF: 0.05, Quick: true})
 	if err != nil {
 		fatal(err)
+	}
+	if baselinePath != "" {
+		rep.AnnotateDeltas(base)
 	}
 	w := os.Stdout
 	if outPath != "-" {
@@ -354,10 +370,6 @@ func runBenchMode(ctx context.Context, outPath, baselinePath string, tolerance f
 	}
 	if baselinePath == "" {
 		return
-	}
-	base, err := experiments.ReadBenchReport(baselinePath)
-	if err != nil {
-		fatal(err)
 	}
 	if diagnose {
 		diagnoseBenchDiff(base, rep, tolerance)

@@ -1,0 +1,72 @@
+// Package arena provides a typed slab (bump) allocator for hot-loop scratch
+// objects. The SSB engines issue the same population of machine.Stream
+// descriptors on every query; allocating them from the regular heap makes
+// each warmed query pay thousands of allocations for structs whose lifetime
+// ends when the run returns. An Arena hands out pointers from reusable
+// slabs instead: Alloc is a bump of an index, Reset recycles everything
+// while keeping the slabs, so a warmed caller's steady state is zero
+// allocations per run.
+//
+// Pointers returned by Alloc are stable: slabs are never reallocated or
+// moved, so a *T stays valid across later Allocs (growth appends a new slab)
+// until the next Reset recycles it. An Arena is not safe for concurrent use;
+// give each goroutine its own.
+package arena
+
+// Arena is a bump allocator over fixed-size slabs of T.
+type Arena[T any] struct {
+	slabs    [][]T
+	slabSize int
+	slab     int // index of the slab currently being filled (-1 = none)
+	used     int // elements handed out from slabs[slab]
+}
+
+// New returns an arena whose slabs hold slabSize elements each.
+func New[T any](slabSize int) *Arena[T] {
+	if slabSize < 1 {
+		slabSize = 64
+	}
+	return &Arena[T]{slabSize: slabSize, slab: -1}
+}
+
+// Alloc returns a pointer to a zeroed T. The pointer remains valid — and is
+// never aliased by another Alloc — until the next Reset.
+func (a *Arena[T]) Alloc() *T {
+	if a.slab < 0 || a.used == len(a.slabs[a.slab]) {
+		a.slab++
+		if a.slab == len(a.slabs) {
+			a.slabs = append(a.slabs, make([]T, a.slabSize))
+		}
+		a.used = 0
+	}
+	p := &a.slabs[a.slab][a.used]
+	a.used++
+	return p
+}
+
+// Live reports how many elements have been handed out since the last Reset.
+func (a *Arena[T]) Live() int {
+	if a.slab < 0 {
+		return 0
+	}
+	return a.slab*a.slabSize + a.used
+}
+
+// Reset recycles every outstanding element: the slabs are kept, the handed
+// out elements are zeroed so the next Alloc cycle starts clean. All pointers
+// from before the Reset alias future Allocs and must not be used again.
+func (a *Arena[T]) Reset() {
+	var zero T
+	for si := 0; si <= a.slab; si++ {
+		s := a.slabs[si]
+		n := len(s)
+		if si == a.slab {
+			n = a.used
+		}
+		for i := 0; i < n; i++ {
+			s[i] = zero
+		}
+	}
+	a.slab = -1
+	a.used = 0
+}

@@ -1,0 +1,70 @@
+package arena
+
+import "testing"
+
+func TestAllocZeroedAndDistinct(t *testing.T) {
+	a := New[int](4)
+	seen := map[*int]bool{}
+	for i := 0; i < 10; i++ {
+		p := a.Alloc()
+		if *p != 0 {
+			t.Fatalf("alloc %d: got %d, want zeroed", i, *p)
+		}
+		if seen[p] {
+			t.Fatalf("alloc %d: pointer aliased before Reset", i)
+		}
+		seen[p] = true
+		*p = i + 1
+	}
+	if got := a.Live(); got != 10 {
+		t.Fatalf("Live = %d, want 10", got)
+	}
+}
+
+func TestPointersStableAcrossGrowth(t *testing.T) {
+	a := New[int](2)
+	first := a.Alloc()
+	*first = 42
+	for i := 0; i < 100; i++ {
+		a.Alloc()
+	}
+	if *first != 42 {
+		t.Fatalf("first element changed to %d after growth", *first)
+	}
+}
+
+func TestResetRecyclesAndZeroes(t *testing.T) {
+	a := New[[2]int](3)
+	for i := 0; i < 7; i++ {
+		p := a.Alloc()
+		p[0], p[1] = i, i
+	}
+	a.Reset()
+	if got := a.Live(); got != 0 {
+		t.Fatalf("Live after Reset = %d, want 0", got)
+	}
+	for i := 0; i < 7; i++ {
+		p := a.Alloc()
+		if p[0] != 0 || p[1] != 0 {
+			t.Fatalf("alloc %d after Reset: got %v, want zeroed", i, *p)
+		}
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	a := New[[16]byte](8)
+	// Warm to the working-set size once.
+	for i := 0; i < 50; i++ {
+		a.Alloc()
+	}
+	a.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 50; i++ {
+			a.Alloc()
+		}
+		a.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Alloc/Reset cycle allocates %.0f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,58 @@
+package aware
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/ssb"
+)
+
+// TestEncodedFactRoundTrip exercises the lazy fact encoding end to end:
+// EncodedFact materializes the 128 B tuple buffers on first call, stripes
+// them contiguously across the sockets, and decodeTuple recovers exactly the
+// fields encodeTuple stored for every row.
+func TestEncodedFactRoundTrip(t *testing.T) {
+	d := ssb.MustGenerate(0.005)
+	m := machine.MustNew(machine.DefaultConfig())
+	e, err := New(m, d, Options{Threads: 4, Sockets: 2, TargetSF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact := e.EncodedFact()
+	if len(fact) != 2 {
+		t.Fatalf("stripes = %d, want 2", len(fact))
+	}
+	var total int
+	for _, part := range fact {
+		if len(part)%ssb.TupleBytes != 0 {
+			t.Fatalf("stripe length %d not a multiple of %d", len(part), ssb.TupleBytes)
+		}
+		total += len(part) / ssb.TupleBytes
+	}
+	if total != len(d.Lineorder) {
+		t.Fatalf("encoded rows = %d, want %d", total, len(d.Lineorder))
+	}
+	row := 0
+	for _, part := range fact {
+		for off := 0; off < len(part); off += ssb.TupleBytes {
+			lo := &d.Lineorder[row]
+			got := decodeTuple(part[off:])
+			if got.custKey != lo.CustKey || got.partKey != lo.PartKey ||
+				got.suppKey != lo.SuppKey || got.orderDate != lo.OrderDate ||
+				got.extendedPrice != lo.ExtendedPrice || got.revenue != lo.Revenue ||
+				got.supplyCost != lo.SupplyCost || got.quantity != lo.Quantity ||
+				got.discount != lo.Discount {
+				t.Fatalf("row %d: decode mismatch: %+v vs %+v", row, got, lo)
+			}
+			row++
+		}
+	}
+
+	// A second call must hand back the same memoized buffers, not re-encode.
+	again := e.EncodedFact()
+	for s := range fact {
+		if &fact[s][0] != &again[s][0] {
+			t.Errorf("stripe %d re-encoded instead of memoized", s)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package aware
 
 import (
-	"fmt"
-
 	"repro/internal/access"
 	"repro/internal/cpu"
 	"repro/internal/dash"
@@ -17,9 +15,10 @@ func (e *Engine) simulateBuild(indexes []*dimIndex) (float64, error) {
 	if len(indexes) == 0 {
 		return 0, nil
 	}
-	var streams []*machine.Stream
+	e.streamArena.Reset()
+	streams := e.streamBuf[:0]
 	for s := 0; s < e.activeSockets(); s++ {
-		placements := cpu.AssignThreads(e.m.Topology(), e.pinPolicy(), e.factRegion[s].Socket, len(indexes))
+		placements := e.buildPlacementsFor(e.factRegion[s].Socket, len(indexes))
 		for i, ix := range indexes {
 			scale := e.dimScaleOf(ix.name)
 			scanBytes := float64(dimRows(e.data, ix.name)) * 200 * scale
@@ -28,30 +27,33 @@ func (e *Engine) simulateBuild(indexes []*dimIndex) (float64, error) {
 				writeBytes = dash.BucketBytes
 			}
 			cpuSec := float64(ix.entries) * scale * 200e-9
-			streams = append(streams,
-				&machine.Stream{
-					Label:      fmt.Sprintf("build-scan/%s/s%d", ix.name, s),
-					Placement:  placements[i],
-					Policy:     e.pinPolicy(),
-					Region:     e.dimRegion[s],
-					Dir:        access.Read,
-					Pattern:    access.SeqIndividual,
-					AccessSize: 4096,
-					Bytes:      maxf(scanBytes, 4096),
-					CPUPerByte: cpuSec / maxf(scanBytes, 4096),
-				},
-				&machine.Stream{
-					Label:      fmt.Sprintf("build-index/%s/s%d", ix.name, s),
-					Placement:  placements[i],
-					Policy:     e.pinPolicy(),
-					Region:     e.dimRegion[s],
-					Dir:        access.Write,
-					Pattern:    access.Random,
-					AccessSize: dash.BucketBytes,
-					Bytes:      writeBytes,
-				})
+			scan := e.streamArena.Alloc()
+			*scan = machine.Stream{
+				Label:      e.labelFor('b', ix.name, s, -1, 0),
+				Placement:  placements[i],
+				Policy:     e.pinPolicy(),
+				Region:     e.dimRegion[s],
+				Dir:        access.Read,
+				Pattern:    access.SeqIndividual,
+				AccessSize: 4096,
+				Bytes:      maxf(scanBytes, 4096),
+				CPUPerByte: cpuSec / maxf(scanBytes, 4096),
+			}
+			build := e.streamArena.Alloc()
+			*build = machine.Stream{
+				Label:      e.labelFor('i', ix.name, s, -1, 0),
+				Placement:  placements[i],
+				Policy:     e.pinPolicy(),
+				Region:     e.dimRegion[s],
+				Dir:        access.Write,
+				Pattern:    access.Random,
+				AccessSize: dash.BucketBytes,
+				Bytes:      writeBytes,
+			}
+			streams = append(streams, scan, build)
 		}
 	}
+	e.streamBuf = streams
 	res, err := e.m.Run(streams)
 	if err != nil {
 		return 0, err
@@ -82,7 +84,8 @@ func (e *Engine) simulateFactPhase(q ssb.Query, indexes []*dimIndex, qualifying 
 	}
 
 	placements := e.threadsPlacement()
-	var streams []*machine.Stream
+	e.streamArena.Reset()
+	streams := e.streamBuf[:0]
 
 	// Per-thread CPU: decode + predicates + aggregation updates, spread over
 	// the scanned bytes.
@@ -98,7 +101,9 @@ func (e *Engine) simulateFactPhase(q ssb.Query, indexes []*dimIndex, qualifying 
 			pl := placements[s][t]
 			perThread := scanBytesSocket / float64(n)
 			e.addSplitStreams(&streams, splitSpec{
-				label:      fmt.Sprintf("scan/s%d/t%02d", s, t),
+				kind:       's',
+				sock:       s,
+				thread:     t,
 				placement:  pl,
 				dir:        access.Read,
 				pattern:    access.SeqIndividual,
@@ -131,7 +136,10 @@ func (e *Engine) simulateFactPhase(q ssb.Query, indexes []*dimIndex, qualifying 
 					bytes = dash.BucketBytes
 				}
 				e.addSplitStreams(&streams, splitSpec{
-					label:      fmt.Sprintf("probe-%s/s%d/t%02d", ix.name, s, t),
+					kind:       'p',
+					name:       ix.name,
+					sock:       s,
+					thread:     t,
 					placement:  pl,
 					dir:        access.Read,
 					pattern:    access.Random,
@@ -147,6 +155,7 @@ func (e *Engine) simulateFactPhase(q ssb.Query, indexes []*dimIndex, qualifying 
 	}
 
 	streams = append(streams, extra...)
+	e.streamBuf = streams
 	res, err := e.m.Run(streams)
 	if err != nil {
 		return 0, stats, err
@@ -164,7 +173,10 @@ func probesLogical(ix *dimIndex) float64 {
 }
 
 type splitSpec struct {
-	label      string
+	kind       byte   // labelFor kind: 's' scan, 'p' probe
+	name       string // dimension name for probes
+	sock       int
+	thread     int
 	placement  cpu.Placement
 	dir        access.Direction
 	pattern    access.Pattern
@@ -180,9 +192,10 @@ type splitSpec struct {
 // between the near and far partitions (the pre-optimization "2-Socket" row
 // of Table 1, where data placement ignores NUMA).
 func (e *Engine) addSplitStreams(streams *[]*machine.Stream, sp splitSpec) {
-	mk := func(label string, region *machine.Region, bytes float64) *machine.Stream {
-		return &machine.Stream{
-			Label:      label,
+	mk := func(variant byte, region *machine.Region, bytes float64) *machine.Stream {
+		st := e.streamArena.Alloc()
+		*st = machine.Stream{
+			Label:      e.labelFor(sp.kind, sp.name, sp.sock, sp.thread, variant),
 			Placement:  sp.placement,
 			Policy:     e.pinPolicy(),
 			Region:     region,
@@ -193,14 +206,15 @@ func (e *Engine) addSplitStreams(streams *[]*machine.Stream, sp splitSpec) {
 			CPUPerByte: sp.cpuPerByte,
 			Dependent:  sp.dependent,
 		}
+		return st
 	}
 	if e.opt.NUMAAware || e.activeSockets() == 1 || sp.farRegion == nil {
-		*streams = append(*streams, mk(sp.label, sp.nearRegion, sp.bytes))
+		*streams = append(*streams, mk(0, sp.nearRegion, sp.bytes))
 		return
 	}
 	*streams = append(*streams,
-		mk(sp.label+"/near", sp.nearRegion, sp.bytes/2),
-		mk(sp.label+"/far", sp.farRegion, sp.bytes/2),
+		mk('n', sp.nearRegion, sp.bytes/2),
+		mk('f', sp.farRegion, sp.bytes/2),
 	)
 }
 

@@ -22,6 +22,11 @@ type BenchEntry struct {
 	PeakGBs float64 `json:"peak_gbs"`
 	// Metrics is the entry's key-counter snapshot (schema >= 2 reports).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MetricsDelta is the counter movement the report recorded against the
+	// baseline it was produced with (see experiments.AnnotateDeltas) — the
+	// attribution fallback when the compared baseline carries no snapshot
+	// of its own.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // BenchReport mirrors the BENCH_sim.json document.
@@ -191,6 +196,28 @@ func attributeShift(b, c BenchEntry) (string, []Evidence) {
 	}
 	add("allocs", float64(b.Allocs), float64(c.Allocs))
 	add("peak_gbs", b.PeakGBs, c.PeakGBs)
+	// Schema-1 baselines carry no counter snapshot, so nothing above can
+	// shift. Fall back to the deltas the candidate report recorded against
+	// the baseline it was produced with: the movement is the same quantity,
+	// just written down at report time instead of recomputed here.
+	if len(shifts) == 0 && len(b.Metrics) == 0 {
+		deltaNames := make([]string, 0, len(c.MetricsDelta))
+		for name := range c.MetricsDelta {
+			deltaNames = append(deltaNames, name)
+		}
+		sort.Strings(deltaNames)
+		for _, name := range deltaNames {
+			d := c.MetricsDelta[name]
+			cur := c.Metrics[name]
+			switch name {
+			case "allocs":
+				cur = float64(c.Allocs)
+			case "peak_gbs":
+				cur = c.PeakGBs
+			}
+			add(name, cur-d, cur)
+		}
+	}
 	sort.SliceStable(shifts, func(i, j int) bool {
 		if math.Abs(shifts[i].rel) != math.Abs(shifts[j].rel) {
 			return math.Abs(shifts[i].rel) > math.Abs(shifts[j].rel)

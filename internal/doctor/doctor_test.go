@@ -314,6 +314,25 @@ func TestDiagnoseBenchDiff(t *testing.T) {
 	}
 }
 
+// TestBenchDiffDeltaFallback regresses against a schema-1 baseline (no
+// counter snapshots): attribution falls back to the metrics_delta the
+// candidate report recorded when it was produced, instead of giving up with
+// the generic wall-regression verdict.
+func TestBenchDiffDeltaFallback(t *testing.T) {
+	base := &BenchReport{Schema: 1, Calibration: 1, Entries: []BenchEntry{
+		{ID: "big", WallMS: 200},
+	}}
+	cur := &BenchReport{Schema: 2, Calibration: 1, Entries: []BenchEntry{
+		{ID: "big", WallMS: 400,
+			Metrics:      map[string]float64{"queue.arrivals": 300},
+			MetricsDelta: map[string]float64{"queue.arrivals": 200}},
+	}}
+	reg := DiagnoseBenchDiff(base, cur, 0.20)
+	if reg.Top().Mechanism != MechQueueWait {
+		t.Fatalf("delta fallback top = %s, want %s:\n%+v", reg.Top().Mechanism, MechQueueWait, reg.Verdicts)
+	}
+}
+
 func TestKeyCounters(t *testing.T) {
 	s := snap(
 		map[string]float64{

@@ -22,6 +22,14 @@ const BenchSchema = 2
 // the wall-clock number the ≥2x speedup target and the CI gate track.
 const FullCatalogID = "_full_catalog"
 
+// DatasetID is the pseudo-entry for SSB dataset generation. The dataset is
+// memoized process-wide (dataAt), so without this entry its one-time cost
+// would be charged to whichever experiment happens to touch it first — an
+// alphabetical accident that distorts that experiment's numbers. RunBench
+// generates it up front under this ID instead; _full_catalog still includes
+// it, so the total stays honest.
+const DatasetID = "_dataset"
+
 // BenchEntry is one experiment's measured cost in a benchmark run.
 type BenchEntry struct {
 	ID string `json:"id"`
@@ -39,6 +47,14 @@ type BenchEntry struct {
 	// so the committed report stays byte-stable. Zero-valued counters are
 	// elided.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MetricsDelta records how this entry's counters (plus the allocs and
+	// peak_gbs pseudo-counters) moved relative to the baseline the report
+	// was gated against — written by AnnotateDeltas when a report is
+	// produced with a baseline in hand. A committed, ratcheted baseline
+	// therefore carries the counter movement that justified the ratchet, so
+	// pmemdoctor's bench-diff triage can name the counters that moved at
+	// the previous ratchet without digging the old baseline out of git.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // BenchReport is the BENCH_sim.json document: the tier-0 (quick catalogue)
@@ -93,6 +109,24 @@ func RunBench(ctx context.Context, cfg Config) (BenchReport, error) {
 
 	var total BenchEntry
 	total.ID = FullCatalogID
+
+	{
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		dataAt(cfg.SF)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ent := BenchEntry{
+			ID:     DatasetID,
+			WallMS: float64(wall.Nanoseconds()) / 1e6,
+			Allocs: after.Mallocs - before.Mallocs,
+		}
+		rep.Entries = append(rep.Entries, ent)
+		total.WallMS += ent.WallMS
+		total.Allocs += ent.Allocs
+	}
+
 	for _, e := range All() {
 		if err := ctx.Err(); err != nil {
 			return rep, err
@@ -139,6 +173,45 @@ func RunBench(ctx context.Context, cfg Config) (BenchReport, error) {
 	rep.Entries = append(rep.Entries, total)
 	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].ID < rep.Entries[j].ID })
 	return rep, nil
+}
+
+// AnnotateDeltas records, on every entry of r that also exists in base, the
+// per-counter movement (current minus baseline) of its key counters and of
+// the allocs/peak_gbs pseudo-counters. Unchanged counters are elided so the
+// committed report stays small; an entry with no movement carries no delta
+// map at all.
+func (r *BenchReport) AnnotateDeltas(base BenchReport) {
+	baseByID := make(map[string]BenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByID[e.ID] = e
+	}
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		b, ok := baseByID[e.ID]
+		if !ok {
+			continue
+		}
+		delta := map[string]float64{}
+		for name, cur := range e.Metrics {
+			if d := cur - b.Metrics[name]; d != 0 {
+				delta[name] = d
+			}
+		}
+		for name, was := range b.Metrics {
+			if _, ok := e.Metrics[name]; !ok && was != 0 {
+				delta[name] = -was
+			}
+		}
+		if d := float64(e.Allocs) - float64(b.Allocs); d != 0 {
+			delta["allocs"] = d
+		}
+		if d := e.PeakGBs - b.PeakGBs; d != 0 {
+			delta["peak_gbs"] = d
+		}
+		if len(delta) > 0 {
+			e.MetricsDelta = delta
+		}
+	}
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -83,10 +83,41 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAnnotateDeltas(t *testing.T) {
+	base := BenchReport{Entries: []BenchEntry{
+		{ID: "a", Allocs: 100, PeakGBs: 40, Metrics: map[string]float64{"upi.crossings": 10, "gone.counter": 5}},
+		{ID: "same", Allocs: 7, Metrics: map[string]float64{"x": 1}},
+	}}
+	cur := BenchReport{Entries: []BenchEntry{
+		{ID: "a", Allocs: 60, PeakGBs: 40, Metrics: map[string]float64{"upi.crossings": 25, "new.counter": 3}},
+		{ID: "same", Allocs: 7, Metrics: map[string]float64{"x": 1}},
+		{ID: "brandnew", Allocs: 1},
+	}}
+	cur.AnnotateDeltas(base)
+
+	a := cur.Entries[0]
+	want := map[string]float64{
+		"upi.crossings": 15,
+		"new.counter":   3,
+		"gone.counter":  -5,
+		"allocs":        -40,
+	}
+	if !reflect.DeepEqual(a.MetricsDelta, want) {
+		t.Errorf("deltas = %v, want %v", a.MetricsDelta, want)
+	}
+	if cur.Entries[1].MetricsDelta != nil {
+		t.Errorf("unchanged entry got deltas: %v", cur.Entries[1].MetricsDelta)
+	}
+	if cur.Entries[2].MetricsDelta != nil {
+		t.Errorf("baseline-less entry got deltas: %v", cur.Entries[2].MetricsDelta)
+	}
+}
+
 // TestRunBenchQuickSubset smoke-tests the harness on one experiment's worth
 // of work by checking the report invariants RunBench promises: one entry per
-// experiment plus the _full_catalog aggregate, sorted by ID, with the
-// aggregate's wall equal to the sum of the parts.
+// experiment plus the _dataset generation entry and the _full_catalog
+// aggregate, sorted by ID, with the aggregate's wall equal to the sum of the
+// parts.
 func TestRunBenchQuickSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick catalogue")
@@ -98,24 +129,34 @@ func TestRunBenchQuickSubset(t *testing.T) {
 	if rep.Schema != BenchSchema || rep.Calibration <= 0 {
 		t.Fatalf("report header invalid: %+v", rep)
 	}
-	if want := len(All()) + 1; len(rep.Entries) != want {
-		t.Fatalf("entries = %d, want %d", len(rep.Entries), want)
+	if want := len(All()) + 2; len(rep.Entries) != want {
+		t.Fatalf("entries = %d, want %d (experiments + _dataset + _full_catalog)", len(rep.Entries), want)
 	}
 	var sum float64
-	var total *BenchEntry
+	var total, dataset *BenchEntry
 	for i := range rep.Entries {
 		e := &rep.Entries[i]
 		if i > 0 && rep.Entries[i-1].ID >= e.ID {
 			t.Errorf("entries not sorted: %q before %q", rep.Entries[i-1].ID, e.ID)
 		}
-		if e.ID == FullCatalogID {
+		switch e.ID {
+		case FullCatalogID:
 			total = e
-		} else {
+		case DatasetID:
+			dataset = e
+			sum += e.WallMS
+		default:
 			sum += e.WallMS
 		}
 	}
 	if total == nil {
 		t.Fatal("no _full_catalog aggregate entry")
+	}
+	if dataset == nil {
+		t.Fatal("no _dataset generation entry")
+	}
+	if dataset.Allocs == 0 {
+		t.Error("_dataset entry recorded no allocations; generation not attributed to it")
 	}
 	if diff := total.WallMS - sum; diff > 1e-6 || diff < -1e-6 {
 		t.Errorf("aggregate wall %.3f != sum of entries %.3f", total.WallMS, sum)

@@ -37,8 +37,15 @@ func extPartition(cfg Config) ([]Table, error) {
 		{"range / uniform", partition.ByRange, 0},
 		{"range / zipf", partition.ByRange, 1.1},
 	}
+	// ZipfKeys is deterministic in (n, domain, s, seed) and several cases
+	// share a skew, so generate each key set once (Pow per key dominates).
+	keysBySkew := map[float64][]uint64{}
 	for _, c := range cases {
-		keys := partition.ZipfKeys(tuples, 1<<24, c.skew, 11)
+		keys, ok := keysBySkew[c.skew]
+		if !ok {
+			keys = partition.ZipfKeys(tuples, 1<<24, c.skew, 11)
+			keysBySkew[c.skew] = keys
+		}
 		asg, err := partition.Partition(keys, 2, c.scheme)
 		if err != nil {
 			return nil, err

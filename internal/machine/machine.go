@@ -18,6 +18,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dramdimm"
 	"repro/internal/faults"
+	"repro/internal/fluid"
 	"repro/internal/interleave"
 	"repro/internal/metrics"
 	"repro/internal/simtrace"
@@ -172,7 +173,20 @@ type Machine struct {
 	minMediaScale   float64
 	// degraded caches channel-offline interleave layouts by online count.
 	degraded map[int]*interleave.Layout
+
+	// rm and eng are the machine's reusable run scratch: one runModel and one
+	// fluid engine serve every run, reset between runs (see runModel.reset).
+	// Runs on one machine were already serialized by the lifetime clock, so
+	// sharing the scratch does not narrow the concurrency contract.
+	rm  *runModel
+	eng *fluid.Engine
 }
+
+// DisableWarmStart forces cold fluid solves on every machine run — the test
+// hook the determinism goldens use to byte-diff the warm-start path against
+// the cold path (mirroring fluid.Engine.DisableSteady). Set it only from
+// tests, before any runs start.
+var DisableWarmStart bool
 
 // New builds a machine from the configuration.
 func New(cfg Config) (*Machine, error) {

@@ -28,6 +28,9 @@ type runModel struct {
 	m       *Machine
 	streams []*Stream
 	flows   []*fluid.Flow
+	// flowPool owns the Flow structs; flows is flowPool[:len(streams)]. The
+	// structs (and their Costs backing arrays) are reused across runs.
+	flowPool []*fluid.Flow
 
 	// clock0 is the machine's lifetime clock at run start; clock0 + now is
 	// the absolute simulated time the fault injector is queried at. now is
@@ -122,8 +125,6 @@ type flowCtx struct {
 func newRunModel(m *Machine, streams []*Stream) *runModel {
 	rm := &runModel{
 		m:         m,
-		clock0:    m.clock,
-		streams:   streams,
 		upiDirs:   make(map[[2]int]*fluid.Resource),
 		coldRes:   make(map[upi.Key]*fluid.Resource),
 		unpinned:  make(map[access.Direction]*fluid.Resource),
@@ -149,16 +150,6 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 			}
 		}
 	}
-	for i, s := range streams {
-		bytes := s.Bytes
-		rm.flows = append(rm.flows, &fluid.Flow{
-			Name:      s.Label,
-			Remaining: bytes,
-		})
-		_ = i
-	}
-	rm.fctx = make([]flowCtx, len(streams))
-	rm.threadOf = make([]*fluid.Resource, len(streams))
 	rm.pop = population{
 		pmemWriteStreams: map[topology.SocketID]int{},
 		individualFlight: map[topology.SocketID]int{},
@@ -170,10 +161,60 @@ func newRunModel(m *Machine, streams []*Stream) *runModel {
 	}
 	rm.gsRegionSocks = map[int]uint64{}
 	rm.gsPkCore = map[pkCoreKey]bool{}
+	rm.reset(streams)
+	return rm
+}
+
+// reset re-arms the model for a new run over streams, reusing every piece of
+// scratch the previous run left behind: the fixed resources, the dynamic
+// resource maps (capacities are refreshed by every computeCosts), the flow
+// pool with its cost-vector backing arrays, and the solver scratch. This is
+// what takes a warmed machine's per-run steady state to zero allocations —
+// newRunModel used to be the catalogue's single largest allocation source.
+func (rm *runModel) reset(streams []*Stream) {
+	m := rm.m
+	rm.clock0 = m.clock
+	rm.now = 0
+	rm.streams = streams
+	for len(rm.flowPool) < len(streams) {
+		rm.flowPool = append(rm.flowPool, &fluid.Flow{})
+	}
+	rm.flows = rm.flowPool[:len(streams)]
+	for i, s := range streams {
+		f := rm.flows[i]
+		costs := f.Costs[:0]
+		*f = fluid.Flow{Name: s.Label, Remaining: s.Bytes, Costs: costs}
+	}
+	if cap(rm.fctx) < len(streams) {
+		rm.fctx = make([]flowCtx, len(streams))
+	}
+	rm.fctx = rm.fctx[:len(streams)]
+	if cap(rm.threadOf) < len(streams) {
+		rm.threadOf = make([]*fluid.Resource, len(streams))
+	}
+	rm.threadOf = rm.threadOf[:len(streams)]
+	// Per-run state the mechanisms read before first writing: thread-resource
+	// bindings (streams map to different cores run to run), the write-share
+	// fixed-point estimates, and the peak-utilization diagnostics.
+	for i := range rm.threadOf {
+		rm.threadOf[i] = nil
+	}
+	for s := range rm.uW {
+		rm.uW[s] = 0
+		rm.uWDram[s] = 0
+	}
+	for i := range rm.peaks {
+		rm.peaks[i] = 0
+	}
+	rm.dirty = false
+	// Stale dynamic resources from earlier runs stay registered: Solve zeroes
+	// their loads, nothing costs against them, and zero peaks are excluded
+	// from the result map, so they are inert until their key recurs.
 	if m.trace != nil {
 		rm.tr = newRunTrace(m.topo.Sockets(), m.trace.Cursor())
+	} else {
+		rm.tr = nil
 	}
-	return rm
 }
 
 // population holds per-step aggregate statistics over active streams.

@@ -1,8 +1,6 @@
 package naive
 
 import (
-	"fmt"
-
 	"repro/internal/access"
 	"repro/internal/cpu"
 	"repro/internal/machine"
@@ -15,37 +13,42 @@ func (e *Engine) simulateBuild(dims []dimMeta) (float64, error) {
 	if len(dims) == 0 {
 		return 0, nil
 	}
-	placements := cpu.AssignThreads(e.m.Topology(), cpu.PinNUMA, 0, len(dims))
-	var streams []*machine.Stream
+	placements := e.placementsFor(len(dims))
+	e.streamArena.Reset()
+	streams := e.streamBuf[:0]
 	for i, ds := range dims {
 		scale := e.dimScale[ds.name]
 		rows := float64(e.dimRowsOf(ds.name)) * scale
 		entries := float64(ds.entries) * scale
-		streams = append(streams,
-			&machine.Stream{
-				Label:      "build-scan/" + ds.name,
-				Placement:  placements[i],
-				Policy:     cpu.PinNUMA,
-				Region:     e.tableRegion,
-				Dir:        access.Read,
-				Pattern:    access.SeqIndividual,
-				AccessSize: 4096,
-				Bytes:      maxf(rows*8, 4096),
-				CPUPerByte: (rows * ScanCPUPerValue) / maxf(rows*8, 4096),
-			},
-			&machine.Stream{
-				Label:      "build-map/" + ds.name,
-				Placement:  placements[i],
-				Policy:     cpu.PinNUMA,
-				Region:     e.tableRegion,
-				Dir:        access.Write,
-				Pattern:    access.Random,
-				AccessSize: ChaseBytes,
-				Bytes:      maxf(entries*MapBytesPerEntry, ChaseBytes),
-				CPUPerByte: (entries * ProbeCPU) / maxf(entries*MapBytesPerEntry, ChaseBytes),
-				Dependent:  true,
-			})
+		labels := e.buildLabelsFor(ds.name)
+		scan := e.streamArena.Alloc()
+		*scan = machine.Stream{
+			Label:      labels[0],
+			Placement:  placements[i],
+			Policy:     cpu.PinNUMA,
+			Region:     e.tableRegion,
+			Dir:        access.Read,
+			Pattern:    access.SeqIndividual,
+			AccessSize: 4096,
+			Bytes:      maxf(rows*8, 4096),
+			CPUPerByte: (rows * ScanCPUPerValue) / maxf(rows*8, 4096),
+		}
+		build := e.streamArena.Alloc()
+		*build = machine.Stream{
+			Label:      labels[1],
+			Placement:  placements[i],
+			Policy:     cpu.PinNUMA,
+			Region:     e.tableRegion,
+			Dir:        access.Write,
+			Pattern:    access.Random,
+			AccessSize: ChaseBytes,
+			Bytes:      maxf(entries*MapBytesPerEntry, ChaseBytes),
+			CPUPerByte: (entries * ProbeCPU) / maxf(entries*MapBytesPerEntry, ChaseBytes),
+			Dependent:  true,
+		}
+		streams = append(streams, scan, build)
 	}
+	e.streamBuf = streams
 	res, err := e.m.Run(streams)
 	if err != nil {
 		return 0, err
@@ -122,7 +125,7 @@ func (e *Engine) simulatePipeline(q ssb.Query, scanSurvivors int64, stages []joi
 		matBytes := float64(st.survivors) * e.factScale * MaterializeBytesPerRow
 		stats.MaterializedBytes += int64(matBytes)
 
-		sec, err := e.runStage(fmt.Sprintf("join-%s", st.dim), stageTraffic{
+		sec, err := e.runStage(e.joinNameFor(st.dim), stageTraffic{
 			inputBytes:   inputBytes,
 			inputPattern: inputPattern,
 			inputSize:    inputSize,
@@ -174,40 +177,49 @@ type stageTraffic struct {
 // runStage spreads one operator's traffic over the engine's threads and
 // runs it on the machine.
 func (e *Engine) runStage(name string, tr stageTraffic) (float64, error) {
-	placements := cpu.AssignThreads(e.m.Topology(), cpu.PinNUMA, 0, e.opt.Threads)
+	placements := e.placementsFor(e.opt.Threads)
+	labels := e.labelsFor(name)
 	n := float64(e.opt.Threads)
-	var streams []*machine.Stream
+	e.streamArena.Reset()
+	streams := e.streamBuf[:0]
 	for t, pl := range placements {
 		if tr.inputBytes > 0 {
 			b := maxf(tr.inputBytes/n, float64(tr.inputSize))
-			streams = append(streams, &machine.Stream{
-				Label: fmt.Sprintf("%s/in/t%02d", name, t), Placement: pl, Policy: cpu.PinNUMA,
+			st := e.streamArena.Alloc()
+			*st = machine.Stream{
+				Label: labels.in[t], Placement: pl, Policy: cpu.PinNUMA,
 				Region: e.tableRegion, Dir: access.Read, Pattern: tr.inputPattern,
 				AccessSize: tr.inputSize, Bytes: b,
 				CPUPerByte: tr.inputCPU / n / b,
 				Dependent:  tr.inputPattern == access.Random,
-			})
+			}
+			streams = append(streams, st)
 		}
 		if tr.probeBytes > 0 {
 			b := maxf(tr.probeBytes/n, ChaseBytes)
-			streams = append(streams, &machine.Stream{
-				Label: fmt.Sprintf("%s/probe/t%02d", name, t), Placement: pl, Policy: cpu.PinNUMA,
+			st := e.streamArena.Alloc()
+			*st = machine.Stream{
+				Label: labels.probe[t], Placement: pl, Policy: cpu.PinNUMA,
 				Region: e.tableRegion, Dir: access.Read, Pattern: access.Random,
 				AccessSize: ChaseBytes, Bytes: b,
 				CPUPerByte: tr.probeCPU / n / b,
 				Dependent:  true,
-			})
+			}
+			streams = append(streams, st)
 		}
 		if tr.matBytes > 0 {
 			b := maxf(tr.matBytes/n, 64)
-			streams = append(streams, &machine.Stream{
-				Label: fmt.Sprintf("%s/mat/t%02d", name, t), Placement: pl, Policy: cpu.PinNUMA,
+			st := e.streamArena.Alloc()
+			*st = machine.Stream{
+				Label: labels.mat[t], Placement: pl, Policy: cpu.PinNUMA,
 				Region: e.tableRegion, Dir: access.Write, Pattern: access.SeqIndividual,
 				AccessSize: 64, Bytes: b,
 				CPUPerByte: tr.matCPU / n / b,
-			})
+			}
+			streams = append(streams, st)
 		}
 	}
+	e.streamBuf = streams
 	if len(streams) == 0 {
 		return 0, nil
 	}

@@ -2,6 +2,7 @@ package ssb
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -157,12 +158,12 @@ func genDates() []Date {
 		key := uint32(y*10000 + int(m)*100 + day)
 		out = append(out, Date{
 			DateKey:         key,
-			Date:            t.Format("January 2, 2006"),
+			Date:            monthNames[m-1] + " " + strconv.Itoa(day) + ", " + strconv.Itoa(y),
 			DayOfWeek:       weekdays[(dow+6)%7],
 			Month:           monthNames[m-1],
 			Year:            uint16(y),
 			YearMonthNum:    uint32(y*100 + int(m)),
-			YearMonth:       monthNames[m-1][:3] + fmt.Sprintf("%d", y),
+			YearMonth:       monthNames[m-1][:3] + strconv.Itoa(y),
 			DayNumInWeek:    uint8(dow + 1),
 			DayNumInMonth:   uint8(day),
 			DayNumInYear:    uint16(doy),
@@ -177,17 +178,94 @@ func genDates() []Date {
 	return out
 }
 
-// cityOf builds the SSB city string: the nation name truncated or padded to
-// nine characters plus a digit 0-9 ("UNITED KI1").
+// The generator's string domains are tiny (250 cities, 5 manufacturers, 25
+// categories, 1000 brands, 6 types), so they are interned once — built with
+// the same formatting the per-row code used, so the bytes are identical —
+// and the per-row cost is an index instead of an allocation. This init runs
+// after the one above (source order), which fills nations.
+var (
+	cityNames     [250]string  // nationIdx*10 + digit
+	mfgrNames     [6]string    // "MFGR#1".."MFGR#5"
+	categoryNames [6][6]string // "MFGR#11".."MFGR#55"
+	brandNames    [6][6][41]string
+	typesBrushed  []string
+)
+
+func init() {
+	for nat := 0; nat < 25; nat++ {
+		n := nations[nat]
+		if len(n) > 9 {
+			n = n[:9]
+		}
+		for len(n) < 9 {
+			n += " "
+		}
+		for digit := 0; digit < 10; digit++ {
+			cityNames[nat*10+digit] = fmt.Sprintf("%s%d", n, digit)
+		}
+	}
+	for mfgr := 1; mfgr <= 5; mfgr++ {
+		mfgrNames[mfgr] = fmt.Sprintf("MFGR#%d", mfgr)
+		for cat := 1; cat <= 5; cat++ {
+			categoryNames[mfgr][cat] = fmt.Sprintf("MFGR#%d%d", mfgr, cat)
+			for brand := 1; brand <= 40; brand++ {
+				brandNames[mfgr][cat][brand] = fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand)
+			}
+		}
+	}
+	typesBrushed = make([]string, len(types))
+	for i, t := range types {
+		typesBrushed[i] = t + " BRUSHED"
+	}
+}
+
+// cityOf returns the SSB city string: the nation name truncated or padded
+// to nine characters plus a digit 0-9 ("UNITED KI1").
 func cityOf(nationIdx, digit int) string {
-	n := nations[nationIdx]
-	if len(n) > 9 {
-		n = n[:9]
+	return cityNames[nationIdx*10+digit]
+}
+
+// appendPadded appends v zero-padded to exactly width digits (v < 10^width),
+// matching fmt's %0*d for non-negative values.
+func appendPadded(dst []byte, v, width int) []byte {
+	var b [20]byte
+	for j := width - 1; j >= 0; j-- {
+		b[j] = byte('0' + v%10)
+		v /= 10
 	}
-	for len(n) < 9 {
-		n += " "
+	return append(dst, b[:width]...)
+}
+
+// seqName renders prefix + %09d in one allocation ("Customer#000000001").
+func seqName(prefix string, i int) string {
+	if i < 0 || i > 999_999_999 {
+		return fmt.Sprintf("%s%09d", prefix, i)
 	}
-	return fmt.Sprintf("%s%d", n, digit)
+	var b [32]byte
+	buf := append(b[:0], prefix...)
+	buf = appendPadded(buf, i, 9)
+	return string(buf)
+}
+
+// addrOf renders "addr-%d" in one allocation.
+func addrOf(v uint64) string {
+	var b [32]byte
+	buf := append(b[:0], "addr-"...)
+	buf = strconv.AppendUint(buf, v, 10)
+	return string(buf)
+}
+
+// phoneOf renders "%02d-%03d-%03d-%04d" in one allocation.
+func phoneOf(a, b3, c, d4 int) string {
+	var b [16]byte
+	buf := appendPadded(b[:0], a, 2)
+	buf = append(buf, '-')
+	buf = appendPadded(buf, b3, 3)
+	buf = append(buf, '-')
+	buf = appendPadded(buf, c, 3)
+	buf = append(buf, '-')
+	buf = appendPadded(buf, d4, 4)
+	return string(buf)
 }
 
 func genCustomers(n int) []Customer {
@@ -197,12 +275,12 @@ func genCustomers(n int) []Customer {
 		nat := r.intn(25)
 		out[i] = Customer{
 			CustKey:    uint32(i + 1),
-			Name:       fmt.Sprintf("Customer#%09d", i+1),
-			Address:    fmt.Sprintf("addr-%d", r.next()%1_000_000),
+			Name:       seqName("Customer#", i+1),
+			Address:    addrOf(r.next() % 1_000_000),
 			City:       cityOf(nat, r.intn(10)),
 			Nation:     nations[nat],
 			Region:     nationRegion[nat],
-			Phone:      fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nat, r.intn(1000), r.intn(1000), r.intn(10000)),
+			Phone:      phoneOf(10+nat, r.intn(1000), r.intn(1000), r.intn(10000)),
 			MktSegment: mktSegments[r.intn(len(mktSegments))],
 		}
 	}
@@ -216,12 +294,12 @@ func genSuppliers(n int) []Supplier {
 		nat := r.intn(25)
 		out[i] = Supplier{
 			SuppKey: uint32(i + 1),
-			Name:    fmt.Sprintf("Supplier#%09d", i+1),
-			Address: fmt.Sprintf("addr-%d", r.next()%1_000_000),
+			Name:    seqName("Supplier#", i+1),
+			Address: addrOf(r.next() % 1_000_000),
 			City:    cityOf(nat, r.intn(10)),
 			Nation:  nations[nat],
 			Region:  nationRegion[nat],
-			Phone:   fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nat, r.intn(1000), r.intn(1000), r.intn(10000)),
+			Phone:   phoneOf(10+nat, r.intn(1000), r.intn(1000), r.intn(10000)),
 		}
 	}
 	return out
@@ -236,12 +314,12 @@ func genParts(n int) []Part {
 		brand := r.rangeInt(1, 40)
 		out[i] = Part{
 			PartKey:   uint32(i + 1),
-			Name:      fmt.Sprintf("part-%d", i+1),
-			MFGR:      fmt.Sprintf("MFGR#%d", mfgr),
-			Category:  fmt.Sprintf("MFGR#%d%d", mfgr, cat),
-			Brand1:    fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand),
+			Name:      "part-" + strconv.Itoa(i+1),
+			MFGR:      mfgrNames[mfgr],
+			Category:  categoryNames[mfgr][cat],
+			Brand1:    brandNames[mfgr][cat][brand],
 			Color:     colors[r.intn(len(colors))],
-			Type:      types[r.intn(len(types))] + " BRUSHED",
+			Type:      typesBrushed[r.intn(len(types))],
 			Size:      uint8(r.rangeInt(1, 50)),
 			Container: containers[r.intn(len(containers))],
 		}

@@ -3,6 +3,7 @@ package ssb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -32,6 +33,12 @@ type Query struct {
 
 	// GroupBy renders the group key; empty string for scalar aggregates.
 	GroupBy func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string
+	// GroupAppend, when non-nil, appends exactly GroupBy's bytes to dst
+	// and returns it. Engines use it with a reusable buffer so the hot
+	// aggregation loop allocates a key string only the first time a group
+	// appears, not once per qualifying row
+	// (TestGroupAppendMatchesGroupBy pins the equivalence).
+	GroupAppend func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte
 	// Aggregate returns the row's contribution (revenue or profit, cents).
 	Aggregate func(lo *Lineorder) int64
 	// OrderBy orders two result rows per the query's ORDER BY clause; nil
@@ -112,6 +119,19 @@ func (r Result) Equal(o Result) bool {
 	return true
 }
 
+// yearString renders a d_year group-by column. The calendar spans
+// 1992..1998, so the common path is a table lookup instead of an
+// allocation — GroupBy runs once per qualifying fact row, and the
+// engines' hot loops are dominated by key rendering.
+var yearStrings = [...]string{"1992", "1993", "1994", "1995", "1996", "1997", "1998"}
+
+func yearString(y uint16) string {
+	if y >= 1992 && y <= 1998 {
+		return yearStrings[y-1992]
+	}
+	return strconv.Itoa(int(y))
+}
+
 func revenue(lo *Lineorder) int64 { return int64(lo.Revenue) }
 func profit(lo *Lineorder) int64  { return int64(lo.Revenue) - int64(lo.SupplyCost) }
 func discountedRevenue(lo *Lineorder) int64 {
@@ -159,7 +179,12 @@ func Queries() []Query {
 			PartFilter: func(p *Part) bool { return p.Category == "MFGR#12" },
 			SuppFilter: func(s *Supplier) bool { return s.Region == "AMERICA" },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s", d.Year, p.Brand1)
+				return yearString(d.Year) + "|" + p.Brand1
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				return append(dst, p.Brand1...)
 			},
 			Aggregate: revenue,
 		},
@@ -172,7 +197,12 @@ func Queries() []Query {
 			},
 			SuppFilter: func(s *Supplier) bool { return s.Region == "ASIA" },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s", d.Year, p.Brand1)
+				return yearString(d.Year) + "|" + p.Brand1
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				return append(dst, p.Brand1...)
 			},
 			Aggregate: revenue,
 		},
@@ -183,7 +213,12 @@ func Queries() []Query {
 			PartFilter: func(p *Part) bool { return p.Brand1 == "MFGR#2221" },
 			SuppFilter: func(s *Supplier) bool { return s.Region == "EUROPE" },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s", d.Year, p.Brand1)
+				return yearString(d.Year) + "|" + p.Brand1
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				return append(dst, p.Brand1...)
 			},
 			Aggregate: revenue,
 		},
@@ -195,7 +230,14 @@ func Queries() []Query {
 			SuppFilter: func(s *Supplier) bool { return s.Region == "ASIA" },
 			DateFilter: func(d *Date) bool { return d.Year >= 1992 && d.Year <= 1997 },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%s|%s|%d", c.Nation, s.Nation, d.Year)
+				return c.Nation + "|" + s.Nation + "|" + yearString(d.Year)
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, c.Nation...)
+				dst = append(dst, '|')
+				dst = append(dst, s.Nation...)
+				dst = append(dst, '|')
+				return append(dst, yearString(d.Year)...)
 			},
 			Aggregate: revenue,
 			OrderBy:   byYearAscRevenueDesc,
@@ -208,7 +250,14 @@ func Queries() []Query {
 			SuppFilter: func(s *Supplier) bool { return s.Nation == "UNITED STATES" },
 			DateFilter: func(d *Date) bool { return d.Year >= 1992 && d.Year <= 1997 },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%s|%s|%d", c.City, s.City, d.Year)
+				return c.City + "|" + s.City + "|" + yearString(d.Year)
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, c.City...)
+				dst = append(dst, '|')
+				dst = append(dst, s.City...)
+				dst = append(dst, '|')
+				return append(dst, yearString(d.Year)...)
 			},
 			Aggregate: revenue,
 			OrderBy:   byYearAscRevenueDesc,
@@ -221,7 +270,14 @@ func Queries() []Query {
 			SuppFilter: func(s *Supplier) bool { return s.City == "UNITED KI1" || s.City == "UNITED KI5" },
 			DateFilter: func(d *Date) bool { return d.Year >= 1992 && d.Year <= 1997 },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%s|%s|%d", c.City, s.City, d.Year)
+				return c.City + "|" + s.City + "|" + yearString(d.Year)
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, c.City...)
+				dst = append(dst, '|')
+				dst = append(dst, s.City...)
+				dst = append(dst, '|')
+				return append(dst, yearString(d.Year)...)
 			},
 			Aggregate: revenue,
 			OrderBy:   byYearAscRevenueDesc,
@@ -234,7 +290,14 @@ func Queries() []Query {
 			SuppFilter: func(s *Supplier) bool { return s.City == "UNITED KI1" || s.City == "UNITED KI5" },
 			DateFilter: func(d *Date) bool { return d.YearMonth == "Dec1997" },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%s|%s|%d", c.City, s.City, d.Year)
+				return c.City + "|" + s.City + "|" + yearString(d.Year)
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, c.City...)
+				dst = append(dst, '|')
+				dst = append(dst, s.City...)
+				dst = append(dst, '|')
+				return append(dst, yearString(d.Year)...)
 			},
 			Aggregate: revenue,
 			OrderBy:   byYearAscRevenueDesc,
@@ -247,7 +310,12 @@ func Queries() []Query {
 			SuppFilter: func(s *Supplier) bool { return s.Region == "AMERICA" },
 			PartFilter: func(p *Part) bool { return p.MFGR == "MFGR#1" || p.MFGR == "MFGR#2" },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s", d.Year, c.Nation)
+				return yearString(d.Year) + "|" + c.Nation
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				return append(dst, c.Nation...)
 			},
 			Aggregate: profit,
 		},
@@ -260,7 +328,14 @@ func Queries() []Query {
 			PartFilter: func(p *Part) bool { return p.MFGR == "MFGR#1" || p.MFGR == "MFGR#2" },
 			DateFilter: func(d *Date) bool { return d.Year == 1997 || d.Year == 1998 },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s|%s", d.Year, s.Nation, p.Category)
+				return yearString(d.Year) + "|" + s.Nation + "|" + p.Category
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				dst = append(dst, s.Nation...)
+				dst = append(dst, '|')
+				return append(dst, p.Category...)
 			},
 			Aggregate: profit,
 		},
@@ -273,7 +348,14 @@ func Queries() []Query {
 			PartFilter: func(p *Part) bool { return p.Category == "MFGR#14" },
 			DateFilter: func(d *Date) bool { return d.Year == 1997 || d.Year == 1998 },
 			GroupBy: func(lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) string {
-				return fmt.Sprintf("%d|%s|%s", d.Year, s.City, p.Brand1)
+				return yearString(d.Year) + "|" + s.City + "|" + p.Brand1
+			},
+			GroupAppend: func(dst []byte, lo *Lineorder, d *Date, c *Customer, s *Supplier, p *Part) []byte {
+				dst = append(dst, yearString(d.Year)...)
+				dst = append(dst, '|')
+				dst = append(dst, s.City...)
+				dst = append(dst, '|')
+				return append(dst, p.Brand1...)
 			},
 			Aggregate: profit,
 		},
